@@ -1,0 +1,35 @@
+// Ablation A2 — accelerator capacity (Constraint 2 of §III-A).
+// Sweeps the network accelerator's per-request service time and core
+// count for NetRS-ILP. Slower accelerators shrink Tmax = U*c/t, forcing
+// the controller to spread selection across more RSNodes and adding
+// selector queueing delay on the request path.
+#include "figure_common.hpp"
+
+int main() {
+  using netrs::bench::SweepPoint;
+  using netrs::harness::ExperimentConfig;
+  using netrs::harness::Scheme;
+
+  struct Variant {
+    const char* label;
+    int cores;
+    double request_us;
+  };
+  const Variant variants[] = {
+      {"1c/2.5us", 1, 2.5}, {"1c/5us", 1, 5.0},   {"1c/20us", 1, 20.0},
+      {"1c/50us", 1, 50.0}, {"4c/20us", 4, 20.0},
+  };
+  std::vector<SweepPoint> points;
+  for (const Variant& v : variants) {
+    points.push_back({v.label, [v](ExperimentConfig& cfg) {
+                        cfg.accelerator.cores = v.cores;
+                        cfg.accelerator.request_service_time =
+                            netrs::sim::micros(v.request_us);
+                        cfg.accelerator.response_service_time =
+                            netrs::sim::micros(v.request_us / 5.0);
+                      }});
+  }
+  return netrs::bench::run_figure("Ablation A2 - accelerator capacity",
+                                  "accel", points,
+                                  {Scheme::kNetRSToR, Scheme::kNetRSIlp});
+}

@@ -1,0 +1,24 @@
+// Ablation A3 — replica-selection algorithms under both deployments.
+// NetRS claims to improve *diverse* selection algorithms (§IV-C), not just
+// C3: this bench runs C3 (with and without rate control), least-
+// outstanding, power-of-two-choices, EWMA-latency and random under CliRS
+// and NetRS-ILP.
+#include "figure_common.hpp"
+
+int main() {
+  using netrs::bench::SweepPoint;
+  using netrs::harness::ExperimentConfig;
+  using netrs::harness::Scheme;
+
+  std::vector<SweepPoint> points;
+  for (const char* algo :
+       {"c3", "c3-norate", "least-outstanding", "two-choices",
+        "ewma-latency", "random"}) {
+    points.push_back({algo, [algo](ExperimentConfig& cfg) {
+                        cfg.selector.algorithm = algo;
+                      }});
+  }
+  return netrs::bench::run_figure(
+      "Ablation A3 - replica-selection algorithms", "algorithm", points,
+      {Scheme::kCliRS, Scheme::kNetRSIlp});
+}

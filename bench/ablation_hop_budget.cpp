@@ -1,0 +1,23 @@
+// Ablation A4 — the extra-hop budget E (Constraint 3 of §III-A).
+// E = fraction * aggregate rate. E = 0 forces the ILP into the ToR plan
+// (only zero-cost placements); growing E lets it consolidate onto
+// aggregation and core switches, trading detour hops for fewer, better-
+// informed RSNodes.
+#include "figure_common.hpp"
+
+int main() {
+  using netrs::bench::SweepPoint;
+  using netrs::harness::ExperimentConfig;
+  using netrs::harness::Scheme;
+
+  std::vector<SweepPoint> points;
+  for (double frac : {0.0, 0.05, 0.1, 0.2, 0.4, 1.0}) {
+    char label[16];
+    std::snprintf(label, sizeof label, "%.0f%%", frac * 100.0);
+    points.push_back({label, [frac](ExperimentConfig& cfg) {
+                        cfg.extra_hop_fraction = frac;
+                      }});
+  }
+  return netrs::bench::run_figure("Ablation A4 - extra-hop budget E",
+                                  "E/A", points, {Scheme::kNetRSIlp});
+}

@@ -1,0 +1,29 @@
+// Ablation A1 — RSNode placement and traffic-group granularity.
+// Compares NetRS-ILP under rack-level, sub-rack (4 hosts) and host-level
+// traffic groups against NetRS-ToR, isolating how much of NetRS's win comes
+// from the ILP consolidation (fewer RSNodes -> fresher local information,
+// less herd behavior) versus merely moving selection into the network.
+#include "figure_common.hpp"
+
+int main() {
+  using netrs::bench::SweepPoint;
+  using netrs::core::GroupGranularity;
+  using netrs::harness::ExperimentConfig;
+  using netrs::harness::Scheme;
+
+  std::vector<SweepPoint> points = {
+      {"rack", [](ExperimentConfig& cfg) {
+         cfg.granularity = GroupGranularity::kRack;
+       }},
+      {"subrack4", [](ExperimentConfig& cfg) {
+         cfg.granularity = GroupGranularity::kSubRack;
+         cfg.sub_rack_hosts = 4;
+       }},
+      {"host", [](ExperimentConfig& cfg) {
+         cfg.granularity = GroupGranularity::kHost;
+       }},
+  };
+  return netrs::bench::run_figure(
+      "Ablation A1 - placement & traffic-group granularity", "groups",
+      points, {Scheme::kNetRSToR, Scheme::kNetRSIlp});
+}

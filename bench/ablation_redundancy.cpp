@@ -1,0 +1,24 @@
+// Ablation A5 — redundant requests and cross-server cancellation.
+// The paper finds redundancy only pays off at low utilization (extra load
+// overwhelms the skewed cluster otherwise). Cancellation ("The Tail at
+// Scale") reclaims queued duplicates, so R95C should extend the region
+// where redundancy is safe. Sweeps utilization for CliRS, CliRS-R95 and
+// CliRS-R95C.
+#include "figure_common.hpp"
+
+int main() {
+  using netrs::bench::SweepPoint;
+  using netrs::harness::ExperimentConfig;
+  using netrs::harness::Scheme;
+
+  std::vector<SweepPoint> points;
+  for (int pct : {30, 50, 70, 90}) {
+    points.push_back({std::to_string(pct) + "%",
+                      [pct](ExperimentConfig& cfg) {
+                        cfg.utilization = pct / 100.0;
+                      }});
+  }
+  return netrs::bench::run_figure(
+      "Ablation A5 - redundancy & cancellation", "utilization", points,
+      {Scheme::kCliRS, Scheme::kCliRSR95, Scheme::kCliRSR95Cancel});
+}

@@ -1,0 +1,24 @@
+// Ablation A6 — shared accelerators (§III-B).
+// All core switches of a core group share one physical accelerator
+// ("we could cut the network cost of NetRS by connecting one accelerator
+// to multiple switches"): the pooled capacity constraint replaces the
+// per-operator one, so the placement must spread across pods more.
+#include "figure_common.hpp"
+
+int main() {
+  using netrs::bench::SweepPoint;
+  using netrs::harness::ExperimentConfig;
+  using netrs::harness::Scheme;
+
+  std::vector<SweepPoint> points = {
+      {"dedicated", [](ExperimentConfig& cfg) {
+         cfg.share_core_accelerators = false;
+       }},
+      {"shared-core", [](ExperimentConfig& cfg) {
+         cfg.share_core_accelerators = true;
+       }},
+  };
+  return netrs::bench::run_figure("Ablation A6 - shared accelerators",
+                                  "accel-wiring", points,
+                                  {Scheme::kNetRSToR, Scheme::kNetRSIlp});
+}

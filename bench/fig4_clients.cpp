@@ -1,0 +1,18 @@
+// Figure 4 — response latency vs. number of clients (100..700), 90%
+// utilization, no demand skew. Reproduces the paper's finding that CliRS
+// latency grows with the client count (more independent RSNodes -> staler
+// information + herd behavior) while NetRS-ToR/NetRS-ILP stay flat.
+#include "figure_common.hpp"
+
+int main() {
+  using netrs::bench::SweepPoint;
+  std::vector<SweepPoint> points;
+  for (int clients : {100, 300, 500, 700}) {
+    points.push_back({std::to_string(clients),
+                      [clients](netrs::harness::ExperimentConfig& cfg) {
+                        cfg.num_clients = clients;
+                      }});
+  }
+  return netrs::bench::run_figure(
+      "Figure 4 - impact of the number of clients", "clients", points);
+}

@@ -1,0 +1,18 @@
+// Figure 5 — response latency vs. demand skewness: the given percentage of
+// all requests is issued by 20% of the 500 clients. Reproduces the paper's
+// finding that NetRS's relative advantage shrinks as skew grows (skewed
+// demand effectively reduces the number of active client RSNodes).
+#include "figure_common.hpp"
+
+int main() {
+  using netrs::bench::SweepPoint;
+  std::vector<SweepPoint> points;
+  for (int pct : {70, 80, 90, 95}) {
+    points.push_back({std::to_string(pct) + "%",
+                      [pct](netrs::harness::ExperimentConfig& cfg) {
+                        cfg.demand_skew = pct / 100.0;
+                      }});
+  }
+  return netrs::bench::run_figure(
+      "Figure 5 - impact of the demand skewness", "skew", points);
+}

@@ -1,0 +1,18 @@
+// Figure 6 — response latency vs. system utilization (30%..90%).
+// Reproduces: latency rises with utilization for every scheme; NetRS-ILP's
+// advantage is largest at high utilization (bad selections hurt more under
+// contention); redundant requests (CliRS-R95) only help at low utilization.
+#include "figure_common.hpp"
+
+int main() {
+  using netrs::bench::SweepPoint;
+  std::vector<SweepPoint> points;
+  for (int pct : {30, 50, 70, 90}) {
+    points.push_back({std::to_string(pct) + "%",
+                      [pct](netrs::harness::ExperimentConfig& cfg) {
+                        cfg.utilization = pct / 100.0;
+                      }});
+  }
+  return netrs::bench::run_figure(
+      "Figure 6 - impact of the system utilization", "utilization", points);
+}

@@ -1,0 +1,58 @@
+// Shared driver for the figure-reproduction benches: runs a sweep of
+// experiment configurations across the paper's four schemes and prints the
+// four latency panels (Avg / 95th / 99th / 99.9th), mirroring Figs. 4-7.
+//
+// Scale note: each point defaults to cfg.total_requests issued requests
+// (NETRS_REQUESTS overrides; the paper used 6M per point). NETRS_REPEATS
+// re-runs each point with re-randomized deployments, as the paper does.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "harness/report.hpp"
+
+namespace netrs::bench {
+
+inline const std::vector<harness::Scheme> kAllSchemes = {
+    harness::Scheme::kCliRS, harness::Scheme::kCliRSR95,
+    harness::Scheme::kNetRSToR, harness::Scheme::kNetRSIlp};
+
+struct SweepPoint {
+  std::string label;
+  std::function<void(harness::ExperimentConfig&)> apply;
+};
+
+inline int run_figure(const std::string& title,
+                      const std::string& sweep_label,
+                      const std::vector<SweepPoint>& points,
+                      const std::vector<harness::Scheme>& schemes =
+                          kAllSchemes) {
+  harness::SweepReport report;
+  report.title = title;
+  report.sweep_label = sweep_label;
+  report.schemes = schemes;
+
+  for (const SweepPoint& point : points) {
+    report.sweep_values.push_back(point.label);
+    report.results.emplace_back();
+    for (harness::Scheme scheme : schemes) {
+      harness::ExperimentConfig cfg = harness::default_config();
+      point.apply(cfg);
+      std::printf("[%s] %s=%s scheme=%s ...\n", title.c_str(),
+                  sweep_label.c_str(), point.label.c_str(),
+                  harness::scheme_name(scheme));
+      std::fflush(stdout);
+      report.results.back().push_back(
+          harness::run_experiment(scheme, cfg));
+    }
+  }
+  harness::print_report(report);
+  harness::write_csv(report, "bench_results.csv");
+  return 0;
+}
+
+}  // namespace netrs::bench

@@ -1,0 +1,161 @@
+// Micro-benchmarks (google-benchmark) for the per-packet and per-solve
+// hot paths: NetRS header encode/parse/rewrite, event-queue churn, Zipf
+// sampling, consistent-hash lookups, C3 selection, and the RSP ILP solve.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "kv/consistent_hash.hpp"
+#include "net/fat_tree.hpp"
+#include "netrs/packet_format.hpp"
+#include "netrs/placement.hpp"
+#include "rs/c3.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace netrs;
+
+void BM_EncodeRequest(benchmark::State& state) {
+  core::RequestHeader h;
+  h.rid = 7;
+  h.rv = 99;
+  h.rgid = 1234;
+  std::vector<std::byte> app(16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::encode_request(h, app));
+  }
+}
+BENCHMARK(BM_EncodeRequest);
+
+void BM_DecodeRequest(benchmark::State& state) {
+  core::RequestHeader h;
+  h.rgid = 1234;
+  const auto p = core::encode_request(h, std::vector<std::byte>(16));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::decode_request(p));
+  }
+}
+BENCHMARK(BM_DecodeRequest);
+
+void BM_SwitchFieldRewrite(benchmark::State& state) {
+  // What a programmable switch does per NetRS packet: peek magic, peek RID,
+  // rewrite RID.
+  core::RequestHeader h;
+  auto p = core::encode_request(h, std::vector<std::byte>(16));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::peek_magic(p));
+    benchmark::DoNotOptimize(core::peek_rid(p));
+    core::set_rid(p, 42);
+  }
+}
+BENCHMARK(BM_SwitchFieldRewrite);
+
+void BM_EventQueueChurn(benchmark::State& state) {
+  sim::EventQueue q;
+  sim::Rng rng(1);
+  sim::Time t = 0;
+  // Steady-state: keep N events queued, push one / pop one.
+  const int depth = static_cast<int>(state.range(0));
+  for (int i = 0; i < depth; ++i) {
+    q.push(t + static_cast<sim::Time>(rng.uniform(1000)), [] {});
+  }
+  for (auto _ : state) {
+    auto [when, cb] = q.pop();
+    t = when;
+    q.push(t + static_cast<sim::Time>(rng.uniform(1000)), std::move(cb));
+  }
+}
+BENCHMARK(BM_EventQueueChurn)->Arg(1000)->Arg(100000);
+
+void BM_ZipfSample(benchmark::State& state) {
+  sim::Rng rng(2);
+  sim::ZipfDistribution zipf(100'000'000, 0.99);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf(rng));
+  }
+}
+BENCHMARK(BM_ZipfSample);
+
+void BM_RingLookup(benchmark::State& state) {
+  std::vector<net::HostId> servers;
+  for (int i = 0; i < 100; ++i) servers.push_back(static_cast<net::HostId>(i));
+  kv::ConsistentHashRing ring(servers, 3, 16);
+  sim::Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.group_of_key(rng.next_u64()));
+  }
+}
+BENCHMARK(BM_RingLookup);
+
+void BM_C3Select(benchmark::State& state) {
+  sim::Simulator sim;
+  rs::C3Options opts;
+  opts.rate_control = state.range(0) != 0;
+  rs::C3Selector c3(sim, sim::Rng(4), opts);
+  std::vector<net::HostId> candidates = {1, 2, 3};
+  sim::Rng rng(5);
+  for (net::HostId h : candidates) {
+    rs::Feedback fb;
+    fb.server = h;
+    fb.response_time = sim::millis(4);
+    fb.queue_size = static_cast<std::uint32_t>(rng.uniform(8));
+    fb.service_time = sim::millis(4);
+    c3.on_response(fb);
+  }
+  for (auto _ : state) {
+    const net::HostId h = c3.select(candidates);
+    c3.on_send(h);
+    rs::Feedback fb;
+    fb.server = h;
+    fb.response_time = sim::millis(4);
+    fb.queue_size = 2;
+    fb.service_time = sim::millis(4);
+    c3.on_response(fb);
+  }
+}
+BENCHMARK(BM_C3Select)->Arg(0)->Arg(1);
+
+void BM_PlacementSolve(benchmark::State& state) {
+  // The paper-scale RSP ILP: 16-ary fat-tree, 128 rack groups.
+  const int k = static_cast<int>(state.range(0));
+  net::FatTree topo(k);
+  core::PlacementProblem p;
+  sim::Rng rng(6);
+  const double total = 90000.0;
+  for (int r = 0; r < topo.racks(); ++r) {
+    core::GroupDemand g;
+    g.id = static_cast<core::GroupId>(r);
+    g.pod = r / topo.tors_per_pod();
+    g.rack = r % topo.tors_per_pod();
+    const double load =
+        total / topo.racks() * (0.8 + 0.4 * rng.next_double());
+    g.tier_traffic[0] = load * 0.94;
+    g.tier_traffic[1] = load * 0.05;
+    g.tier_traffic[2] = load * 0.01;
+    p.groups.push_back(g);
+  }
+  core::RsNodeId id = 1;
+  for (net::NodeId sw : topo.all_switches()) {
+    core::OperatorSpec op;
+    op.id = id++;
+    op.sw = sw;
+    const net::SwitchCoord c = topo.coord(sw);
+    op.tier = c.tier;
+    op.pod = c.pod;
+    op.rack = c.idx;
+    op.t_max = 83333.0;
+    p.operators.push_back(op);
+  }
+  p.extra_hop_budget = 0.2 * total;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::solve_placement(p));
+  }
+}
+BENCHMARK(BM_PlacementSolve)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,144 @@
+// Example: exception handling with Degraded Replica Selection (§III-C).
+//
+// Runs a NetRS-ILP cluster, then fails the busiest RSNode mid-run. The
+// controller immediately degrades the affected traffic groups (requests
+// ride to the client-chosen backup replica) and, at the next replan,
+// re-consolidates onto the surviving operators. The example prints a
+// latency timeline so the degradation + recovery episode is visible.
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "kv/client.hpp"
+#include "kv/consistent_hash.hpp"
+#include "kv/server.hpp"
+#include "net/switch.hpp"
+#include "netrs/controller.hpp"
+#include "netrs/operator.hpp"
+#include "rs/factory.hpp"
+
+using namespace netrs;
+
+int main() {
+  sim::Simulator sim;
+  net::FatTree topo(8);
+  net::Fabric fabric(sim, topo, net::FabricConfig{});
+  std::vector<std::unique_ptr<net::Switch>> switches;
+  for (net::NodeId sw = 0; sw < topo.switch_count(); ++sw) {
+    switches.push_back(std::make_unique<net::Switch>(fabric, sw));
+    fabric.attach(sw, switches.back().get());
+  }
+
+  sim::Rng root(11);
+  std::vector<net::HostId> hosts(topo.host_count());
+  std::iota(hosts.begin(), hosts.end(), net::HostId{0});
+  root.shuffle(hosts);
+  const std::vector<net::HostId> server_hosts(hosts.begin(),
+                                              hosts.begin() + 20);
+  const std::vector<net::HostId> client_hosts(hosts.begin() + 20,
+                                              hosts.begin() + 80);
+
+  kv::ConsistentHashRing ring(server_hosts, 3, 16);
+  sim::ZipfDistribution zipf(1'000'000, 0.99);
+  core::TrafficGroups groups(topo, core::GroupGranularity::kRack);
+
+  auto directory = std::make_shared<core::RsNodeDirectory>();
+  for (net::NodeId sw = 0; sw < topo.switch_count(); ++sw) {
+    (*directory)[static_cast<core::RsNodeId>(sw + 1)] = sw;
+  }
+  auto bootstrap = std::make_shared<const core::GroupRidTable>(
+      groups.group_count(), core::kRidIllegal);
+  std::vector<std::unique_ptr<core::NetRSOperator>> operators;
+  for (net::NodeId sw = 0; sw < topo.switch_count(); ++sw) {
+    sim::Rng op_rng = root.child(0x900 + sw);
+    operators.push_back(std::make_unique<core::NetRSOperator>(
+        fabric, *switches[sw], static_cast<core::RsNodeId>(sw + 1),
+        core::AcceleratorConfig{}, directory, ring.groups(),
+        [&sim, op_rng]() mutable {
+          rs::SelectorConfig cfg;  // C3, the paper's default
+          return rs::make_selector(cfg, sim, op_rng.child("sel"));
+        },
+        &groups, bootstrap));
+  }
+
+  core::ControllerConfig ctrl_cfg;
+  ctrl_cfg.mode = core::PlanMode::kIlp;
+  ctrl_cfg.replan_interval = sim::millis(100);
+  ctrl_cfg.rsp_update_interval = sim::millis(400);
+  std::vector<core::NetRSOperator*> ptrs;
+  for (auto& op : operators) ptrs.push_back(op.get());
+  core::Controller controller(sim, topo, groups, std::move(ptrs), ctrl_cfg);
+  controller.start();
+
+  kv::ServerConfig scfg;  // paper defaults: 4ms exponential, fluctuating
+  std::vector<std::unique_ptr<kv::Server>> servers;
+  for (net::HostId h : server_hosts) {
+    servers.push_back(
+        std::make_unique<kv::Server>(fabric, h, scfg, root.child(h)));
+  }
+
+  kv::ClientConfig ccfg;
+  ccfg.mode = kv::ClientMode::kNetRS;
+  ccfg.arrival_rate = 18000.0 / client_hosts.size();  // ~90% utilization
+
+  // Latency timeline: 100ms buckets.
+  constexpr int kBuckets = 30;
+  std::vector<sim::LatencyRecorder> timeline(kBuckets);
+  std::vector<std::unique_ptr<kv::Client>> clients;
+  for (net::HostId h : client_hosts) {
+    clients.push_back(std::make_unique<kv::Client>(
+        fabric, h, ccfg, ring, zipf, root.child(0x2000 + h)));
+    clients.back()->set_completion_callback(
+        [&](const kv::Client::Completion& c) {
+          const auto bucket =
+              static_cast<std::size_t>(sim.now() / sim::millis(100));
+          if (bucket < timeline.size()) {
+            timeline[bucket].add(sim::to_millis(c.latency));
+          }
+        });
+    clients.back()->start();
+  }
+
+  // Fail the busiest RSNode at t = 1.2s; it comes back at t = 2.0s.
+  core::RsNodeId victim = 0;
+  sim.at(sim::seconds(1.2), [&] {
+    std::uint64_t best = 0;
+    for (auto& op : operators) {
+      const std::uint64_t n = op->selector_node().requests_selected();
+      if (n > best) {
+        best = n;
+        victim = op->id();
+      }
+    }
+    std::printf("t=1.2s  FAILING RSNode %u (had selected %llu requests); "
+                "its groups degrade to DRS\n",
+                victim, static_cast<unsigned long long>(best));
+    controller.fail_operator(victim);
+  });
+  sim.at(sim::seconds(2.0), [&] {
+    std::printf("t=2.0s  restoring RSNode %u\n", victim);
+    controller.restore_operator(victim);
+  });
+
+  sim.run_until(sim::seconds(3.0));
+  for (auto& c : clients) c->stop();
+  sim.run_until(sim.now() + sim::millis(100));
+
+  std::printf("\n%-8s %10s %10s %10s %9s\n", "window", "mean(ms)", "p99(ms)",
+              "samples", "RSNodes");
+  for (int b = 0; b < kBuckets; ++b) {
+    if (timeline[b].empty()) continue;
+    std::printf("%.1f-%.1fs %10.3f %10.3f %10zu\n", b / 10.0,
+                (b + 1) / 10.0, timeline[b].mean(),
+                timeline[b].percentile(0.99), timeline[b].count());
+  }
+  std::printf("\nfinal plan: %d RSNodes (%s), %zu DRS groups, %u plans "
+              "deployed\n",
+              controller.active_rsnodes(),
+              controller.current_plan().method.c_str(),
+              controller.current_plan().drs_groups.size(),
+              controller.plans_deployed());
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Quickstart: run one small NetRS experiment per scheme and print the
+// latency distributions.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "harness/experiment.hpp"
+#include "harness/report.hpp"
+
+int main() {
+  using namespace netrs;
+
+  // A laptop-sized slice of the paper's setup: an 8-ary fat-tree (128
+  // hosts), 20 servers, 60 clients, ~12k requests per scheme.
+  harness::ExperimentConfig cfg = harness::default_config();
+  cfg.fat_tree_k = 8;
+  cfg.num_servers = 20;
+  cfg.num_clients = 60;
+  cfg.total_requests = 12'000;
+  cfg.utilization = 0.9;
+
+  harness::SweepReport report;
+  report.title = "Quickstart — one point, all four schemes";
+  report.sweep_label = "setup";
+  report.sweep_values = {"default"};
+  report.schemes = {harness::Scheme::kCliRS, harness::Scheme::kCliRSR95,
+                    harness::Scheme::kNetRSToR, harness::Scheme::kNetRSIlp};
+
+  report.results.emplace_back();
+  for (harness::Scheme s : report.schemes) {
+    std::printf("running %s...\n", harness::scheme_name(s));
+    report.results[0].push_back(harness::run_experiment(s, cfg));
+  }
+  harness::print_report(report);
+
+  const auto& ilp = report.results[0][3];
+  std::printf(
+      "\nNetRS-ILP plan: %d RSNodes (method %s, %d plans deployed, %zu DRS "
+      "groups)\n",
+      ilp.rsnodes, ilp.plan_method.c_str(), ilp.plans_deployed,
+      ilp.drs_groups);
+  return 0;
+}

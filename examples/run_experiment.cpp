@@ -1,0 +1,145 @@
+// Command-line experiment runner: expose the full experiment harness as a
+// single binary so new configurations can be explored without writing
+// code.
+//
+// Usage examples:
+//   run_experiment --scheme netrs-ilp --clients 700 --utilization 0.9
+//   run_experiment --scheme clirs-r95c --requests 500000 --skew 0.8
+//   run_experiment --scheme netrs-ilp --algorithm two-choices --share-accel
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "harness/experiment.hpp"
+
+using namespace netrs;
+
+namespace {
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --scheme S        clirs | clirs-r95 | clirs-r95c | netrs-tor |\n"
+      "                    netrs-ilp              (default netrs-ilp)\n"
+      "  --k N             fat-tree arity         (default 16)\n"
+      "  --servers N       KV servers             (default 100)\n"
+      "  --clients N       clients                (default 500)\n"
+      "  --utilization F   system utilization     (default 0.9)\n"
+      "  --skew F          20%%-client demand share (default 0 = uniform)\n"
+      "  --tkv MS          mean service time, ms  (default 4)\n"
+      "  --requests N      total requests         (default 120000)\n"
+      "  --repeats N       deployments merged     (default 2)\n"
+      "  --algorithm A     c3 | c3-norate | least-outstanding |\n"
+      "                    two-choices | ewma-latency | random\n"
+      "  --granularity G   rack | host | subrack4 (default rack)\n"
+      "  --hop-budget F    E as fraction of A     (default 0.2)\n"
+      "  --share-accel     share one accelerator per core group\n"
+      "  --seed N          RNG seed               (default 1)\n",
+      argv0);
+}
+
+bool parse_scheme(const std::string& s, harness::Scheme* out) {
+  if (s == "clirs") *out = harness::Scheme::kCliRS;
+  else if (s == "clirs-r95") *out = harness::Scheme::kCliRSR95;
+  else if (s == "clirs-r95c") *out = harness::Scheme::kCliRSR95Cancel;
+  else if (s == "netrs-tor") *out = harness::Scheme::kNetRSToR;
+  else if (s == "netrs-ilp") *out = harness::Scheme::kNetRSIlp;
+  else return false;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  harness::ExperimentConfig cfg = harness::default_config();
+  harness::Scheme scheme = harness::Scheme::kNetRSIlp;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--scheme") {
+      if (!parse_scheme(next(), &scheme)) {
+        std::fprintf(stderr, "unknown scheme\n");
+        return 2;
+      }
+    } else if (arg == "--k") {
+      cfg.fat_tree_k = std::atoi(next());
+    } else if (arg == "--servers") {
+      cfg.num_servers = std::atoi(next());
+    } else if (arg == "--clients") {
+      cfg.num_clients = std::atoi(next());
+    } else if (arg == "--utilization") {
+      cfg.utilization = std::atof(next());
+    } else if (arg == "--skew") {
+      cfg.demand_skew = std::atof(next());
+    } else if (arg == "--tkv") {
+      cfg.mean_service_time = sim::millis(std::atof(next()));
+      cfg.selector.c3.service_time_prior = cfg.mean_service_time;
+    } else if (arg == "--requests") {
+      cfg.total_requests = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--repeats") {
+      cfg.repeats = std::atoi(next());
+    } else if (arg == "--algorithm") {
+      cfg.selector.algorithm = next();
+    } else if (arg == "--granularity") {
+      const std::string g = next();
+      if (g == "rack") {
+        cfg.granularity = core::GroupGranularity::kRack;
+      } else if (g == "host") {
+        cfg.granularity = core::GroupGranularity::kHost;
+      } else if (g == "subrack4") {
+        cfg.granularity = core::GroupGranularity::kSubRack;
+        cfg.sub_rack_hosts = 4;
+      } else {
+        std::fprintf(stderr, "unknown granularity\n");
+        return 2;
+      }
+    } else if (arg == "--hop-budget") {
+      cfg.extra_hop_fraction = std::atof(next());
+    } else if (arg == "--share-accel") {
+      cfg.share_core_accelerators = true;
+    } else if (arg == "--seed") {
+      cfg.seed = std::strtoull(next(), nullptr, 10);
+    } else {
+      usage(argv[0]);
+      return arg == "--help" || arg == "-h" ? 0 : 2;
+    }
+  }
+
+  std::printf("running %s: k=%d servers=%d clients=%d util=%.0f%% "
+              "skew=%.0f%% tkv=%.1fms requests=%llu x%d algo=%s\n",
+              harness::scheme_name(scheme), cfg.fat_tree_k, cfg.num_servers,
+              cfg.num_clients, cfg.utilization * 100.0,
+              cfg.demand_skew * 100.0, sim::to_millis(cfg.mean_service_time),
+              static_cast<unsigned long long>(cfg.total_requests),
+              cfg.repeats, cfg.selector.algorithm.c_str());
+  std::fflush(stdout);
+
+  const harness::ExperimentResult r = harness::run_experiment(scheme, cfg);
+  std::printf("\nlatency (ms): mean %.3f | p50 %.3f | p95 %.3f | p99 %.3f "
+              "| p99.9 %.3f | max %.3f\n",
+              r.mean_ms(), r.percentile_ms(0.50), r.percentile_ms(0.95),
+              r.percentile_ms(0.99), r.percentile_ms(0.999),
+              r.latencies_ms.empty() ? 0.0 : r.latencies_ms.max());
+  std::printf("samples %zu | issued %llu | completed %llu | redundant %llu "
+              "| cancels %llu\n",
+              r.latencies_ms.count(),
+              static_cast<unsigned long long>(r.issued),
+              static_cast<unsigned long long>(r.completed),
+              static_cast<unsigned long long>(r.redundant),
+              static_cast<unsigned long long>(r.cancels));
+  std::printf("RSNodes %d (%s, %d plans, %zu DRS groups) | fwd/req %.2f | "
+              "KB/req %.2f | herd CV %.2f | wall %.1fs\n",
+              r.rsnodes, r.plan_method.c_str(), r.plans_deployed,
+              r.drs_groups, r.avg_forwards,
+              r.wire_bytes_per_request / 1024.0, r.load_oscillation,
+              r.wall_seconds);
+  return 0;
+}

@@ -1,0 +1,59 @@
+#include "harness/config.hpp"
+
+#include <cstdlib>
+#include <string>
+
+namespace netrs::harness {
+
+const char* scheme_name(Scheme s) {
+  switch (s) {
+    case Scheme::kCliRS:
+      return "CliRS";
+    case Scheme::kCliRSR95:
+      return "CliRS-R95";
+    case Scheme::kCliRSR95Cancel:
+      return "CliRS-R95C";
+    case Scheme::kNetRSToR:
+      return "NetRS-ToR";
+    case Scheme::kNetRSIlp:
+      return "NetRS-ILP";
+  }
+  return "?";
+}
+
+bool is_netrs(Scheme s) {
+  return s == Scheme::kNetRSToR || s == Scheme::kNetRSIlp;
+}
+
+double ExperimentConfig::aggregate_rate() const {
+  // utilization = tkv * A / (Ns * Np)  =>  A = u * Ns * Np / tkv.
+  return utilization * static_cast<double>(num_servers) *
+         static_cast<double>(server_parallelism) /
+         sim::to_seconds(mean_service_time);
+}
+
+sim::Duration ExperimentConfig::nominal_duration() const {
+  return sim::seconds(static_cast<double>(total_requests) /
+                      aggregate_rate());
+}
+
+namespace {
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::strtoull(v, nullptr, 10);
+}
+
+}  // namespace
+
+ExperimentConfig default_config() {
+  ExperimentConfig cfg;
+  cfg.total_requests = env_u64("NETRS_REQUESTS", cfg.total_requests);
+  cfg.repeats = static_cast<int>(
+      env_u64("NETRS_REPEATS", static_cast<std::uint64_t>(cfg.repeats)));
+  cfg.seed = env_u64("NETRS_SEED", cfg.seed);
+  return cfg;
+}
+
+}  // namespace netrs::harness

@@ -1,0 +1,103 @@
+// Experiment configuration with the paper's §V-A defaults.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "netrs/accelerator.hpp"
+#include "netrs/placement.hpp"
+#include "netrs/traffic_group.hpp"
+#include "rs/factory.hpp"
+#include "sim/time.hpp"
+
+namespace netrs::harness {
+
+/// The four replica-selection schemes compared in §V.
+enum class Scheme {
+  kCliRS,
+  kCliRSR95,
+  /// CliRS-R95 plus cross-server cancellation of the losing copy (the
+  /// "Tail at Scale" companion technique; extension experiment).
+  kCliRSR95Cancel,
+  kNetRSToR,
+  kNetRSIlp,
+};
+
+[[nodiscard]] const char* scheme_name(Scheme s);
+[[nodiscard]] bool is_netrs(Scheme s);
+
+struct ExperimentConfig {
+  // --- Topology (16-ary 3-tier fat-tree, 1024 hosts) ---
+  int fat_tree_k = 16;
+
+  // --- Cluster ---
+  int num_servers = 100;  ///< Ns
+  int num_clients = 500;
+  int replication_factor = 3;
+  int virtual_nodes = 16;
+  std::uint64_t keyspace = 100'000'000;
+  double zipf_exponent = 0.99;
+
+  // --- Server model ---
+  int server_parallelism = 4;                            ///< Np
+  sim::Duration mean_service_time = sim::millis(4);      ///< tkv
+  bool fluctuate = true;
+  sim::Duration fluctuation_interval = sim::millis(50);
+  double fluctuation_factor = 3.0;                       ///< d
+  std::uint32_t value_bytes = 1024;
+
+  // --- Workload ---
+  /// System utilization tkv*A/(Ns*Np); determines the aggregate rate A.
+  double utilization = 0.9;
+  /// Fraction of all requests issued by 20% of the clients; 0 = uniform
+  /// (the paper sweeps 70%..95%).
+  double demand_skew = 0.0;
+  /// Total requests to issue (warmup + measured). The paper uses 6M; the
+  /// default here is laptop-sized and overridable via NETRS_REQUESTS.
+  std::uint64_t total_requests = 120'000;
+  /// Leading fraction of the run excluded from measurement.
+  double warmup_fraction = 0.15;
+
+  // --- Network ---
+  sim::Duration switch_link_latency = sim::micros(30);
+  sim::Duration host_link_latency = sim::micros(30);
+  sim::Duration accelerator_link_latency = sim::micros(1.25);
+  core::AcceleratorConfig accelerator;
+
+  // --- NetRS framework ---
+  double utilization_cap = 0.5;     ///< U
+  double extra_hop_fraction = 0.2;  ///< E = fraction * A
+  /// Monitor-poll / replan period. 100 ms puts the first ILP deployment -
+  /// and its transition spike (fresh RSNodes rebuild their view, paper
+  /// section II) - inside the measurement warmup of default-length runs.
+  sim::Duration replan_interval = sim::millis(100);
+  core::GroupGranularity granularity = core::GroupGranularity::kRack;
+  int sub_rack_hosts = 0;  ///< for kSubRack granularity
+  core::PlacementOptions placement;
+  /// Overload-DRS trigger (§III-C case ii); > 1 disables.
+  double overload_utilization = 1.5;
+  /// Shared accelerators (§III-B): all core switches of the same core
+  /// group share one physical accelerator. Dedicated accelerators
+  /// everywhere when false.
+  bool share_core_accelerators = false;
+
+  // --- Replica selection ---
+  rs::SelectorConfig selector;  ///< algorithm; concurrency set per scheme
+
+  // --- Run control ---
+  std::uint64_t seed = 1;
+  /// Independent re-runs with re-randomized deployments, merged into one
+  /// distribution (the paper repeats every experiment 3 times).
+  int repeats = 2;
+
+  /// Aggregate request arrival rate A in requests/s (from `utilization`).
+  [[nodiscard]] double aggregate_rate() const;
+  /// Nominal run length: total_requests / aggregate_rate().
+  [[nodiscard]] sim::Duration nominal_duration() const;
+};
+
+/// Paper defaults with NETRS_REQUESTS / NETRS_REPEATS / NETRS_SEED
+/// environment overrides applied (the benches use this).
+[[nodiscard]] ExperimentConfig default_config();
+
+}  // namespace netrs::harness

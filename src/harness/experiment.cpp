@@ -1,0 +1,348 @@
+#include "harness/experiment.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "kv/client.hpp"
+#include "kv/consistent_hash.hpp"
+#include "kv/server.hpp"
+#include "net/fabric.hpp"
+#include "net/switch.hpp"
+#include "netrs/controller.hpp"
+#include "netrs/operator.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace netrs::harness {
+namespace {
+
+struct RunOutput {
+  sim::LatencyRecorder latencies_ms;
+  std::uint64_t issued = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t redundant = 0;
+  std::uint64_t cancels = 0;
+  double forwards_sum = 0.0;
+  std::uint64_t forwards_n = 0;
+  std::uint64_t wire_bytes = 0;
+  double load_oscillation = 0.0;
+  int rsnodes = 0;
+  std::string plan_method;
+  int plans_deployed = 0;
+  std::size_t drs_groups = 0;
+};
+
+RunOutput run_once(Scheme scheme, const ExperimentConfig& cfg,
+                   std::uint64_t seed) {
+  sim::Simulator simulator;
+  sim::Rng root(seed);
+
+  net::FatTree topo(cfg.fat_tree_k);
+  assert(cfg.num_servers + cfg.num_clients <=
+         static_cast<int>(topo.host_count()));
+
+  net::FabricConfig fabric_cfg;
+  fabric_cfg.switch_link_latency = cfg.switch_link_latency;
+  fabric_cfg.host_link_latency = cfg.host_link_latency;
+  fabric_cfg.accelerator_link_latency = cfg.accelerator_link_latency;
+  net::Fabric fabric(simulator, topo, fabric_cfg);
+
+  // Switches.
+  std::vector<std::unique_ptr<net::Switch>> switches;
+  switches.reserve(topo.switch_count());
+  for (net::NodeId sw = 0; sw < topo.switch_count(); ++sw) {
+    switches.push_back(std::make_unique<net::Switch>(fabric, sw));
+    fabric.attach(sw, switches.back().get());
+  }
+
+  // Random role placement: one role per host (paper §V-A).
+  std::vector<net::HostId> hosts(topo.host_count());
+  std::iota(hosts.begin(), hosts.end(), net::HostId{0});
+  sim::Rng placement_rng = root.child("placement");
+  placement_rng.shuffle(hosts);
+  const std::vector<net::HostId> server_hosts(
+      hosts.begin(), hosts.begin() + cfg.num_servers);
+  const std::vector<net::HostId> client_hosts(
+      hosts.begin() + cfg.num_servers,
+      hosts.begin() + cfg.num_servers + cfg.num_clients);
+
+  kv::ConsistentHashRing ring(server_hosts, cfg.replication_factor,
+                              cfg.virtual_nodes, seed ^ 0x52494E47ULL);
+  const sim::ZipfDistribution zipf(cfg.keyspace, cfg.zipf_exponent);
+  core::TrafficGroups groups(topo, cfg.granularity, cfg.sub_rack_hosts);
+
+  // --- NetRS deployment (operators on every switch + controller) ----------
+  std::vector<std::unique_ptr<core::NetRSOperator>> operators;
+  std::vector<std::unique_ptr<core::Accelerator>> shared_accels;
+  std::vector<std::unique_ptr<core::SelectorNode>> shared_selectors;
+  std::unique_ptr<core::Controller> controller;
+  auto concurrency_hint = std::make_shared<double>(1.0);
+
+  if (is_netrs(scheme)) {
+    auto directory = std::make_shared<core::RsNodeDirectory>();
+    for (net::NodeId sw = 0; sw < topo.switch_count(); ++sw) {
+      (*directory)[static_cast<core::RsNodeId>(sw + 1)] = sw;
+    }
+    auto bootstrap_table = std::make_shared<const core::GroupRidTable>(
+        groups.group_count(), core::kRidIllegal);
+
+    auto make_factory = [&simulator, concurrency_hint,
+                         &cfg](sim::Rng op_rng) -> core::SelectorFactory {
+      return [&simulator, op_rng, concurrency_hint, selector = cfg.selector,
+              clients = cfg.num_clients,
+              incarnation = std::uint64_t{0}]() mutable {
+        rs::SelectorConfig sc = selector;
+        sc.c3.concurrency = std::max(1.0, *concurrency_hint);
+        // C3's cubic rate controller was sized for *client* send rates; an
+        // RSNode aggregates the traffic of clients/RSNodes many clients, so
+        // its initial rate budget and token burst scale by that factor
+        // (conserving the cluster-wide budget C3 assumes).
+        const double aggregation =
+            std::max(1.0, static_cast<double>(clients) / sc.c3.concurrency);
+        sc.c3.cubic.initial_rate *= aggregation;
+        sc.c3.cubic.burst_tokens *= aggregation;
+        return rs::make_selector(sc, simulator, op_rng.child(++incarnation));
+      };
+    };
+
+    // Shared accelerators (§III-B): one physical accelerator + selector
+    // per core group, cabled to all k/2 core switches of that group.
+    const int half = topo.k() / 2;
+    if (cfg.share_core_accelerators) {
+      for (int group = 0; group < half; ++group) {
+        auto accel = std::make_unique<core::Accelerator>(
+            fabric, topo.core_node(group, 0), cfg.accelerator);
+        auto factory = make_factory(
+            root.child(0x0A000000ULL + static_cast<unsigned>(group)));
+        auto selector = std::make_unique<core::SelectorNode>(
+            simulator, ring.groups(), factory());
+        accel->set_handler([sel = selector.get()](net::Packet pkt) {
+          return sel->process(std::move(pkt));
+        });
+        shared_accels.push_back(std::move(accel));
+        shared_selectors.push_back(std::move(selector));
+      }
+    }
+
+    for (net::NodeId sw = 0; sw < topo.switch_count(); ++sw) {
+      core::SharedParts shared;
+      if (cfg.share_core_accelerators && topo.tier(sw) == net::Tier::kCore) {
+        const int group = static_cast<int>(topo.coord(sw).idx) / half;
+        shared.accelerator =
+            shared_accels[static_cast<std::size_t>(group)].get();
+        shared.selector =
+            shared_selectors[static_cast<std::size_t>(group)].get();
+        shared.share_id = group;
+      }
+      operators.push_back(std::make_unique<core::NetRSOperator>(
+          fabric, *switches[sw], static_cast<core::RsNodeId>(sw + 1),
+          cfg.accelerator, directory, ring.groups(),
+          make_factory(root.child(0x09000000ULL + sw)), &groups,
+          bootstrap_table, shared));
+    }
+
+    core::ControllerConfig ctrl_cfg;
+    ctrl_cfg.mode = scheme == Scheme::kNetRSToR ? core::PlanMode::kTor
+                                                : core::PlanMode::kIlp;
+    ctrl_cfg.replan_interval = cfg.replan_interval;
+    ctrl_cfg.utilization_cap = cfg.utilization_cap;
+    ctrl_cfg.extra_hop_fraction = cfg.extra_hop_fraction;
+    ctrl_cfg.overload_utilization = cfg.overload_utilization;
+    ctrl_cfg.placement = cfg.placement;
+    ctrl_cfg.on_plan_change = [concurrency_hint](
+                                  const core::PlacementResult& plan) {
+      *concurrency_hint = std::max(1, plan.rsnodes_used);
+    };
+    std::vector<core::NetRSOperator*> op_ptrs;
+    op_ptrs.reserve(operators.size());
+    for (auto& op : operators) op_ptrs.push_back(op.get());
+    controller = std::make_unique<core::Controller>(simulator, topo, groups,
+                                                    std::move(op_ptrs),
+                                                    ctrl_cfg);
+    controller->start();
+  }
+
+  // --- Servers --------------------------------------------------------------
+  kv::ServerConfig server_cfg;
+  server_cfg.parallelism = cfg.server_parallelism;
+  server_cfg.mean_service_time = cfg.mean_service_time;
+  server_cfg.fluctuate = cfg.fluctuate;
+  server_cfg.fluctuation_interval = cfg.fluctuation_interval;
+  server_cfg.fluctuation_factor = cfg.fluctuation_factor;
+  server_cfg.value_bytes = cfg.value_bytes;
+
+  std::vector<std::unique_ptr<kv::Server>> servers;
+  servers.reserve(server_hosts.size());
+  for (net::HostId h : server_hosts) {
+    servers.push_back(std::make_unique<kv::Server>(
+        fabric, h, server_cfg, root.child(0x05000000ULL + h)));
+  }
+
+  // --- Clients ----------------------------------------------------------------
+  const double aggregate = cfg.aggregate_rate();
+  const int hot_count = cfg.demand_skew > 0.0
+                            ? std::max(1, static_cast<int>(
+                                              0.2 * cfg.num_clients + 0.5))
+                            : 0;
+  const double hot_rate =
+      hot_count > 0 ? aggregate * cfg.demand_skew / hot_count : 0.0;
+  const double cold_rate =
+      cfg.num_clients > hot_count
+          ? aggregate * (1.0 - cfg.demand_skew) /
+                (hot_count > 0 ? cfg.num_clients - hot_count
+                               : cfg.num_clients)
+          : 0.0;
+
+  kv::ClientConfig client_cfg;
+  client_cfg.mode = is_netrs(scheme) ? kv::ClientMode::kNetRS
+                                     : kv::ClientMode::kClientSelect;
+  client_cfg.redundancy.enabled =
+      scheme == Scheme::kCliRSR95 || scheme == Scheme::kCliRSR95Cancel;
+  client_cfg.redundancy.cancel_on_completion =
+      scheme == Scheme::kCliRSR95Cancel;
+  client_cfg.selector = cfg.selector;
+  client_cfg.selector.c3.concurrency =
+      std::max(1.0, static_cast<double>(cfg.num_clients));
+  client_cfg.selector.c3.service_time_prior = cfg.mean_service_time;
+
+  const sim::Duration t_end = cfg.nominal_duration();
+  const auto warmup_time =
+      static_cast<sim::Time>(cfg.warmup_fraction *
+                             static_cast<double>(t_end));
+
+  // Herd-behavior instrumentation: sample every server's queue length
+  // periodically during the measured phase; per-server mean/variance give
+  // the load-oscillation metric (coefficient of variation).
+  struct QueueMoments {
+    double sum = 0.0, sumsq = 0.0;
+    std::uint64_t n = 0;
+  };
+  std::vector<QueueMoments> moments(servers.size());
+  simulator.every(sim::millis(5), [&servers, &moments, &simulator,
+                                   warmup_time, t_end] {
+    if (simulator.now() < warmup_time) return true;
+    for (std::size_t i = 0; i < servers.size(); ++i) {
+      const double q = servers[i]->queue_size();
+      moments[i].sum += q;
+      moments[i].sumsq += q * q;
+      ++moments[i].n;
+    }
+    return simulator.now() < t_end;
+  });
+
+  RunOutput out;
+  std::vector<std::unique_ptr<kv::Client>> clients;
+  clients.reserve(client_hosts.size());
+  for (int i = 0; i < cfg.num_clients; ++i) {
+    kv::ClientConfig this_cfg = client_cfg;
+    this_cfg.arrival_rate =
+        (hot_count > 0 && i < hot_count) ? hot_rate
+        : cold_rate > 0.0               ? cold_rate
+                                        : aggregate / cfg.num_clients;
+    clients.push_back(std::make_unique<kv::Client>(
+        fabric, client_hosts[static_cast<std::size_t>(i)], this_cfg, ring,
+        zipf,
+        root.child(0x0C000000ULL +
+                   client_hosts[static_cast<std::size_t>(i)])));
+    kv::Client* c = clients.back().get();
+    c->set_completion_callback(
+        [&out, &simulator, warmup_time](const kv::Client::Completion& comp) {
+          if (simulator.now() - comp.latency < warmup_time) return;
+          out.latencies_ms.add(sim::to_millis(comp.latency));
+          out.forwards_sum += comp.forwards;
+          ++out.forwards_n;
+        });
+    c->start();
+  }
+
+  // --- Run -------------------------------------------------------------------
+  simulator.run_until(t_end);
+  for (auto& c : clients) c->stop();
+  // Drain in-flight requests (periodic tasks keep the queue alive, so poll
+  // the clients rather than waiting for quiescence).
+  const sim::Time drain_deadline = t_end + sim::seconds(5);
+  while (simulator.now() < drain_deadline) {
+    std::size_t in_flight = 0;
+    for (const auto& c : clients) in_flight += c->in_flight();
+    if (in_flight == 0) break;
+    simulator.run_until(simulator.now() + sim::millis(1));
+  }
+
+  for (const auto& c : clients) {
+    out.issued += c->issued();
+    out.completed += c->completed();
+    out.redundant += c->redundant_sent();
+    out.cancels += c->cancels_sent();
+  }
+  out.wire_bytes = fabric.bytes_sent();
+  {
+    double cv_sum = 0.0;
+    int counted = 0;
+    for (const QueueMoments& m : moments) {
+      if (m.n < 10) continue;
+      const double mean = m.sum / static_cast<double>(m.n);
+      const double var =
+          std::max(0.0, m.sumsq / static_cast<double>(m.n) - mean * mean);
+      if (mean > 1e-9) {
+        cv_sum += std::sqrt(var) / mean;
+        ++counted;
+      }
+    }
+    out.load_oscillation = counted > 0 ? cv_sum / counted : 0.0;
+  }
+  if (is_netrs(scheme)) {
+    out.rsnodes = controller->active_rsnodes();
+    out.plan_method = controller->current_plan().method;
+    out.plans_deployed = static_cast<int>(controller->plans_deployed());
+    out.drs_groups = controller->current_plan().drs_groups.size();
+  } else {
+    out.rsnodes = cfg.num_clients;
+    out.plan_method = "client";
+  }
+  return out;
+}
+
+}  // namespace
+
+ExperimentResult run_experiment(Scheme scheme, const ExperimentConfig& cfg) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  ExperimentResult res;
+  res.scheme = scheme;
+
+  for (int rep = 0; rep < std::max(1, cfg.repeats); ++rep) {
+    const RunOutput out =
+        run_once(scheme, cfg, cfg.seed + static_cast<std::uint64_t>(rep));
+    res.latencies_ms.merge(out.latencies_ms);
+    res.issued += out.issued;
+    res.completed += out.completed;
+    res.redundant += out.redundant;
+    res.cancels += out.cancels;
+    res.avg_forwards += out.forwards_sum;
+    res.wire_bytes_per_request +=
+        out.completed > 0
+            ? static_cast<double>(out.wire_bytes) / out.completed
+            : 0.0;
+    res.load_oscillation += out.load_oscillation;
+    res.rsnodes = out.rsnodes;
+    res.plan_method = out.plan_method;
+    res.plans_deployed = out.plans_deployed;
+    res.drs_groups = out.drs_groups;
+  }
+  if (res.latencies_ms.count() > 0) {
+    // avg_forwards accumulated raw forward counts across repeats.
+    res.avg_forwards /= static_cast<double>(res.latencies_ms.count());
+  }
+  res.wire_bytes_per_request /= std::max(1, cfg.repeats);
+  res.load_oscillation /= std::max(1, cfg.repeats);
+  res.wall_seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - wall_start)
+                         .count();
+  return res;
+}
+
+}  // namespace netrs::harness

@@ -1,0 +1,55 @@
+// Experiment runner: builds the full system — fat-tree, switches, NetRS
+// operators + controller (for NetRS schemes), KV servers and clients — runs
+// the workload, and reports the latency distribution the paper's figures
+// plot (mean / 95th / 99th / 99.9th percentiles).
+#pragma once
+
+#include <string>
+
+#include "harness/config.hpp"
+#include "sim/stats.hpp"
+
+namespace netrs::harness {
+
+struct ExperimentResult {
+  Scheme scheme = Scheme::kCliRS;
+  /// Measured completions (after warmup), merged over repeats.
+  sim::LatencyRecorder latencies_ms;
+
+  std::uint64_t issued = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t redundant = 0;
+  std::uint64_t cancels = 0;  ///< cross-server cancels sent (R95C)
+  double avg_forwards = 0.0;  ///< mean switch forwards per request+response
+  /// Total wire bytes per completed request (bandwidth accounting; covers
+  /// every link crossing: headers, piggybacks, detours, duplicates).
+  double wire_bytes_per_request = 0.0;
+
+  /// Herd-behavior metric: the mean over servers of the coefficient of
+  /// variation of each server's queue length, sampled every few ms during
+  /// the measured phase. The paper argues more independent RSNodes cause
+  /// load oscillation; this makes that claim directly measurable.
+  double load_oscillation = 0.0;
+
+  /// RSNodes performing selection: #clients for CliRS schemes, the active
+  /// plan's RSNode count for NetRS schemes (last repeat).
+  int rsnodes = 0;
+  std::string plan_method;  ///< placement method of the final plan
+  int plans_deployed = 0;
+  std::size_t drs_groups = 0;  ///< groups on Degraded Replica Selection
+
+  double wall_seconds = 0.0;
+
+  [[nodiscard]] double mean_ms() const {
+    return latencies_ms.empty() ? 0.0 : latencies_ms.mean();
+  }
+  [[nodiscard]] double percentile_ms(double q) const {
+    return latencies_ms.empty() ? 0.0 : latencies_ms.percentile(q);
+  }
+};
+
+/// Runs `cfg.repeats` independent deployments (re-randomized client/server
+/// placement, as in the paper) and merges the measured latencies.
+ExperimentResult run_experiment(Scheme scheme, const ExperimentConfig& cfg);
+
+}  // namespace netrs::harness

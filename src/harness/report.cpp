@@ -1,0 +1,78 @@
+#include "harness/report.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+namespace netrs::harness {
+namespace {
+
+struct Panel {
+  const char* name;
+  double quantile;  // < 0 => mean
+};
+
+constexpr Panel kPanels[] = {
+    {"Avg", -1.0},
+    {"95th percentile", 0.95},
+    {"99th percentile", 0.99},
+    {"99.9th percentile", 0.999},
+};
+
+double panel_value(const ExperimentResult& r, const Panel& p) {
+  return p.quantile < 0.0 ? r.mean_ms() : r.percentile_ms(p.quantile);
+}
+
+}  // namespace
+
+void print_report(const SweepReport& report) {
+  std::printf("\n=== %s ===\n", report.title.c_str());
+  for (const Panel& panel : kPanels) {
+    std::printf("\n-- Latency (ms), %s --\n", panel.name);
+    std::printf("%-12s", report.sweep_label.c_str());
+    for (Scheme s : report.schemes) std::printf("%12s", scheme_name(s));
+    std::printf("\n");
+    for (std::size_t i = 0; i < report.sweep_values.size(); ++i) {
+      std::printf("%-12s", report.sweep_values[i].c_str());
+      for (std::size_t j = 0; j < report.schemes.size(); ++j) {
+        std::printf("%12.3f", panel_value(report.results[i][j], panel));
+      }
+      std::printf("\n");
+    }
+  }
+
+  std::printf("\n-- Diagnostics --\n");
+  std::printf("%-12s %-11s %8s %12s %12s %10s %8s %8s %8s %8s\n",
+              report.sweep_label.c_str(), "scheme", "RSNodes", "plan",
+              "completed", "redundant", "fwd/req", "KB/req", "herdCV", "wall(s)");
+  for (std::size_t i = 0; i < report.sweep_values.size(); ++i) {
+    for (std::size_t j = 0; j < report.schemes.size(); ++j) {
+      const ExperimentResult& r = report.results[i][j];
+      std::printf(
+          "%-12s %-11s %8d %12s %12llu %12llu %10.2f %8.2f %8.2f %8.1f\n",
+          report.sweep_values[i].c_str(), scheme_name(report.schemes[j]),
+          r.rsnodes, r.plan_method.c_str(),
+          static_cast<unsigned long long>(r.completed),
+          static_cast<unsigned long long>(r.redundant), r.avg_forwards,
+          r.wire_bytes_per_request / 1024.0, r.load_oscillation,
+          r.wall_seconds);
+    }
+  }
+  std::fflush(stdout);
+}
+
+void write_csv(const SweepReport& report, const std::string& path) {
+  std::ofstream out(path, std::ios::app);
+  if (!out) return;
+  for (std::size_t i = 0; i < report.sweep_values.size(); ++i) {
+    for (std::size_t j = 0; j < report.schemes.size(); ++j) {
+      const ExperimentResult& r = report.results[i][j];
+      for (const Panel& panel : kPanels) {
+        out << report.title << ',' << report.sweep_values[i] << ','
+            << scheme_name(report.schemes[j]) << ',' << panel.name << ','
+            << panel_value(r, panel) << '\n';
+      }
+    }
+  }
+}
+
+}  // namespace netrs::harness

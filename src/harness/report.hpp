@@ -1,0 +1,28 @@
+// Paper-style reporting: one table per figure panel (Avg / 95th / 99th /
+// 99.9th percentile latency), schemes as columns, sweep values as rows,
+// plus a diagnostics table and optional CSV output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+
+namespace netrs::harness {
+
+struct SweepReport {
+  std::string title;        ///< e.g. "Figure 4 — impact of number of clients"
+  std::string sweep_label;  ///< e.g. "clients"
+  std::vector<std::string> sweep_values;
+  std::vector<Scheme> schemes;
+  /// results[sweep_index][scheme_index]
+  std::vector<std::vector<ExperimentResult>> results;
+};
+
+/// Prints the four latency panels and a diagnostics block to stdout.
+void print_report(const SweepReport& report);
+
+/// Appends rows "figure,sweep,scheme,metric,value" to a CSV file.
+void write_csv(const SweepReport& report, const std::string& path);
+
+}  // namespace netrs::harness

@@ -1,0 +1,44 @@
+// Branch-and-bound integer programming on top of the bounded simplex.
+//
+// Best-first search on the LP-relaxation bound with most-fractional
+// branching and a rounding heuristic for early incumbents. Node limits make
+// the paper's "terminate the solving process early for a suboptimal RSP"
+// trade-off (§III-B) explicit: hitting the limit returns the best incumbent
+// with status kFeasible.
+#pragma once
+
+#include "ilp/model.hpp"
+#include "ilp/simplex.hpp"
+
+namespace netrs::ilp {
+
+struct BnbOptions {
+  int max_nodes = 20000;
+  /// Wall-clock budget; <= 0 disables. Hitting it returns the incumbent
+  /// with status kFeasible — the paper's "terminate the solving process
+  /// early ... trade-off between recalculation expense and optimality".
+  double max_seconds = 2.0;
+  double int_tol = 1e-6;
+  /// Prune nodes whose LP bound is within this of the incumbent.
+  double gap_abs = 1e-9;
+  /// When every objective coefficient is integral and attached to an
+  /// integer variable, any solution strictly better than the incumbent
+  /// improves it by >= 1, so nodes with bound > incumbent - 1 can be
+  /// pruned. Detected automatically; set false to disable.
+  bool exploit_integral_objective = true;
+  /// Optional warm-start point. If feasible, it becomes the first
+  /// incumbent, which lets the integral-objective pruning close symmetric
+  /// search trees (like RSNode placement) almost immediately.
+  std::vector<double> initial_incumbent;
+  SimplexOptions lp;
+};
+
+struct BnbResult {
+  Solution solution;
+  int nodes_explored = 0;
+  double best_bound = -kInf;  ///< global lower bound at termination
+};
+
+BnbResult solve_ilp(const Model& model, const BnbOptions& opts = {});
+
+}  // namespace netrs::ilp

@@ -1,0 +1,123 @@
+// Small linear/integer programming modeling API.
+//
+// The paper assumes an off-the-shelf optimizer (Gurobi / CPLEX) for the
+// RSNodes-placement ILP of §III-B; this module plus `simplex` and
+// `branch_and_bound` is the from-scratch substitute. Minimization only.
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace netrs::ilp {
+
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Index of a variable within its Model.
+using VarId = int;
+
+enum class Sense { kLe, kGe, kEq };
+
+struct Term {
+  VarId var;
+  double coef;
+};
+
+/// Sparse linear expression sum(coef * var). Constants belong on the RHS.
+struct LinExpr {
+  std::vector<Term> terms;
+
+  LinExpr& add(VarId v, double c) {
+    if (c != 0.0) terms.push_back({v, c});
+    return *this;
+  }
+};
+
+struct VariableDef {
+  double lb = 0.0;
+  double ub = kInf;
+  double obj = 0.0;
+  bool integral = false;
+  /// Branch-and-bound picks fractional variables with the highest priority
+  /// first (coupling variables like operator counts close trees faster).
+  int branch_priority = 0;
+  std::string name;
+};
+
+struct ConstraintDef {
+  LinExpr expr;
+  Sense sense = Sense::kLe;
+  double rhs = 0.0;
+  std::string name;
+};
+
+enum class SolveStatus {
+  kOptimal,     ///< proven optimal
+  kFeasible,    ///< feasible incumbent, optimality not proven (limit hit)
+  kInfeasible,  ///< no feasible point exists
+  kUnbounded,   ///< objective unbounded below
+  kLimit,       ///< iteration/node limit hit with no incumbent
+};
+
+struct Solution {
+  SolveStatus status = SolveStatus::kLimit;
+  double objective = kInf;
+  std::vector<double> values;  ///< per-variable values; empty if no point
+
+  [[nodiscard]] bool has_point() const {
+    return status == SolveStatus::kOptimal || status == SolveStatus::kFeasible;
+  }
+};
+
+class Model {
+ public:
+  /// Adds a variable; returns its id. Bounds must satisfy lb <= ub.
+  VarId add_var(double lb, double ub, double obj, bool integral = false,
+                std::string name = {});
+
+  /// Convenience: binary variable in {0, 1}.
+  VarId add_binary(double obj, std::string name = {}) {
+    return add_var(0.0, 1.0, obj, true, std::move(name));
+  }
+
+  /// Convenience: integer variable in [lb, ub].
+  VarId add_integer(double lb, double ub, double obj, std::string name = {}) {
+    return add_var(lb, ub, obj, true, std::move(name));
+  }
+
+  void add_constraint(LinExpr expr, Sense sense, double rhs,
+                      std::string name = {});
+
+  [[nodiscard]] int num_vars() const {
+    return static_cast<int>(vars_.size());
+  }
+  [[nodiscard]] int num_constraints() const {
+    return static_cast<int>(cons_.size());
+  }
+  [[nodiscard]] const std::vector<VariableDef>& vars() const { return vars_; }
+  [[nodiscard]] const std::vector<ConstraintDef>& constraints() const {
+    return cons_;
+  }
+  [[nodiscard]] bool has_integers() const { return has_integers_; }
+
+  /// Evaluates the objective at a point (no feasibility check).
+  [[nodiscard]] double objective_value(const std::vector<double>& x) const;
+
+  /// True if `x` satisfies all constraints, bounds and integrality within
+  /// tolerance `tol`. Used by tests and by B&B incumbent checks.
+  [[nodiscard]] bool is_feasible(const std::vector<double>& x,
+                                 double tol = 1e-6) const;
+
+  /// Tightens a variable's bounds in place (used by branch-and-bound).
+  void set_bounds(VarId v, double lb, double ub);
+
+  /// Sets the branch priority of a variable (default 0).
+  void set_branch_priority(VarId v, int priority);
+
+ private:
+  std::vector<VariableDef> vars_;
+  std::vector<ConstraintDef> cons_;
+  bool has_integers_ = false;
+};
+
+}  // namespace netrs::ilp

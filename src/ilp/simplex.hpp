@@ -1,0 +1,27 @@
+// Dense two-phase primal simplex with bounded variables.
+//
+// Handles `min c'x  s.t.  Ax {<=,=,>=} b,  l <= x <= u` directly: variable
+// bounds are enforced in the ratio test (including bound flips) rather than
+// as extra rows, which keeps the tableau small enough for the
+// branch-and-bound driver to re-solve it hundreds of times.
+//
+// Pivoting uses Dantzig's rule with an automatic switch to Bland's rule
+// (guaranteed termination) after a stall, so degenerate placement instances
+// cannot cycle.
+#pragma once
+
+#include "ilp/model.hpp"
+
+namespace netrs::ilp {
+
+struct SimplexOptions {
+  int max_iterations = 200000;
+  /// After this many consecutive non-improving pivots, switch to Bland.
+  int stall_before_bland = 2000;
+  double eps = 1e-9;
+};
+
+/// Solves the LP relaxation of `m` (integrality ignored).
+Solution solve_lp(const Model& m, const SimplexOptions& opts = {});
+
+}  // namespace netrs::ilp

@@ -1,0 +1,84 @@
+// Application-layer payload of the key-value store, carried behind the
+// NetRS header ("Application Payload" in Fig. 2).
+//
+// Reads only (the paper's workloads are read-dominant and NetRS targets
+// read latency), plus a cancel operation implementing the cross-server
+// cancellation of redundant requests from "The Tail at Scale" (Dean &
+// Barroso), which the paper cites as the companion technique to
+// CliRS-R95's reissue policy. The response's value bytes are accounted as
+// phantom wire bytes rather than materialized.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace netrs::kv {
+
+inline constexpr std::uint16_t kServerPort = 7000;
+inline constexpr std::uint16_t kClientPort = 9000;
+
+enum class AppOp : std::uint8_t {
+  kGet = 0,
+  /// Cancels a *queued* copy of the same client_request_id from the same
+  /// client; the server answers immediately with an empty response so the
+  /// client's per-copy accounting still settles.
+  kCancel = 1,
+};
+
+struct AppRequest {
+  std::uint64_t client_request_id = 0;  ///< client-scoped correlation id
+  std::uint64_t key = 0;
+  AppOp op = AppOp::kGet;
+};
+
+struct AppResponse {
+  std::uint64_t client_request_id = 0;
+  std::uint64_t key = 0;
+  std::uint32_t value_bytes = 0;  ///< size of the (phantom) value
+};
+
+inline constexpr std::size_t kAppRequestBytes = 17;
+inline constexpr std::size_t kAppResponseBytes = 20;
+
+inline std::vector<std::byte> encode_app_request(const AppRequest& r) {
+  std::vector<std::byte> out(kAppRequestBytes);
+  std::memcpy(out.data(), &r.client_request_id, 8);
+  std::memcpy(out.data() + 8, &r.key, 8);
+  out[16] = static_cast<std::byte>(r.op);
+  return out;
+}
+
+inline std::optional<AppRequest> decode_app_request(
+    std::span<const std::byte> p) {
+  if (p.size() < kAppRequestBytes) return std::nullopt;
+  AppRequest r;
+  std::memcpy(&r.client_request_id, p.data(), 8);
+  std::memcpy(&r.key, p.data() + 8, 8);
+  const auto op = std::to_integer<std::uint8_t>(p[16]);
+  if (op > static_cast<std::uint8_t>(AppOp::kCancel)) return std::nullopt;
+  r.op = static_cast<AppOp>(op);
+  return r;
+}
+
+inline std::vector<std::byte> encode_app_response(const AppResponse& r) {
+  std::vector<std::byte> out(kAppResponseBytes);
+  std::memcpy(out.data(), &r.client_request_id, 8);
+  std::memcpy(out.data() + 8, &r.key, 8);
+  std::memcpy(out.data() + 16, &r.value_bytes, 4);
+  return out;
+}
+
+inline std::optional<AppResponse> decode_app_response(
+    std::span<const std::byte> p) {
+  if (p.size() < kAppResponseBytes) return std::nullopt;
+  AppResponse r;
+  std::memcpy(&r.client_request_id, p.data(), 8);
+  std::memcpy(&r.key, p.data() + 8, 8);
+  std::memcpy(&r.value_bytes, p.data() + 16, 4);
+  return r;
+}
+
+}  // namespace netrs::kv

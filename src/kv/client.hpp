@@ -1,0 +1,129 @@
+// Key-value client / workload generator (paper §V-A).
+//
+// Open-loop Poisson arrivals; keys drawn from a Zipf(0.99) distribution
+// over the keyspace. Two operating modes:
+//
+//   kClientSelect (CliRS)  — the client is the RSNode: it runs a local
+//     ReplicaSelector (C3 by default) fed by piggybacked server status, and
+//     optionally issues one redundant request per primary after it has been
+//     outstanding longer than the client's streaming 95th-percentile
+//     latency estimate (the CliRS-R95 scheme).
+//
+//   kNetRS — replica selection happens in the network: the client emits a
+//     NetRS request (MF = Mreq, RID unset, RGID of the key's replica group)
+//     whose destination is a *backup* replica (the Degraded Replica
+//     Selection target required by §III-C); the ToR assigns the RSNode.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "kv/app_message.hpp"
+#include "kv/consistent_hash.hpp"
+#include "net/host.hpp"
+#include "rs/factory.hpp"
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+
+namespace netrs::kv {
+
+enum class ClientMode { kClientSelect, kNetRS };
+
+struct RedundancyConfig {
+  bool enabled = false;  ///< CliRS-R95 when true (kClientSelect mode only)
+  double quantile = 0.95;
+  /// Minimum completed requests before duplicates may fire (estimator
+  /// warmup; duplicating on a cold estimate would flood the cluster).
+  std::uint64_t min_samples = 30;
+  /// Cross-server cancellation ("The Tail at Scale"): when the first
+  /// response arrives, send cancels for the still-outstanding copies so
+  /// servers can drop them from their queues.
+  bool cancel_on_completion = false;
+};
+
+struct ClientConfig {
+  ClientMode mode = ClientMode::kClientSelect;
+  double arrival_rate = 100.0;  ///< requests per second (open loop)
+  RedundancyConfig redundancy;
+  rs::SelectorConfig selector;  ///< local algorithm for kClientSelect
+};
+
+class Client final : public net::Host {
+ public:
+  struct Completion {
+    sim::Duration latency = 0;
+    std::uint64_t key = 0;
+    net::HostId server = net::kInvalidHost;  ///< first responder
+    bool redundant_used = false;             ///< a duplicate had been sent
+    /// Switch forwarding operations over the whole request+response path
+    /// (the paper's hop metric; extra hops to RSNodes show up here).
+    std::uint32_t forwards = 0;
+  };
+  using CompletionCallback = std::function<void(const Completion&)>;
+
+  /// `zipf` and `ring` are shared, immutable workload state owned by the
+  /// harness; they must outlive the client.
+  Client(net::Fabric& fabric, net::HostId id, ClientConfig cfg,
+         const ConsistentHashRing& ring, const sim::ZipfDistribution& zipf,
+         sim::Rng rng);
+
+  /// Begins the open-loop arrival process.
+  void start();
+  /// Stops generating new requests (in-flight ones still complete).
+  void stop() { running_ = false; }
+
+  void set_completion_callback(CompletionCallback cb) {
+    on_complete_ = std::move(cb);
+  }
+
+  void receive(net::Packet pkt, net::NodeId from) override;
+
+  [[nodiscard]] std::uint64_t issued() const { return issued_; }
+  [[nodiscard]] std::uint64_t completed() const { return completed_; }
+  [[nodiscard]] std::uint64_t redundant_sent() const { return redundant_; }
+  [[nodiscard]] std::uint64_t cancels_sent() const { return cancels_; }
+  [[nodiscard]] std::size_t in_flight() const { return pending_.size(); }
+  /// Streaming p95 latency estimate in microseconds (R95 trigger; tests).
+  [[nodiscard]] double p95_estimate_us() const { return p95_.estimate(); }
+
+ private:
+  struct Pending {
+    std::uint64_t key = 0;
+    sim::Time first_send = 0;
+    // (server, send time) per copy; size > 1 only with redundancy.
+    std::vector<std::pair<net::HostId, sim::Time>> sends;
+    std::vector<net::HostId> responders;
+    std::uint32_t responses = 0;
+    bool completed = false;
+    bool redundant_sent = false;
+  };
+
+  void schedule_next_arrival();
+  void issue_request();
+  void send_copy(std::uint64_t req_id, Pending& p, net::HostId target,
+                 core::ReplicaGroupId rgid, bool redundant);
+  void maybe_send_redundant(std::uint64_t req_id);
+  void send_cancels(std::uint64_t req_id, const Pending& p);
+  void handle_response(net::Packet& pkt);
+
+  ClientConfig cfg_;
+  const ConsistentHashRing& ring_;
+  const sim::ZipfDistribution& zipf_;
+  sim::Rng rng_;
+  std::unique_ptr<rs::ReplicaSelector> selector_;  // kClientSelect only
+  CompletionCallback on_complete_;
+
+  std::unordered_map<std::uint64_t, Pending> pending_;
+  sim::P2Quantile p95_;
+  bool running_ = false;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t issued_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t redundant_ = 0;
+  std::uint64_t cancels_ = 0;
+};
+
+}  // namespace netrs::kv

@@ -1,0 +1,65 @@
+// Consistent-hashing ring with virtual nodes and RF-way replica groups.
+//
+// Keys hash onto a ring of virtual nodes; a key's replica set is the next
+// RF *distinct* servers clockwise from its hash. Every distinct replica set
+// corresponds to one ring segment, so the segments double as the compact
+// Replica Group ID (RGID) database that NetRS selectors query (§IV-A: "the
+// size of the database should be small because key-value stores typically
+// use consistent hashing").
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/address.hpp"
+#include "netrs/packet_format.hpp"
+#include "sim/rng.hpp"
+
+namespace netrs::kv {
+
+class ConsistentHashRing {
+ public:
+  /// `servers`: host ids of the KV servers. `replication_factor` servers
+  /// per key (paper: 3). `virtual_nodes` ring points per server.
+  ConsistentHashRing(std::span<const net::HostId> servers,
+                     int replication_factor, int virtual_nodes = 16,
+                     std::uint64_t seed = 42);
+
+  /// RGID of the ring segment owning `key`.
+  [[nodiscard]] core::ReplicaGroupId group_of_key(std::uint64_t key) const;
+
+  /// Replica candidates for a group id, primary first.
+  [[nodiscard]] std::span<const net::HostId> replicas(
+      core::ReplicaGroupId g) const;
+
+  /// Convenience: replica candidates for a key.
+  [[nodiscard]] std::span<const net::HostId> replicas_of_key(
+      std::uint64_t key) const {
+    return replicas(group_of_key(key));
+  }
+
+  [[nodiscard]] std::size_t group_count() const { return groups_.size(); }
+  [[nodiscard]] int replication_factor() const { return rf_; }
+
+  /// Full RGID database (index == RGID), e.g. for installing into NetRS
+  /// selector nodes.
+  [[nodiscard]] const std::vector<std::vector<net::HostId>>& groups() const {
+    return groups_;
+  }
+
+  static std::uint64_t hash_key(std::uint64_t key);
+
+ private:
+  struct Point {
+    std::uint64_t hash;
+    net::HostId server;
+  };
+
+  int rf_;
+  std::vector<Point> ring_;                        // sorted by hash
+  std::vector<core::ReplicaGroupId> point_group_;  // ring index -> RGID
+  std::vector<std::vector<net::HostId>> groups_;   // RGID -> replica set
+};
+
+}  // namespace netrs::kv

@@ -1,0 +1,151 @@
+#include "kv/server.hpp"
+
+#include <cassert>
+#include <utility>
+
+#include "netrs/packet_format.hpp"
+
+namespace netrs::kv {
+
+Server::Server(net::Fabric& fabric, net::HostId id, ServerConfig cfg,
+               sim::Rng rng)
+    : net::Host(fabric, id),
+      cfg_(cfg),
+      rng_(rng),
+      current_mean_(cfg.mean_service_time),
+      service_time_ewma_(cfg.status_ewma_alpha) {
+  // Seed the advertised service time with the configured mean so early
+  // piggybacks are sane.
+  service_time_ewma_.add(sim::to_micros(cfg.mean_service_time));
+  if (cfg_.fluctuate) {
+    // Randomize the initial mode as well.
+    fluctuate();
+    simulator().every(cfg_.fluctuation_interval, [this] {
+      fluctuate();
+      return true;
+    });
+  }
+}
+
+void Server::fluctuate() {
+  const double fast_mean =
+      static_cast<double>(cfg_.mean_service_time) / cfg_.fluctuation_factor;
+  current_mean_ = rng_.bernoulli(0.5)
+                      ? cfg_.mean_service_time
+                      : static_cast<sim::Duration>(fast_mean);
+}
+
+void Server::receive(net::Packet pkt, net::NodeId from) {
+  (void)from;
+  assert(pkt.dst == host_id());
+  // A real server drops traffic it cannot parse instead of crashing.
+  if (!core::decode_request(pkt.payload).has_value()) {
+    ++malformed_;
+    return;
+  }
+  const auto app = decode_app_request(core::request_app_payload(pkt.payload));
+  if (!app.has_value()) {
+    ++malformed_;
+    return;
+  }
+  if (app->op == AppOp::kCancel) {
+    handle_cancel(pkt, *app);
+    return;
+  }
+  if (in_service_ < cfg_.parallelism) {
+    start_service(std::move(pkt));
+  } else {
+    queue_.push_back(std::move(pkt));
+  }
+}
+
+void Server::handle_cancel(const net::Packet& cancel, const AppRequest& app) {
+  // Cross-server cancellation: remove the matching *queued* copy (an
+  // in-service request cannot be recalled) and settle it immediately with
+  // an empty response so the issuing client's bookkeeping completes.
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (it->src != cancel.src) continue;
+    const auto queued_app =
+        decode_app_request(core::request_app_payload(it->payload));
+    if (!queued_app.has_value() ||
+        queued_app->client_request_id != app.client_request_id) {
+      continue;
+    }
+    net::Packet victim = std::move(*it);
+    queue_.erase(it);
+    ++cancelled_;
+    send_response(victim, /*value_bytes=*/0);
+    return;
+  }
+  // Not queued (already serving, served, or never arrived): ignore; the
+  // normal response settles the copy.
+}
+
+void Server::start_service(net::Packet pkt) {
+  if (in_service_ == 0) busy_since_ = simulator().now();
+  ++in_service_;
+  const auto service =
+      cfg_.deterministic_service
+          ? current_mean_
+          : static_cast<sim::Duration>(
+                rng_.exponential(static_cast<double>(current_mean_)));
+  simulator().after(service, [this, p = std::move(pkt), service]() mutable {
+    finish_service(std::move(p), service);
+  });
+}
+
+void Server::finish_service(net::Packet pkt, sim::Duration service_time) {
+  assert(in_service_ > 0);
+  --in_service_;
+  if (in_service_ == 0) busy_accum_ += simulator().now() - busy_since_;
+  ++served_;
+  service_time_ewma_.add(sim::to_micros(service_time));
+  send_response(pkt, cfg_.value_bytes);
+
+  if (!queue_.empty()) {
+    net::Packet next = std::move(queue_.front());
+    queue_.pop_front();
+    start_service(std::move(next));
+  }
+}
+
+void Server::send_response(const net::Packet& pkt,
+                           std::uint32_t value_bytes) {
+  // Build the response per §IV: copy RID/RV, invert the magic field,
+  // piggyback status. The SM segment is filled in by our ToR switch.
+  // (Parseability was checked on receive.)
+  const auto req = core::decode_request(pkt.payload);
+  const auto app = decode_app_request(core::request_app_payload(pkt.payload));
+  assert(req.has_value() && app.has_value());
+
+  core::ResponseHeader rh;
+  rh.rid = req->rid;
+  rh.mf = core::magic_f_inverse(req->mf);
+  rh.rv = req->rv;
+  rh.sm = net::SourceMarker{};  // set by the ToR on network entry
+  rh.status.queue_size = queue_size();
+  rh.status.service_time_ns = static_cast<std::uint32_t>(
+      service_time_ewma_.value() * 1000.0);  // EWMA is in microseconds
+
+  AppResponse ar;
+  ar.client_request_id = app->client_request_id;
+  ar.key = app->key;
+  ar.value_bytes = value_bytes;
+
+  net::Packet resp;
+  resp.dst = pkt.src;
+  resp.src_port = kServerPort;
+  resp.dst_port = pkt.src_port;
+  resp.payload = core::encode_response(rh, encode_app_response(ar));
+  resp.phantom_payload = value_bytes;
+  resp.meta = pkt.meta;  // keep request id / send time for measurement
+  send(std::move(resp));
+}
+
+double Server::busy_fraction(sim::Time now) const {
+  sim::Duration busy = busy_accum_;
+  if (in_service_ > 0) busy += now - busy_since_;
+  return now > 0 ? static_cast<double>(busy) / static_cast<double>(now) : 0.0;
+}
+
+}  // namespace netrs::kv

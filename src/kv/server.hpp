@@ -1,0 +1,81 @@
+// Key-value server model (paper §V-A).
+//
+// An Np-way parallel queueing station: up to `parallelism` requests are in
+// service simultaneously, the rest wait FIFO. Service times are exponential
+// with a mean that fluctuates every `fluctuation_interval`: with equal
+// probability the mean is tkv (slow mode) or tkv/d (fast mode), the bimodal
+// cloud-performance model of Schad et al. the paper adopts (d = 3).
+//
+// Responses follow §IV: RID and RV are copied from the request, the magic
+// field is f^-1(request MF), and the server piggybacks its status SS
+// (queue size and its own EWMA of observed service times) for the RSNode's
+// replica-selection algorithm.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "kv/app_message.hpp"
+#include "net/host.hpp"
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+
+namespace netrs::kv {
+
+struct ServerConfig {
+  int parallelism = 4;                              ///< Np
+  sim::Duration mean_service_time = sim::millis(4); ///< tkv
+  /// When true, every request takes exactly the current mean (no
+  /// exponential sampling) — for tests and deterministic ablations.
+  bool deterministic_service = false;
+  bool fluctuate = true;
+  sim::Duration fluctuation_interval = sim::millis(50);
+  double fluctuation_factor = 3.0;                  ///< d: fast mean = tkv/d
+  std::uint32_t value_bytes = 1024;                 ///< response value size
+  double status_ewma_alpha = 0.9;
+};
+
+class Server final : public net::Host {
+ public:
+  Server(net::Fabric& fabric, net::HostId id, ServerConfig cfg, sim::Rng rng);
+
+  void receive(net::Packet pkt, net::NodeId from) override;
+
+  /// Waiting + in-service requests (the SS queue-size field).
+  [[nodiscard]] std::uint32_t queue_size() const {
+    return static_cast<std::uint32_t>(queue_.size()) +
+           static_cast<std::uint32_t>(in_service_);
+  }
+
+  [[nodiscard]] std::uint64_t served() const { return served_; }
+  /// Unparseable packets dropped (diagnostic).
+  [[nodiscard]] std::uint64_t malformed() const { return malformed_; }
+  /// Queued requests removed by cross-server cancellation.
+  [[nodiscard]] std::uint64_t cancelled() const { return cancelled_; }
+  /// Fraction of time the server had at least one busy slot (diagnostic).
+  [[nodiscard]] double busy_fraction(sim::Time now) const;
+  /// Current fluctuation-mode mean (tests).
+  [[nodiscard]] sim::Duration current_mean() const { return current_mean_; }
+
+ private:
+  void start_service(net::Packet pkt);
+  void finish_service(net::Packet pkt, sim::Duration service_time);
+  void handle_cancel(const net::Packet& cancel, const AppRequest& app);
+  void send_response(const net::Packet& pkt, std::uint32_t value_bytes);
+  void fluctuate();
+
+  ServerConfig cfg_;
+  sim::Rng rng_;
+  sim::Duration current_mean_;
+  std::deque<net::Packet> queue_;
+  int in_service_ = 0;
+  std::uint64_t served_ = 0;
+  std::uint64_t malformed_ = 0;
+  std::uint64_t cancelled_ = 0;
+  sim::Ewma service_time_ewma_;
+  // Busy-time accounting.
+  sim::Time busy_since_ = 0;
+  sim::Duration busy_accum_ = 0;
+};
+
+}  // namespace netrs::kv

@@ -1,0 +1,55 @@
+// Identifiers and location structure for the data-center network.
+//
+// The simulated address plane mirrors what the paper's switches see: hosts
+// have "IPs" whose structure encodes (pod, rack, slot), which is exactly the
+// property the NetRS monitor exploits for its source markers (§IV-D).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace netrs::net {
+
+/// Global index of an end-host in the topology, in [0, host_count).
+using HostId = std::uint32_t;
+
+/// Global index of a node (switch or host) in the fabric.
+using NodeId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = 0xFFFFFFFFu;
+inline constexpr HostId kInvalidHost = 0xFFFFFFFFu;
+
+/// Switch tiers, numbered as in the paper: the tier ID of a device is its
+/// distance in hops from the core tier (core = 0, aggregation = 1, ToR = 2).
+enum class Tier : std::uint8_t { kCore = 0, kAgg = 1, kTor = 2 };
+
+constexpr int tier_id(Tier t) { return static_cast<int>(t); }
+
+/// Physical location of a host: pod / rack-within-pod / slot-within-rack.
+struct HostLocation {
+  std::uint16_t pod = 0;
+  std::uint16_t rack = 0;
+  std::uint16_t slot = 0;
+
+  friend bool operator==(const HostLocation&, const HostLocation&) = default;
+};
+
+/// The 4-byte source marker carried in NetRS responses (§IV-A): pod ID in
+/// the high half, rack ID in the low half. A ToR switch compares a packet's
+/// marker against its own to classify traffic into tiers.
+struct SourceMarker {
+  std::uint16_t pod = 0;
+  std::uint16_t rack = 0;
+
+  [[nodiscard]] std::uint32_t encoded() const {
+    return (static_cast<std::uint32_t>(pod) << 16) | rack;
+  }
+  static SourceMarker decode(std::uint32_t v) {
+    return SourceMarker{static_cast<std::uint16_t>(v >> 16),
+                        static_cast<std::uint16_t>(v & 0xFFFFu)};
+  }
+
+  friend bool operator==(const SourceMarker&, const SourceMarker&) = default;
+};
+
+}  // namespace netrs::net

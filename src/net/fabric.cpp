@@ -1,0 +1,74 @@
+#include "net/fabric.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace netrs::net {
+
+Fabric::Fabric(sim::Simulator& simulator, const FatTree& topo,
+               FabricConfig cfg)
+    : sim_(simulator), topo_(topo), cfg_(cfg) {
+  nodes_.resize(topo.node_count(), nullptr);
+}
+
+void Fabric::attach(NodeId id, Node* node) {
+  assert(id < nodes_.size());
+  assert(nodes_[id] == nullptr && "NodeId already attached");
+  assert(node != nullptr);
+  nodes_[id] = node;
+}
+
+NodeId Fabric::attach_auxiliary(Node* node, NodeId sw) {
+  assert(topo_.is_switch(sw));
+  assert(node != nullptr);
+  const NodeId id =
+      topo_.node_count() + static_cast<NodeId>(aux_nodes_.size());
+  aux_nodes_.push_back(node);
+  aux_link_[id] = sw;
+  return id;
+}
+
+Node* Fabric::node(NodeId id) const {
+  if (id < nodes_.size()) return nodes_[id];
+  const std::size_t aux = id - nodes_.size();
+  assert(aux < aux_nodes_.size());
+  return aux_nodes_[aux];
+}
+
+sim::Duration Fabric::link_latency(NodeId a, NodeId b) const {
+  const bool a_aux = a >= topo_.node_count();
+  const bool b_aux = b >= topo_.node_count();
+  if (a_aux || b_aux) return cfg_.accelerator_link_latency;
+  if (topo_.is_host(a) || topo_.is_host(b)) return cfg_.host_link_latency;
+  return cfg_.switch_link_latency;
+}
+
+void Fabric::send(NodeId from, NodeId to, Packet pkt) {
+  // Validate cabling: tree adjacency, or an auxiliary link in either
+  // direction.
+  [[maybe_unused]] const bool aux_ok =
+      (aux_link_.count(to) != 0 && aux_link_.at(to) == from) ||
+      (aux_link_.count(from) != 0 && aux_link_.at(from) == to);
+  assert(aux_ok || topo_.adjacent(from, to));
+
+  Node* dst = node(to);
+  assert(dst != nullptr && "destination NodeId has no attached object");
+  ++packets_sent_;
+  bytes_sent_ += pkt.wire_size();
+  const sim::Duration lat = link_latency(from, to);
+  sim_.after(lat, [dst, from, p = std::move(pkt)]() mutable {
+    dst->receive(std::move(p), from);
+  });
+}
+
+std::uint64_t Fabric::flow_hash(const Packet& pkt) {
+  // splitmix-style mix over the 5-tuple surrogate.
+  std::uint64_t x = (static_cast<std::uint64_t>(pkt.src) << 32) ^ pkt.dst;
+  x ^= (static_cast<std::uint64_t>(pkt.src_port) << 16) ^ pkt.dst_port;
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace netrs::net

@@ -1,0 +1,70 @@
+// Fabric: binds NodeIds to live Node objects and delivers packets over
+// links with fixed one-way latency, via the discrete-event simulator.
+//
+// Latency model (paper §V-A): 30 us between directly connected switches;
+// host<->ToR links use the same latency (the paper does not specify one);
+// a switch and its attached network accelerator see a 2.5 us RTT, i.e.
+// 1.25 us one-way. No bandwidth contention is modeled (neither does the
+// paper); queueing happens at servers and accelerators.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/fat_tree.hpp"
+#include "net/node.hpp"
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace netrs::net {
+
+struct FabricConfig {
+  sim::Duration switch_link_latency = sim::micros(30);
+  sim::Duration host_link_latency = sim::micros(30);
+  sim::Duration accelerator_link_latency = sim::micros(1.25);
+};
+
+class Fabric {
+ public:
+  Fabric(sim::Simulator& simulator, const FatTree& topo, FabricConfig cfg);
+
+  /// Registers the live object for a topology NodeId. Must precede traffic.
+  void attach(NodeId id, Node* node);
+
+  /// Allocates a NodeId outside the tree for an auxiliary device (network
+  /// accelerator) cabled to switch `sw`, and registers it.
+  NodeId attach_auxiliary(Node* node, NodeId sw);
+
+  /// Sends `pkt` from `from` to the adjacent node `to`; delivery fires after
+  /// the link's one-way latency. Asserts topological adjacency.
+  void send(NodeId from, NodeId to, Packet pkt);
+
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] const FatTree& topology() const { return topo_; }
+  [[nodiscard]] const FabricConfig& config() const { return cfg_; }
+
+  /// Total packets handed to `send` (diagnostic).
+  [[nodiscard]] std::uint64_t packets_sent() const { return packets_sent_; }
+  /// Total wire bytes carried across all links (bandwidth accounting —
+  /// NetRS is required to "limit its bandwidth overheads", §II).
+  [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
+
+  /// Stable per-flow hash used for ECMP decisions.
+  static std::uint64_t flow_hash(const Packet& pkt);
+
+ private:
+  [[nodiscard]] sim::Duration link_latency(NodeId a, NodeId b) const;
+  [[nodiscard]] Node* node(NodeId id) const;
+
+  sim::Simulator& sim_;
+  const FatTree& topo_;
+  FabricConfig cfg_;
+  std::vector<Node*> nodes_;                   // topology nodes by NodeId
+  std::vector<Node*> aux_nodes_;               // auxiliary devices
+  std::unordered_map<NodeId, NodeId> aux_link_;  // aux id -> switch id
+  std::uint64_t packets_sent_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+};
+
+}  // namespace netrs::net

@@ -1,0 +1,117 @@
+// k-ary fat-tree topology (Al-Fares et al., SIGCOMM'08), the network the
+// paper evaluates on (k = 16, 3 tiers, 1024 end-hosts).
+//
+// Structure for even k:
+//   - k pods; each pod has k/2 aggregation and k/2 ToR switches;
+//   - each ToR connects k/2 hosts (one rack);
+//   - (k/2)^2 core switches arranged in k/2 groups of k/2; core group i
+//     connects to aggregation switch i of every pod.
+//
+// This class is pure structure + routing math; `Fabric` binds NodeIds to
+// live objects and delivers packets.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/address.hpp"
+
+namespace netrs::net {
+
+/// Coordinates of a switch. For core switches `pod` is unused (0) and `idx`
+/// is the flat core index i*(k/2)+j where i is the core group.
+struct SwitchCoord {
+  Tier tier = Tier::kCore;
+  std::uint16_t pod = 0;
+  std::uint16_t idx = 0;
+
+  friend bool operator==(const SwitchCoord&, const SwitchCoord&) = default;
+};
+
+class FatTree {
+ public:
+  /// Builds a k-ary fat-tree; k must be even and >= 2.
+  explicit FatTree(int k);
+
+  [[nodiscard]] int k() const { return k_; }
+  [[nodiscard]] int pods() const { return k_; }
+  [[nodiscard]] int aggs_per_pod() const { return k_ / 2; }
+  [[nodiscard]] int tors_per_pod() const { return k_ / 2; }
+  [[nodiscard]] int hosts_per_rack() const { return k_ / 2; }
+  [[nodiscard]] int racks() const { return pods() * tors_per_pod(); }
+
+  [[nodiscard]] std::uint32_t core_count() const {
+    return static_cast<std::uint32_t>((k_ / 2) * (k_ / 2));
+  }
+  [[nodiscard]] std::uint32_t switch_count() const {
+    return core_count() + static_cast<std::uint32_t>(k_ * (k_ / 2) * 2);
+  }
+  [[nodiscard]] std::uint32_t host_count() const {
+    return static_cast<std::uint32_t>(k_ * (k_ / 2) * (k_ / 2));
+  }
+  /// Total node-id space used by the tree (switches first, then hosts).
+  [[nodiscard]] std::uint32_t node_count() const {
+    return switch_count() + host_count();
+  }
+
+  // --- NodeId layout: [cores][aggs][tors][hosts] ---------------------------
+  [[nodiscard]] NodeId core_node(int group, int j) const;
+  [[nodiscard]] NodeId core_node_flat(int core_index) const;
+  [[nodiscard]] NodeId agg_node(int pod, int a) const;
+  [[nodiscard]] NodeId tor_node(int pod, int t) const;
+  [[nodiscard]] NodeId host_node(HostId h) const;
+
+  [[nodiscard]] bool is_switch(NodeId n) const { return n < switch_count(); }
+  [[nodiscard]] bool is_host(NodeId n) const {
+    return n >= switch_count() && n < node_count();
+  }
+  [[nodiscard]] HostId host_of(NodeId n) const;
+
+  [[nodiscard]] SwitchCoord coord(NodeId sw) const;
+  [[nodiscard]] Tier tier(NodeId sw) const { return coord(sw).tier; }
+
+  // --- Host addressing ------------------------------------------------------
+  [[nodiscard]] HostId host_id(int pod, int rack, int slot) const;
+  [[nodiscard]] HostLocation location(HostId h) const;
+  [[nodiscard]] NodeId host_tor(HostId h) const;
+  [[nodiscard]] SourceMarker marker(HostId h) const;
+  /// Rack index in [0, racks()) for grouping.
+  [[nodiscard]] int rack_index(HostId h) const;
+
+  // --- Adjacency ------------------------------------------------------------
+  [[nodiscard]] bool adjacent(NodeId a, NodeId b) const;
+  [[nodiscard]] std::vector<NodeId> neighbors(NodeId n) const;
+
+  // --- Routing ---------------------------------------------------------------
+  /// Next hop from switch `cur` toward host `dst` using up/down routing;
+  /// `ecmp_hash` breaks ties among equal-cost uplinks. Returns the host's
+  /// NodeId when `cur` is the destination ToR.
+  [[nodiscard]] NodeId next_hop_toward_host(NodeId cur, HostId dst,
+                                            std::uint64_t ecmp_hash) const;
+
+  /// Next hop from switch `cur` toward switch `target` without descending
+  /// below the target's tier before reaching it (the paper's Eq. (4)
+  /// restriction). Precondition: `target` is reachable this way, which holds
+  /// for every (traffic-group, RSNode) pair the R matrix permits plus the
+  /// response paths back through an RSNode.
+  [[nodiscard]] NodeId next_hop_toward_switch(NodeId cur, NodeId target,
+                                              std::uint64_t ecmp_hash) const;
+
+  /// Number of switch forwarding operations on the default path src -> dst:
+  /// 1 within a rack, 3 within a pod, 5 across pods.
+  [[nodiscard]] int default_forwards(HostId src, HostId dst) const;
+
+  /// Paper traffic classification (§III-B): tier-2 = same rack, tier-1 =
+  /// same pod different rack, tier-0 = different pods. Equals the tier ID of
+  /// the highest switch on the default path.
+  [[nodiscard]] int traffic_tier(HostId src, HostId dst) const;
+
+  /// All switch NodeIds, core tier first (useful for placement iteration).
+  [[nodiscard]] std::vector<NodeId> all_switches() const;
+
+ private:
+  int k_;
+  int half_;
+};
+
+}  // namespace netrs::net

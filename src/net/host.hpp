@@ -1,0 +1,44 @@
+// End-host base class: a node cabled to its rack's ToR switch.
+#pragma once
+
+#include <cassert>
+#include <utility>
+
+#include "net/fabric.hpp"
+#include "net/node.hpp"
+
+namespace netrs::net {
+
+class Host : public Node {
+ public:
+  Host(Fabric& fabric, HostId id)
+      : fabric_(fabric),
+        host_id_(id),
+        node_id_(fabric.topology().host_node(id)),
+        tor_(fabric.topology().host_tor(id)) {
+    fabric.attach(node_id_, this);
+  }
+
+  [[nodiscard]] HostId host_id() const { return host_id_; }
+  [[nodiscard]] NodeId node_id() const { return node_id_; }
+  [[nodiscard]] NodeId tor() const { return tor_; }
+
+ protected:
+  /// Stamps the source address and pushes the packet onto the access link.
+  void send(Packet pkt) {
+    pkt.src = host_id_;
+    assert(pkt.dst != kInvalidHost);
+    fabric_.send(node_id_, tor_, std::move(pkt));
+  }
+
+  [[nodiscard]] Fabric& fabric() { return fabric_; }
+  [[nodiscard]] sim::Simulator& simulator() { return fabric_.simulator(); }
+
+ private:
+  Fabric& fabric_;
+  HostId host_id_;
+  NodeId node_id_;
+  NodeId tor_;
+};
+
+}  // namespace netrs::net

@@ -1,0 +1,17 @@
+// Node interface: anything attached to the fabric (hosts, switches).
+#pragma once
+
+#include "net/address.hpp"
+#include "net/packet.hpp"
+
+namespace netrs::net {
+
+class Node {
+ public:
+  virtual ~Node() = default;
+
+  /// Delivery of a packet that traversed a link from `from`.
+  virtual void receive(Packet pkt, NodeId from) = 0;
+};
+
+}  // namespace netrs::net

@@ -1,0 +1,45 @@
+// The wire packet exchanged between hosts, switches and accelerators.
+//
+// A Packet models a UDP datagram: L3 endpoints, ports, and an opaque byte
+// payload. NetRS headers (Fig. 2 of the paper) live *inside* the payload and
+// are parsed/rewritten by the devices, never accessed through side channels.
+// `meta` carries simulation-only bookkeeping (latency measurement, hop
+// accounting) that no device may use for forwarding decisions.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "net/address.hpp"
+#include "sim/time.hpp"
+
+namespace netrs::net {
+
+/// Simulation-side bookkeeping. Devices must not branch on these fields;
+/// they exist so the harness can attribute latencies and count hops.
+struct PacketMeta {
+  std::uint64_t request_id = 0;   ///< end-to-end request correlation
+  sim::Time client_send_time = 0; ///< when the originating client sent it
+  std::uint32_t forwards = 0;     ///< switch forwarding operations so far
+  bool redundant = false;         ///< true for CliRS-R95 duplicate requests
+};
+
+struct Packet {
+  HostId src = kInvalidHost;
+  HostId dst = kInvalidHost;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::vector<std::byte> payload;  ///< UDP payload (NetRS header + app data)
+  /// Bytes carried on the wire but never parsed by any device (the bulk of
+  /// a ~1 KB value). Counted in wire_size() without being materialized.
+  std::uint32_t phantom_payload = 0;
+  PacketMeta meta;
+
+  /// Total bytes on the wire: Ethernet(18) + IPv4(20) + UDP(8) + payload.
+  [[nodiscard]] std::size_t wire_size() const {
+    return 46 + payload.size() + phantom_payload;
+  }
+};
+
+}  // namespace netrs::net

@@ -1,0 +1,63 @@
+#include "net/switch.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace netrs::net {
+
+Switch::Switch(Fabric& fabric, NodeId self) : fabric_(fabric), self_(self) {
+  assert(fabric.topology().is_switch(self));
+}
+
+void Switch::add_ingress_stage(IngressStage* stage) {
+  assert(stage != nullptr);
+  ingress_.push_back(stage);
+}
+
+void Switch::add_egress_stage(EgressStage* stage) {
+  assert(stage != nullptr);
+  egress_.push_back(stage);
+}
+
+void Switch::receive(Packet pkt, NodeId from) {
+  run_pipeline(std::move(pkt), from);
+}
+
+void Switch::inject(Packet pkt, NodeId from) {
+  run_pipeline(std::move(pkt), from);
+}
+
+void Switch::run_pipeline(Packet pkt, NodeId from) {
+  for (IngressStage* stage : ingress_) {
+    Disposition d = stage->on_ingress(pkt, from, *this);
+    if (std::holds_alternative<Consumed>(d)) return;
+    if (auto* steer = std::get_if<Steer>(&d)) {
+      forward_toward_switch(std::move(pkt), steer->target_switch);
+      return;
+    }
+  }
+  forward_toward_host(std::move(pkt));
+}
+
+void Switch::forward_toward_host(Packet pkt) {
+  assert(pkt.dst != kInvalidHost);
+  const NodeId next = fabric_.topology().next_hop_toward_host(
+      self_, pkt.dst, Fabric::flow_hash(pkt));
+  emit(std::move(pkt), next);
+}
+
+void Switch::forward_toward_switch(Packet pkt, NodeId target) {
+  assert(target != self_ && "steering to self is a pipeline bug");
+  const NodeId next = fabric_.topology().next_hop_toward_switch(
+      self_, target, Fabric::flow_hash(pkt));
+  emit(std::move(pkt), next);
+}
+
+void Switch::emit(Packet pkt, NodeId next) {
+  for (EgressStage* stage : egress_) stage->on_egress(pkt, next, *this);
+  ++forwards_;
+  ++pkt.meta.forwards;
+  fabric_.send(self_, next, std::move(pkt));
+}
+
+}  // namespace netrs::net

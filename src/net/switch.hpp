@@ -1,0 +1,85 @@
+// Programmable switch with a staged ingress/egress pipeline.
+//
+// The base switch implements default L3 up/down forwarding toward a
+// packet's destination host. NetRS installs match-action stages:
+//   - ingress stages may rewrite the packet, consume it (hand it to the
+//     attached accelerator), or redirect it toward another switch (the
+//     RSNode steering of §IV-B);
+//   - egress stages observe (packet, next hop) pairs; the NetRS monitor of
+//     §IV-D is an egress stage on ToR switches.
+#pragma once
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "net/fabric.hpp"
+#include "net/node.hpp"
+#include "net/packet.hpp"
+
+namespace netrs::net {
+
+class Switch : public Node {
+ public:
+  /// Pipeline continues to the next stage / default forwarding.
+  struct Continue {};
+  /// Stage took ownership of the packet (e.g. sent it to the accelerator).
+  struct Consumed {};
+  /// Forward toward another switch instead of the packet's destination.
+  struct Steer {
+    NodeId target_switch;
+  };
+  using Disposition = std::variant<Continue, Consumed, Steer>;
+
+  class IngressStage {
+   public:
+    virtual ~IngressStage() = default;
+    virtual Disposition on_ingress(Packet& pkt, NodeId from, Switch& sw) = 0;
+  };
+
+  class EgressStage {
+   public:
+    virtual ~EgressStage() = default;
+    virtual void on_egress(const Packet& pkt, NodeId next_hop, Switch& sw) = 0;
+  };
+
+  Switch(Fabric& fabric, NodeId self);
+
+  /// Stages run in installation order. Non-owning: the NetRS operator owns
+  /// its rules/monitor and outlives the switch's traffic.
+  void add_ingress_stage(IngressStage* stage);
+  void add_egress_stage(EgressStage* stage);
+
+  void receive(Packet pkt, NodeId from) override;
+
+  /// Injects a packet as if it arrived fresh (used by the accelerator to
+  /// hand a rebuilt request back to the switch); runs the full pipeline.
+  void inject(Packet pkt, NodeId from);
+
+  /// Sends `pkt` one hop toward its destination host (or delivers it if
+  /// this is the destination ToR), running egress stages. Public so stages
+  /// can resume default forwarding after a rewrite.
+  void forward_toward_host(Packet pkt);
+
+  /// Sends `pkt` one hop toward switch `target`, running egress stages.
+  void forward_toward_switch(Packet pkt, NodeId target);
+
+  [[nodiscard]] NodeId id() const { return self_; }
+  [[nodiscard]] Tier tier() const { return fabric_.topology().tier(self_); }
+  [[nodiscard]] Fabric& fabric() { return fabric_; }
+
+  /// Switch forwarding operations performed (the paper's hop metric).
+  [[nodiscard]] std::uint64_t forwards() const { return forwards_; }
+
+ private:
+  void run_pipeline(Packet pkt, NodeId from);
+  void emit(Packet pkt, NodeId next);
+
+  Fabric& fabric_;
+  NodeId self_;
+  std::vector<IngressStage*> ingress_;
+  std::vector<EgressStage*> egress_;
+  std::uint64_t forwards_ = 0;
+};
+
+}  // namespace netrs::net

@@ -1,0 +1,89 @@
+#include "netrs/accelerator.hpp"
+
+#include <cassert>
+#include <utility>
+
+#include "netrs/packet_format.hpp"
+
+namespace netrs::core {
+
+Accelerator::Accelerator(net::Fabric& fabric, net::NodeId co_located_switch,
+                         AcceleratorConfig cfg)
+    : fabric_(fabric), cfg_(cfg) {
+  assert(cfg.cores >= 1);
+  primary_switch_ = co_located_switch;
+  primary_node_ = attach_switch(co_located_switch);
+}
+
+net::NodeId Accelerator::attach_switch(net::NodeId sw) {
+  auto it = by_switch_.find(sw);
+  if (it != by_switch_.end()) return it->second;
+  const net::NodeId aux = fabric_.attach_auxiliary(this, sw);
+  by_switch_.emplace(sw, aux);
+  return aux;
+}
+
+net::NodeId Accelerator::node_id_for(net::NodeId sw) const {
+  const auto it = by_switch_.find(sw);
+  assert(it != by_switch_.end() && "switch not cabled to this accelerator");
+  return it->second;
+}
+
+bool Accelerator::is_request(const net::Packet& pkt) const {
+  const auto mf = peek_magic(pkt.payload);
+  return mf.has_value() && classify(*mf) == PacketKind::kNetRSRequest;
+}
+
+void Accelerator::receive(net::Packet pkt, net::NodeId from) {
+  assert(by_switch_.count(from) != 0 &&
+         "packet from a switch this accelerator is not cabled to");
+  Job job{std::move(pkt), from};
+  if (busy_cores_ < cfg_.cores) {
+    start_service(std::move(job));
+  } else {
+    queue_.push_back(std::move(job));
+  }
+}
+
+void Accelerator::start_service(Job job) {
+  ++busy_cores_;
+  const sim::Duration service = is_request(job.pkt)
+                                    ? cfg_.request_service_time
+                                    : cfg_.response_service_time;
+  busy_accum_ += service;
+  fabric_.simulator().after(service, [this, j = std::move(job)]() mutable {
+    finish_service(std::move(j));
+  });
+}
+
+void Accelerator::finish_service(Job job) {
+  assert(busy_cores_ > 0);
+  --busy_cores_;
+  ++processed_;
+  if (handler_) {
+    const net::NodeId from = job.from_switch;
+    std::optional<net::Packet> out = handler_(std::move(job.pkt));
+    if (out.has_value()) {
+      fabric_.send(by_switch_.at(from), from, std::move(*out));
+    }
+  }
+  if (!queue_.empty()) {
+    Job next = std::move(queue_.front());
+    queue_.pop_front();
+    start_service(std::move(next));
+  }
+}
+
+double Accelerator::utilization(sim::Time now) const {
+  const sim::Duration span = now - window_start_;
+  if (span <= 0) return 0.0;
+  return static_cast<double>(busy_accum_) /
+         (static_cast<double>(span) * cfg_.cores);
+}
+
+void Accelerator::reset_utilization(sim::Time now) {
+  window_start_ = now;
+  busy_accum_ = 0;
+}
+
+}  // namespace netrs::core

@@ -1,0 +1,97 @@
+// Network accelerator model (§II, §V-A): a low-power multicore packet
+// processor cabled to one — or, in the shared configuration of §III-B,
+// several — programmable switches.
+//
+// Modeled as a c-core FIFO queueing station with deterministic per-packet
+// service times (paper default: 1 core, 5 us per request, measured from
+// IncBricks). Response clones are cheaper than request selection — the
+// selector only writes local state for them — so they get their own,
+// smaller service time. After processing, the handler may return a rebuilt
+// packet, which is sent back to the switch it arrived from over the
+// 2.5 us-RTT link.
+//
+// Sharing: "we could cut the network cost of NetRS by connecting one
+// accelerator to multiple switches" (§III-B). attach_switch() cables the
+// same accelerator to additional switches; all attached switches share the
+// cores, the queue, and the selector behind the handler.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+#include "net/fabric.hpp"
+#include "net/node.hpp"
+
+namespace netrs::core {
+
+struct AcceleratorConfig {
+  int cores = 1;
+  sim::Duration request_service_time = sim::micros(5);
+  /// Response clones only update selector state: cheaper than ranking.
+  sim::Duration response_service_time = sim::micros(1);
+};
+
+class Accelerator final : public net::Node {
+ public:
+  /// The handler implements the NetRS selector (§IV-C): it receives each
+  /// packet after its queueing + service delay and may return a rebuilt
+  /// packet to hand back to the switch the packet came from.
+  using Handler = std::function<std::optional<net::Packet>(net::Packet)>;
+
+  /// Creates the accelerator cabled to `co_located_switch`.
+  Accelerator(net::Fabric& fabric, net::NodeId co_located_switch,
+              AcceleratorConfig cfg);
+
+  /// Cables this accelerator to an additional switch (shared mode).
+  /// Returns the auxiliary NodeId that switch must address.
+  net::NodeId attach_switch(net::NodeId sw);
+
+  void set_handler(Handler h) { handler_ = std::move(h); }
+
+  void receive(net::Packet pkt, net::NodeId from) override;
+
+  /// Auxiliary NodeId for the primary (first) switch.
+  [[nodiscard]] net::NodeId node_id() const { return primary_node_; }
+  /// Auxiliary NodeId used by a specific attached switch.
+  [[nodiscard]] net::NodeId node_id_for(net::NodeId sw) const;
+  [[nodiscard]] net::NodeId switch_node() const { return primary_switch_; }
+  [[nodiscard]] std::size_t attached_switches() const {
+    return by_switch_.size();
+  }
+  [[nodiscard]] const AcceleratorConfig& config() const { return cfg_; }
+
+  // --- Diagnostics / controller inputs --------------------------------------
+  [[nodiscard]] std::uint64_t processed() const { return processed_; }
+  [[nodiscard]] std::size_t queue_length() const { return queue_.size(); }
+  /// Fraction of core-time spent busy since the last reset.
+  [[nodiscard]] double utilization(sim::Time now) const;
+  void reset_utilization(sim::Time now);
+
+ private:
+  struct Job {
+    net::Packet pkt;
+    net::NodeId from_switch;
+  };
+
+  [[nodiscard]] bool is_request(const net::Packet& pkt) const;
+  void start_service(Job job);
+  void finish_service(Job job);
+
+  net::Fabric& fabric_;
+  AcceleratorConfig cfg_;
+  Handler handler_;
+  net::NodeId primary_switch_ = net::kInvalidNode;
+  net::NodeId primary_node_ = net::kInvalidNode;
+  std::unordered_map<net::NodeId, net::NodeId> by_switch_;  // switch -> aux
+
+  std::deque<Job> queue_;
+  int busy_cores_ = 0;
+  std::uint64_t processed_ = 0;
+  sim::Duration busy_accum_ = 0;  // summed over cores
+  sim::Time window_start_ = 0;
+};
+
+}  // namespace netrs::core

@@ -1,0 +1,209 @@
+#include "netrs/controller.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace netrs::core {
+
+Controller::Controller(sim::Simulator& sim, const net::FatTree& topo,
+                       const TrafficGroups& groups,
+                       std::vector<NetRSOperator*> operators,
+                       ControllerConfig cfg)
+    : sim_(sim),
+      topo_(topo),
+      groups_(groups),
+      operators_(std::move(operators)),
+      cfg_(cfg) {
+  for (NetRSOperator* op : operators_) {
+    assert(op != nullptr);
+    by_id_[op->id()] = op;
+  }
+}
+
+double Controller::capacity_of(const NetRSOperator& op) const {
+  const AcceleratorConfig& a = op.accelerator().config();
+  // Tmax = U * c / t, with t the accelerator time a selected request costs
+  // (ranking the request plus absorbing its cloned response).
+  const double per_request_s = sim::to_seconds(a.request_service_time +
+                                               a.response_service_time);
+  return cfg_.utilization_cap * static_cast<double>(a.cores) / per_request_s;
+}
+
+void Controller::start() {
+  if (started_) return;
+  started_ = true;
+  last_collect_ = sim_.now();
+
+  // Bootstrap: the ToR plan needs no statistics and keeps every packet in
+  // its default path while monitors warm up.
+  install(full_tor_plan());
+
+  sim_.every(cfg_.replan_interval, [this] {
+    replan();
+    return true;
+  });
+}
+
+void Controller::collect_stats() {
+  const sim::Time now = sim_.now();
+  const double window_s = sim::to_seconds(now - last_collect_);
+  last_collect_ = now;
+  if (window_s <= 0.0) return;
+
+  rates_.clear();
+  for (NetRSOperator* op : operators_) {
+    Monitor* mon = op->monitor();
+    if (mon == nullptr) continue;
+    for (auto& [group, tiers] : mon->snapshot_and_reset()) {
+      GroupRate& r = rates_[group];
+      for (int t = 0; t < 3; ++t) {
+        r.tier[t] += static_cast<double>(tiers[static_cast<std::size_t>(t)]) /
+                     window_s;
+      }
+    }
+    op->accelerator().reset_utilization(now);
+  }
+}
+
+PlacementProblem Controller::build_problem() const {
+  PlacementProblem problem;
+  problem.groups.reserve(rates_.size());
+  double aggregate = 0.0;
+  for (const auto& [group, r] : rates_) {
+    GroupDemand g;
+    g.id = group;
+    g.pod = groups_.pod_of_group(group);
+    g.rack = groups_.rack_of_group(group) % topo_.tors_per_pod();
+    for (int t = 0; t < 3; ++t) {
+      g.tier_traffic[static_cast<std::size_t>(t)] = r.tier[t];
+    }
+    aggregate += g.total();
+    problem.groups.push_back(g);
+  }
+  problem.extra_hop_budget = cfg_.extra_hop_fraction * aggregate;
+
+  problem.operators.reserve(operators_.size());
+  for (const NetRSOperator* op : operators_) {
+    OperatorSpec spec;
+    spec.id = op->id();
+    spec.sw = op->switch_node();
+    const net::SwitchCoord c = topo_.coord(op->switch_node());
+    spec.tier = c.tier;
+    spec.pod = c.pod;
+    spec.rack = c.idx;
+    spec.t_max = capacity_of(*op);
+    spec.accel_share = op->accel_share_id();
+    spec.available = !failed_.contains(op->id());
+    problem.operators.push_back(spec);
+  }
+  return problem;
+}
+
+void Controller::replan() {
+  // Overload handling (§III-C case ii): before planning, degrade the groups
+  // of any active RSNode whose accelerator ran hotter than the cap.
+  if (cfg_.overload_utilization <= 1.0) {
+    for (NetRSOperator* op : operators_) {
+      if (!active_.contains(op->id())) continue;
+      if (op->accelerator().utilization(sim_.now()) >
+          cfg_.overload_utilization) {
+        fail_operator(op->id());
+      }
+    }
+  }
+
+  collect_stats();
+  if (cfg_.mode == PlanMode::kTor) {
+    // Static plan; reinstalling folds in any failed-operator changes.
+    install(full_tor_plan());
+    return;
+  }
+  if (rates_.empty()) return;  // no traffic observed yet: keep current plan
+  const bool have_ilp_plan = plan_.method != "tor";
+  if (have_ilp_plan && sim_.now() - last_solve_ < cfg_.rsp_update_interval) {
+    return;  // keep the current RSP (stable workloads, §II)
+  }
+  last_solve_ = sim_.now();
+  install(solve_placement(build_problem(), cfg_.placement));
+}
+
+void Controller::install(const PlacementResult& plan) {
+  if (cfg_.on_plan_change) cfg_.on_plan_change(plan);
+  // Build the ToR tables: every group defaults to DRS unless assigned.
+  auto table = std::make_shared<GroupRidTable>(groups_.group_count(),
+                                               kRidIllegal);
+  for (const auto& [group, rid] : plan.assignment) {
+    if (group < table->size() && !failed_.contains(rid)) {
+      (*table)[group] = rid;
+    }
+  }
+  for (NetRSOperator* op : operators_) {
+    if (op->monitor() != nullptr) {
+      op->rules().update_rid_table(table);
+    }
+  }
+
+  // Fresh RSNodes start with an empty view of the system (§II).
+  std::set<RsNodeId> next_active;
+  for (const auto& [group, rid] : plan.assignment) {
+    (void)group;
+    next_active.insert(rid);
+  }
+  for (RsNodeId id : next_active) {
+    if (!active_.contains(id)) {
+      auto it = by_id_.find(id);
+      if (it != by_id_.end()) it->second->reset_selector();
+    }
+  }
+  active_ = std::move(next_active);
+  plan_ = plan;
+  ++deployed_;
+}
+
+PlacementResult Controller::full_tor_plan() const {
+  PlacementResult plan;
+  plan.method = "tor";
+  std::unordered_map<net::NodeId, RsNodeId> op_of_switch;
+  for (const NetRSOperator* op : operators_) {
+    if (!failed_.contains(op->id())) op_of_switch[op->switch_node()] = op->id();
+  }
+  std::set<RsNodeId> used;
+  for (GroupId g = 0; g < groups_.group_count(); ++g) {
+    auto it = op_of_switch.find(groups_.tor_of_group(g));
+    if (it == op_of_switch.end()) {
+      plan.drs_groups.push_back(g);
+    } else {
+      plan.assignment[g] = it->second;
+      used.insert(it->second);
+    }
+  }
+  plan.rsnodes_used = static_cast<int>(used.size());
+  return plan;
+}
+
+void Controller::fail_operator(RsNodeId id) {
+  if (!failed_.insert(id).second) return;
+  // Immediate mitigation: degrade every group currently mapped to it.
+  PlacementResult patched = plan_;
+  bool touched = false;
+  for (auto it = patched.assignment.begin(); it != patched.assignment.end();) {
+    if (it->second == id) {
+      patched.drs_groups.push_back(it->first);
+      it = patched.assignment.erase(it);
+      touched = true;
+    } else {
+      ++it;
+    }
+  }
+  if (touched || active_.contains(id)) {
+    patched.rsnodes_used =
+        plan_.rsnodes_used - (active_.contains(id) ? 1 : 0);
+    install(patched);
+  }
+}
+
+void Controller::restore_operator(RsNodeId id) { failed_.erase(id); }
+
+void Controller::replan_now() { replan(); }
+
+}  // namespace netrs::core

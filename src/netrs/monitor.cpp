@@ -1,0 +1,39 @@
+#include "netrs/monitor.hpp"
+
+#include <cassert>
+
+namespace netrs::core {
+
+Monitor::Monitor(const net::FatTree& topo, const TrafficGroups& groups,
+                 net::NodeId tor)
+    : topo_(topo), groups_(groups) {
+  const net::SwitchCoord c = topo.coord(tor);
+  assert(c.tier == net::Tier::kTor && "monitors live on ToR switches only");
+  local_ = net::SourceMarker{c.pod, c.idx};
+}
+
+void Monitor::on_egress(const net::Packet& pkt, net::NodeId next_hop,
+                        net::Switch& sw) {
+  (void)sw;
+  if (!topo_.is_host(next_hop)) return;  // only packets leaving the network
+  const auto mf = peek_magic(pkt.payload);
+  if (!mf.has_value() || classify(*mf) != PacketKind::kMonitorOnly) return;
+  const auto sm = peek_source_marker(pkt.payload);
+  if (!sm.has_value()) return;
+
+  int tier = 0;
+  if (sm->pod == local_.pod) {
+    tier = sm->rack == local_.rack ? 2 : 1;
+  }
+  const GroupId g = groups_.group_of_host(pkt.dst);
+  counts_[g][static_cast<std::size_t>(tier)] += 1;
+  ++total_;
+}
+
+Monitor::Counts Monitor::snapshot_and_reset() {
+  Counts out;
+  out.swap(counts_);
+  return out;
+}
+
+}  // namespace netrs::core

@@ -1,0 +1,51 @@
+#include "netrs/operator.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace netrs::core {
+
+NetRSOperator::NetRSOperator(
+    net::Fabric& fabric, net::Switch& sw, RsNodeId id,
+    AcceleratorConfig accel_cfg,
+    std::shared_ptr<const RsNodeDirectory> directory,
+    const ReplicaDatabase& replica_db, SelectorFactory selector_factory,
+    const TrafficGroups* tor_groups,
+    std::shared_ptr<const GroupRidTable> tor_rid_table, SharedParts shared)
+    : switch_(sw),
+      id_(id),
+      share_id_(shared.share_id),
+      selector_factory_(std::move(selector_factory)) {
+  assert(selector_factory_ != nullptr);
+  assert((shared.accelerator == nullptr) == (shared.selector == nullptr) &&
+         "shared accelerator and selector come as a pair");
+
+  if (shared.accelerator != nullptr) {
+    accel_ = shared.accelerator;
+    selector_ = shared.selector;
+    accel_->attach_switch(sw.id());
+  } else {
+    owned_accel_ = std::make_unique<Accelerator>(fabric, sw.id(), accel_cfg);
+    owned_selector_ = std::make_unique<SelectorNode>(
+        fabric.simulator(), replica_db, selector_factory_());
+    accel_ = owned_accel_.get();
+    selector_ = owned_selector_.get();
+    accel_->set_handler([sel = selector_](net::Packet pkt) {
+      return sel->process(std::move(pkt));
+    });
+  }
+
+  rules_ = std::make_unique<NetRSRules>(id, accel_->node_id_for(sw.id()),
+                                        std::move(directory),
+                                        fabric.topology());
+  if (sw.tier() == net::Tier::kTor) {
+    assert(tor_groups != nullptr && tor_rid_table != nullptr);
+    rules_->install_tor_tables(tor_groups, std::move(tor_rid_table));
+    monitor_ = std::make_unique<Monitor>(fabric.topology(), *tor_groups,
+                                         sw.id());
+    sw.add_egress_stage(monitor_.get());
+  }
+  sw.add_ingress_stage(rules_.get());
+}
+
+}  // namespace netrs::core

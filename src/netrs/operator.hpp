@@ -1,0 +1,82 @@
+// NetRS operator (§II): the hardware/software bundle on one switch —
+// programmable switch rules + network accelerator + NetRS selector, plus
+// the NetRS monitor on ToR switches.
+//
+// In the shared configuration of §III-B several operators can be backed by
+// one physical accelerator (and hence one selector); pass the shared parts
+// in and set a common `accel_share_id` so the placement solver applies the
+// pooled capacity constraint.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "net/switch.hpp"
+#include "netrs/accelerator.hpp"
+#include "netrs/monitor.hpp"
+#include "netrs/rules.hpp"
+#include "netrs/selector_node.hpp"
+
+namespace netrs::core {
+
+/// Creates a fresh replica-selection algorithm instance for an RSNode.
+using SelectorFactory = std::function<std::unique_ptr<rs::ReplicaSelector>()>;
+
+/// Externally owned accelerator + selector for the shared configuration of
+/// §III-B; both null for a dedicated operator.
+struct SharedParts {
+  Accelerator* accelerator = nullptr;
+  SelectorNode* selector = nullptr;
+  int share_id = -1;
+};
+
+class NetRSOperator {
+ public:
+  /// Wires the full operator onto `sw`: attaches (or reuses) an
+  /// accelerator, installs the NetRS rules ingress stage, and — on ToR
+  /// switches — the monitor egress stage and the group tables.
+  NetRSOperator(net::Fabric& fabric, net::Switch& sw, RsNodeId id,
+                AcceleratorConfig accel_cfg,
+                std::shared_ptr<const RsNodeDirectory> directory,
+                const ReplicaDatabase& replica_db,
+                SelectorFactory selector_factory,
+                const TrafficGroups* tor_groups,
+                std::shared_ptr<const GroupRidTable> tor_rid_table,
+                SharedParts shared = SharedParts());
+
+  [[nodiscard]] RsNodeId id() const { return id_; }
+  [[nodiscard]] net::NodeId switch_node() const { return switch_.id(); }
+  [[nodiscard]] net::Tier tier() const { return switch_.tier(); }
+  /// Shared-accelerator pool id (-1 = dedicated); fed into
+  /// OperatorSpec::accel_share by the controller.
+  [[nodiscard]] int accel_share_id() const { return share_id_; }
+
+  [[nodiscard]] Accelerator& accelerator() { return *accel_; }
+  [[nodiscard]] const Accelerator& accelerator() const { return *accel_; }
+  [[nodiscard]] SelectorNode& selector_node() { return *selector_; }
+  [[nodiscard]] const SelectorNode& selector_node() const {
+    return *selector_;
+  }
+  [[nodiscard]] NetRSRules& rules() { return *rules_; }
+  [[nodiscard]] const NetRSRules& rules() const { return *rules_; }
+  /// Non-null on ToR operators only.
+  [[nodiscard]] Monitor* monitor() { return monitor_.get(); }
+
+  /// Drops all selector state (fresh RSNode activation, §II). On shared
+  /// selectors this resets the whole pool's view.
+  void reset_selector() { selector_->reset_selector(selector_factory_()); }
+
+ private:
+  net::Switch& switch_;
+  RsNodeId id_;
+  int share_id_ = -1;
+  SelectorFactory selector_factory_;
+  std::unique_ptr<Accelerator> owned_accel_;
+  std::unique_ptr<SelectorNode> owned_selector_;
+  Accelerator* accel_ = nullptr;
+  SelectorNode* selector_ = nullptr;
+  std::unique_ptr<NetRSRules> rules_;
+  std::unique_ptr<Monitor> monitor_;
+};
+
+}  // namespace netrs::core

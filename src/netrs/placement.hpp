@@ -1,0 +1,120 @@
+// RSNodes placement (§III): choosing which NetRS operator selects replicas
+// for each traffic group.
+//
+// Objective and constraints follow the paper's ILP, Eqs. (1)-(7):
+//   minimize   sum_j D_j                      (number of RSNodes)
+//   s.t.       P, D binary                    (2)
+//              D_j >= P_ij                    (3)
+//              P_ij <= R_ij                   (4)  eligibility
+//              sum_j P_ij = 1                 (5)  one RSNode per group
+//              sum_i P_ij * load_i <= Tmax_j  (6)  accelerator capacity
+//              sum_ij P_ij * cost_ij <= E     (7)  extra-hop budget
+// with R_ij = 1 iff operator j is the group's own ToR, an aggregation
+// switch of the group's pod, or any core switch; load_i the group's total
+// request rate; and cost_ij the Eq. (7) coefficient
+//   cost_ij = sum_{k=0}^{h-1} 2*(h+k) * T_i(t(i)-k),   h = t(i) - t(j).
+//
+// Three solve paths:
+//   kFullIlp    — the model above verbatim (fine for small instances and
+//                 the only path supporting shared accelerators);
+//   kReducedIlp — exploits that aggregation switches within a pod (and all
+//                 core switches) are interchangeable: per-group tier-choice
+//                 binaries + per-pod/core integer operator counts, solved
+//                 exactly, then concretized by first-fit-decreasing packing
+//                 and re-verified against the original constraints;
+//   kGreedy     — consolidation heuristic used as a fallback.
+// kAuto picks full for small instances, reduced when its symmetry
+// assumptions hold, greedy otherwise.
+//
+// Infeasibility is handled per §III-C: the highest-traffic group is moved
+// to Degraded Replica Selection and the problem re-solved.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/address.hpp"
+#include "netrs/packet_format.hpp"
+#include "netrs/traffic_group.hpp"
+
+namespace netrs::core {
+
+struct GroupDemand {
+  GroupId id = 0;
+  int pod = 0;
+  int rack = 0;  ///< rack index within the pod
+  /// Requests/s by traffic tier (index = tier id; [0]=inter-pod,
+  /// [1]=intra-pod, [2]=intra-rack), from monitor statistics.
+  double tier_traffic[3] = {0, 0, 0};
+
+  [[nodiscard]] double total() const {
+    return tier_traffic[0] + tier_traffic[1] + tier_traffic[2];
+  }
+};
+
+struct OperatorSpec {
+  RsNodeId id = kRidUnset;
+  net::NodeId sw = net::kInvalidNode;
+  net::Tier tier = net::Tier::kCore;
+  int pod = 0;   ///< agg/ToR only
+  int rack = 0;  ///< ToR only: rack index within the pod
+  double t_max = 0.0;  ///< accelerator capacity in requests/s (U*c/t)
+  /// Operators with equal non-negative share ids sit behind one physical
+  /// accelerator (§III-B last paragraph); -1 = dedicated.
+  int accel_share = -1;
+  bool available = true;  ///< false: failed / excluded by the controller
+};
+
+struct PlacementProblem {
+  std::vector<GroupDemand> groups;
+  std::vector<OperatorSpec> operators;
+  double extra_hop_budget = 0.0;  ///< E, in forwarding operations/s
+};
+
+enum class PlacementMethod { kAuto, kFullIlp, kReducedIlp, kGreedy };
+
+struct PlacementOptions {
+  PlacementMethod method = PlacementMethod::kAuto;
+  /// Branch-and-bound node budget (the paper's early-termination knob).
+  int max_bnb_nodes = 5000;
+  /// kAuto uses the full ILP up to this many P variables; beyond that the
+  /// pod-symmetry-reduced model (or greedy) takes over. The dense-tableau
+  /// simplex makes large full models expensive.
+  std::size_t full_ilp_var_limit = 220;
+  /// Above this many traffic groups even the reduced model's tableau gets
+  /// too large for the dense simplex (host-level groups on a 16-ary tree
+  /// are 1024 groups); the greedy consolidation heuristic takes over.
+  std::size_t reduced_ilp_group_limit = 320;
+};
+
+struct PlacementResult {
+  /// Group -> RSNode assignment; groups absent here are in drs_groups.
+  std::unordered_map<GroupId, RsNodeId> assignment;
+  std::vector<GroupId> drs_groups;
+  int rsnodes_used = 0;
+  double extra_hops_used = 0.0;  ///< Eq. (7) cost of the final plan
+  bool proven_optimal = false;
+  std::string method;  ///< "full-ilp", "reduced-ilp", "greedy", "tor"
+};
+
+/// R matrix entry (Eq. 4 eligibility).
+[[nodiscard]] bool eligible(const GroupDemand& g, const OperatorSpec& op);
+
+/// Eq. (7) extra-hop cost of serving group `g` at an operator of `op_tier`
+/// (for eligible pairings; groups sit at tier 2).
+[[nodiscard]] double extra_hop_cost(const GroupDemand& g, net::Tier op_tier);
+
+PlacementResult solve_placement(const PlacementProblem& problem,
+                                const PlacementOptions& opts = {});
+
+/// The NetRS-ToR plan: every group served by its own ToR operator.
+PlacementResult tor_placement(const PlacementProblem& problem);
+
+/// Validates a result against Eqs. (5)-(7); used by tests and by the
+/// reduced-model concretization.
+[[nodiscard]] bool validate_placement(const PlacementProblem& problem,
+                                      const PlacementResult& result,
+                                      double tol = 1e-6);
+
+}  // namespace netrs::core

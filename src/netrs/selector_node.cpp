@@ -1,0 +1,84 @@
+#include "netrs/selector_node.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace netrs::core {
+
+SelectorNode::SelectorNode(sim::Simulator& sim, const ReplicaDatabase& db,
+                           std::unique_ptr<rs::ReplicaSelector> selector)
+    : sim_(sim),
+      db_(db),
+      selector_(std::move(selector)),
+      pending_(65536) {
+  assert(selector_ != nullptr);
+}
+
+void SelectorNode::reset_selector(
+    std::unique_ptr<rs::ReplicaSelector> selector) {
+  assert(selector != nullptr);
+  selector_ = std::move(selector);
+  pending_.assign(pending_.size(), PendingSlot{});
+}
+
+std::optional<net::Packet> SelectorNode::process(net::Packet pkt) {
+  const auto mf = peek_magic(pkt.payload);
+  if (!mf.has_value()) return pkt;  // not ours: bounce back unchanged
+  switch (classify(*mf)) {
+    case PacketKind::kNetRSRequest:
+      return handle_request(std::move(pkt));
+    case PacketKind::kNetRSResponse:
+      handle_response(pkt);
+      return std::nullopt;  // clone absorbed
+    default:
+      return pkt;
+  }
+}
+
+std::optional<net::Packet> SelectorNode::handle_request(net::Packet pkt) {
+  const auto req = decode_request(pkt.payload);
+  if (!req.has_value() || req->rgid >= db_.size() || db_[req->rgid].empty()) {
+    // Unknown replica group: degrade — relabel so downstream devices treat
+    // it as plain traffic heading to the client's backup replica.
+    set_magic(pkt.payload, magic_f(kMagicMonitor));
+    return pkt;
+  }
+
+  const auto& candidates = db_[req->rgid];
+  const net::HostId server = selector_->select(candidates);
+  selector_->on_send(server);
+  ++requests_selected_;
+
+  const std::uint16_t rv = next_rv_++;
+  pending_[rv] = PendingSlot{server, sim_.now(), true};
+
+  pkt.dst = server;
+  set_rv(pkt.payload, rv);
+  // f(Mresp): distinct from Mreq and Mresp, and the server's f^-1 turns it
+  // into Mresp on the way back (§IV-C).
+  set_magic(pkt.payload, magic_f(kMagicResponse));
+  return pkt;
+}
+
+void SelectorNode::handle_response(const net::Packet& pkt) {
+  const auto resp = decode_response(pkt.payload);
+  if (!resp.has_value()) return;
+  ++responses_absorbed_;
+
+  rs::Feedback fb;
+  fb.server = pkt.src;
+  fb.queue_size = resp->status.queue_size;
+  fb.service_time = static_cast<sim::Duration>(resp->status.service_time_ns);
+
+  PendingSlot& slot = pending_[resp->rv];
+  if (slot.valid && slot.server == pkt.src) {
+    fb.response_time = sim_.now() - slot.sent_at;
+    slot.valid = false;
+  } else {
+    fb.has_response_time = false;
+    ++rv_mismatches_;
+  }
+  selector_->on_response(fb);
+}
+
+}  // namespace netrs::core

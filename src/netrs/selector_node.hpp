@@ -1,0 +1,74 @@
+// NetRS selector (§IV-C): the application-layer logic running on a network
+// accelerator.
+//
+// For a NetRS request it resolves the RGID against its local replica-group
+// database, asks its ReplicaSelector for a target, rewrites the packet
+// (destination := chosen server, RV := a fresh tag, MF := f(Mresp)) and
+// hands it back to the switch. For a cloned NetRS response it updates the
+// selector's local information — measuring the response time by matching
+// the echoed RV against its pending table — and absorbs the clone.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "netrs/packet_format.hpp"
+#include "rs/selector.hpp"
+#include "sim/simulator.hpp"
+
+namespace netrs::core {
+
+/// RGID -> replica candidates. Shared, immutable; owned by the harness
+/// (derived from the KV store's consistent-hash ring).
+using ReplicaDatabase = std::vector<std::vector<net::HostId>>;
+
+class SelectorNode {
+ public:
+  SelectorNode(sim::Simulator& sim, const ReplicaDatabase& db,
+               std::unique_ptr<rs::ReplicaSelector> selector);
+
+  /// Accelerator handler: processes one packet, optionally returning a
+  /// rebuilt packet to send back to the co-located switch.
+  std::optional<net::Packet> process(net::Packet pkt);
+
+  /// Replaces the selection algorithm, dropping all local information —
+  /// what happens when an RSP change activates this RSNode afresh (§II:
+  /// "newly introduced RSNodes have to build the view from scratch").
+  void reset_selector(std::unique_ptr<rs::ReplicaSelector> selector);
+
+  [[nodiscard]] const rs::ReplicaSelector& selector() const {
+    return *selector_;
+  }
+  [[nodiscard]] std::uint64_t requests_selected() const {
+    return requests_selected_;
+  }
+  [[nodiscard]] std::uint64_t responses_absorbed() const {
+    return responses_absorbed_;
+  }
+  [[nodiscard]] std::uint64_t rv_mismatches() const { return rv_mismatches_; }
+
+ private:
+  struct PendingSlot {
+    net::HostId server = net::kInvalidHost;
+    sim::Time sent_at = 0;
+    bool valid = false;
+  };
+
+  std::optional<net::Packet> handle_request(net::Packet pkt);
+  void handle_response(const net::Packet& pkt);
+
+  sim::Simulator& sim_;
+  const ReplicaDatabase& db_;
+  std::unique_ptr<rs::ReplicaSelector> selector_;
+  // RV-indexed pending table (the RV field is 16 bits wide).
+  std::vector<PendingSlot> pending_;
+  std::uint16_t next_rv_ = 1;
+  std::uint64_t requests_selected_ = 0;
+  std::uint64_t responses_absorbed_ = 0;
+  std::uint64_t rv_mismatches_ = 0;
+};
+
+}  // namespace netrs::core

@@ -1,0 +1,53 @@
+// Traffic groups: the granularity at which the Replica Selection Plan maps
+// requests to RSNodes (§III-A).
+//
+// Supported granularities (request-level grouping is explicitly rejected by
+// the paper):
+//   - host-level: every end-host is its own group;
+//   - rack-level: all hosts under one ToR form a group (the default);
+//   - sub-rack: n consecutive hosts of a rack per group (the paper's
+//     "intervening-level" groups).
+//
+// Every group is attached to exactly one ToR, so a group's tier ID t(g) is
+// the ToR tier (2), matching §III-B.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/fat_tree.hpp"
+
+namespace netrs::core {
+
+enum class GroupGranularity { kHost, kRack, kSubRack };
+
+using GroupId = std::uint32_t;
+
+class TrafficGroups {
+ public:
+  /// `hosts_per_group` is only used for kSubRack and must divide the rack
+  /// size.
+  TrafficGroups(const net::FatTree& topo, GroupGranularity granularity,
+                int hosts_per_group = 0);
+
+  [[nodiscard]] GroupId group_of_host(net::HostId h) const;
+  [[nodiscard]] std::uint32_t group_count() const { return count_; }
+
+  /// ToR switch the group's hosts connect to.
+  [[nodiscard]] net::NodeId tor_of_group(GroupId g) const;
+  [[nodiscard]] int pod_of_group(GroupId g) const;
+  [[nodiscard]] int rack_of_group(GroupId g) const;
+  [[nodiscard]] std::vector<net::HostId> hosts_of_group(GroupId g) const;
+
+  [[nodiscard]] GroupGranularity granularity() const { return granularity_; }
+
+ private:
+  [[nodiscard]] int groups_per_rack() const;
+
+  const net::FatTree& topo_;
+  GroupGranularity granularity_;
+  int hosts_per_group_;
+  std::uint32_t count_;
+};
+
+}  // namespace netrs::core

@@ -1,0 +1,112 @@
+#include "rs/baselines.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace netrs::rs {
+
+net::HostId RandomSelector::select(std::span<const net::HostId> candidates) {
+  assert(!candidates.empty());
+  return candidates[rng_.uniform(candidates.size())];
+}
+
+net::HostId RoundRobinSelector::select(
+    std::span<const net::HostId> candidates) {
+  assert(!candidates.empty());
+  return candidates[counter_++ % candidates.size()];
+}
+
+net::HostId LeastOutstandingSelector::select(
+    std::span<const net::HostId> candidates) {
+  assert(!candidates.empty());
+  net::HostId best = candidates[0];
+  std::uint32_t best_count = std::numeric_limits<std::uint32_t>::max();
+  std::uint32_t ties = 0;
+  for (net::HostId h : candidates) {
+    auto it = outstanding_.find(h);
+    const std::uint32_t c = it == outstanding_.end() ? 0 : it->second;
+    if (c < best_count) {
+      best_count = c;
+      best = h;
+      ties = 1;
+    } else if (c == best_count) {
+      // Reservoir-style uniform tie-break.
+      ++ties;
+      if (rng_.uniform(ties) == 0) best = h;
+    }
+  }
+  return best;
+}
+
+void LeastOutstandingSelector::on_send(net::HostId server) {
+  ++outstanding_[server];
+}
+
+void LeastOutstandingSelector::on_response(const Feedback& fb) {
+  auto it = outstanding_.find(fb.server);
+  if (it != outstanding_.end() && it->second > 0) --it->second;
+}
+
+double TwoChoicesSelector::load(net::HostId h) const {
+  auto it = servers_.find(h);
+  if (it == servers_.end()) return 0.0;
+  return static_cast<double>(it->second.outstanding) +
+         static_cast<double>(it->second.queue_size);
+}
+
+net::HostId TwoChoicesSelector::select(
+    std::span<const net::HostId> candidates) {
+  assert(!candidates.empty());
+  if (candidates.size() == 1) return candidates[0];
+  const std::size_t i = rng_.uniform(candidates.size());
+  std::size_t j = rng_.uniform(candidates.size() - 1);
+  if (j >= i) ++j;
+  const net::HostId a = candidates[i];
+  const net::HostId b = candidates[j];
+  if (load(a) != load(b)) return load(a) < load(b) ? a : b;
+  return rng_.bernoulli(0.5) ? a : b;
+}
+
+void TwoChoicesSelector::on_send(net::HostId server) {
+  ++servers_[server].outstanding;
+}
+
+void TwoChoicesSelector::on_response(const Feedback& fb) {
+  State& s = servers_[fb.server];
+  if (s.outstanding > 0) --s.outstanding;
+  s.queue_size = fb.queue_size;
+}
+
+net::HostId EwmaLatencySelector::select(
+    std::span<const net::HostId> candidates) {
+  assert(!candidates.empty());
+  net::HostId best = candidates[0];
+  double best_lat = std::numeric_limits<double>::max();
+  std::uint32_t ties = 0;
+  for (net::HostId h : candidates) {
+    auto it = latency_.find(h);
+    // Unknown servers look attractive (explore).
+    const double lat = it == latency_.end() ? -1.0 : it->second.value();
+    if (lat < best_lat) {
+      best_lat = lat;
+      best = h;
+      ties = 1;
+    } else if (lat == best_lat) {
+      ++ties;
+      if (rng_.uniform(ties) == 0) best = h;
+    }
+  }
+  return best;
+}
+
+void EwmaLatencySelector::on_response(const Feedback& fb) {
+  if (!fb.has_response_time) return;
+  auto it = latency_.find(fb.server);
+  if (it == latency_.end()) {
+    it = latency_.emplace(fb.server, sim::Ewma(alpha_)).first;
+  }
+  it->second.add(sim::to_micros(fb.response_time));
+}
+
+}  // namespace netrs::rs

@@ -1,0 +1,96 @@
+// Baseline replica-selection algorithms used for ablations against C3:
+//   - RandomSelector: uniform choice;
+//   - RoundRobinSelector: rotates through the candidate list;
+//   - LeastOutstandingSelector: fewest requests outstanding from this RSNode;
+//   - TwoChoicesSelector: Mitzenmacher's power-of-two-choices over the
+//     freshest queue estimates;
+//   - EwmaLatencySelector: lowest EWMA response time (Cassandra's Dynamic
+//     Snitch-style history ranking).
+#pragma once
+
+#include <unordered_map>
+
+#include "rs/selector.hpp"
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+
+namespace netrs::rs {
+
+class RandomSelector final : public ReplicaSelector {
+ public:
+  explicit RandomSelector(sim::Rng rng) : rng_(rng) {}
+
+  net::HostId select(std::span<const net::HostId> candidates) override;
+  void on_send(net::HostId) override {}
+  void on_response(const Feedback&) override {}
+  [[nodiscard]] std::string name() const override { return "random"; }
+
+ private:
+  sim::Rng rng_;
+};
+
+class RoundRobinSelector final : public ReplicaSelector {
+ public:
+  net::HostId select(std::span<const net::HostId> candidates) override;
+  void on_send(net::HostId) override {}
+  void on_response(const Feedback&) override {}
+  [[nodiscard]] std::string name() const override { return "round-robin"; }
+
+ private:
+  std::uint64_t counter_ = 0;
+};
+
+class LeastOutstandingSelector final : public ReplicaSelector {
+ public:
+  explicit LeastOutstandingSelector(sim::Rng rng) : rng_(rng) {}
+
+  net::HostId select(std::span<const net::HostId> candidates) override;
+  void on_send(net::HostId server) override;
+  void on_response(const Feedback& fb) override;
+  [[nodiscard]] std::string name() const override {
+    return "least-outstanding";
+  }
+
+ private:
+  sim::Rng rng_;
+  std::unordered_map<net::HostId, std::uint32_t> outstanding_;
+};
+
+class TwoChoicesSelector final : public ReplicaSelector {
+ public:
+  explicit TwoChoicesSelector(sim::Rng rng) : rng_(rng) {}
+
+  net::HostId select(std::span<const net::HostId> candidates) override;
+  void on_send(net::HostId server) override;
+  void on_response(const Feedback& fb) override;
+  [[nodiscard]] std::string name() const override { return "two-choices"; }
+
+ private:
+  /// Estimated load: outstanding from this RSNode plus last reported queue.
+  [[nodiscard]] double load(net::HostId h) const;
+
+  sim::Rng rng_;
+  struct State {
+    std::uint32_t outstanding = 0;
+    std::uint32_t queue_size = 0;
+  };
+  std::unordered_map<net::HostId, State> servers_;
+};
+
+class EwmaLatencySelector final : public ReplicaSelector {
+ public:
+  EwmaLatencySelector(sim::Rng rng, double alpha = 0.9)
+      : rng_(rng), alpha_(alpha) {}
+
+  net::HostId select(std::span<const net::HostId> candidates) override;
+  void on_send(net::HostId) override {}
+  void on_response(const Feedback& fb) override;
+  [[nodiscard]] std::string name() const override { return "ewma-latency"; }
+
+ private:
+  sim::Rng rng_;
+  double alpha_;
+  std::unordered_map<net::HostId, sim::Ewma> latency_;
+};
+
+}  // namespace netrs::rs

@@ -1,0 +1,88 @@
+#include "rs/c3.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace netrs::rs {
+
+C3Selector::C3Selector(sim::Simulator& sim, sim::Rng rng, C3Options opts)
+    : sim_(sim), rng_(rng), opts_(opts) {}
+
+C3Selector::ServerState& C3Selector::state(net::HostId server) {
+  auto it = servers_.find(server);
+  if (it == servers_.end()) {
+    it = servers_
+             .emplace(server, ServerState(opts_.ewma_alpha, opts_.cubic))
+             .first;
+  }
+  return it->second;
+}
+
+double C3Selector::score_of(const ServerState& s) const {
+  const double prior_us = sim::to_micros(opts_.service_time_prior);
+  const double t_service = s.service_time.value_or(prior_us);
+  const double r = s.response_time.value_or(t_service);
+  const double q_hat = 1.0 +
+                       static_cast<double>(s.outstanding) * opts_.concurrency +
+                       static_cast<double>(s.queue_size);
+  return (r - t_service) +
+         std::pow(q_hat, static_cast<double>(opts_.cubic_exponent)) *
+             t_service;
+}
+
+double C3Selector::score(net::HostId server) const {
+  auto it = servers_.find(server);
+  if (it == servers_.end()) return -1.0;
+  return score_of(it->second);
+}
+
+std::uint32_t C3Selector::outstanding(net::HostId server) const {
+  auto it = servers_.find(server);
+  return it == servers_.end() ? 0 : it->second.outstanding;
+}
+
+net::HostId C3Selector::select(std::span<const net::HostId> candidates) {
+  assert(!candidates.empty());
+  ranked_.clear();
+  for (net::HostId h : candidates) {
+    auto it = servers_.find(h);
+    if (it == servers_.end()) {
+      // Never-heard-from servers are explored first; random jitter breaks
+      // ties among them so cold starts don't stampede one replica.
+      ranked_.emplace_back(-1.0 + rng_.next_double() * 1e-3, h);
+    } else {
+      ranked_.emplace_back(score_of(it->second), h);
+    }
+  }
+  std::sort(ranked_.begin(), ranked_.end());
+
+  if (opts_.rate_control) {
+    const sim::Time now = sim_.now();
+    for (auto& [sc, h] : ranked_) {
+      auto it = servers_.find(h);
+      if (it == servers_.end()) return h;  // no controller yet: free to send
+      if (it->second.rate.try_acquire(now)) return h;
+    }
+    // All limiters closed: send to the best-ranked replica anyway (see the
+    // header comment about the backpressure-queue substitution).
+  }
+  return ranked_.front().second;
+}
+
+void C3Selector::on_send(net::HostId server) {
+  ++state(server).outstanding;
+}
+
+void C3Selector::on_response(const Feedback& fb) {
+  ServerState& s = state(fb.server);
+  if (s.outstanding > 0) --s.outstanding;
+  if (fb.has_response_time) {
+    s.response_time.add(sim::to_micros(fb.response_time));
+  }
+  s.service_time.add(sim::to_micros(fb.service_time));
+  s.queue_size = fb.queue_size;
+  if (opts_.rate_control) s.rate.on_response(sim_.now());
+}
+
+}  // namespace netrs::rs

@@ -1,0 +1,82 @@
+// C3 replica selection (Suresh, Canini, Schmid, Feldmann — NSDI'15), the
+// state-of-the-art algorithm the paper runs on every RSNode (§V-A).
+//
+// Replica ranking: each RSNode keeps, per server s,
+//   R̄_s  — EWMA of measured response times,
+//   T̄_s  — EWMA of server-reported service times (piggybacked SS),
+//   q_s  — last reported queue size (piggybacked SS),
+//   os_s — requests outstanding from this RSNode.
+// The queue estimate with concurrency compensation is
+//   q̂_s = 1 + os_s * n + q_s          (n = number of RSNodes in the system)
+// and the score is the cubic function
+//   Ψ_s = (R̄_s - T̄_s) + q̂_s^b * T̄_s   (b = 3),
+// i.e. expected wait excluding own service plus a cubically penalized queue
+// term. The replica with minimal Ψ wins.
+//
+// Distributed rate control: a CUBIC controller per server limits the send
+// rate. Deviation from C3: when every replica's controller is exhausted we
+// send to the best-ranked replica anyway instead of parking the request in
+// a backpressure queue — RSNodes in the data plane cannot buffer
+// indefinitely. DESIGN.md records this substitution.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "rs/rate_control.hpp"
+#include "rs/selector.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+
+namespace netrs::rs {
+
+struct C3Options {
+  double ewma_alpha = 0.9;  ///< history weight of the EWMAs
+  int cubic_exponent = 3;   ///< b in q̂^b
+  /// Concurrency-compensation factor n: how many RSNodes share the servers.
+  double concurrency = 1.0;
+  bool rate_control = true;
+  CubicOptions cubic;
+  /// Prior service time for servers never heard from (paper tkv = 4 ms).
+  sim::Duration service_time_prior = sim::millis(4);
+};
+
+class C3Selector final : public ReplicaSelector {
+ public:
+  C3Selector(sim::Simulator& sim, sim::Rng rng, C3Options opts);
+
+  net::HostId select(std::span<const net::HostId> candidates) override;
+  void on_send(net::HostId server) override;
+  void on_response(const Feedback& fb) override;
+  [[nodiscard]] std::string name() const override { return "c3"; }
+
+  /// Current score of a server (exposed for tests).
+  [[nodiscard]] double score(net::HostId server) const;
+  /// Outstanding requests to a server from this RSNode (for tests).
+  [[nodiscard]] std::uint32_t outstanding(net::HostId server) const;
+
+ private:
+  struct ServerState {
+    sim::Ewma response_time;
+    sim::Ewma service_time;
+    std::uint32_t queue_size = 0;
+    std::uint32_t outstanding = 0;
+    CubicRateController rate;
+
+    ServerState(double alpha, const CubicOptions& cubic)
+        : response_time(alpha), service_time(alpha), rate(cubic) {}
+  };
+
+  ServerState& state(net::HostId server);
+  [[nodiscard]] double score_of(const ServerState& s) const;
+
+  sim::Simulator& sim_;
+  sim::Rng rng_;
+  C3Options opts_;
+  std::unordered_map<net::HostId, ServerState> servers_;
+  // Scratch buffer reused across select() calls.
+  std::vector<std::pair<double, net::HostId>> ranked_;
+};
+
+}  // namespace netrs::rs

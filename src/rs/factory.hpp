@@ -1,0 +1,29 @@
+// Factory producing replica selectors by algorithm name, so the harness and
+// the NetRS controller can configure RSNodes from a plain string.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rs/c3.hpp"
+#include "rs/selector.hpp"
+
+namespace netrs::rs {
+
+struct SelectorConfig {
+  /// One of: "c3", "c3-norate", "least-outstanding", "random",
+  /// "round-robin", "two-choices", "ewma-latency".
+  std::string algorithm = "c3";
+  C3Options c3;
+};
+
+/// Names accepted by make_selector.
+std::vector<std::string> selector_names();
+
+/// Creates a selector. Throws std::invalid_argument on unknown names.
+std::unique_ptr<ReplicaSelector> make_selector(const SelectorConfig& cfg,
+                                               sim::Simulator& sim,
+                                               sim::Rng rng);
+
+}  // namespace netrs::rs

@@ -1,0 +1,60 @@
+// CUBIC-style send-rate controller, one instance per (RSNode, server) pair,
+// as used by C3's distributed rate control (Suresh et al., NSDI'15 §3.2).
+//
+// The controller tracks the rate of received responses (`receive rate`) and
+// adapts the allowed sending rate: while the sending rate is below gamma *
+// receive-rate it grows along a cubic curve anchored at the last decrease
+// point; otherwise it decreases multiplicatively. Tokens accumulate at the
+// current rate up to a small burst budget.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace netrs::rs {
+
+struct CubicOptions {
+  double initial_rate = 10.0;      ///< requests/s starting budget
+  double min_rate = 0.1;           ///< floor to keep probing
+  double beta = 0.2;               ///< multiplicative decrease factor
+  double cubic_c = 0.000004;       ///< cubic growth scaling constant
+  double gamma = 1.3;              ///< allowed send/receive rate ratio
+  double burst_tokens = 4.0;       ///< token bucket depth
+  sim::Duration rate_window = sim::millis(20);  ///< receive-rate window
+};
+
+class CubicRateController {
+ public:
+  explicit CubicRateController(CubicOptions opts = {});
+
+  /// True when a request may be sent now; consumes a token if so.
+  bool try_acquire(sim::Time now);
+
+  /// Record a response arrival (drives the receive-rate estimate and the
+  /// cubic growth/decrease decision).
+  void on_response(sim::Time now);
+
+  [[nodiscard]] double send_rate() const { return rate_; }
+  [[nodiscard]] double receive_rate() const { return recv_rate_; }
+
+ private:
+  void refill(sim::Time now);
+  void update_rate(sim::Time now);
+
+  CubicOptions opts_;
+  double rate_;          // allowed sends per second
+  double tokens_;
+  sim::Time last_refill_ = 0;
+
+  // Receive-rate estimation over a sliding window.
+  std::uint32_t window_count_ = 0;
+  sim::Time window_start_ = 0;
+  double recv_rate_ = 0.0;
+
+  // Cubic state.
+  double rate_at_decrease_;
+  sim::Time decrease_time_ = 0;
+};
+
+}  // namespace netrs::rs

@@ -1,0 +1,54 @@
+// Replica-selection algorithm interface.
+//
+// A ReplicaSelector is the algorithm running on a Replica Selection Node
+// (RSNode). The same implementations run unchanged on clients (the
+// conventional CliRS scheme) and on NetRS selector nodes inside network
+// accelerators — exactly the "NetRS supports diverse replica selection
+// algorithms" property of the paper (§IV-C).
+//
+// The selector never touches packets or the network: the host environment
+// measures response times (via the RV retaining value) and extracts the
+// piggybacked server status (SS), then reports a Feedback.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "net/address.hpp"
+#include "sim/time.hpp"
+
+namespace netrs::rs {
+
+/// Piggybacked server status plus RSNode-side measurement for one response.
+struct Feedback {
+  net::HostId server = net::kInvalidHost;
+  sim::Duration response_time = 0;  ///< request->response as seen by RSNode
+  /// False when the RSNode could not match the response to a send time
+  /// (e.g. a reused RV slot); response_time is then meaningless.
+  bool has_response_time = true;
+  std::uint32_t queue_size = 0;     ///< server queue incl. in-service (SS)
+  sim::Duration service_time = 0;   ///< server's reported mean service time (SS)
+};
+
+class ReplicaSelector {
+ public:
+  virtual ~ReplicaSelector() = default;
+
+  /// Picks a replica server for a request. `candidates` is the replica
+  /// group (non-empty). Implementations must not assume a stable order.
+  virtual net::HostId select(std::span<const net::HostId> candidates) = 0;
+
+  /// Notification that a request was dispatched to `server` (bookkeeping
+  /// for outstanding-request counts and rate control).
+  virtual void on_send(net::HostId server) = 0;
+
+  /// Notification that a response from `fb.server` reached this RSNode.
+  virtual void on_response(const Feedback& fb) = 0;
+
+  /// Algorithm name for reports.
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace netrs::rs

@@ -1,0 +1,51 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace netrs::sim {
+
+EventId EventQueue::push(Time t, Callback cb) {
+  const EventId id = next_id_++;
+  heap_.push_back(Entry{t, id, std::move(cb)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  pending_.insert(id);
+  ++live_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (pending_.erase(id) == 0) return false;
+  cancelled_.insert(id);
+  assert(live_ > 0);
+  --live_;
+  return true;
+}
+
+void EventQueue::drop_cancelled_heads() {
+  while (!heap_.empty() && cancelled_.contains(heap_.front().id)) {
+    cancelled_.erase(heap_.front().id);
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+  }
+}
+
+Time EventQueue::next_time() {
+  drop_cancelled_heads();
+  assert(!heap_.empty());
+  return heap_.front().time;
+}
+
+std::pair<Time, EventQueue::Callback> EventQueue::pop() {
+  drop_cancelled_heads();
+  assert(!heap_.empty());
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Entry e = std::move(heap_.back());
+  heap_.pop_back();
+  pending_.erase(e.id);
+  assert(live_ > 0);
+  --live_;
+  return {e.time, std::move(e.cb)};
+}
+
+}  // namespace netrs::sim

@@ -1,0 +1,75 @@
+// Deterministic event queue for the discrete-event simulator.
+//
+// Events scheduled for the same instant fire in the order they were
+// scheduled (FIFO tie-break by a monotonically increasing sequence number),
+// which makes every run with the same seed bit-for-bit reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace netrs::sim {
+
+/// Identifies a scheduled event so it can be cancelled.
+using EventId = std::uint64_t;
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Schedules `cb` to fire at absolute time `t`. Returns an id usable with
+  /// `cancel`.
+  EventId push(Time t, Callback cb);
+
+  /// Cancels a pending event. Returns true if the id was pending; cancelling
+  /// an already-fired or unknown id is a no-op returning false. Cancelled
+  /// entries are discarded lazily when they reach the head of the heap.
+  bool cancel(EventId id);
+
+  /// True when no live (non-cancelled) events remain.
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+
+  /// Number of live events.
+  [[nodiscard]] std::size_t size() const { return live_; }
+
+  /// Time of the earliest live event. Precondition: !empty().
+  [[nodiscard]] Time next_time();
+
+  /// Removes and returns the earliest live event. Precondition: !empty().
+  std::pair<Time, Callback> pop();
+
+ private:
+  struct Entry {
+    Time time = 0;
+    EventId id = 0;
+    Callback cb;
+  };
+
+  // Min-heap ordering over (time, id); ids are strictly increasing so the
+  // order is total and FIFO within an instant.
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;
+    }
+  };
+
+  void drop_cancelled_heads();
+
+  std::vector<Entry> heap_;
+  std::unordered_set<EventId> pending_;
+  std::unordered_set<EventId> cancelled_;
+  std::size_t live_ = 0;
+  EventId next_id_ = 1;
+};
+
+}  // namespace netrs::sim

@@ -1,0 +1,56 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+#include <limits>
+#include <memory>
+#include <utility>
+
+namespace netrs::sim {
+
+EventId Simulator::at(Time t, Callback cb) {
+  assert(t >= now_ && "cannot schedule into the past");
+  return queue_.push(t < now_ ? now_ : t, std::move(cb));
+}
+
+EventId Simulator::after(Duration d, Callback cb) {
+  assert(d >= 0 && "negative delay");
+  return at(now_ + (d < 0 ? 0 : d), std::move(cb));
+}
+
+void Simulator::every(Duration period, std::function<bool()> cb) {
+  assert(period > 0);
+  // Self-rescheduling closure; stops rescheduling once cb returns false.
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [this, period, cb = std::move(cb), tick]() {
+    if (cb()) after(period, *tick);
+  };
+  after(period, *tick);
+}
+
+std::uint64_t Simulator::run() {
+  return run_until(std::numeric_limits<Time>::max());
+}
+
+std::uint64_t Simulator::run_until(Time deadline) {
+  stopped_ = false;
+  std::uint64_t n = 0;
+  while (!stopped_ && !queue_.empty()) {
+    if (queue_.next_time() > deadline) {
+      now_ = deadline;
+      return n;
+    }
+    auto [t, cb] = queue_.pop();
+    assert(t >= now_);
+    now_ = t;
+    cb();
+    ++n;
+    ++fired_;
+  }
+  if (queue_.empty() && deadline != std::numeric_limits<Time>::max() &&
+      now_ < deadline) {
+    now_ = deadline;
+  }
+  return n;
+}
+
+}  // namespace netrs::sim

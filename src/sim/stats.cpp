@@ -1,0 +1,139 @@
+#include "sim/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace netrs::sim {
+
+void LatencyRecorder::add(double v) {
+  samples_.push_back(v);
+  sorted_ = false;
+  sum_ += v;
+}
+
+double LatencyRecorder::mean() const {
+  assert(!samples_.empty());
+  return sum_ / static_cast<double>(samples_.size());
+}
+
+double LatencyRecorder::min() const {
+  assert(!samples_.empty());
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double LatencyRecorder::max() const {
+  assert(!samples_.empty());
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double LatencyRecorder::percentile(double q) const {
+  assert(!samples_.empty());
+  assert(q >= 0.0 && q <= 1.0);
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  const double idx = q * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(idx));
+  const auto hi = static_cast<std::size_t>(std::ceil(idx));
+  if (lo == hi) return samples_[lo];
+  const double frac = idx - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+void LatencyRecorder::merge(const LatencyRecorder& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+  sum_ += other.sum_;
+  sorted_ = samples_.empty();
+}
+
+void LatencyRecorder::clear() {
+  samples_.clear();
+  sum_ = 0.0;
+  sorted_ = true;
+}
+
+// ---------------------------------------------------------------------------
+// P2Quantile
+// ---------------------------------------------------------------------------
+
+P2Quantile::P2Quantile(double q) : q_(q) {
+  assert(q > 0.0 && q < 1.0);
+  desired_[0] = 1;
+  desired_[1] = 1 + 2 * q;
+  desired_[2] = 1 + 4 * q;
+  desired_[3] = 3 + 2 * q;
+  desired_[4] = 5;
+  increments_[0] = 0;
+  increments_[1] = q / 2;
+  increments_[2] = q;
+  increments_[3] = (1 + q) / 2;
+  increments_[4] = 1;
+}
+
+void P2Quantile::add(double v) {
+  ++count_;
+  if (count_ <= 5) {
+    heights_[count_ - 1] = v;
+    if (count_ == 5) std::sort(heights_, heights_ + 5);
+    return;
+  }
+
+  // Locate the cell containing v and stretch boundary markers if needed.
+  int k;
+  if (v < heights_[0]) {
+    heights_[0] = v;
+    k = 0;
+  } else if (v >= heights_[4]) {
+    heights_[4] = v;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && v >= heights_[k + 1]) ++k;
+  }
+
+  for (int i = k + 1; i < 5; ++i) positions_[i] += 1;
+  for (int i = 0; i < 5; ++i) desired_[i] += increments_[i];
+
+  // Adjust interior markers via parabolic (fallback linear) interpolation.
+  for (int i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - positions_[i];
+    const double right = positions_[i + 1] - positions_[i];
+    const double left = positions_[i - 1] - positions_[i];
+    if ((d >= 1 && right > 1) || (d <= -1 && left < -1)) {
+      const double sign = d >= 1 ? 1.0 : -1.0;
+      // Piecewise-parabolic prediction.
+      const double hp =
+          heights_[i] +
+          sign / (positions_[i + 1] - positions_[i - 1]) *
+              ((positions_[i] - positions_[i - 1] + sign) *
+                   (heights_[i + 1] - heights_[i]) / right +
+               (positions_[i + 1] - positions_[i] - sign) *
+                   (heights_[i] - heights_[i - 1]) / (-left));
+      if (heights_[i - 1] < hp && hp < heights_[i + 1]) {
+        heights_[i] = hp;
+      } else {
+        // Linear fallback keeps markers ordered.
+        const int j = i + static_cast<int>(sign);
+        heights_[i] += sign * (heights_[j] - heights_[i]) /
+                       (positions_[j] - positions_[i]);
+      }
+      positions_[i] += sign;
+    }
+  }
+}
+
+double P2Quantile::estimate() const {
+  if (count_ == 0) return std::numeric_limits<double>::infinity();
+  if (count_ < 5) {
+    double m = heights_[0];
+    for (std::uint64_t i = 1; i < count_; ++i) m = std::max(m, heights_[i]);
+    return m;
+  }
+  return heights_[2];
+}
+
+}  // namespace netrs::sim

@@ -1,0 +1,94 @@
+// Measurement utilities: exact percentile recording for experiment output
+// and a streaming P-square quantile estimator for the CliRS-R95 client's
+// online 95th-percentile latency tracking.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace netrs::sim {
+
+/// Records latency samples and answers exact mean / percentile queries.
+/// Samples are stored; percentile queries sort lazily and cache the order.
+class LatencyRecorder {
+ public:
+  void add(double v);
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+  /// Exact q-quantile (q in [0,1]) with linear interpolation between order
+  /// statistics. Precondition: !empty().
+  [[nodiscard]] double percentile(double q) const;
+
+  /// Merges another recorder's samples into this one.
+  void merge(const LatencyRecorder& other);
+
+  void clear();
+
+  [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+  double sum_ = 0.0;
+};
+
+/// Streaming quantile estimation via the P-square algorithm (Jain & Chlamtac
+/// 1985): O(1) memory, suitable for a client deciding when a request has
+/// been outstanding longer than its expected 95th-percentile latency.
+class P2Quantile {
+ public:
+  /// `q` is the target quantile in (0, 1), e.g. 0.95.
+  explicit P2Quantile(double q);
+
+  void add(double v);
+
+  /// Current estimate. Before 5 samples arrive, returns the max seen so far
+  /// (and +inf with no samples), which keeps R95 from firing during warmup.
+  [[nodiscard]] double estimate() const;
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+
+ private:
+  double q_;
+  std::uint64_t count_ = 0;
+  double heights_[5] = {0, 0, 0, 0, 0};
+  double positions_[5] = {1, 2, 3, 4, 5};
+  double desired_[5] = {0, 0, 0, 0, 0};
+  double increments_[5] = {0, 0, 0, 0, 0};
+};
+
+/// Exponentially weighted moving average with smoothing factor alpha: the
+/// update is avg <- alpha * avg + (1 - alpha) * sample, matching C3's usage
+/// (alpha = 0.9 keeps 90% of history per update).
+class Ewma {
+ public:
+  explicit Ewma(double alpha) : alpha_(alpha) {}
+
+  void add(double v) {
+    value_ = seeded_ ? alpha_ * value_ + (1.0 - alpha_) * v : v;
+    seeded_ = true;
+  }
+
+  [[nodiscard]] bool seeded() const { return seeded_; }
+  [[nodiscard]] double value() const { return value_; }
+  [[nodiscard]] double value_or(double fallback) const {
+    return seeded_ ? value_ : fallback;
+  }
+  void reset() {
+    seeded_ = false;
+    value_ = 0.0;
+  }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool seeded_ = false;
+};
+
+}  // namespace netrs::sim

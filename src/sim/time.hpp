@@ -1,0 +1,47 @@
+// Simulated-time primitives.
+//
+// Simulated time is an integer count of nanoseconds since the start of the
+// simulation. Integer time keeps event ordering exact and runs reproducible
+// across platforms; nanosecond resolution comfortably covers the paper's
+// parameter range (2.5 us accelerator RTTs up to multi-second experiments).
+#pragma once
+
+#include <cstdint>
+
+namespace netrs::sim {
+
+/// A point in simulated time, in nanoseconds since simulation start.
+using Time = std::int64_t;
+
+/// A span of simulated time, in nanoseconds. May be negative in arithmetic
+/// but all scheduling APIs require non-negative durations.
+using Duration = std::int64_t;
+
+inline constexpr Duration kNanosecond = 1;
+inline constexpr Duration kMicrosecond = 1000 * kNanosecond;
+inline constexpr Duration kMillisecond = 1000 * kMicrosecond;
+inline constexpr Duration kSecond = 1000 * kMillisecond;
+
+/// Convenience constructors, e.g. `micros(2.5)` for the accelerator RTT.
+constexpr Duration nanos(double n) { return static_cast<Duration>(n); }
+constexpr Duration micros(double us) {
+  return static_cast<Duration>(us * static_cast<double>(kMicrosecond));
+}
+constexpr Duration millis(double ms) {
+  return static_cast<Duration>(ms * static_cast<double>(kMillisecond));
+}
+constexpr Duration seconds(double s) {
+  return static_cast<Duration>(s * static_cast<double>(kSecond));
+}
+
+constexpr double to_micros(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kMicrosecond);
+}
+constexpr double to_millis(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+constexpr double to_seconds(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+}  // namespace netrs::sim

@@ -1,0 +1,145 @@
+#include "kv/consistent_hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace netrs::kv {
+namespace {
+
+std::vector<net::HostId> make_servers(int n, net::HostId base = 100) {
+  std::vector<net::HostId> s;
+  for (int i = 0; i < n; ++i) s.push_back(base + static_cast<net::HostId>(i));
+  return s;
+}
+
+TEST(ConsistentHashTest, ReplicaSetsHaveRfDistinctServers) {
+  const auto servers = make_servers(10);
+  ConsistentHashRing ring(servers, 3);
+  for (std::uint64_t key = 0; key < 2000; ++key) {
+    const auto reps = ring.replicas_of_key(key);
+    ASSERT_EQ(reps.size(), 3u);
+    std::set<net::HostId> uniq(reps.begin(), reps.end());
+    EXPECT_EQ(uniq.size(), 3u);
+    for (net::HostId h : reps) {
+      EXPECT_TRUE(std::find(servers.begin(), servers.end(), h) !=
+                  servers.end());
+    }
+  }
+}
+
+TEST(ConsistentHashTest, LookupIsDeterministic) {
+  const auto servers = make_servers(20);
+  ConsistentHashRing a(servers, 3, 16, 7);
+  ConsistentHashRing b(servers, 3, 16, 7);
+  for (std::uint64_t key = 0; key < 500; ++key) {
+    EXPECT_EQ(a.group_of_key(key), b.group_of_key(key));
+  }
+}
+
+TEST(ConsistentHashTest, GroupDatabaseConsistentWithLookups) {
+  const auto servers = make_servers(15);
+  ConsistentHashRing ring(servers, 3);
+  for (std::uint64_t key = 0; key < 1000; ++key) {
+    const auto g = ring.group_of_key(key);
+    ASSERT_LT(g, ring.group_count());
+    const auto& from_db = ring.groups()[g];
+    const auto direct = ring.replicas(g);
+    ASSERT_EQ(direct.size(), from_db.size());
+    for (std::size_t i = 0; i < from_db.size(); ++i) {
+      EXPECT_EQ(direct[i], from_db[i]);
+    }
+  }
+}
+
+TEST(ConsistentHashTest, DatabaseIsSmall) {
+  // §IV-A: the RGID database must stay small. With v virtual nodes per
+  // server there are at most servers*v segments.
+  const auto servers = make_servers(100);
+  ConsistentHashRing ring(servers, 3, 16);
+  EXPECT_LE(ring.group_count(), 100u * 16u);
+  EXPECT_GE(ring.group_count(), 100u);
+}
+
+TEST(ConsistentHashTest, LoadRoughlyBalanced) {
+  const auto servers = make_servers(10);
+  ConsistentHashRing ring(servers, 3, 64);
+  sim::Rng rng(5);
+  std::map<net::HostId, int> primary_count;
+  const int keys = 50000;
+  for (int i = 0; i < keys; ++i) {
+    const std::uint64_t key = rng.next_u64();
+    primary_count[ring.replicas_of_key(key)[0]]++;
+  }
+  for (const auto& [server, count] : primary_count) {
+    (void)server;
+    // Within a factor ~2.5 of fair share with 64 vnodes.
+    EXPECT_GT(count, keys / 10 / 3);
+    EXPECT_LT(count, keys / 10 * 3);
+  }
+  EXPECT_EQ(primary_count.size(), 10u);
+}
+
+TEST(ConsistentHashTest, SingleServerDegenerate) {
+  const auto servers = make_servers(1);
+  ConsistentHashRing ring(servers, 1, 4);
+  for (std::uint64_t key = 0; key < 100; ++key) {
+    const auto reps = ring.replicas_of_key(key);
+    ASSERT_EQ(reps.size(), 1u);
+    EXPECT_EQ(reps[0], servers[0]);
+  }
+}
+
+TEST(ConsistentHashTest, RfEqualsServerCount) {
+  const auto servers = make_servers(3);
+  ConsistentHashRing ring(servers, 3);
+  for (std::uint64_t key = 0; key < 100; ++key) {
+    const auto reps = ring.replicas_of_key(key);
+    std::set<net::HostId> uniq(reps.begin(), reps.end());
+    EXPECT_EQ(uniq.size(), 3u);  // every server in every set
+  }
+}
+
+TEST(ConsistentHashTest, MinimalDisruptionOnServerRemoval) {
+  // Consistent hashing's defining property: removing one server only
+  // remaps keys that had it in their replica set.
+  const auto servers = make_servers(12);
+  auto fewer = servers;
+  fewer.pop_back();
+  const net::HostId removed = servers.back();
+  ConsistentHashRing full(servers, 3, 32, 9);
+  ConsistentHashRing less(fewer, 3, 32, 9);
+  int moved = 0, checked = 0;
+  for (std::uint64_t key = 0; key < 3000; ++key) {
+    const auto before = full.replicas_of_key(key);
+    const auto after = less.replicas_of_key(key);
+    const bool had_removed =
+        std::find(before.begin(), before.end(), removed) != before.end();
+    if (!had_removed) {
+      ++checked;
+      ASSERT_EQ(before.size(), after.size());
+      for (std::size_t i = 0; i < before.size(); ++i) {
+        if (before[i] != after[i]) {
+          ++moved;
+          break;
+        }
+      }
+    }
+  }
+  EXPECT_GT(checked, 1500);
+  EXPECT_EQ(moved, 0) << "keys without the removed server must not move";
+}
+
+TEST(ConsistentHashTest, GroupIdsFitWireField) {
+  const auto servers = make_servers(100);
+  ConsistentHashRing ring(servers, 3, 16);
+  EXPECT_LE(ring.group_count(), core::kMaxReplicaGroupId);
+}
+
+}  // namespace
+}  // namespace netrs::kv

@@ -1,0 +1,127 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace netrs::sim {
+namespace {
+
+TEST(EventQueueTest, StartsEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.push(30, [&] { fired.push_back(3); });
+  q.push(10, [&] { fired.push_back(1); });
+  q.push(20, [&] { fired.push_back(2); });
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, FifoWithinSameInstant) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i) {
+    q.push(42, [&fired, i] { fired.push_back(i); });
+  }
+  while (!q.empty()) q.pop().second();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueueTest, PopReportsTime) {
+  EventQueue q;
+  q.push(77, [] {});
+  EXPECT_EQ(q.next_time(), 77);
+  auto [t, cb] = q.pop();
+  EXPECT_EQ(t, 77);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, CancelRemovesPendingEvent) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.push(5, [&] { fired = true; });
+  q.push(6, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_EQ(q.size(), 1u);
+  while (!q.empty()) q.pop().second();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueueTest, CancelUnknownIdIsNoop) {
+  EventQueue q;
+  q.push(1, [] {});
+  EXPECT_FALSE(q.cancel(999));
+  EXPECT_FALSE(q.cancel(0));
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueueTest, CancelFiredIdIsNoop) {
+  EventQueue q;
+  const EventId id = q.push(1, [] {});
+  q.pop().second();
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueueTest, DoubleCancelReturnsFalse) {
+  EventQueue q;
+  const EventId id = q.push(1, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueueTest, CancelledHeadSkippedByNextTime) {
+  EventQueue q;
+  const EventId early = q.push(1, [] {});
+  q.push(9, [] {});
+  q.cancel(early);
+  EXPECT_EQ(q.next_time(), 9);
+}
+
+TEST(EventQueueTest, StressRandomOrderMatchesSort) {
+  EventQueue q;
+  Rng rng(7);
+  std::vector<Time> times;
+  for (int i = 0; i < 2000; ++i) {
+    const Time t = static_cast<Time>(rng.uniform(500));
+    times.push_back(t);
+    q.push(t, [] {});
+  }
+  Time prev = -1;
+  while (!q.empty()) {
+    const Time t = q.pop().first;
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(EventQueueTest, StressWithRandomCancellations) {
+  EventQueue q;
+  Rng rng(11);
+  std::vector<EventId> ids;
+  int live = 0;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(q.push(static_cast<Time>(rng.uniform(100)), [] {}));
+    ++live;
+  }
+  for (const EventId id : ids) {
+    if (rng.bernoulli(0.5) && q.cancel(id)) --live;
+  }
+  EXPECT_EQ(q.size(), static_cast<size_t>(live));
+  int popped = 0;
+  while (!q.empty()) {
+    q.pop();
+    ++popped;
+  }
+  EXPECT_EQ(popped, live);
+}
+
+}  // namespace
+}  // namespace netrs::sim

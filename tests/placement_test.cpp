@@ -1,0 +1,301 @@
+#include "netrs/placement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/fat_tree.hpp"
+#include "sim/rng.hpp"
+
+namespace netrs::core {
+namespace {
+
+// Builds operators for every switch of a fat-tree with uniform capacity.
+std::vector<OperatorSpec> all_operators(const net::FatTree& topo,
+                                        double t_max) {
+  std::vector<OperatorSpec> ops;
+  RsNodeId id = 1;
+  for (net::NodeId sw : topo.all_switches()) {
+    OperatorSpec op;
+    op.id = id++;
+    op.sw = sw;
+    const net::SwitchCoord c = topo.coord(sw);
+    op.tier = c.tier;
+    op.pod = c.pod;
+    op.rack = c.idx;
+    op.t_max = t_max;
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+// One rack-level group per rack with the given per-tier traffic mix.
+std::vector<GroupDemand> rack_groups(const net::FatTree& topo, double load,
+                                     double t0 = 0.94, double t1 = 0.05,
+                                     double t2 = 0.01) {
+  std::vector<GroupDemand> groups;
+  for (int r = 0; r < topo.racks(); ++r) {
+    GroupDemand g;
+    g.id = static_cast<GroupId>(r);
+    g.pod = r / topo.tors_per_pod();
+    g.rack = r % topo.tors_per_pod();
+    g.tier_traffic[0] = load * t0;
+    g.tier_traffic[1] = load * t1;
+    g.tier_traffic[2] = load * t2;
+    groups.push_back(g);
+  }
+  return groups;
+}
+
+TEST(PlacementCostTest, EligibilityMatchesRMatrix) {
+  net::FatTree topo(4);
+  GroupDemand g;
+  g.pod = 1;
+  g.rack = 0;
+  OperatorSpec core{1, topo.core_node(0, 0), net::Tier::kCore, 0, 0, 1.0};
+  OperatorSpec agg_same{2, topo.agg_node(1, 0), net::Tier::kAgg, 1, 0, 1.0};
+  OperatorSpec agg_other{3, topo.agg_node(2, 0), net::Tier::kAgg, 2, 0, 1.0};
+  OperatorSpec tor_own{4, topo.tor_node(1, 0), net::Tier::kTor, 1, 0, 1.0};
+  OperatorSpec tor_other{5, topo.tor_node(1, 1), net::Tier::kTor, 1, 1, 1.0};
+  EXPECT_TRUE(eligible(g, core));
+  EXPECT_TRUE(eligible(g, agg_same));
+  EXPECT_FALSE(eligible(g, agg_other));
+  EXPECT_TRUE(eligible(g, tor_own));
+  EXPECT_FALSE(eligible(g, tor_other));
+  OperatorSpec failed = core;
+  failed.available = false;
+  EXPECT_FALSE(eligible(g, failed));
+}
+
+TEST(PlacementCostTest, Eq7Coefficients) {
+  GroupDemand g;
+  g.tier_traffic[0] = 100.0;  // inter-pod
+  g.tier_traffic[1] = 10.0;   // intra-pod
+  g.tier_traffic[2] = 1.0;    // intra-rack
+  // Own ToR: h = 0, no extra hops.
+  EXPECT_DOUBLE_EQ(extra_hop_cost(g, net::Tier::kTor), 0.0);
+  // Agg: h = 1, cost = 2*(1+0)*T_i2 = 2.
+  EXPECT_DOUBLE_EQ(extra_hop_cost(g, net::Tier::kAgg), 2.0 * 1.0);
+  // Core: h = 2, cost = 2*(2+0)*T_i2 + 2*(2+1)*T_i1 = 4*1 + 6*10 = 64.
+  EXPECT_DOUBLE_EQ(extra_hop_cost(g, net::Tier::kCore), 4.0 + 60.0);
+}
+
+TEST(PlacementCostTest, PaperExampleTier2ViaCoreIsFourExtraHops) {
+  // §III-B example: one tier-2 request via a core RSNode takes 4 extra
+  // forwards. One unit of tier-2 traffic must cost exactly 4.
+  GroupDemand g;
+  g.tier_traffic[2] = 1.0;
+  EXPECT_DOUBLE_EQ(extra_hop_cost(g, net::Tier::kCore), 4.0);
+}
+
+TEST(TorPlacementTest, EveryGroupOnOwnTor) {
+  net::FatTree topo(4);
+  PlacementProblem p;
+  p.groups = rack_groups(topo, 100.0);
+  p.operators = all_operators(topo, 1e9);
+  p.extra_hop_budget = 0.0;  // the ToR plan needs no budget
+  const PlacementResult res = tor_placement(p);
+  EXPECT_TRUE(validate_placement(p, res));
+  EXPECT_EQ(res.rsnodes_used, topo.racks());
+  EXPECT_EQ(res.drs_groups.size(), 0u);
+  EXPECT_DOUBLE_EQ(res.extra_hops_used, 0.0);
+}
+
+class PlacementMethodTest
+    : public ::testing::TestWithParam<PlacementMethod> {};
+
+TEST_P(PlacementMethodTest, SolvesPaperLikeInstance) {
+  net::FatTree topo(8);
+  PlacementProblem p;
+  p.groups = rack_groups(topo, 18000.0 / topo.racks());
+  p.operators = all_operators(topo, 83333.0);
+  p.extra_hop_budget = 0.2 * 18000.0;
+  PlacementOptions opts;
+  opts.method = GetParam();
+  const PlacementResult res = solve_placement(p, opts);
+  EXPECT_TRUE(validate_placement(p, res));
+  EXPECT_EQ(res.drs_groups.size(), 0u);
+  // Consolidation must crush the ToR plan's 32 RSNodes.
+  EXPECT_LE(res.rsnodes_used, 12);
+  EXPECT_GE(res.rsnodes_used, 1);
+  EXPECT_LE(res.extra_hops_used, p.extra_hop_budget + 1e-6);
+}
+
+TEST_P(PlacementMethodTest, RespectsTightCapacity) {
+  net::FatTree topo(4);
+  const double per_group = 100.0;
+  PlacementProblem p;
+  p.groups = rack_groups(topo, per_group);
+  // Capacity fits only two groups per operator: at least racks/2 RSNodes.
+  p.operators = all_operators(topo, 2.0 * per_group + 1.0);
+  p.extra_hop_budget = 1e9;
+  PlacementOptions opts;
+  opts.method = GetParam();
+  const PlacementResult res = solve_placement(p, opts);
+  EXPECT_TRUE(validate_placement(p, res));
+  EXPECT_EQ(res.drs_groups.size(), 0u);
+  EXPECT_GE(res.rsnodes_used, topo.racks() / 2);
+}
+
+TEST_P(PlacementMethodTest, ZeroHopBudgetForcesTorPlan) {
+  net::FatTree topo(4);
+  PlacementProblem p;
+  p.groups = rack_groups(topo, 100.0);
+  p.operators = all_operators(topo, 1e9);
+  p.extra_hop_budget = 0.0;  // only zero-cost (ToR) placements possible
+  PlacementOptions opts;
+  opts.method = GetParam();
+  const PlacementResult res = solve_placement(p, opts);
+  EXPECT_TRUE(validate_placement(p, res));
+  EXPECT_EQ(res.drs_groups.size(), 0u);
+  for (const auto& [gid, rid] : res.assignment) {
+    (void)gid;
+    bool is_tor = false;
+    for (const auto& op : p.operators) {
+      if (op.id == rid) is_tor = op.tier == net::Tier::kTor;
+    }
+    EXPECT_TRUE(is_tor);
+  }
+}
+
+TEST_P(PlacementMethodTest, InfeasibleCapacityDegradesHighestTraffic) {
+  net::FatTree topo(4);
+  PlacementProblem p;
+  p.groups = rack_groups(topo, 10.0);
+  p.groups[3].tier_traffic[0] = 1000.0;  // one monster group
+  p.operators = all_operators(topo, 50.0);  // nobody can host it
+  p.extra_hop_budget = 1e9;
+  PlacementOptions opts;
+  opts.method = GetParam();
+  const PlacementResult res = solve_placement(p, opts);
+  EXPECT_TRUE(validate_placement(p, res));
+  ASSERT_GE(res.drs_groups.size(), 1u);
+  EXPECT_EQ(res.drs_groups[0], p.groups[3].id)
+      << "the highest-traffic group degrades first (§III-C)";
+}
+
+TEST_P(PlacementMethodTest, UnavailableOperatorsAreAvoided) {
+  net::FatTree topo(4);
+  PlacementProblem p;
+  p.groups = rack_groups(topo, 100.0);
+  p.operators = all_operators(topo, 1e9);
+  std::set<RsNodeId> down;
+  for (auto& op : p.operators) {
+    if (op.tier == net::Tier::kCore) {
+      op.available = false;  // all cores failed
+      down.insert(op.id);
+    }
+  }
+  p.extra_hop_budget = 1e9;
+  PlacementOptions opts;
+  opts.method = GetParam();
+  const PlacementResult res = solve_placement(p, opts);
+  EXPECT_TRUE(validate_placement(p, res));
+  for (const auto& [gid, rid] : res.assignment) {
+    (void)gid;
+    EXPECT_FALSE(down.contains(rid));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, PlacementMethodTest,
+                         ::testing::Values(PlacementMethod::kFullIlp,
+                                           PlacementMethod::kReducedIlp,
+                                           PlacementMethod::kGreedy),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case PlacementMethod::kFullIlp:
+                               return "FullIlp";
+                             case PlacementMethod::kReducedIlp:
+                               return "ReducedIlp";
+                             case PlacementMethod::kGreedy:
+                               return "Greedy";
+                             default:
+                               return "Auto";
+                           }
+                         });
+
+TEST(PlacementOptimalityTest, ReducedIlpMatchesFullIlpOnSmallInstances) {
+  sim::Rng rng(31337);
+  for (int trial = 0; trial < 8; ++trial) {
+    net::FatTree topo(4);
+    PlacementProblem p;
+    const double base = 50.0 + 100.0 * rng.next_double();
+    p.groups = rack_groups(topo, base);
+    for (auto& g : p.groups) {
+      const double jitter = 0.5 + rng.next_double();
+      for (double& t : g.tier_traffic) t *= jitter;
+    }
+    p.operators = all_operators(topo, base * 3.0);
+    p.extra_hop_budget = base * topo.racks() * (0.1 + rng.next_double());
+
+    PlacementOptions full;
+    full.method = PlacementMethod::kFullIlp;
+    full.max_bnb_nodes = 50000;
+    PlacementOptions reduced;
+    reduced.method = PlacementMethod::kReducedIlp;
+    const PlacementResult rf = solve_placement(p, full);
+    const PlacementResult rr = solve_placement(p, reduced);
+    ASSERT_TRUE(validate_placement(p, rf)) << trial;
+    ASSERT_TRUE(validate_placement(p, rr)) << trial;
+    if (rf.proven_optimal && rr.proven_optimal && rf.drs_groups.empty() &&
+        rr.drs_groups.empty()) {
+      EXPECT_EQ(rf.rsnodes_used, rr.rsnodes_used) << "trial " << trial;
+    }
+  }
+}
+
+TEST(PlacementSharedAcceleratorTest, SharedCapacityIsPooled) {
+  net::FatTree topo(4);
+  PlacementProblem p;
+  p.groups = rack_groups(topo, 100.0);
+  p.operators = all_operators(topo, 250.0);
+  // All cores share one physical accelerator (§III-B last paragraph):
+  // together they can host at most 2 groups' worth of traffic.
+  for (auto& op : p.operators) {
+    if (op.tier == net::Tier::kCore) op.accel_share = 0;
+  }
+  p.extra_hop_budget = 1e9;
+  PlacementOptions opts;
+  opts.method = PlacementMethod::kFullIlp;
+  opts.max_bnb_nodes = 50000;
+  const PlacementResult res = solve_placement(p, opts);
+  ASSERT_TRUE(validate_placement(p, res));
+  // Count traffic assigned to core operators: must fit the shared pool.
+  double core_load = 0.0;
+  for (const auto& [gid, rid] : res.assignment) {
+    for (const auto& op : p.operators) {
+      if (op.id == rid && op.tier == net::Tier::kCore) {
+        core_load += p.groups[gid].total();
+      }
+    }
+  }
+  EXPECT_LE(core_load, 250.0 + 1e-6);
+}
+
+TEST(PlacementValidateTest, RejectsBogusResults) {
+  net::FatTree topo(4);
+  PlacementProblem p;
+  p.groups = rack_groups(topo, 100.0);
+  p.operators = all_operators(topo, 1e9);
+  p.extra_hop_budget = 1e9;
+  PlacementResult res = tor_placement(p);
+  ASSERT_TRUE(validate_placement(p, res));
+
+  // Group assigned AND degraded -> invalid.
+  PlacementResult bad = res;
+  bad.drs_groups.push_back(p.groups[0].id);
+  EXPECT_FALSE(validate_placement(p, bad));
+
+  // Ineligible operator -> invalid.
+  bad = res;
+  for (auto& op : p.operators) {
+    if (op.tier == net::Tier::kTor && op.pod == 1) {
+      bad.assignment[p.groups[0].id] = op.id;  // group 0 lives in pod 0
+      break;
+    }
+  }
+  EXPECT_FALSE(validate_placement(p, bad));
+}
+
+}  // namespace
+}  // namespace netrs::core

@@ -1,0 +1,79 @@
+#include "harness/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace netrs::harness {
+namespace {
+
+SweepReport tiny_report() {
+  SweepReport rep;
+  rep.title = "unit";
+  rep.sweep_label = "x";
+  rep.sweep_values = {"1", "2"};
+  rep.schemes = {Scheme::kCliRS, Scheme::kNetRSIlp};
+  for (int i = 0; i < 2; ++i) {
+    rep.results.emplace_back();
+    for (int j = 0; j < 2; ++j) {
+      ExperimentResult r;
+      r.scheme = rep.schemes[static_cast<std::size_t>(j)];
+      for (int s = 0; s < 100; ++s) {
+        r.latencies_ms.add(1.0 + i + j + s * 0.01);
+      }
+      r.completed = 100;
+      r.rsnodes = j == 0 ? 500 : 7;
+      r.plan_method = j == 0 ? "client" : "reduced-ilp";
+      rep.results.back().push_back(std::move(r));
+    }
+  }
+  return rep;
+}
+
+TEST(ReportTest, PrintDoesNotCrash) {
+  print_report(tiny_report());  // smoke: formatting of all panels
+}
+
+TEST(ReportTest, CsvContainsEveryCell) {
+  const std::string path = "/tmp/netrs_report_test.csv";
+  std::remove(path.c_str());
+  write_csv(tiny_report(), path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string csv = ss.str();
+  // 2 sweeps x 2 schemes x 4 panels = 16 rows.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 16);
+  EXPECT_NE(csv.find("unit,1,CliRS,Avg,"), std::string::npos);
+  EXPECT_NE(csv.find("NetRS-ILP,99.9th percentile"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ReportTest, CsvAppends) {
+  const std::string path = "/tmp/netrs_report_test2.csv";
+  std::remove(path.c_str());
+  write_csv(tiny_report(), path);
+  write_csv(tiny_report(), path);
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string csv = ss.str();
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 32);
+  std::remove(path.c_str());
+}
+
+TEST(ReportTest, ExperimentResultAccessors) {
+  ExperimentResult r;
+  EXPECT_DOUBLE_EQ(r.mean_ms(), 0.0);  // empty-safe
+  EXPECT_DOUBLE_EQ(r.percentile_ms(0.99), 0.0);
+  r.latencies_ms.add(5.0);
+  EXPECT_DOUBLE_EQ(r.mean_ms(), 5.0);
+  EXPECT_DOUBLE_EQ(r.percentile_ms(0.5), 5.0);
+}
+
+}  // namespace
+}  // namespace netrs::harness

@@ -1,0 +1,185 @@
+// Unit tests for the NetRS selector (§IV-C) in isolation: RGID database
+// lookups, packet rewriting, RV-based response-time measurement (including
+// slot reuse), and state reset.
+#include "netrs/selector_node.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "rs/baselines.hpp"
+#include "rs/selector.hpp"
+
+namespace netrs::core {
+namespace {
+
+// A selector that records feedbacks and always picks the first candidate.
+class RecordingSelector final : public rs::ReplicaSelector {
+ public:
+  net::HostId select(std::span<const net::HostId> candidates) override {
+    ++selects;
+    return candidates[0];
+  }
+  void on_send(net::HostId) override { ++sends; }
+  void on_response(const rs::Feedback& fb) override {
+    feedbacks.push_back(fb);
+  }
+  [[nodiscard]] std::string name() const override { return "recording"; }
+
+  int selects = 0;
+  int sends = 0;
+  std::vector<rs::Feedback> feedbacks;
+};
+
+class SelectorNodeTest : public ::testing::Test {
+ protected:
+  SelectorNodeTest() {
+    db.push_back({10, 20, 30});  // RGID 0
+    db.push_back({40, 50});      // RGID 1
+    auto sel = std::make_unique<RecordingSelector>();
+    recorder = sel.get();
+    node = std::make_unique<SelectorNode>(sim, db, std::move(sel));
+  }
+
+  net::Packet request(ReplicaGroupId rgid, net::HostId backup = 99) {
+    RequestHeader rh;
+    rh.mf = kMagicRequest;
+    rh.rgid = rgid;
+    net::Packet p;
+    p.src = 7;
+    p.dst = backup;
+    p.payload = encode_request(rh, {});
+    return p;
+  }
+
+  net::Packet response(net::HostId server, std::uint16_t rv,
+                       std::uint32_t queue = 3) {
+    ResponseHeader rh;
+    rh.mf = kMagicResponse;
+    rh.rv = rv;
+    rh.status.queue_size = queue;
+    rh.status.service_time_ns = 4'000'000;
+    net::Packet p;
+    p.src = server;
+    p.dst = 7;
+    p.payload = encode_response(rh, {});
+    return p;
+  }
+
+  sim::Simulator sim;
+  ReplicaDatabase db;
+  RecordingSelector* recorder = nullptr;
+  std::unique_ptr<SelectorNode> node;
+};
+
+TEST_F(SelectorNodeTest, RequestRewrittenToSelectedReplica) {
+  auto out = node->process(request(0));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->dst, 10u);  // first candidate of RGID 0
+  EXPECT_EQ(recorder->selects, 1);
+  EXPECT_EQ(recorder->sends, 1);
+  const auto rh = decode_request(out->payload);
+  ASSERT_TRUE(rh.has_value());
+  EXPECT_EQ(rh->mf, magic_f(kMagicResponse));
+  EXPECT_NE(rh->rv, 0);  // a fresh tag was assigned
+  EXPECT_EQ(node->requests_selected(), 1u);
+}
+
+TEST_F(SelectorNodeTest, ResponseMeasuredViaRvTag) {
+  auto out = node->process(request(0));
+  const auto rv = decode_request(out->payload)->rv;
+  sim.at(sim::millis(3), [] {});
+  sim.run();  // advance time to 3ms
+
+  node->process(response(10, rv));
+  ASSERT_EQ(recorder->feedbacks.size(), 1u);
+  const rs::Feedback& fb = recorder->feedbacks[0];
+  EXPECT_TRUE(fb.has_response_time);
+  EXPECT_EQ(fb.response_time, sim::millis(3));
+  EXPECT_EQ(fb.server, 10u);
+  EXPECT_EQ(fb.queue_size, 3u);
+  EXPECT_EQ(fb.service_time, sim::Duration{4'000'000});
+  EXPECT_EQ(node->rv_mismatches(), 0u);
+}
+
+TEST_F(SelectorNodeTest, ResponseClonesAreAbsorbed) {
+  auto out = node->process(response(10, 123));
+  EXPECT_FALSE(out.has_value());
+  EXPECT_EQ(node->responses_absorbed(), 1u);
+}
+
+TEST_F(SelectorNodeTest, MismatchedRvStillUpdatesStatus) {
+  // A response whose RV slot was never filled (or was reused by another
+  // server) must not fabricate a response time.
+  node->process(response(20, 999));
+  ASSERT_EQ(recorder->feedbacks.size(), 1u);
+  EXPECT_FALSE(recorder->feedbacks[0].has_response_time);
+  EXPECT_EQ(recorder->feedbacks[0].queue_size, 3u);
+  EXPECT_EQ(node->rv_mismatches(), 1u);
+}
+
+TEST_F(SelectorNodeTest, RvSlotServerMismatchDetected) {
+  auto out = node->process(request(0));  // selects server 10
+  const auto rv = decode_request(out->payload)->rv;
+  // A response with the right RV but from the wrong server (slot reuse).
+  node->process(response(30, rv));
+  ASSERT_EQ(recorder->feedbacks.size(), 1u);
+  EXPECT_FALSE(recorder->feedbacks[0].has_response_time);
+  EXPECT_EQ(node->rv_mismatches(), 1u);
+}
+
+TEST_F(SelectorNodeTest, RvSlotConsumedOnce) {
+  auto out = node->process(request(0));
+  const auto rv = decode_request(out->payload)->rv;
+  node->process(response(10, rv));
+  node->process(response(10, rv));  // duplicate: slot already invalid
+  ASSERT_EQ(recorder->feedbacks.size(), 2u);
+  EXPECT_TRUE(recorder->feedbacks[0].has_response_time);
+  EXPECT_FALSE(recorder->feedbacks[1].has_response_time);
+}
+
+TEST_F(SelectorNodeTest, UnknownRgidDegradesToBackup) {
+  auto out = node->process(request(/*rgid=*/57, /*backup=*/42));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->dst, 42u) << "must keep the client's backup destination";
+  const auto rh = decode_request(out->payload);
+  // Relabelled so downstream devices treat it as plain monitor traffic.
+  EXPECT_EQ(rh->mf, magic_f(kMagicMonitor));
+  EXPECT_EQ(recorder->selects, 0);
+  EXPECT_EQ(node->requests_selected(), 0u);
+}
+
+TEST_F(SelectorNodeTest, NonNetRSPacketBouncesBack) {
+  net::Packet plain;
+  plain.src = 1;
+  plain.dst = 2;
+  plain.payload.assign(32, std::byte{0});
+  auto out = node->process(plain);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->dst, 2u);
+}
+
+TEST_F(SelectorNodeTest, ResetDropsPendingAndSelectorState) {
+  auto out = node->process(request(0));
+  const auto rv = decode_request(out->payload)->rv;
+  auto fresh = std::make_unique<RecordingSelector>();
+  RecordingSelector* fresh_ptr = fresh.get();
+  node->reset_selector(std::move(fresh));
+  // The old RV slot must be gone: the response measures nothing.
+  node->process(response(10, rv));
+  ASSERT_EQ(fresh_ptr->feedbacks.size(), 1u);
+  EXPECT_FALSE(fresh_ptr->feedbacks[0].has_response_time);
+}
+
+TEST_F(SelectorNodeTest, RvTagsWrapWithoutCollision) {
+  // Issue > 65536 requests: RV wraps; every new slot overwrites an old
+  // one and the bookkeeping never crashes.
+  for (int i = 0; i < 70000; ++i) {
+    auto out = node->process(request(1));
+    ASSERT_TRUE(out.has_value());
+  }
+  EXPECT_EQ(node->requests_selected(), 70000u);
+}
+
+}  // namespace
+}  // namespace netrs::core

@@ -1,0 +1,141 @@
+#include "sim/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace netrs::sim {
+namespace {
+
+TEST(LatencyRecorderTest, MeanMinMax) {
+  LatencyRecorder r;
+  r.add(1.0);
+  r.add(2.0);
+  r.add(6.0);
+  EXPECT_DOUBLE_EQ(r.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(r.min(), 1.0);
+  EXPECT_DOUBLE_EQ(r.max(), 6.0);
+  EXPECT_EQ(r.count(), 3u);
+}
+
+TEST(LatencyRecorderTest, PercentileExactOrderStatistics) {
+  LatencyRecorder r;
+  for (int i = 1; i <= 100; ++i) r.add(i);
+  EXPECT_DOUBLE_EQ(r.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(r.percentile(1.0), 100.0);
+  EXPECT_NEAR(r.percentile(0.5), 50.5, 1e-9);
+  EXPECT_NEAR(r.percentile(0.99), 99.01, 1e-9);
+}
+
+TEST(LatencyRecorderTest, PercentileInterleavedWithAdds) {
+  LatencyRecorder r;
+  r.add(5.0);
+  r.add(1.0);
+  EXPECT_DOUBLE_EQ(r.percentile(1.0), 5.0);
+  r.add(10.0);  // must invalidate the sorted cache
+  EXPECT_DOUBLE_EQ(r.percentile(1.0), 10.0);
+  EXPECT_DOUBLE_EQ(r.percentile(0.0), 1.0);
+}
+
+TEST(LatencyRecorderTest, MergeCombinesSamples) {
+  LatencyRecorder a, b;
+  a.add(1.0);
+  a.add(2.0);
+  b.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(a.percentile(1.0), 3.0);
+}
+
+TEST(LatencyRecorderTest, ClearResets) {
+  LatencyRecorder r;
+  r.add(7.0);
+  r.clear();
+  EXPECT_TRUE(r.empty());
+  r.add(3.0);
+  EXPECT_DOUBLE_EQ(r.mean(), 3.0);
+}
+
+TEST(P2QuantileTest, NoSamplesIsInfinite) {
+  P2Quantile q(0.95);
+  EXPECT_TRUE(std::isinf(q.estimate()));
+}
+
+TEST(P2QuantileTest, FewSamplesReturnMax) {
+  P2Quantile q(0.95);
+  q.add(3.0);
+  q.add(9.0);
+  q.add(1.0);
+  EXPECT_DOUBLE_EQ(q.estimate(), 9.0);
+}
+
+TEST(P2QuantileTest, TracksMedianOfUniform) {
+  P2Quantile q(0.5);
+  Rng rng(77);
+  for (int i = 0; i < 50000; ++i) q.add(rng.next_double());
+  EXPECT_NEAR(q.estimate(), 0.5, 0.02);
+}
+
+TEST(P2QuantileTest, Tracks95thOfExponential) {
+  P2Quantile q(0.95);
+  Rng rng(78);
+  for (int i = 0; i < 100000; ++i) q.add(rng.exponential(1.0));
+  // True p95 of Exp(1) is -ln(0.05) ~= 2.9957.
+  EXPECT_NEAR(q.estimate(), 2.9957, 0.25);
+}
+
+TEST(P2QuantileTest, AgreesWithExactQuantileOnRandomData) {
+  Rng rng(79);
+  P2Quantile q(0.9);
+  std::vector<double> all;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = rng.exponential(5.0) + rng.next_double();
+    q.add(v);
+    all.push_back(v);
+  }
+  std::sort(all.begin(), all.end());
+  const double exact = all[static_cast<std::size_t>(0.9 * all.size())];
+  EXPECT_NEAR(q.estimate(), exact, 0.15 * exact);
+}
+
+TEST(EwmaTest, FirstSampleSeeds) {
+  Ewma e(0.9);
+  EXPECT_FALSE(e.seeded());
+  EXPECT_DOUBLE_EQ(e.value_or(42.0), 42.0);
+  e.add(10.0);
+  EXPECT_TRUE(e.seeded());
+  EXPECT_DOUBLE_EQ(e.value(), 10.0);
+}
+
+TEST(EwmaTest, ConvergesToConstantInput) {
+  Ewma e(0.9);
+  e.add(0.0);
+  for (int i = 0; i < 200; ++i) e.add(10.0);
+  EXPECT_NEAR(e.value(), 10.0, 1e-6);
+}
+
+TEST(EwmaTest, AlphaWeightsHistory) {
+  Ewma e(0.9);
+  e.add(100.0);
+  e.add(0.0);
+  // 0.9 * 100 + 0.1 * 0 = 90.
+  EXPECT_DOUBLE_EQ(e.value(), 90.0);
+}
+
+TEST(EwmaTest, ResetClears) {
+  Ewma e(0.5);
+  e.add(4.0);
+  e.reset();
+  EXPECT_FALSE(e.seeded());
+  e.add(8.0);
+  EXPECT_DOUBLE_EQ(e.value(), 8.0);
+}
+
+}  // namespace
+}  // namespace netrs::sim

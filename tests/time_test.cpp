@@ -1,0 +1,43 @@
+#include "sim/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace netrs::sim {
+namespace {
+
+TEST(TimeTest, UnitConstants) {
+  EXPECT_EQ(kMicrosecond, 1000 * kNanosecond);
+  EXPECT_EQ(kMillisecond, 1000 * kMicrosecond);
+  EXPECT_EQ(kSecond, 1000 * kMillisecond);
+}
+
+TEST(TimeTest, ConstructorsMatchConstants) {
+  EXPECT_EQ(micros(1), kMicrosecond);
+  EXPECT_EQ(millis(1), kMillisecond);
+  EXPECT_EQ(seconds(1), kSecond);
+  EXPECT_EQ(nanos(42), 42);
+}
+
+TEST(TimeTest, FractionalConstruction) {
+  EXPECT_EQ(micros(2.5), 2500);
+  EXPECT_EQ(micros(1.25), 1250);
+  EXPECT_EQ(millis(0.1), 100 * kMicrosecond);
+  EXPECT_EQ(seconds(0.001), kMillisecond);
+}
+
+TEST(TimeTest, ConversionRoundTrips) {
+  EXPECT_DOUBLE_EQ(to_micros(micros(2.5)), 2.5);
+  EXPECT_DOUBLE_EQ(to_millis(millis(4)), 4.0);
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(1.5)), 1.5);
+  EXPECT_DOUBLE_EQ(to_millis(micros(1500)), 1.5);
+}
+
+TEST(TimeTest, PaperParametersAreRepresentable) {
+  // The smallest paper timescale (accelerator RTT 2.5us) and the largest
+  // (multi-second runs) both fit integer nanoseconds.
+  EXPECT_EQ(micros(2.5) / 2, nanos(1250));
+  EXPECT_GT(seconds(3600), 0);
+}
+
+}  // namespace
+}  // namespace netrs::sim

@@ -1,0 +1,132 @@
+// Parameterized property sweeps over fat-tree arities: routing reachability
+// and placement validity must hold for every supported k, not just the
+// paper's k = 16.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/fat_tree.hpp"
+#include "netrs/placement.hpp"
+#include "sim/rng.hpp"
+
+namespace netrs {
+namespace {
+
+class FatTreeArity : public ::testing::TestWithParam<int> {};
+
+TEST_P(FatTreeArity, StructureInvariants) {
+  const int k = GetParam();
+  net::FatTree t(k);
+  EXPECT_EQ(t.host_count(), static_cast<std::uint32_t>(k * k * k / 4));
+  EXPECT_EQ(t.core_count(), static_cast<std::uint32_t>(k * k / 4));
+  // Every switch has exactly k links; every host exactly one.
+  for (net::NodeId sw = 0; sw < t.switch_count(); ++sw) {
+    EXPECT_EQ(t.neighbors(sw).size(), static_cast<std::size_t>(k));
+  }
+  for (net::HostId h = 0; h < t.host_count(); ++h) {
+    EXPECT_EQ(t.neighbors(t.host_node(h)).size(), 1u);
+  }
+}
+
+TEST_P(FatTreeArity, AllPairsRouteWithExpectedHops) {
+  const int k = GetParam();
+  net::FatTree t(k);
+  sim::Rng rng(static_cast<std::uint64_t>(k));
+  const int trials = 600;
+  for (int i = 0; i < trials; ++i) {
+    const auto src = static_cast<net::HostId>(rng.uniform(t.host_count()));
+    const auto dst = static_cast<net::HostId>(rng.uniform(t.host_count()));
+    if (src == dst) continue;
+    net::NodeId cur = t.host_tor(src);
+    int hops = 0;
+    while (!t.is_host(cur)) {
+      cur = t.next_hop_toward_host(cur, dst, rng.next_u64());
+      ASSERT_LE(++hops, 6);
+    }
+    EXPECT_EQ(t.host_of(cur), dst);
+    EXPECT_EQ(hops, t.default_forwards(src, dst));
+  }
+}
+
+TEST_P(FatTreeArity, EcmpSpreadsAcrossUplinks) {
+  const int k = GetParam();
+  net::FatTree t(k);
+  sim::Rng rng(99);
+  // From one ToR toward another pod, the chosen agg must vary with the
+  // flow hash (multipath, §II).
+  std::set<net::NodeId> uplinks;
+  const net::HostId dst = t.host_id(k - 1, 0, 0);
+  for (int i = 0; i < 200; ++i) {
+    uplinks.insert(t.next_hop_toward_host(t.tor_node(0, 0), dst,
+                                          rng.next_u64()));
+  }
+  EXPECT_EQ(uplinks.size(), static_cast<std::size_t>(k / 2));
+}
+
+INSTANTIATE_TEST_SUITE_P(Arities, FatTreeArity, ::testing::Values(4, 6, 8),
+                         [](const auto& info) {
+                           return "k" + std::to_string(info.param);
+                         });
+
+// Placement validity across arities and random demand mixes.
+class PlacementArity : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlacementArity, RandomDemandsAlwaysYieldValidPlans) {
+  const int k = GetParam();
+  net::FatTree topo(k);
+  sim::Rng rng(static_cast<std::uint64_t>(1000 + k));
+  for (int trial = 0; trial < 6; ++trial) {
+    core::PlacementProblem p;
+    double total = 0.0;
+    for (int r = 0; r < topo.racks(); ++r) {
+      if (rng.bernoulli(0.2)) continue;  // some racks have no clients
+      core::GroupDemand g;
+      g.id = static_cast<core::GroupId>(r);
+      g.pod = r / topo.tors_per_pod();
+      g.rack = r % topo.tors_per_pod();
+      const double load = 50.0 + 400.0 * rng.next_double();
+      const double t2 = rng.next_double() * 0.1;
+      const double t1 = rng.next_double() * 0.2;
+      g.tier_traffic[2] = load * t2;
+      g.tier_traffic[1] = load * t1;
+      g.tier_traffic[0] = load * (1.0 - t1 - t2);
+      total += load;
+      p.groups.push_back(g);
+    }
+    core::RsNodeId id = 1;
+    for (net::NodeId sw : topo.all_switches()) {
+      core::OperatorSpec op;
+      op.id = id++;
+      op.sw = sw;
+      const net::SwitchCoord c = topo.coord(sw);
+      op.tier = c.tier;
+      op.pod = c.pod;
+      op.rack = c.idx;
+      op.t_max = total * (0.1 + 0.4 * rng.next_double());
+      op.available = rng.bernoulli(0.9);
+      p.operators.push_back(op);
+    }
+    p.extra_hop_budget = total * rng.next_double();
+
+    for (auto method : {core::PlacementMethod::kReducedIlp,
+                        core::PlacementMethod::kGreedy}) {
+      core::PlacementOptions opts;
+      opts.method = method;
+      const core::PlacementResult res = core::solve_placement(p, opts);
+      EXPECT_TRUE(core::validate_placement(p, res))
+          << "k=" << k << " trial=" << trial
+          << " method=" << static_cast<int>(method);
+      // Every group is either assigned or degraded.
+      EXPECT_EQ(res.assignment.size() + res.drs_groups.size(),
+                p.groups.size());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Arities, PlacementArity, ::testing::Values(4, 6, 8),
+                         [](const auto& info) {
+                           return "k" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace netrs

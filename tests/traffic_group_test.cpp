@@ -1,0 +1,80 @@
+#include "netrs/traffic_group.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace netrs::core {
+namespace {
+
+TEST(TrafficGroupsTest, HostGranularityOneGroupPerHost) {
+  net::FatTree topo(4);
+  TrafficGroups g(topo, GroupGranularity::kHost);
+  EXPECT_EQ(g.group_count(), topo.host_count());
+  for (net::HostId h = 0; h < topo.host_count(); ++h) {
+    EXPECT_EQ(g.group_of_host(h), h);
+    EXPECT_EQ(g.tor_of_group(g.group_of_host(h)), topo.host_tor(h));
+  }
+}
+
+TEST(TrafficGroupsTest, RackGranularityGroupsWholeRacks) {
+  net::FatTree topo(4);
+  TrafficGroups g(topo, GroupGranularity::kRack);
+  EXPECT_EQ(g.group_count(), static_cast<std::uint32_t>(topo.racks()));
+  for (net::HostId h = 0; h < topo.host_count(); ++h) {
+    EXPECT_EQ(static_cast<int>(g.group_of_host(h)), topo.rack_index(h));
+  }
+  // Every host of a group shares the group's ToR.
+  for (GroupId gid = 0; gid < g.group_count(); ++gid) {
+    for (net::HostId h : g.hosts_of_group(gid)) {
+      EXPECT_EQ(topo.host_tor(h), g.tor_of_group(gid));
+    }
+  }
+}
+
+TEST(TrafficGroupsTest, SubRackGranularitySplitsRacks) {
+  net::FatTree topo(8);  // 4 hosts per rack
+  TrafficGroups g(topo, GroupGranularity::kSubRack, 2);
+  EXPECT_EQ(g.group_count(), topo.host_count() / 2);
+  // Hosts 0 and 1 share a group; hosts 1 and 2 do not.
+  EXPECT_EQ(g.group_of_host(0), g.group_of_host(1));
+  EXPECT_NE(g.group_of_host(1), g.group_of_host(2));
+  // Sub-rack groups never straddle rack boundaries.
+  for (GroupId gid = 0; gid < g.group_count(); ++gid) {
+    std::set<int> racks;
+    for (net::HostId h : g.hosts_of_group(gid)) {
+      racks.insert(topo.rack_index(h));
+    }
+    EXPECT_EQ(racks.size(), 1u);
+  }
+}
+
+TEST(TrafficGroupsTest, PodAndRackLookups) {
+  net::FatTree topo(4);
+  TrafficGroups g(topo, GroupGranularity::kRack);
+  for (GroupId gid = 0; gid < g.group_count(); ++gid) {
+    const auto hosts = g.hosts_of_group(gid);
+    ASSERT_FALSE(hosts.empty());
+    const net::HostLocation loc = topo.location(hosts[0]);
+    EXPECT_EQ(g.pod_of_group(gid), loc.pod);
+    EXPECT_EQ(g.rack_of_group(gid), topo.rack_index(hosts[0]));
+  }
+}
+
+TEST(TrafficGroupsTest, GroupsPartitionHosts) {
+  net::FatTree topo(4);
+  for (auto gran : {GroupGranularity::kHost, GroupGranularity::kRack}) {
+    TrafficGroups g(topo, gran);
+    std::set<net::HostId> seen;
+    for (GroupId gid = 0; gid < g.group_count(); ++gid) {
+      for (net::HostId h : g.hosts_of_group(gid)) {
+        EXPECT_TRUE(seen.insert(h).second) << "host in two groups";
+        EXPECT_EQ(g.group_of_host(h), gid);
+      }
+    }
+    EXPECT_EQ(seen.size(), topo.host_count());
+  }
+}
+
+}  // namespace
+}  // namespace netrs::core

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Plot the benches' CSV output (bench_results.csv) as paper-style figures.
+
+Usage:
+    python3 tools/plot_results.py bench_results.csv [outdir]
+
+Creates one PNG per (figure, metric panel) with the sweep on the x-axis and
+one line per scheme, mirroring the bar groups of the paper's Figs. 4-7.
+Requires matplotlib; the simulation itself has no Python dependency.
+"""
+import collections
+import csv
+import os
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 2
+    path = sys.argv[1]
+    outdir = sys.argv[2] if len(sys.argv) > 2 else "plots"
+
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib not available; install it to plot", file=sys.stderr)
+        return 1
+
+    # figure -> metric -> scheme -> [(sweep, value)]
+    data = collections.defaultdict(
+        lambda: collections.defaultdict(lambda: collections.defaultdict(list))
+    )
+    with open(path, newline="") as f:
+        for row in csv.reader(f):
+            if len(row) != 5:
+                continue
+            figure, sweep, scheme, metric, value = row
+            data[figure][metric][scheme].append((sweep, float(value)))
+
+    os.makedirs(outdir, exist_ok=True)
+    for figure, metrics in data.items():
+        for metric, schemes in metrics.items():
+            plt.figure(figsize=(5, 3.2))
+            for scheme, points in schemes.items():
+                xs = [p[0] for p in points]
+                ys = [p[1] for p in points]
+                plt.plot(xs, ys, marker="o", label=scheme)
+            plt.title(f"{figure}\n{metric} latency")
+            plt.ylabel("latency (ms)")
+            plt.grid(True, alpha=0.3)
+            plt.legend(fontsize=7)
+            plt.tight_layout()
+            slug = (
+                f"{figure}_{metric}".lower()
+                .replace(" ", "_")
+                .replace("/", "-")
+                .replace("%", "pct")
+            )
+            slug = "".join(c for c in slug if c.isalnum() or c in "_-")
+            out = os.path.join(outdir, f"{slug}.png")
+            plt.savefig(out, dpi=140)
+            plt.close()
+            print("wrote", out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
