@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hop_budget.dir/ablation_hop_budget.cpp.o"
+  "CMakeFiles/ablation_hop_budget.dir/ablation_hop_budget.cpp.o.d"
+  "ablation_hop_budget"
+  "ablation_hop_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hop_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

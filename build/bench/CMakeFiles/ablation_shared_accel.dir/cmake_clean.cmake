@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_shared_accel.dir/ablation_shared_accel.cpp.o"
+  "CMakeFiles/ablation_shared_accel.dir/ablation_shared_accel.cpp.o.d"
+  "ablation_shared_accel"
+  "ablation_shared_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_shared_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

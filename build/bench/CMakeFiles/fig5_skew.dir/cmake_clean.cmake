@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_skew.dir/fig5_skew.cpp.o"
+  "CMakeFiles/fig5_skew.dir/fig5_skew.cpp.o.d"
+  "fig5_skew"
+  "fig5_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

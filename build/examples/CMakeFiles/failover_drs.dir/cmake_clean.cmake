@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failover_drs.dir/failover_drs.cpp.o"
+  "CMakeFiles/failover_drs.dir/failover_drs.cpp.o.d"
+  "failover_drs"
+  "failover_drs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failover_drs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/placement_planner.dir/placement_planner.cpp.o"
+  "CMakeFiles/placement_planner.dir/placement_planner.cpp.o.d"
+  "placement_planner"
+  "placement_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/placement_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

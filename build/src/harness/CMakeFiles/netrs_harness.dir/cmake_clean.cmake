@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netrs_harness.dir/config.cpp.o"
+  "CMakeFiles/netrs_harness.dir/config.cpp.o.d"
+  "CMakeFiles/netrs_harness.dir/experiment.cpp.o"
+  "CMakeFiles/netrs_harness.dir/experiment.cpp.o.d"
+  "CMakeFiles/netrs_harness.dir/report.cpp.o"
+  "CMakeFiles/netrs_harness.dir/report.cpp.o.d"
+  "libnetrs_harness.a"
+  "libnetrs_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netrs_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

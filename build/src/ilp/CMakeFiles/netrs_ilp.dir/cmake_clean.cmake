@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netrs_ilp.dir/branch_and_bound.cpp.o"
+  "CMakeFiles/netrs_ilp.dir/branch_and_bound.cpp.o.d"
+  "CMakeFiles/netrs_ilp.dir/model.cpp.o"
+  "CMakeFiles/netrs_ilp.dir/model.cpp.o.d"
+  "CMakeFiles/netrs_ilp.dir/simplex.cpp.o"
+  "CMakeFiles/netrs_ilp.dir/simplex.cpp.o.d"
+  "libnetrs_ilp.a"
+  "libnetrs_ilp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netrs_ilp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

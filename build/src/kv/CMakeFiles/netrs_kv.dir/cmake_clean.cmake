@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netrs_kv.dir/client.cpp.o"
+  "CMakeFiles/netrs_kv.dir/client.cpp.o.d"
+  "CMakeFiles/netrs_kv.dir/consistent_hash.cpp.o"
+  "CMakeFiles/netrs_kv.dir/consistent_hash.cpp.o.d"
+  "CMakeFiles/netrs_kv.dir/server.cpp.o"
+  "CMakeFiles/netrs_kv.dir/server.cpp.o.d"
+  "libnetrs_kv.a"
+  "libnetrs_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netrs_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netrs_net.dir/fabric.cpp.o"
+  "CMakeFiles/netrs_net.dir/fabric.cpp.o.d"
+  "CMakeFiles/netrs_net.dir/fat_tree.cpp.o"
+  "CMakeFiles/netrs_net.dir/fat_tree.cpp.o.d"
+  "CMakeFiles/netrs_net.dir/switch.cpp.o"
+  "CMakeFiles/netrs_net.dir/switch.cpp.o.d"
+  "libnetrs_net.a"
+  "libnetrs_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netrs_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netrs/accelerator.cpp" "src/netrs/CMakeFiles/netrs_core.dir/accelerator.cpp.o" "gcc" "src/netrs/CMakeFiles/netrs_core.dir/accelerator.cpp.o.d"
+  "/root/repo/src/netrs/controller.cpp" "src/netrs/CMakeFiles/netrs_core.dir/controller.cpp.o" "gcc" "src/netrs/CMakeFiles/netrs_core.dir/controller.cpp.o.d"
+  "/root/repo/src/netrs/monitor.cpp" "src/netrs/CMakeFiles/netrs_core.dir/monitor.cpp.o" "gcc" "src/netrs/CMakeFiles/netrs_core.dir/monitor.cpp.o.d"
+  "/root/repo/src/netrs/operator.cpp" "src/netrs/CMakeFiles/netrs_core.dir/operator.cpp.o" "gcc" "src/netrs/CMakeFiles/netrs_core.dir/operator.cpp.o.d"
+  "/root/repo/src/netrs/packet_format.cpp" "src/netrs/CMakeFiles/netrs_core.dir/packet_format.cpp.o" "gcc" "src/netrs/CMakeFiles/netrs_core.dir/packet_format.cpp.o.d"
+  "/root/repo/src/netrs/placement.cpp" "src/netrs/CMakeFiles/netrs_core.dir/placement.cpp.o" "gcc" "src/netrs/CMakeFiles/netrs_core.dir/placement.cpp.o.d"
+  "/root/repo/src/netrs/rules.cpp" "src/netrs/CMakeFiles/netrs_core.dir/rules.cpp.o" "gcc" "src/netrs/CMakeFiles/netrs_core.dir/rules.cpp.o.d"
+  "/root/repo/src/netrs/selector_node.cpp" "src/netrs/CMakeFiles/netrs_core.dir/selector_node.cpp.o" "gcc" "src/netrs/CMakeFiles/netrs_core.dir/selector_node.cpp.o.d"
+  "/root/repo/src/netrs/traffic_group.cpp" "src/netrs/CMakeFiles/netrs_core.dir/traffic_group.cpp.o" "gcc" "src/netrs/CMakeFiles/netrs_core.dir/traffic_group.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/netrs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/netrs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/rs/CMakeFiles/netrs_rs.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilp/CMakeFiles/netrs_ilp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netrs_core.dir/accelerator.cpp.o"
+  "CMakeFiles/netrs_core.dir/accelerator.cpp.o.d"
+  "CMakeFiles/netrs_core.dir/controller.cpp.o"
+  "CMakeFiles/netrs_core.dir/controller.cpp.o.d"
+  "CMakeFiles/netrs_core.dir/monitor.cpp.o"
+  "CMakeFiles/netrs_core.dir/monitor.cpp.o.d"
+  "CMakeFiles/netrs_core.dir/operator.cpp.o"
+  "CMakeFiles/netrs_core.dir/operator.cpp.o.d"
+  "CMakeFiles/netrs_core.dir/packet_format.cpp.o"
+  "CMakeFiles/netrs_core.dir/packet_format.cpp.o.d"
+  "CMakeFiles/netrs_core.dir/placement.cpp.o"
+  "CMakeFiles/netrs_core.dir/placement.cpp.o.d"
+  "CMakeFiles/netrs_core.dir/rules.cpp.o"
+  "CMakeFiles/netrs_core.dir/rules.cpp.o.d"
+  "CMakeFiles/netrs_core.dir/selector_node.cpp.o"
+  "CMakeFiles/netrs_core.dir/selector_node.cpp.o.d"
+  "CMakeFiles/netrs_core.dir/traffic_group.cpp.o"
+  "CMakeFiles/netrs_core.dir/traffic_group.cpp.o.d"
+  "libnetrs_core.a"
+  "libnetrs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netrs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

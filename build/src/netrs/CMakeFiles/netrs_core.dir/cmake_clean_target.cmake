@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnetrs_core.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rs/baselines.cpp" "src/rs/CMakeFiles/netrs_rs.dir/baselines.cpp.o" "gcc" "src/rs/CMakeFiles/netrs_rs.dir/baselines.cpp.o.d"
+  "/root/repo/src/rs/c3.cpp" "src/rs/CMakeFiles/netrs_rs.dir/c3.cpp.o" "gcc" "src/rs/CMakeFiles/netrs_rs.dir/c3.cpp.o.d"
+  "/root/repo/src/rs/factory.cpp" "src/rs/CMakeFiles/netrs_rs.dir/factory.cpp.o" "gcc" "src/rs/CMakeFiles/netrs_rs.dir/factory.cpp.o.d"
+  "/root/repo/src/rs/rate_control.cpp" "src/rs/CMakeFiles/netrs_rs.dir/rate_control.cpp.o" "gcc" "src/rs/CMakeFiles/netrs_rs.dir/rate_control.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/netrs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/netrs_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netrs_rs.dir/baselines.cpp.o"
+  "CMakeFiles/netrs_rs.dir/baselines.cpp.o.d"
+  "CMakeFiles/netrs_rs.dir/c3.cpp.o"
+  "CMakeFiles/netrs_rs.dir/c3.cpp.o.d"
+  "CMakeFiles/netrs_rs.dir/factory.cpp.o"
+  "CMakeFiles/netrs_rs.dir/factory.cpp.o.d"
+  "CMakeFiles/netrs_rs.dir/rate_control.cpp.o"
+  "CMakeFiles/netrs_rs.dir/rate_control.cpp.o.d"
+  "libnetrs_rs.a"
+  "libnetrs_rs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netrs_rs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

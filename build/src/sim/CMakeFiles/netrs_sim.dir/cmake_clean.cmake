@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netrs_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/netrs_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/netrs_sim.dir/rng.cpp.o"
+  "CMakeFiles/netrs_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/netrs_sim.dir/simulator.cpp.o"
+  "CMakeFiles/netrs_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/netrs_sim.dir/stats.cpp.o"
+  "CMakeFiles/netrs_sim.dir/stats.cpp.o.d"
+  "libnetrs_sim.a"
+  "libnetrs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netrs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c3_behavior_test.dir/c3_behavior_test.cpp.o"
+  "CMakeFiles/c3_behavior_test.dir/c3_behavior_test.cpp.o.d"
+  "c3_behavior_test"
+  "c3_behavior_test.pdb"
+  "c3_behavior_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c3_behavior_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

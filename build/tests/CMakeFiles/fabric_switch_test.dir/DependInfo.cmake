@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fabric_switch_test.cpp" "tests/CMakeFiles/fabric_switch_test.dir/fabric_switch_test.cpp.o" "gcc" "tests/CMakeFiles/fabric_switch_test.dir/fabric_switch_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/netrs_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/netrs_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/netrs/CMakeFiles/netrs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilp/CMakeFiles/netrs_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/rs/CMakeFiles/netrs_rs.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/netrs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/netrs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_server_test.dir/kv_server_test.cpp.o"
+  "CMakeFiles/kv_server_test.dir/kv_server_test.cpp.o.d"
+  "kv_server_test"
+  "kv_server_test.pdb"
+  "kv_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

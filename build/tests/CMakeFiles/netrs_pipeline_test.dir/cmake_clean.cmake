@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netrs_pipeline_test.dir/netrs_pipeline_test.cpp.o"
+  "CMakeFiles/netrs_pipeline_test.dir/netrs_pipeline_test.cpp.o.d"
+  "netrs_pipeline_test"
+  "netrs_pipeline_test.pdb"
+  "netrs_pipeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netrs_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packet_format_test.dir/packet_format_test.cpp.o"
+  "CMakeFiles/packet_format_test.dir/packet_format_test.cpp.o.d"
+  "packet_format_test"
+  "packet_format_test.pdb"
+  "packet_format_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packet_format_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selector_node_test.dir/selector_node_test.cpp.o"
+  "CMakeFiles/selector_node_test.dir/selector_node_test.cpp.o.d"
+  "selector_node_test"
+  "selector_node_test.pdb"
+  "selector_node_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selector_node_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_accelerator_test.dir/shared_accelerator_test.cpp.o"
+  "CMakeFiles/shared_accelerator_test.dir/shared_accelerator_test.cpp.o.d"
+  "shared_accelerator_test"
+  "shared_accelerator_test.pdb"
+  "shared_accelerator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_accelerator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_group_test.dir/traffic_group_test.cpp.o"
+  "CMakeFiles/traffic_group_test.dir/traffic_group_test.cpp.o.d"
+  "traffic_group_test"
+  "traffic_group_test.pdb"
+  "traffic_group_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_group_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/event_queue_test[1]_include.cmake")
+include("/root/repo/build/tests/simulator_test[1]_include.cmake")
+include("/root/repo/build/tests/rng_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/fat_tree_test[1]_include.cmake")
+include("/root/repo/build/tests/ilp_test[1]_include.cmake")
+include("/root/repo/build/tests/packet_format_test[1]_include.cmake")
+include("/root/repo/build/tests/consistent_hash_test[1]_include.cmake")
+include("/root/repo/build/tests/fabric_switch_test[1]_include.cmake")
+include("/root/repo/build/tests/selector_test[1]_include.cmake")
+include("/root/repo/build/tests/placement_test[1]_include.cmake")
+include("/root/repo/build/tests/kv_server_test[1]_include.cmake")
+include("/root/repo/build/tests/kv_client_test[1]_include.cmake")
+include("/root/repo/build/tests/netrs_pipeline_test[1]_include.cmake")
+include("/root/repo/build/tests/traffic_group_test[1]_include.cmake")
+include("/root/repo/build/tests/controller_test[1]_include.cmake")
+include("/root/repo/build/tests/cancellation_test[1]_include.cmake")
+include("/root/repo/build/tests/experiment_test[1]_include.cmake")
+include("/root/repo/build/tests/shared_accelerator_test[1]_include.cmake")
+include("/root/repo/build/tests/selector_node_test[1]_include.cmake")
+include("/root/repo/build/tests/time_test[1]_include.cmake")
+include("/root/repo/build/tests/report_test[1]_include.cmake")
+include("/root/repo/build/tests/rules_test[1]_include.cmake")
+include("/root/repo/build/tests/c3_behavior_test[1]_include.cmake")
+include("/root/repo/build/tests/topology_property_test[1]_include.cmake")
+include("/root/repo/build/tests/kv_client_more_test[1]_include.cmake")
