@@ -7,12 +7,15 @@
 // re-runs each point with re-randomized deployments, as the paper does.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "harness/experiment.hpp"
+#include "harness/parallel.hpp"
 #include "harness/report.hpp"
 
 namespace netrs::bench {
@@ -35,21 +38,38 @@ inline int run_figure(const std::string& title,
   report.title = title;
   report.sweep_label = sweep_label;
   report.schemes = schemes;
-
   for (const SweepPoint& point : points) {
     report.sweep_values.push_back(point.label);
-    report.results.emplace_back();
-    for (harness::Scheme scheme : schemes) {
-      harness::ExperimentConfig cfg = harness::default_config();
-      point.apply(cfg);
-      std::printf("[%s] %s=%s scheme=%s ...\n", title.c_str(),
-                  sweep_label.c_str(), point.label.c_str(),
-                  harness::scheme_name(scheme));
-      std::fflush(stdout);
-      report.results.back().push_back(
-          harness::run_experiment(scheme, cfg));
-    }
   }
+  report.results.assign(
+      points.size(), std::vector<harness::ExperimentResult>(schemes.size()));
+
+  // Fan the whole scheme × point grid out across the pool; leftover
+  // parallelism (more workers than cells) goes to each cell's repeats.
+  // Every cell writes its own report slot, so the report is identical at
+  // any jobs value.
+  const int total_jobs = harness::resolve_jobs(harness::default_config().jobs);
+  const std::size_t cells = points.size() * schemes.size();
+  const int outer = static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(total_jobs), cells));
+  const int inner = std::max(1, total_jobs / std::max(1, outer));
+
+  std::mutex io_mu;
+  harness::parallel_for(outer, cells, [&](std::size_t cell) {
+    const std::size_t pi = cell / schemes.size();
+    const std::size_t si = cell % schemes.size();
+    harness::ExperimentConfig cfg = harness::default_config();
+    points[pi].apply(cfg);
+    cfg.jobs = inner;
+    {
+      const std::lock_guard<std::mutex> lock(io_mu);
+      std::printf("[%s] %s=%s scheme=%s ...\n", title.c_str(),
+                  sweep_label.c_str(), points[pi].label.c_str(),
+                  harness::scheme_name(schemes[si]));
+      std::fflush(stdout);
+    }
+    report.results[pi][si] = harness::run_experiment(schemes[si], cfg);
+  });
   harness::print_report(report);
   harness::write_csv(report, "bench_results.csv");
   return 0;

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "harness/experiment.hpp"
+#include "harness/parallel.hpp"
 
 using namespace netrs;
 
@@ -35,7 +36,9 @@ void usage(const char* argv0) {
       "  --granularity G   rack | host | subrack4 (default rack)\n"
       "  --hop-budget F    E as fraction of A     (default 0.2)\n"
       "  --share-accel     share one accelerator per core group\n"
-      "  --seed N          RNG seed               (default 1)\n",
+      "  --seed N          RNG seed               (default 1)\n"
+      "  --jobs N          worker threads for repeats (default: all\n"
+      "                    cores; 1 = serial; results are identical)\n",
       argv0);
 }
 
@@ -107,6 +110,8 @@ int main(int argc, char** argv) {
       cfg.share_core_accelerators = true;
     } else if (arg == "--seed") {
       cfg.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--jobs") {
+      cfg.jobs = std::atoi(next());
     } else {
       usage(argv[0]);
       return arg == "--help" || arg == "-h" ? 0 : 2;
@@ -114,12 +119,13 @@ int main(int argc, char** argv) {
   }
 
   std::printf("running %s: k=%d servers=%d clients=%d util=%.0f%% "
-              "skew=%.0f%% tkv=%.1fms requests=%llu x%d algo=%s\n",
+              "skew=%.0f%% tkv=%.1fms requests=%llu x%d algo=%s jobs=%d\n",
               harness::scheme_name(scheme), cfg.fat_tree_k, cfg.num_servers,
               cfg.num_clients, cfg.utilization * 100.0,
               cfg.demand_skew * 100.0, sim::to_millis(cfg.mean_service_time),
               static_cast<unsigned long long>(cfg.total_requests),
-              cfg.repeats, cfg.selector.algorithm.c_str());
+              cfg.repeats, cfg.selector.algorithm.c_str(),
+              harness::resolve_jobs(cfg.jobs));
   std::fflush(stdout);
 
   const harness::ExperimentResult r = harness::run_experiment(scheme, cfg);

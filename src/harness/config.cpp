@@ -53,6 +53,8 @@ ExperimentConfig default_config() {
   cfg.repeats = static_cast<int>(
       env_u64("NETRS_REPEATS", static_cast<std::uint64_t>(cfg.repeats)));
   cfg.seed = env_u64("NETRS_SEED", cfg.seed);
+  cfg.jobs = static_cast<int>(
+      env_u64("NETRS_JOBS", static_cast<std::uint64_t>(cfg.jobs)));
   return cfg;
 }
 

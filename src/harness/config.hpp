@@ -89,6 +89,12 @@ struct ExperimentConfig {
   /// Independent re-runs with re-randomized deployments, merged into one
   /// distribution (the paper repeats every experiment 3 times).
   int repeats = 2;
+  /// Worker threads for fanning repeats (and, in the benches, whole sweep
+  /// cells) out in parallel: 0 = hardware concurrency, 1 = serial. Each
+  /// repeat keeps its seed derivation (`seed + rep`) and owns its whole
+  /// simulation, and merge order is fixed, so results are bit-identical
+  /// at any jobs value.
+  int jobs = 0;
 
   /// Aggregate request arrival rate A in requests/s (from `utilization`).
   [[nodiscard]] double aggregate_rate() const;

@@ -8,6 +8,7 @@
 #include <numeric>
 #include <vector>
 
+#include "harness/parallel.hpp"
 #include "kv/client.hpp"
 #include "kv/consistent_hash.hpp"
 #include "kv/server.hpp"
@@ -314,9 +315,20 @@ ExperimentResult run_experiment(Scheme scheme, const ExperimentConfig& cfg) {
   ExperimentResult res;
   res.scheme = scheme;
 
-  for (int rep = 0; rep < std::max(1, cfg.repeats); ++rep) {
-    const RunOutput out =
-        run_once(scheme, cfg, cfg.seed + static_cast<std::uint64_t>(rep));
+  // Repeats are independent simulations (each owns its Simulator and
+  // derives its Rng from cfg.seed + rep), so they fan out across the
+  // pool; each worker writes only its own slot. Merging the slots in
+  // repeat order afterwards reproduces the serial accumulation exactly,
+  // so any --jobs value yields bit-identical statistics.
+  const int repeats = std::max(1, cfg.repeats);
+  std::vector<RunOutput> outputs(static_cast<std::size_t>(repeats));
+  parallel_for(cfg.jobs, static_cast<std::size_t>(repeats),
+               [&outputs, scheme, &cfg](std::size_t rep) {
+                 outputs[rep] = run_once(
+                     scheme, cfg, cfg.seed + static_cast<std::uint64_t>(rep));
+               });
+
+  for (const RunOutput& out : outputs) {
     res.latencies_ms.merge(out.latencies_ms);
     res.issued += out.issued;
     res.completed += out.completed;
@@ -337,8 +349,11 @@ ExperimentResult run_experiment(Scheme scheme, const ExperimentConfig& cfg) {
     // avg_forwards accumulated raw forward counts across repeats.
     res.avg_forwards /= static_cast<double>(res.latencies_ms.count());
   }
-  res.wire_bytes_per_request /= std::max(1, cfg.repeats);
-  res.load_oscillation /= std::max(1, cfg.repeats);
+  res.wire_bytes_per_request /= repeats;
+  res.load_oscillation /= repeats;
+  // Sort once so later percentile queries (report tables, CSV) are plain
+  // lookups and never touch recorder state.
+  res.latencies_ms.finalize();
   res.wall_seconds = std::chrono::duration<double>(
                          std::chrono::steady_clock::now() - wall_start)
                          .count();

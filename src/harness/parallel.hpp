@@ -1,0 +1,71 @@
+// Small thread-pool used to fan independent experiment runs — repeat
+// deployments within run_experiment() and whole sweep cells (scheme ×
+// config point) in the figure benches — out across CPU cores.
+//
+// Determinism contract: every task owns its entire simulation state
+// (Simulator, Rng, topology, …) and derives its seed from the task index,
+// so parallel execution is bit-identical to serial execution as long as
+// results are merged in task-index order. parallel_for() therefore hands
+// each task its index and leaves result placement to the caller (write to
+// your own slot; merge slots in order afterwards).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace netrs::harness {
+
+/// Resolves a --jobs / ExperimentConfig::jobs value: n >= 1 is taken as
+/// is; n <= 0 means "auto" (std::thread::hardware_concurrency(), at
+/// least 1).
+[[nodiscard]] int resolve_jobs(int requested);
+
+/// Fixed-size pool of worker threads draining a FIFO task queue. The
+/// queue and completion accounting sit behind one mutex; wait() blocks
+/// until every submitted task has finished.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int thread_count() const {
+    return static_cast<int>(workers_.size());
+  }
+
+  /// Enqueues a task. Tasks must not throw past their own frame unless
+  /// the caller arranges to capture the exception (parallel_for does).
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no task is running.
+  void wait();
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t running_ = 0;
+  bool stop_ = false;
+};
+
+/// Runs body(0), …, body(n-1) across up to `jobs` workers (the calling
+/// thread participates, so `jobs == 1` — or n <= 1 — executes serially
+/// inline with zero threading overhead). Indices are claimed from an
+/// atomic counter, each exactly once, in no particular order; the first
+/// exception thrown by any body is rethrown on the caller after all
+/// workers drain.
+void parallel_for(int jobs, std::size_t n,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace netrs::harness

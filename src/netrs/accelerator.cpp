@@ -11,6 +11,8 @@ Accelerator::Accelerator(net::Fabric& fabric, net::NodeId co_located_switch,
                          AcceleratorConfig cfg)
     : fabric_(fabric), cfg_(cfg) {
   assert(cfg.cores >= 1);
+  service_start_.resize(static_cast<std::size_t>(cfg.cores), 0);
+  slot_busy_.resize(static_cast<std::size_t>(cfg.cores), false);
   primary_switch_ = co_located_switch;
   primary_node_ = attach_switch(co_located_switch);
 }
@@ -47,10 +49,18 @@ void Accelerator::receive(net::Packet pkt, net::NodeId from) {
 
 void Accelerator::start_service(Job job) {
   ++busy_cores_;
+  for (std::size_t s = 0; s < slot_busy_.size(); ++s) {
+    if (!slot_busy_[s]) {
+      slot_busy_[s] = true;
+      service_start_[s] = fabric_.simulator().now();
+      job.slot = static_cast<int>(s);
+      break;
+    }
+  }
+  assert(job.slot >= 0 && "busy_cores_ admitted more jobs than cores");
   const sim::Duration service = is_request(job.pkt)
                                     ? cfg_.request_service_time
                                     : cfg_.response_service_time;
-  busy_accum_ += service;
   fabric_.simulator().after(service, [this, j = std::move(job)]() mutable {
     finish_service(std::move(j));
   });
@@ -59,6 +69,12 @@ void Accelerator::start_service(Job job) {
 void Accelerator::finish_service(Job job) {
   assert(busy_cores_ > 0);
   --busy_cores_;
+  const auto slot = static_cast<std::size_t>(job.slot);
+  // service_start_ was clamped forward by any reset_utilization() that
+  // happened mid-service, so this charges only the busy time that falls
+  // inside the current window.
+  busy_accum_ += fabric_.simulator().now() - service_start_[slot];
+  slot_busy_[slot] = false;
   ++processed_;
   if (handler_) {
     const net::NodeId from = job.from_switch;
@@ -77,13 +93,25 @@ void Accelerator::finish_service(Job job) {
 double Accelerator::utilization(sim::Time now) const {
   const sim::Duration span = now - window_start_;
   if (span <= 0) return 0.0;
-  return static_cast<double>(busy_accum_) /
+  sim::Duration busy = busy_accum_;
+  for (std::size_t s = 0; s < slot_busy_.size(); ++s) {
+    if (slot_busy_[s] && now > service_start_[s]) {
+      busy += now - service_start_[s];  // elapsed part of in-flight service
+    }
+  }
+  return static_cast<double>(busy) /
          (static_cast<double>(span) * cfg_.cores);
 }
 
 void Accelerator::reset_utilization(sim::Time now) {
   window_start_ = now;
   busy_accum_ = 0;
+  // In-flight services are split at the boundary: the part before `now`
+  // was already observable in the old window; only the remainder will be
+  // charged (at completion) to the new one.
+  for (std::size_t s = 0; s < slot_busy_.size(); ++s) {
+    if (slot_busy_[s] && service_start_[s] < now) service_start_[s] = now;
+  }
 }
 
 }  // namespace netrs::core

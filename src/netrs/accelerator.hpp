@@ -21,6 +21,7 @@
 #include <functional>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "net/fabric.hpp"
 #include "net/node.hpp"
@@ -66,7 +67,8 @@ class Accelerator final : public net::Node {
   // --- Diagnostics / controller inputs --------------------------------------
   [[nodiscard]] std::uint64_t processed() const { return processed_; }
   [[nodiscard]] std::size_t queue_length() const { return queue_.size(); }
-  /// Fraction of core-time spent busy since the last reset.
+  /// Fraction of core-time spent busy since the last reset, including the
+  /// elapsed part of services still in progress. Always in [0, 1].
   [[nodiscard]] double utilization(sim::Time now) const;
   void reset_utilization(sim::Time now);
 
@@ -74,6 +76,7 @@ class Accelerator final : public net::Node {
   struct Job {
     net::Packet pkt;
     net::NodeId from_switch;
+    int slot = -1;  ///< core slot serving this job (busy-time accounting)
   };
 
   [[nodiscard]] bool is_request(const net::Packet& pkt) const;
@@ -90,8 +93,16 @@ class Accelerator final : public net::Node {
   std::deque<Job> queue_;
   int busy_cores_ = 0;
   std::uint64_t processed_ = 0;
-  sim::Duration busy_accum_ = 0;  // summed over cores
+  // Busy time is accrued per job at *completion*, clamped to the current
+  // measurement window, so reset_utilization() mid-service splits the
+  // service across windows instead of crediting it all to the window in
+  // which it started (which let utilization exceed 1.0). service_start_
+  // holds, per busy core slot, the later of the service start and the
+  // window start.
+  sim::Duration busy_accum_ = 0;  // completed-service busy time, all cores
   sim::Time window_start_ = 0;
+  std::vector<sim::Time> service_start_;  // per core slot; valid iff busy
+  std::vector<bool> slot_busy_;
 };
 
 }  // namespace netrs::core

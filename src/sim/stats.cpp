@@ -28,26 +28,43 @@ double LatencyRecorder::max() const {
   return *std::max_element(samples_.begin(), samples_.end());
 }
 
+namespace {
+
+double quantile_of_sorted(const std::vector<double>& sorted, double q) {
+  const double idx = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(idx));
+  const auto hi = static_cast<std::size_t>(std::ceil(idx));
+  if (lo == hi) return sorted[lo];
+  const double frac = idx - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
 double LatencyRecorder::percentile(double q) const {
   assert(!samples_.empty());
   assert(q >= 0.0 && q <= 1.0);
-  if (!sorted_) {
-    std::sort(samples_.begin(), samples_.end());
-    sorted_ = true;
-  }
-  const double idx = q * static_cast<double>(samples_.size() - 1);
-  const auto lo = static_cast<std::size_t>(std::floor(idx));
-  const auto hi = static_cast<std::size_t>(std::ceil(idx));
-  if (lo == hi) return samples_[lo];
-  const double frac = idx - static_cast<double>(lo);
-  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+  if (sorted_) return quantile_of_sorted(samples_, q);
+  // Not finalized: sort a copy instead of mutating from a const method,
+  // which would race with concurrent readers.
+  std::vector<double> copy = samples_;
+  std::sort(copy.begin(), copy.end());
+  return quantile_of_sorted(copy, q);
+}
+
+void LatencyRecorder::finalize() {
+  if (sorted_) return;
+  std::sort(samples_.begin(), samples_.end());
+  sorted_ = true;
 }
 
 void LatencyRecorder::merge(const LatencyRecorder& other) {
+  if (other.samples_.empty()) return;  // nothing appended: order unchanged
+  const bool was_empty = samples_.empty();
   samples_.insert(samples_.end(), other.samples_.begin(),
                   other.samples_.end());
   sum_ += other.sum_;
-  sorted_ = samples_.empty();
+  sorted_ = was_empty && other.sorted_;
 }
 
 void LatencyRecorder::clear() {
@@ -127,11 +144,19 @@ void P2Quantile::add(double v) {
 }
 
 double P2Quantile::estimate() const {
-  if (count_ == 0) return std::numeric_limits<double>::infinity();
+  if (count_ == 0) return std::numeric_limits<double>::quiet_NaN();
   if (count_ < 5) {
-    double m = heights_[0];
-    for (std::uint64_t i = 1; i < count_; ++i) m = std::max(m, heights_[i]);
-    return m;
+    // The buffer is unsorted until the 5th sample: interpolate the exact
+    // q-quantile of a sorted copy (matches LatencyRecorder::percentile).
+    double buf[4];
+    std::copy(heights_, heights_ + count_, buf);
+    std::sort(buf, buf + count_);
+    const double idx = q_ * static_cast<double>(count_ - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(idx));
+    const auto hi = static_cast<std::size_t>(std::ceil(idx));
+    if (lo == hi) return buf[lo];
+    const double frac = idx - static_cast<double>(lo);
+    return buf[lo] * (1.0 - frac) + buf[hi] * frac;
   }
   return heights_[2];
 }

@@ -10,7 +10,10 @@
 namespace netrs::sim {
 
 /// Records latency samples and answers exact mean / percentile queries.
-/// Samples are stored; percentile queries sort lazily and cache the order.
+/// Samples are stored; call finalize() once after the last add()/merge()
+/// to sort them in place, after which percentile() is a plain lookup and
+/// the recorder can be read from multiple threads concurrently (no query
+/// mutates state).
 class LatencyRecorder {
  public:
   void add(double v);
@@ -22,8 +25,14 @@ class LatencyRecorder {
   [[nodiscard]] double max() const;
 
   /// Exact q-quantile (q in [0,1]) with linear interpolation between order
-  /// statistics. Precondition: !empty().
+  /// statistics. Precondition: !empty(). If the recorder has not been
+  /// finalized since the last add()/merge(), sorts a copy of the samples
+  /// (O(n log n) per call) rather than mutating them.
   [[nodiscard]] double percentile(double q) const;
+
+  /// Sorts the samples in place so subsequent percentile() calls are
+  /// direct lookups.
+  void finalize();
 
   /// Merges another recorder's samples into this one.
   void merge(const LatencyRecorder& other);
@@ -33,8 +42,8 @@ class LatencyRecorder {
   [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
 
  private:
-  mutable std::vector<double> samples_;
-  mutable bool sorted_ = true;
+  std::vector<double> samples_;
+  bool sorted_ = true;
   double sum_ = 0.0;
 };
 
@@ -48,8 +57,10 @@ class P2Quantile {
 
   void add(double v);
 
-  /// Current estimate. Before 5 samples arrive, returns the max seen so far
-  /// (and +inf with no samples), which keeps R95 from firing during warmup.
+  /// Current estimate. Before 5 samples arrive, returns the interpolated
+  /// q-quantile of the buffered samples; with no samples at all, returns
+  /// NaN — callers must gate on count() (the R95 client already requires
+  /// min_samples before trusting the estimate).
   [[nodiscard]] double estimate() const;
 
   [[nodiscard]] std::uint64_t count() const { return count_; }

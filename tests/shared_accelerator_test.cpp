@@ -127,6 +127,75 @@ TEST_F(SharedAccelRig, MultiCoreProcessesInParallel) {
   EXPECT_EQ(last_done, sim::micros(1.25) + sim::micros(5));
 }
 
+TEST_F(SharedAccelRig, UtilizationCountsOnlyElapsedServiceTime) {
+  // Regression: the full service duration used to be charged up front at
+  // service *start*, so a query mid-service reported busy time from the
+  // future (here: 10us charged after 1us of service -> utilization 4.4).
+  const net::NodeId sw = topo.core_node(0, 0);
+  AcceleratorConfig cfg;
+  cfg.cores = 1;
+  cfg.request_service_time = sim::micros(10);
+  Accelerator accel(fabric, sw, cfg);
+  accel.set_handler([](net::Packet) { return std::nullopt; });
+  fabric.send(sw, accel.node_id(), netrs_request());
+
+  // Packet arrives after the 1.25us link; service runs [1.25us, 11.25us].
+  sim.run_until(sim::micros(2.25));
+  const double mid = accel.utilization(sim.now());
+  EXPECT_LE(mid, 1.0);
+  EXPECT_NEAR(mid, 1.0 / 2.25, 1e-9);
+
+  sim.run();
+  // 10us busy over 11.25us elapsed.
+  EXPECT_NEAR(accel.utilization(sim.now()), 10.0 / 11.25, 1e-9);
+}
+
+TEST_F(SharedAccelRig, UtilizationResetMidServiceSplitsBusyTime) {
+  // Regression: reset_utilization() mid-service used to lose the whole
+  // service (it was charged to the old window at start), reporting an
+  // idle accelerator for a window it spent 100% busy — and conversely a
+  // service *starting* late in a window could push utilization above 1.
+  const net::NodeId sw = topo.core_node(0, 1);
+  AcceleratorConfig cfg;
+  cfg.cores = 1;
+  cfg.request_service_time = sim::micros(10);
+  Accelerator accel(fabric, sw, cfg);
+  accel.set_handler([](net::Packet) { return std::nullopt; });
+  fabric.send(sw, accel.node_id(), netrs_request());
+
+  // Reset halfway through the [1.25us, 11.25us] service.
+  sim.run_until(sim::micros(6.25));
+  accel.reset_utilization(sim.now());
+  EXPECT_DOUBLE_EQ(accel.utilization(sim.now()), 0.0);
+
+  sim.run();
+  // New window [6.25us, 11.25us] was fully busy: exactly 1.0, not 0, and
+  // never above 1.
+  EXPECT_DOUBLE_EQ(accel.utilization(sim.now()), 1.0);
+  EXPECT_NEAR(accel.utilization(sim.now() + sim::micros(5)), 0.5, 1e-9);
+}
+
+TEST_F(SharedAccelRig, UtilizationNeverExceedsOne) {
+  // Saturate one core with back-to-back services and probe across resets:
+  // the ratio must stay within [0, 1] at every instant.
+  const net::NodeId sw = topo.core_node(1, 0);
+  AcceleratorConfig cfg;
+  cfg.cores = 1;
+  cfg.request_service_time = sim::micros(10);
+  Accelerator accel(fabric, sw, cfg);
+  accel.set_handler([](net::Packet) { return std::nullopt; });
+  for (int i = 0; i < 3; ++i) {
+    fabric.send(sw, accel.node_id(), netrs_request());
+  }
+  for (double t_us : {2.0, 7.0, 13.0, 21.0, 29.0, 35.0}) {
+    sim.run_until(sim::micros(t_us));
+    const double u = accel.utilization(sim.now());
+    EXPECT_GE(u, 0.0) << "t=" << t_us;
+    EXPECT_LE(u, 1.0 + 1e-12) << "t=" << t_us;
+    if (t_us == 13.0) accel.reset_utilization(sim.now());
+  }
+}
+
 TEST_F(SharedAccelRig, UtilizationTracksBusyCores) {
   const net::NodeId sw = topo.core_node(1, 1);
   AcceleratorConfig cfg;

@@ -53,6 +53,57 @@ TEST(LatencyRecorderTest, MergeCombinesSamples) {
   EXPECT_DOUBLE_EQ(a.percentile(1.0), 3.0);
 }
 
+TEST(LatencyRecorderTest, PercentileDoesNotMutateFromConstQuery) {
+  // Regression: percentile() used to lazily sort `mutable` storage from a
+  // const method — a data race once results are read while other threads
+  // merge, and a surprise reorder of samples() under the caller's feet.
+  LatencyRecorder r;
+  r.add(5.0);
+  r.add(1.0);
+  r.add(3.0);
+  const LatencyRecorder& cr = r;
+  EXPECT_DOUBLE_EQ(cr.percentile(0.5), 3.0);
+  const std::vector<double> expected = {5.0, 1.0, 3.0};
+  EXPECT_EQ(cr.samples(), expected) << "const percentile() reordered samples";
+}
+
+TEST(LatencyRecorderTest, FinalizeSortsInPlace) {
+  LatencyRecorder r;
+  r.add(5.0);
+  r.add(1.0);
+  r.add(3.0);
+  r.finalize();
+  const std::vector<double> expected = {1.0, 3.0, 5.0};
+  EXPECT_EQ(r.samples(), expected);
+  EXPECT_DOUBLE_EQ(r.percentile(1.0), 5.0);
+}
+
+TEST(LatencyRecorderTest, MergeTracksSortedness) {
+  // Regression: merge() reset sorted_ = samples_.empty(), discarding known
+  // order. Appending an empty recorder must preserve sortedness, and
+  // merging sorted into empty must inherit it; either way queries after a
+  // later finalize() stay exact.
+  LatencyRecorder sorted_src;
+  sorted_src.add(1.0);
+  sorted_src.add(2.0);
+  sorted_src.finalize();
+
+  LatencyRecorder dst;
+  dst.merge(sorted_src);  // empty <- sorted: still sorted
+  dst.merge(LatencyRecorder{});  // append nothing: still sorted
+  const std::vector<double> expected = {1.0, 2.0};
+  EXPECT_EQ(dst.samples(), expected);
+  EXPECT_DOUBLE_EQ(dst.percentile(0.5), 1.5);
+
+  LatencyRecorder unsorted_src;
+  unsorted_src.add(0.5);
+  dst.merge(unsorted_src);
+  EXPECT_DOUBLE_EQ(dst.percentile(0.0), 0.5);
+  dst.finalize();
+  const std::vector<double> merged = {0.5, 1.0, 2.0};
+  EXPECT_EQ(dst.samples(), merged);
+}
+
 TEST(LatencyRecorderTest, ClearResets) {
   LatencyRecorder r;
   r.add(7.0);
@@ -62,17 +113,46 @@ TEST(LatencyRecorderTest, ClearResets) {
   EXPECT_DOUBLE_EQ(r.mean(), 3.0);
 }
 
-TEST(P2QuantileTest, NoSamplesIsInfinite) {
+TEST(P2QuantileTest, NoSamplesIsNaN) {
+  // Documented: no samples -> NaN (callers gate on count()), not +inf.
   P2Quantile q(0.95);
-  EXPECT_TRUE(std::isinf(q.estimate()));
+  EXPECT_TRUE(std::isnan(q.estimate()));
 }
 
-TEST(P2QuantileTest, FewSamplesReturnMax) {
-  P2Quantile q(0.95);
-  q.add(3.0);
-  q.add(9.0);
-  q.add(1.0);
-  EXPECT_DOUBLE_EQ(q.estimate(), 9.0);
+TEST(P2QuantileTest, FewSamplesInterpolateQuantile) {
+  // Regression: with fewer than 5 samples estimate() returned the maximum
+  // of the buffer regardless of q. It must interpolate the q-quantile of
+  // the sorted buffer, exactly as LatencyRecorder::percentile does.
+  P2Quantile p95(0.95);
+  p95.add(3.0);
+  p95.add(9.0);
+  p95.add(1.0);
+  // sorted {1,3,9}, idx = 0.95 * 2 = 1.9 -> 0.1*3 + 0.9*9 = 8.4.
+  EXPECT_DOUBLE_EQ(p95.estimate(), 8.4);
+
+  P2Quantile median(0.5);
+  median.add(9.0);
+  median.add(3.0);
+  EXPECT_DOUBLE_EQ(median.estimate(), 6.0);
+
+  P2Quantile single(0.9);
+  single.add(7.0);
+  EXPECT_DOUBLE_EQ(single.estimate(), 7.0);
+}
+
+TEST(P2QuantileTest, MatchesExactPercentileBelowFiveSamples) {
+  Rng rng(42);
+  for (double q : {0.5, 0.9, 0.95, 0.99}) {
+    P2Quantile est(q);
+    LatencyRecorder exact;
+    for (int n = 1; n <= 4; ++n) {
+      const double v = rng.exponential(3.0);
+      est.add(v);
+      exact.add(v);
+      EXPECT_DOUBLE_EQ(est.estimate(), exact.percentile(q))
+          << "q=" << q << " n=" << n;
+    }
+  }
 }
 
 TEST(P2QuantileTest, TracksMedianOfUniform) {

@@ -5,6 +5,10 @@ Splits the bench log on '=== RUNNING <name> ===' markers and emplaces each
 bench's output (verbatim, fenced) under a hand-written commentary section
 comparing it against the paper. Run after `for b in build/bench/*; do $b;
 done | tee bench_output.txt`.
+
+The benches parallelize their sweeps across cores (NETRS_JOBS=N to pin the
+worker count, 1 for serial); results are bit-identical at any jobs value,
+so regenerating this file with parallelism changes nothing but wall-clock.
 """
 import re
 import sys
