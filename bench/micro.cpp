@@ -1,11 +1,22 @@
 // Micro-benchmarks (google-benchmark) for the per-packet and per-solve
-// hot paths: NetRS header encode/parse/rewrite, event-queue churn, Zipf
-// sampling, consistent-hash lookups, C3 selection, and the RSP ILP solve.
+// hot paths: NetRS header encode/parse/rewrite, event-queue churn, fabric
+// forwarding, Zipf sampling, consistent-hash lookups, C3 selection, and
+// the RSP ILP solve.
+//
+// This translation unit replaces the global allocator with a counting
+// shim so BM_FabricHotPath can report allocations per simulated hop;
+// steady-state forwarding must report zero.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <utility>
 #include <vector>
 
+#include "kv/app_message.hpp"
 #include "kv/consistent_hash.hpp"
+#include "net/fabric.hpp"
 #include "net/fat_tree.hpp"
 #include "netrs/packet_format.hpp"
 #include "netrs/placement.hpp"
@@ -13,6 +24,50 @@
 #include "sim/event_queue.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
+
+// --- Allocation-counting hook -----------------------------------------------
+// Counts every global operator new in the process. Benchmarks snapshot the
+// counter around their timed loop to report allocations per iteration.
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+
+void* counted_alloc(std::size_t n) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+namespace {
+void* counted_alloc_aligned(std::size_t n, std::align_val_t al) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  const auto a = static_cast<std::size_t>(al);
+  const std::size_t size = (n + a - 1) / a * a;  // aligned_alloc contract
+  if (void* p = std::aligned_alloc(a, size ? size : a)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void* operator new(std::size_t n, std::align_val_t al) {
+  return counted_alloc_aligned(n, al);
+}
+void* operator new[](std::size_t n, std::align_val_t al) {
+  return counted_alloc_aligned(n, al);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
 
 namespace {
 
@@ -69,6 +124,75 @@ void BM_EventQueueChurn(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EventQueueChurn)->Arg(1000)->Arg(100000);
+
+// Bounces a NetRS-sized packet between a host and its ToR forever; each
+// benchmark iteration advances the simulation by exactly one link crossing
+// (send + deliver + receive). After the warm-up hops fill the delivery pool
+// and the event-queue slot arena, the steady state must not allocate:
+// `allocs_per_hop` is asserted to be 0.0 via the counting shim above.
+class PingPongNode final : public net::Node {
+ public:
+  PingPongNode(net::Fabric& fabric, net::NodeId self, net::NodeId peer)
+      : fabric_(fabric), self_(self), peer_(peer) {
+    fabric.attach(self, this);
+  }
+
+  void receive(net::Packet pkt, net::NodeId from) override {
+    (void)from;
+    std::swap(pkt.src, pkt.dst);
+    fabric_.send(self_, peer_, std::move(pkt));
+  }
+
+ private:
+  net::Fabric& fabric_;
+  net::NodeId self_;
+  net::NodeId peer_;
+};
+
+void BM_FabricHotPath(benchmark::State& state) {
+  sim::Simulator sim;
+  net::FatTree topo(4);
+  net::Fabric fabric(sim, topo, net::FabricConfig{});
+  const net::NodeId host = topo.host_node(0);
+  const net::NodeId tor = topo.host_tor(0);
+  PingPongNode a(fabric, host, tor);
+  PingPongNode b(fabric, tor, host);
+
+  core::RequestHeader h;
+  h.rid = 1;
+  h.rgid = 42;
+  kv::AppRequest app;
+  app.client_request_id = 1;
+  app.key = 7;
+  net::Packet pkt;
+  pkt.src = host;
+  pkt.dst = tor;
+  pkt.src_port = kv::kClientPort;
+  pkt.dst_port = kv::kServerPort;
+  pkt.payload = core::encode_request(h, kv::encode_app_request(app));
+  fabric.send(host, tor, std::move(pkt));
+
+  const sim::Duration hop = fabric.config().host_link_latency;
+  // Warm up: let the delivery pool and event-slot arena reach their
+  // high-water marks before counting.
+  for (int i = 0; i < 1024; ++i) sim.run_until(sim.now() + hop);
+
+  const std::uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  std::uint64_t hops = 0;
+  for (auto _ : state) {
+    sim.run_until(sim.now() + hop);
+    ++hops;
+  }
+  const std::uint64_t allocs =
+      g_alloc_count.load(std::memory_order_relaxed) - before;
+  state.counters["allocs_per_hop"] =
+      benchmark::Counter(static_cast<double>(allocs) /
+                         static_cast<double>(hops ? hops : 1));
+  if (allocs != 0) {
+    state.SkipWithError("steady-state forwarding allocated on the heap");
+  }
+}
+BENCHMARK(BM_FabricHotPath);
 
 void BM_ZipfSample(benchmark::State& state) {
   sim::Rng rng(2);

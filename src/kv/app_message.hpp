@@ -9,11 +9,11 @@
 // phantom wire bytes rather than materialized.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <cstring>
 #include <optional>
 #include <span>
-#include <vector>
 
 namespace netrs::kv {
 
@@ -43,8 +43,9 @@ struct AppResponse {
 inline constexpr std::size_t kAppRequestBytes = 17;
 inline constexpr std::size_t kAppResponseBytes = 20;
 
-inline std::vector<std::byte> encode_app_request(const AppRequest& r) {
-  std::vector<std::byte> out(kAppRequestBytes);
+inline std::array<std::byte, kAppRequestBytes> encode_app_request(
+    const AppRequest& r) {
+  std::array<std::byte, kAppRequestBytes> out{};
   std::memcpy(out.data(), &r.client_request_id, 8);
   std::memcpy(out.data() + 8, &r.key, 8);
   out[16] = static_cast<std::byte>(r.op);
@@ -63,8 +64,9 @@ inline std::optional<AppRequest> decode_app_request(
   return r;
 }
 
-inline std::vector<std::byte> encode_app_response(const AppResponse& r) {
-  std::vector<std::byte> out(kAppResponseBytes);
+inline std::array<std::byte, kAppResponseBytes> encode_app_response(
+    const AppResponse& r) {
+  std::array<std::byte, kAppResponseBytes> out{};
   std::memcpy(out.data(), &r.client_request_id, 8);
   std::memcpy(out.data() + 8, &r.key, 8);
   std::memcpy(out.data() + 16, &r.value_bytes, 4);

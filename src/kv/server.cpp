@@ -14,6 +14,9 @@ Server::Server(net::Fabric& fabric, net::HostId id, ServerConfig cfg,
       rng_(rng),
       current_mean_(cfg.mean_service_time),
       service_time_ewma_(cfg.status_ewma_alpha) {
+  assert(cfg.parallelism >= 1);
+  service_slots_.resize(static_cast<std::size_t>(cfg.parallelism));
+  slot_busy_.resize(static_cast<std::size_t>(cfg.parallelism), false);
   // Seed the advertised service time with the configured mean so early
   // piggybacks are sane.
   service_time_ewma_.add(sim::to_micros(cfg.mean_service_time));
@@ -84,20 +87,35 @@ void Server::handle_cancel(const net::Packet& cancel, const AppRequest& app) {
 void Server::start_service(net::Packet pkt) {
   if (in_service_ == 0) busy_since_ = simulator().now();
   ++in_service_;
+  std::size_t slot = slot_busy_.size();
+  for (std::size_t s = 0; s < slot_busy_.size(); ++s) {
+    if (!slot_busy_[s]) {
+      slot = s;
+      break;
+    }
+  }
+  assert(slot < slot_busy_.size() &&
+         "in_service_ admitted more requests than parallelism");
+  slot_busy_[slot] = true;
   const auto service =
       cfg_.deterministic_service
           ? current_mean_
           : static_cast<sim::Duration>(
                 rng_.exponential(static_cast<double>(current_mean_)));
-  simulator().after(service, [this, p = std::move(pkt), service]() mutable {
-    finish_service(std::move(p), service);
-  });
+  // The request parks in its slot; the completion event captures
+  // {this, slot, service} only, so scheduling never heap-allocates.
+  service_slots_[slot] = std::move(pkt);
+  simulator().after(service,
+                    [this, slot, service] { finish_service(slot, service); });
 }
 
-void Server::finish_service(net::Packet pkt, sim::Duration service_time) {
+void Server::finish_service(std::size_t slot, sim::Duration service_time) {
   assert(in_service_ > 0);
+  assert(slot_busy_[slot]);
   --in_service_;
   if (in_service_ == 0) busy_accum_ += simulator().now() - busy_since_;
+  net::Packet pkt = std::move(service_slots_[slot]);
+  slot_busy_[slot] = false;
   ++served_;
   service_time_ewma_.add(sim::to_micros(service_time));
   send_response(pkt, cfg_.value_bytes);

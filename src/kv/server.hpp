@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <vector>
 
 #include "kv/app_message.hpp"
 #include "net/host.hpp"
@@ -59,7 +60,7 @@ class Server final : public net::Host {
 
  private:
   void start_service(net::Packet pkt);
-  void finish_service(net::Packet pkt, sim::Duration service_time);
+  void finish_service(std::size_t slot, sim::Duration service_time);
   void handle_cancel(const net::Packet& cancel, const AppRequest& app);
   void send_response(const net::Packet& pkt, std::uint32_t value_bytes);
   void fluctuate();
@@ -68,6 +69,11 @@ class Server final : public net::Host {
   sim::Rng rng_;
   sim::Duration current_mean_;
   std::deque<net::Packet> queue_;
+  // In-service requests parked per parallelism slot (valid iff
+  // slot_busy_), so the completion event captures {this, slot, service}
+  // and stays inline in the scheduled Task — no per-request allocation.
+  std::vector<net::Packet> service_slots_;
+  std::vector<bool> slot_busy_;
   int in_service_ = 0;
   std::uint64_t served_ = 0;
   std::uint64_t malformed_ = 0;

@@ -43,22 +43,52 @@ sim::Duration Fabric::link_latency(NodeId a, NodeId b) const {
   return cfg_.switch_link_latency;
 }
 
+bool Fabric::valid_link(NodeId from, NodeId to) const {
+  auto it = aux_link_.find(to);
+  if (it != aux_link_.end() && it->second == from) return true;
+  it = aux_link_.find(from);
+  if (it != aux_link_.end() && it->second == to) return true;
+  return topo_.adjacent(from, to);
+}
+
 void Fabric::send(NodeId from, NodeId to, Packet pkt) {
-  // Validate cabling: tree adjacency, or an auxiliary link in either
-  // direction.
-  [[maybe_unused]] const bool aux_ok =
-      (aux_link_.count(to) != 0 && aux_link_.at(to) == from) ||
-      (aux_link_.count(from) != 0 && aux_link_.at(from) == to);
-  assert(aux_ok || topo_.adjacent(from, to));
+  // Cabling validation lives inside the assert so release builds pay
+  // nothing (the old code evaluated two map lookups unconditionally).
+  assert(valid_link(from, to));
 
   Node* dst = node(to);
   assert(dst != nullptr && "destination NodeId has no attached object");
   ++packets_sent_;
   bytes_sent_ += pkt.wire_size();
   const sim::Duration lat = link_latency(from, to);
-  sim_.after(lat, [dst, from, p = std::move(pkt)]() mutable {
-    dst->receive(std::move(p), from);
-  });
+
+  // Park the packet in the pool; the event captures {this, slot} only, so
+  // it stays within the Task's inline buffer. The pool grows to the
+  // high-water mark of concurrently in-flight packets and is then reused.
+  std::uint32_t slot;
+  if (!free_deliveries_.empty()) {
+    slot = free_deliveries_.back();
+    free_deliveries_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(deliveries_.size());
+    deliveries_.emplace_back();
+  }
+  Delivery& d = deliveries_[slot];
+  d.pkt = std::move(pkt);
+  d.dst = dst;
+  d.from = from;
+  sim_.after(lat, [this, slot] { deliver(slot); });
+}
+
+void Fabric::deliver(std::uint32_t slot) {
+  Delivery& d = deliveries_[slot];
+  Packet pkt = std::move(d.pkt);
+  Node* const dst = d.dst;
+  const NodeId from = d.from;
+  // Recycle before receive(): anything the receiver sends can reuse the
+  // slot immediately, keeping the pool at its high-water mark.
+  free_deliveries_.push_back(slot);
+  dst->receive(std::move(pkt), from);
 }
 
 std::uint64_t Fabric::flow_hash(const Packet& pkt) {

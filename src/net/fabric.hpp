@@ -37,7 +37,11 @@ class Fabric {
   NodeId attach_auxiliary(Node* node, NodeId sw);
 
   /// Sends `pkt` from `from` to the adjacent node `to`; delivery fires after
-  /// the link's one-way latency. Asserts topological adjacency.
+  /// the link's one-way latency. Asserts topological adjacency (debug
+  /// builds only; release builds skip the check entirely).
+  ///
+  /// Allocation-free in steady state: the packet is parked in a free-list
+  /// delivery pool and the scheduled event captures only {fabric, slot}.
   void send(NodeId from, NodeId to, Packet pkt);
 
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
@@ -53,9 +57,26 @@ class Fabric {
   /// Stable per-flow hash used for ECMP decisions.
   static std::uint64_t flow_hash(const Packet& pkt);
 
+  /// Delivery-pool slots currently parked (in-flight packets; diagnostic).
+  [[nodiscard]] std::size_t deliveries_in_flight() const {
+    return deliveries_.size() - free_deliveries_.size();
+  }
+
  private:
+  /// One in-flight link crossing. Pooled: slots are recycled through
+  /// free_deliveries_, so steady-state traffic allocates nothing.
+  struct Delivery {
+    Packet pkt;
+    Node* dst = nullptr;
+    NodeId from = kInvalidNode;
+  };
+
   [[nodiscard]] sim::Duration link_latency(NodeId a, NodeId b) const;
   [[nodiscard]] Node* node(NodeId id) const;
+  /// Cabling check behind assert(): tree adjacency or an auxiliary link in
+  /// either direction. Single map lookup per direction.
+  [[nodiscard]] bool valid_link(NodeId from, NodeId to) const;
+  void deliver(std::uint32_t slot);
 
   sim::Simulator& sim_;
   const FatTree& topo_;
@@ -63,6 +84,8 @@ class Fabric {
   std::vector<Node*> nodes_;                   // topology nodes by NodeId
   std::vector<Node*> aux_nodes_;               // auxiliary devices
   std::unordered_map<NodeId, NodeId> aux_link_;  // aux id -> switch id
+  std::vector<Delivery> deliveries_;             // packet pool
+  std::vector<std::uint32_t> free_deliveries_;   // free slot indices
   std::uint64_t packets_sent_ = 0;
   std::uint64_t bytes_sent_ = 0;
 };

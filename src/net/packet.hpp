@@ -9,9 +9,9 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <vector>
 
 #include "net/address.hpp"
+#include "net/payload.hpp"
 #include "sim/time.hpp"
 
 namespace netrs::net {
@@ -30,7 +30,9 @@ struct Packet {
   HostId dst = kInvalidHost;
   std::uint16_t src_port = 0;
   std::uint16_t dst_port = 0;
-  std::vector<std::byte> payload;  ///< UDP payload (NetRS header + app data)
+  /// UDP payload (NetRS header + app data). Small-buffer: NetRS payloads
+  /// are tens of bytes, so construction/clone/move never touch the heap.
+  PayloadBuffer payload;
   /// Bytes carried on the wire but never parsed by any device (the bulk of
   /// a ~1 KB value). Counted in wire_size() without being materialized.
   std::uint32_t phantom_payload = 0;

@@ -1,0 +1,149 @@
+// Small-buffer byte buffer for packet payloads.
+//
+// Every NetRS payload is tens of bytes (request header 13 B + app request
+// 17 B; response header 22 B + app response 20 B; bulk value bytes are
+// phantom), so a std::vector<std::byte> payload heap-allocated on every
+// packet construction and clone. PayloadBuffer inlines up to
+// kInlineCapacity bytes and falls back to the heap only beyond that,
+// making packet construction, copy (response cloning) and move
+// allocation-free on the steady-state forwarding path.
+//
+// The API is the subset of std::vector the packet path uses (resize /
+// assign / operator[] / size / data / iteration) plus implicit
+// std::span conversions, so parse/rewrite helpers keep their span-based
+// signatures. resize() value-initializes new bytes, like std::vector.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+namespace netrs::net {
+
+class PayloadBuffer {
+ public:
+  /// Covers every NetRS header + app payload combination with headroom.
+  static constexpr std::size_t kInlineCapacity = 64;
+
+  PayloadBuffer() noexcept : data_(inline_), size_(0), capacity_(kInlineCapacity) {}
+
+  explicit PayloadBuffer(std::size_t n) : PayloadBuffer() { resize(n); }
+
+  PayloadBuffer(const PayloadBuffer& other) : PayloadBuffer() {
+    resize_uninitialized(other.size_);
+    std::memcpy(data_, other.data_, other.size_);
+  }
+
+  PayloadBuffer(PayloadBuffer&& other) noexcept : PayloadBuffer() {
+    steal(other);
+  }
+
+  PayloadBuffer& operator=(const PayloadBuffer& other) {
+    if (this != &other) {
+      resize_uninitialized(other.size_);
+      std::memcpy(data_, other.data_, other.size_);
+    }
+    return *this;
+  }
+
+  PayloadBuffer& operator=(PayloadBuffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      steal(other);
+    }
+    return *this;
+  }
+
+  ~PayloadBuffer() { release(); }
+
+  [[nodiscard]] std::byte* data() noexcept { return data_; }
+  [[nodiscard]] const std::byte* data() const noexcept { return data_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  /// True while the bytes live in the inline buffer (diagnostics and
+  /// allocation-regression tests).
+  [[nodiscard]] bool is_inline() const noexcept { return data_ == inline_; }
+
+  std::byte& operator[](std::size_t i) noexcept { return data_[i]; }
+  const std::byte& operator[](std::size_t i) const noexcept {
+    return data_[i];
+  }
+
+  [[nodiscard]] std::byte* begin() noexcept { return data_; }
+  [[nodiscard]] std::byte* end() noexcept { return data_ + size_; }
+  [[nodiscard]] const std::byte* begin() const noexcept { return data_; }
+  [[nodiscard]] const std::byte* end() const noexcept {
+    return data_ + size_;
+  }
+
+  /// Grows or shrinks to `n` bytes; new bytes are zero (vector parity).
+  /// Shrinking never releases capacity, so pooled packets stay warm.
+  void resize(std::size_t n) {
+    const std::size_t old = size_;
+    resize_uninitialized(n);
+    if (n > old) std::memset(data_ + old, 0, n - old);
+  }
+
+  void assign(std::size_t n, std::byte value) {
+    resize_uninitialized(n);
+    std::memset(data_, static_cast<int>(value), n);
+  }
+
+  void clear() noexcept { size_ = 0; }
+
+  operator std::span<std::byte>() noexcept { return {data_, size_}; }
+  operator std::span<const std::byte>() const noexcept {
+    return {data_, size_};
+  }
+
+  friend bool operator==(const PayloadBuffer& a, const PayloadBuffer& b) {
+    return a.size_ == b.size_ &&
+           std::memcmp(a.data_, b.data_, a.size_) == 0;
+  }
+
+ private:
+  void resize_uninitialized(std::size_t n) {
+    if (n > capacity_) {
+      // Geometric growth so repeated appends stay amortized-constant.
+      std::size_t cap = capacity_;
+      while (cap < n) cap *= 2;
+      auto* heap = new std::byte[cap];
+      std::memcpy(heap, data_, size_);
+      release();
+      data_ = heap;
+      capacity_ = static_cast<std::uint32_t>(cap);
+    }
+    size_ = static_cast<std::uint32_t>(n);
+  }
+
+  void release() noexcept {
+    if (!is_inline()) delete[] data_;
+    data_ = inline_;
+    capacity_ = kInlineCapacity;
+    size_ = 0;
+  }
+
+  /// Takes other's contents; other is left empty (inline, size 0).
+  void steal(PayloadBuffer& other) noexcept {
+    if (other.is_inline()) {
+      size_ = other.size_;
+      std::memcpy(data_, other.data_, other.size_);
+    } else {
+      data_ = other.data_;
+      size_ = other.size_;
+      capacity_ = other.capacity_;
+      other.data_ = other.inline_;
+      other.capacity_ = kInlineCapacity;
+    }
+    other.size_ = 0;
+  }
+
+  std::byte* data_;
+  std::uint32_t size_;
+  std::uint32_t capacity_;
+  std::byte inline_[kInlineCapacity];
+};
+
+}  // namespace netrs::net

@@ -13,6 +13,7 @@ Accelerator::Accelerator(net::Fabric& fabric, net::NodeId co_located_switch,
   assert(cfg.cores >= 1);
   service_start_.resize(static_cast<std::size_t>(cfg.cores), 0);
   slot_busy_.resize(static_cast<std::size_t>(cfg.cores), false);
+  in_service_.resize(static_cast<std::size_t>(cfg.cores));
   primary_switch_ = co_located_switch;
   primary_node_ = attach_switch(co_located_switch);
 }
@@ -49,27 +50,32 @@ void Accelerator::receive(net::Packet pkt, net::NodeId from) {
 
 void Accelerator::start_service(Job job) {
   ++busy_cores_;
+  std::size_t slot = slot_busy_.size();
   for (std::size_t s = 0; s < slot_busy_.size(); ++s) {
     if (!slot_busy_[s]) {
-      slot_busy_[s] = true;
-      service_start_[s] = fabric_.simulator().now();
-      job.slot = static_cast<int>(s);
+      slot = s;
       break;
     }
   }
-  assert(job.slot >= 0 && "busy_cores_ admitted more jobs than cores");
+  assert(slot < slot_busy_.size() &&
+         "busy_cores_ admitted more jobs than cores");
+  slot_busy_[slot] = true;
+  service_start_[slot] = fabric_.simulator().now();
   const sim::Duration service = is_request(job.pkt)
                                     ? cfg_.request_service_time
                                     : cfg_.response_service_time;
-  fabric_.simulator().after(service, [this, j = std::move(job)]() mutable {
-    finish_service(std::move(j));
-  });
+  // The job parks in its core slot; the completion event captures
+  // {this, slot} only, so scheduling never heap-allocates.
+  in_service_[slot] = std::move(job);
+  fabric_.simulator().after(service,
+                            [this, slot] { finish_service(slot); });
 }
 
-void Accelerator::finish_service(Job job) {
+void Accelerator::finish_service(std::size_t slot) {
   assert(busy_cores_ > 0);
+  assert(slot_busy_[slot]);
   --busy_cores_;
-  const auto slot = static_cast<std::size_t>(job.slot);
+  Job job = std::move(in_service_[slot]);
   // service_start_ was clamped forward by any reset_utilization() that
   // happened mid-service, so this charges only the busy time that falls
   // inside the current window.

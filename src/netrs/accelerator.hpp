@@ -75,13 +75,12 @@ class Accelerator final : public net::Node {
  private:
   struct Job {
     net::Packet pkt;
-    net::NodeId from_switch;
-    int slot = -1;  ///< core slot serving this job (busy-time accounting)
+    net::NodeId from_switch = net::kInvalidNode;
   };
 
   [[nodiscard]] bool is_request(const net::Packet& pkt) const;
   void start_service(Job job);
-  void finish_service(Job job);
+  void finish_service(std::size_t slot);
 
   net::Fabric& fabric_;
   AcceleratorConfig cfg_;
@@ -91,6 +90,10 @@ class Accelerator final : public net::Node {
   std::unordered_map<net::NodeId, net::NodeId> by_switch_;  // switch -> aux
 
   std::deque<Job> queue_;
+  // In-service jobs parked per core slot (valid iff slot_busy_), so the
+  // completion event captures only {this, slot} and stays inline in the
+  // scheduled Task — no per-service heap allocation.
+  std::vector<Job> in_service_;
   int busy_cores_ = 0;
   std::uint64_t processed_ = 0;
   // Busy time is accrued per job at *completion*, clamped to the current

@@ -81,9 +81,9 @@ constexpr std::size_t kOffSs = 16;
 
 }  // namespace
 
-std::vector<std::byte> encode_request(const RequestHeader& h,
-                                      std::span<const std::byte> app) {
-  std::vector<std::byte> out(kRequestHeaderBytes + app.size());
+net::PayloadBuffer encode_request(const RequestHeader& h,
+                                  std::span<const std::byte> app) {
+  net::PayloadBuffer out(kRequestHeaderBytes + app.size());
   put_u16(out, kOffRid, h.rid);
   put_u48(out, kOffMagic, h.mf & kMagicMask);
   put_u16(out, kOffRv, h.rv);
@@ -94,9 +94,9 @@ std::vector<std::byte> encode_request(const RequestHeader& h,
   return out;
 }
 
-std::vector<std::byte> encode_response(const ResponseHeader& h,
-                                       std::span<const std::byte> app) {
-  std::vector<std::byte> out(kResponseHeaderBytes + app.size());
+net::PayloadBuffer encode_response(const ResponseHeader& h,
+                                   std::span<const std::byte> app) {
+  net::PayloadBuffer out(kResponseHeaderBytes + app.size());
   put_u16(out, kOffRid, h.rid);
   put_u48(out, kOffMagic, h.mf & kMagicMask);
   put_u16(out, kOffRv, h.rv);

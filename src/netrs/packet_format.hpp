@@ -24,10 +24,10 @@
 #include <cstdint>
 #include <optional>
 #include <span>
-#include <vector>
 
 #include "net/address.hpp"
 #include "net/packet.hpp"
+#include "net/payload.hpp"
 #include "sim/time.hpp"
 
 namespace netrs::core {
@@ -110,11 +110,12 @@ inline constexpr std::size_t kResponseHeaderBytes =
 
 // --- Whole-header encode/decode --------------------------------------------
 
-/// Serializes header + app payload into a fresh UDP payload buffer.
-std::vector<std::byte> encode_request(const RequestHeader& h,
-                                      std::span<const std::byte> app);
-std::vector<std::byte> encode_response(const ResponseHeader& h,
-                                       std::span<const std::byte> app);
+/// Serializes header + app payload into a fresh UDP payload buffer
+/// (small-buffer: no allocation for NetRS-sized payloads).
+net::PayloadBuffer encode_request(const RequestHeader& h,
+                                  std::span<const std::byte> app);
+net::PayloadBuffer encode_response(const ResponseHeader& h,
+                                   std::span<const std::byte> app);
 
 /// Parses a request/response header. Returns nullopt on malformed/short
 /// payloads. The app payload starts at the returned offset.

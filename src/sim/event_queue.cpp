@@ -5,28 +5,65 @@
 
 namespace netrs::sim {
 
+std::uint32_t EventQueue::acquire_slot() {
+  if (free_head_ != kNilSlot) {
+    const std::uint32_t index = free_head_;
+    free_head_ = slots_[index].next_free;
+    slots_[index].next_free = kNilSlot;
+    return index;
+  }
+  assert(slots_.size() < kNilSlot);
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void EventQueue::release_slot(std::uint32_t index) {
+  Slot& s = slots_[index];
+  s.task.reset();
+  // Bumping the generation invalidates every EventId handed out for this
+  // slot so far; wrap-around after 2^32 reuses is acceptable.
+  ++s.generation;
+  if (s.generation == 0) s.generation = 1;
+  s.state = SlotState::kFree;
+  s.next_free = free_head_;
+  free_head_ = index;
+}
+
 EventId EventQueue::push(Time t, Callback cb) {
-  const EventId id = next_id_++;
-  heap_.push_back(Entry{t, id, std::move(cb)});
+  const std::uint32_t index = acquire_slot();
+  Slot& s = slots_[index];
+  s.task = std::move(cb);
+  s.state = SlotState::kLive;
+  heap_.push_back(HeapEntry{t, next_seq_++, index});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
-  pending_.insert(id);
   ++live_;
-  return id;
+  return (static_cast<EventId>(s.generation) << 32) | index;
 }
 
 bool EventQueue::cancel(EventId id) {
-  if (pending_.erase(id) == 0) return false;
-  cancelled_.insert(id);
+  const auto index = static_cast<std::uint32_t>(id & 0xFFFFFFFFu);
+  const auto generation = static_cast<std::uint32_t>(id >> 32);
+  if (index >= slots_.size()) return false;
+  Slot& s = slots_[index];
+  if (s.state != SlotState::kLive || s.generation != generation) {
+    return false;
+  }
+  // Release the callback (and whatever it captured) now; the heap entry
+  // becomes a tombstone discarded lazily when it reaches the front.
+  s.task.reset();
+  s.state = SlotState::kCancelled;
   assert(live_ > 0);
   --live_;
   return true;
 }
 
 void EventQueue::drop_cancelled_heads() {
-  while (!heap_.empty() && cancelled_.contains(heap_.front().id)) {
-    cancelled_.erase(heap_.front().id);
+  while (!heap_.empty() &&
+         slots_[heap_.front().slot].state == SlotState::kCancelled) {
+    const std::uint32_t index = heap_.front().slot;
     std::pop_heap(heap_.begin(), heap_.end(), Later{});
     heap_.pop_back();
+    release_slot(index);
   }
 }
 
@@ -40,12 +77,15 @@ std::pair<Time, EventQueue::Callback> EventQueue::pop() {
   drop_cancelled_heads();
   assert(!heap_.empty());
   std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  Entry e = std::move(heap_.back());
+  const HeapEntry e = heap_.back();
   heap_.pop_back();
-  pending_.erase(e.id);
+  Slot& s = slots_[e.slot];
+  assert(s.state == SlotState::kLive);
+  Task cb = std::move(s.task);
+  release_slot(e.slot);
   assert(live_ > 0);
   --live_;
-  return {e.time, std::move(e.cb)};
+  return {e.time, std::move(cb)};
 }
 
 }  // namespace netrs::sim

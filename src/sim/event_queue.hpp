@@ -3,24 +3,33 @@
 // Events scheduled for the same instant fire in the order they were
 // scheduled (FIFO tie-break by a monotonically increasing sequence number),
 // which makes every run with the same seed bit-for-bit reproducible.
+//
+// The queue is allocation-free in steady state: callbacks are sim::Task
+// objects (small-buffer inline storage), heap entries carry only
+// (time, seq, slot) triples, and callbacks live in a recycled slot arena.
+// Cancellation is O(1) and hash-free — an EventId encodes its slot index
+// plus a generation tag, so cancel() is a bounds check and a generation
+// compare. Cancelling destroys the callback (and everything it captured)
+// eagerly; the slot itself is tombstoned until its heap entry surfaces.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <unordered_set>
 #include <utility>
 #include <vector>
 
+#include "sim/task.hpp"
 #include "sim/time.hpp"
 
 namespace netrs::sim {
 
-/// Identifies a scheduled event so it can be cancelled.
+/// Identifies a scheduled event so it can be cancelled. Encodes
+/// (generation << 32) | slot; generations start at 1, so 0 is never a
+/// valid id.
 using EventId = std::uint64_t;
 
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = Task;
 
   EventQueue() = default;
   EventQueue(const EventQueue&) = delete;
@@ -30,9 +39,10 @@ class EventQueue {
   /// `cancel`.
   EventId push(Time t, Callback cb);
 
-  /// Cancels a pending event. Returns true if the id was pending; cancelling
-  /// an already-fired or unknown id is a no-op returning false. Cancelled
-  /// entries are discarded lazily when they reach the head of the heap.
+  /// Cancels a pending event. Returns true if the id was pending;
+  /// cancelling an already-fired or unknown id is a no-op returning false.
+  /// The callback is destroyed immediately (releasing captured resources);
+  /// the tombstoned heap entry is discarded when it reaches the head.
   bool cancel(EventId id);
 
   /// True when no live (non-cancelled) events remain.
@@ -48,28 +58,41 @@ class EventQueue {
   std::pair<Time, Callback> pop();
 
  private:
-  struct Entry {
-    Time time = 0;
-    EventId id = 0;
-    Callback cb;
+  static constexpr std::uint32_t kNilSlot = 0xFFFFFFFFu;
+
+  enum class SlotState : std::uint8_t { kFree, kLive, kCancelled };
+
+  struct Slot {
+    Task task;
+    std::uint32_t generation = 1;
+    std::uint32_t next_free = kNilSlot;
+    SlotState state = SlotState::kFree;
   };
 
-  // Min-heap ordering over (time, id); ids are strictly increasing so the
-  // order is total and FIFO within an instant.
+  struct HeapEntry {
+    Time time = 0;
+    std::uint64_t seq = 0;
+    std::uint32_t slot = kNilSlot;
+  };
+
+  // Min-heap ordering over (time, seq); seqs are strictly increasing so
+  // the order is total and FIFO within an instant.
   struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
       if (a.time != b.time) return a.time > b.time;
-      return a.id > b.id;
+      return a.seq > b.seq;
     }
   };
 
+  [[nodiscard]] std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t index);
   void drop_cancelled_heads();
 
-  std::vector<Entry> heap_;
-  std::unordered_set<EventId> pending_;
-  std::unordered_set<EventId> cancelled_;
+  std::vector<HeapEntry> heap_;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNilSlot;
+  std::uint64_t next_seq_ = 1;
   std::size_t live_ = 0;
-  EventId next_id_ = 1;
 };
 
 }  // namespace netrs::sim

@@ -19,12 +19,17 @@ EventId Simulator::after(Duration d, Callback cb) {
 
 void Simulator::every(Duration period, std::function<bool()> cb) {
   assert(period > 0);
-  // Self-rescheduling closure; stops rescheduling once cb returns false.
-  auto tick = std::make_shared<std::function<void()>>();
-  *tick = [this, period, cb = std::move(cb), tick]() {
-    if (cb()) after(period, *tick);
-  };
-  after(period, *tick);
+  // The periodic body is heap-allocated once; each tick's event captures
+  // only {this, period, shared_ptr} (32 bytes, inline in the Task), so
+  // rescheduling allocates nothing.
+  schedule_tick(period, std::make_shared<std::function<bool()>>(std::move(cb)));
+}
+
+void Simulator::schedule_tick(Duration period,
+                              std::shared_ptr<std::function<bool()>> body) {
+  after(period, [this, period, body = std::move(body)]() mutable {
+    if ((*body)()) schedule_tick(period, std::move(body));
+  });
 }
 
 std::uint64_t Simulator::run() {

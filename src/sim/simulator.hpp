@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 
 #include "sim/event_queue.hpp"
 #include "sim/time.hpp"
@@ -15,6 +16,9 @@ namespace netrs::sim {
 
 class Simulator {
  public:
+  /// Move-only small-buffer callable (sim::Task); lambdas convert
+  /// implicitly and captures up to Task::kInlineSize bytes never touch the
+  /// heap.
   using Callback = EventQueue::Callback;
 
   Simulator() = default;
@@ -56,6 +60,9 @@ class Simulator {
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
 
  private:
+  void schedule_tick(Duration period,
+                     std::shared_ptr<std::function<bool()>> body);
+
   EventQueue queue_;
   Time now_ = 0;
   std::uint64_t fired_ = 0;

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 #include "sim/rng.hpp"
@@ -83,6 +84,49 @@ TEST(EventQueueTest, CancelledHeadSkippedByNextTime) {
   q.push(9, [] {});
   q.cancel(early);
   EXPECT_EQ(q.next_time(), 9);
+}
+
+TEST(EventQueueTest, CancelReleasesCapturedResourcesEagerly) {
+  // Regression: cancel() used to keep the callback (and everything it
+  // captured, e.g. a timeout's retained state) alive until the tombstone
+  // reached the front of the heap. The capture must die at cancel time.
+  EventQueue q;
+  auto retained = std::make_shared<int>(7);
+  const EventId id = q.push(100, [retained] { (void)*retained; });
+  q.push(1, [] {});  // keeps the cancelled entry buried in the heap
+  EXPECT_EQ(retained.use_count(), 2);
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_EQ(retained.use_count(), 1) << "callback retained past cancel()";
+  while (!q.empty()) q.pop().second();
+}
+
+TEST(EventQueueTest, RecycledSlotsInvalidateStaleIds) {
+  // A slot freed by pop/cancel may be reused by a later push; the stale
+  // EventId must not cancel the new occupant (generation tag check).
+  EventQueue q;
+  const EventId first = q.push(1, [] {});
+  q.pop().second();  // frees the slot
+  bool fired = false;
+  q.push(2, [&] { fired = true; });  // likely reuses the slot
+  EXPECT_FALSE(q.cancel(first));
+  EXPECT_EQ(q.size(), 1u);
+  while (!q.empty()) q.pop().second();
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventQueueTest, FifoPreservedAcrossSlotReuse) {
+  // Slot indices get recycled out of order; the FIFO tie-break must follow
+  // scheduling order, not slot order.
+  EventQueue q;
+  std::vector<int> fired;
+  const EventId a = q.push(5, [] {});
+  q.push(5, [&] { fired.push_back(0); });
+  q.cancel(a);
+  for (int i = 1; i <= 5; ++i) {
+    q.push(5, [&fired, i] { fired.push_back(i); });
+  }
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4, 5}));
 }
 
 TEST(EventQueueTest, StressRandomOrderMatchesSort) {

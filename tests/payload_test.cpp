@@ -1,0 +1,137 @@
+// Unit tests for net::PayloadBuffer, the small-buffer payload type behind
+// net::Packet. The inline/heap boundary, vector-parity zero-fill on
+// resize, and move semantics are all load-bearing for the allocation-free
+// forwarding path.
+#include "net/payload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <span>
+#include <utility>
+
+namespace netrs::net {
+namespace {
+
+TEST(PayloadBufferTest, DefaultIsEmptyAndInline) {
+  PayloadBuffer p;
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.size(), 0u);
+  EXPECT_TRUE(p.is_inline());
+  EXPECT_EQ(p.capacity(), PayloadBuffer::kInlineCapacity);
+}
+
+TEST(PayloadBufferTest, SizedConstructorZeroFills) {
+  PayloadBuffer p(42);
+  ASSERT_EQ(p.size(), 42u);
+  EXPECT_TRUE(p.is_inline());
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    EXPECT_EQ(p[i], std::byte{0}) << "byte " << i;
+  }
+}
+
+TEST(PayloadBufferTest, ResizeZeroFillsNewBytesLikeVector) {
+  PayloadBuffer p;
+  p.resize(8);
+  p.assign(8, std::byte{0xFF});
+  p.resize(4);   // shrink: keeps the first 4 bytes
+  p.resize(16);  // regrow: bytes 4..15 must be zero, not stale 0xFF
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(p[i], std::byte{0xFF});
+  for (std::size_t i = 4; i < 16; ++i) EXPECT_EQ(p[i], std::byte{0});
+}
+
+TEST(PayloadBufferTest, StaysInlineUpToInlineCapacity) {
+  PayloadBuffer p(PayloadBuffer::kInlineCapacity);
+  EXPECT_TRUE(p.is_inline());
+}
+
+TEST(PayloadBufferTest, SpillsToHeapBeyondInlineCapacity) {
+  PayloadBuffer p(PayloadBuffer::kInlineCapacity);
+  p.assign(PayloadBuffer::kInlineCapacity, std::byte{0xAB});
+  p.resize(PayloadBuffer::kInlineCapacity + 1);
+  EXPECT_FALSE(p.is_inline());
+  // Contents survive the spill.
+  for (std::size_t i = 0; i < PayloadBuffer::kInlineCapacity; ++i) {
+    EXPECT_EQ(p[i], std::byte{0xAB}) << "byte " << i;
+  }
+  EXPECT_EQ(p[PayloadBuffer::kInlineCapacity], std::byte{0});
+}
+
+TEST(PayloadBufferTest, ShrinkNeverReleasesCapacity) {
+  PayloadBuffer p(200);
+  const std::size_t cap = p.capacity();
+  EXPECT_GE(cap, 200u);
+  p.resize(2);
+  EXPECT_EQ(p.capacity(), cap);
+  EXPECT_FALSE(p.is_inline());  // heap block kept warm for reuse
+}
+
+TEST(PayloadBufferTest, CopyIsDeep) {
+  PayloadBuffer a(10);
+  a.assign(10, std::byte{7});
+  PayloadBuffer b(a);
+  b[0] = std::byte{9};
+  EXPECT_EQ(a[0], std::byte{7});
+  EXPECT_EQ(b[0], std::byte{9});
+  EXPECT_EQ(a.size(), b.size());
+}
+
+TEST(PayloadBufferTest, MoveOfInlineBufferCopiesBytes) {
+  PayloadBuffer a(10);
+  a.assign(10, std::byte{5});
+  PayloadBuffer b(std::move(a));
+  ASSERT_EQ(b.size(), 10u);
+  EXPECT_TRUE(b.is_inline());
+  EXPECT_EQ(b[9], std::byte{5});
+  EXPECT_TRUE(a.empty());  // NOLINT(bugprone-use-after-move): spec'd state
+}
+
+TEST(PayloadBufferTest, MoveOfHeapBufferStealsPointer) {
+  PayloadBuffer a(300);
+  a.assign(300, std::byte{3});
+  const std::byte* block = a.data();
+  PayloadBuffer b(std::move(a));
+  EXPECT_EQ(b.data(), block);  // no copy, no allocation
+  EXPECT_EQ(b.size(), 300u);
+  EXPECT_TRUE(a.is_inline());  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(a.empty());
+}
+
+TEST(PayloadBufferTest, MoveAssignReleasesPreviousHeapBlock) {
+  PayloadBuffer a(300);
+  PayloadBuffer b(400);
+  b = std::move(a);  // must free b's old block (ASan would catch a leak)
+  EXPECT_EQ(b.size(), 300u);
+}
+
+TEST(PayloadBufferTest, EqualityComparesContents) {
+  PayloadBuffer a(5);
+  PayloadBuffer b(5);
+  EXPECT_EQ(a, b);
+  b[2] = std::byte{1};
+  EXPECT_NE(a, b);
+  PayloadBuffer c(6);
+  EXPECT_NE(a, c);
+}
+
+TEST(PayloadBufferTest, SpanConversionsSeeLiveBytes) {
+  PayloadBuffer p(4);
+  p[1] = std::byte{0x11};
+  std::span<const std::byte> ro = p;
+  ASSERT_EQ(ro.size(), 4u);
+  EXPECT_EQ(ro[1], std::byte{0x11});
+  std::span<std::byte> rw = p;
+  rw[2] = std::byte{0x22};
+  EXPECT_EQ(p[2], std::byte{0x22});
+}
+
+TEST(PayloadBufferTest, ClearKeepsCapacity) {
+  PayloadBuffer p(100);
+  const std::size_t cap = p.capacity();
+  p.clear();
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.capacity(), cap);
+}
+
+}  // namespace
+}  // namespace netrs::net

@@ -1,0 +1,116 @@
+#include "sim/task.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+namespace netrs::sim {
+namespace {
+
+TEST(TaskTest, DefaultIsEmpty) {
+  Task t;
+  EXPECT_FALSE(static_cast<bool>(t));
+  EXPECT_FALSE(t.is_inline());
+}
+
+TEST(TaskTest, InvokesSmallLambdaInline) {
+  int fired = 0;
+  Task t([&fired] { ++fired; });
+  EXPECT_TRUE(static_cast<bool>(t));
+  EXPECT_TRUE(t.is_inline());
+  t();
+  t();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(TaskTest, LargeCaptureFallsBackToHeap) {
+  std::array<std::byte, 256> big{};
+  big[0] = std::byte{7};
+  bool fired = false;
+  Task t([big, &fired] { fired = big[0] == std::byte{7}; });
+  EXPECT_FALSE(t.is_inline());
+  t();
+  EXPECT_TRUE(fired);
+}
+
+TEST(TaskTest, CaptureAtInlineBoundaryStaysInline) {
+  // this-pointer-free capture of exactly kInlineSize bytes.
+  struct Exact {
+    std::byte pad[Task::kInlineSize - sizeof(bool*)];
+    bool* flag;
+    void operator()() const { *flag = true; }
+  };
+  static_assert(sizeof(Exact) <= Task::kInlineSize);
+  bool fired = false;
+  Task t(Exact{{}, &fired});
+  EXPECT_TRUE(t.is_inline());
+  t();
+  EXPECT_TRUE(fired);
+}
+
+TEST(TaskTest, MoveTransfersOwnership) {
+  int fired = 0;
+  Task a([&fired] { ++fired; });
+  Task b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(fired, 1);
+
+  Task c;
+  c = std::move(b);
+  c();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(TaskTest, MovesMoveOnlyCaptures) {
+  auto owned = std::make_unique<int>(41);
+  int got = 0;
+  Task t([owned = std::move(owned), &got] { got = *owned + 1; });
+  Task moved = std::move(t);
+  moved();
+  EXPECT_EQ(got, 42);
+}
+
+TEST(TaskTest, DestructionReleasesCapturedState) {
+  auto shared = std::make_shared<int>(1);
+  {
+    Task t([shared] { (void)*shared; });
+    EXPECT_EQ(shared.use_count(), 2);
+  }
+  EXPECT_EQ(shared.use_count(), 1);
+}
+
+TEST(TaskTest, ResetReleasesCapturedStateEagerly) {
+  auto shared = std::make_shared<int>(1);
+  Task t([shared] { (void)*shared; });
+  EXPECT_EQ(shared.use_count(), 2);
+  t.reset();
+  EXPECT_EQ(shared.use_count(), 1);
+  EXPECT_FALSE(static_cast<bool>(t));
+}
+
+TEST(TaskTest, HeapFallbackReleasesOnDestruction) {
+  auto shared = std::make_shared<int>(1);
+  std::array<std::byte, 200> big{};
+  {
+    Task t([shared, big] { (void)*shared, (void)big; });
+    EXPECT_FALSE(t.is_inline());
+    EXPECT_EQ(shared.use_count(), 2);
+  }
+  EXPECT_EQ(shared.use_count(), 1);
+}
+
+TEST(TaskTest, MoveAssignDestroysPreviousCallable) {
+  auto first = std::make_shared<int>(1);
+  Task t([first] { (void)*first; });
+  EXPECT_EQ(first.use_count(), 2);
+  t = Task([] {});
+  EXPECT_EQ(first.use_count(), 1);
+}
+
+}  // namespace
+}  // namespace netrs::sim
