@@ -7,6 +7,7 @@
 #include <string>
 
 #include "harness/config.hpp"
+#include "sim/audit.hpp"
 #include "sim/stats.hpp"
 
 namespace netrs::harness {
@@ -39,6 +40,10 @@ struct ExperimentResult {
   std::size_t drs_groups = 0;  ///< groups on Degraded Replica Selection
 
   double wall_seconds = 0.0;
+
+  /// Invariant-audit result merged over repeats. `enabled` only in
+  /// NETRS_AUDIT builds; CI fails the audit job on violations_total != 0.
+  sim::AuditSummary audit;
 
   [[nodiscard]] double mean_ms() const {
     return latencies_ms.empty() ? 0.0 : latencies_ms.mean();

@@ -57,6 +57,39 @@ void print_report(const SweepReport& report) {
           r.wall_seconds);
     }
   }
+
+  // Audit summary (checked builds only): one line per cell plus detailed
+  // provenance for the first violations, so a red CI audit job is
+  // actionable from the log alone.
+  bool any_audit = false;
+  for (const auto& row : report.results) {
+    for (const ExperimentResult& r : row) any_audit |= r.audit.enabled;
+  }
+  if (any_audit) {
+    std::printf("\n-- Invariant audit --\n");
+    std::printf("%-12s %-11s %12s %12s %12s %12s %10s\n",
+                report.sweep_label.c_str(), "scheme", "checks", "violations",
+                "injected", "delivered", "in-flight");
+    for (std::size_t i = 0; i < report.sweep_values.size(); ++i) {
+      for (std::size_t j = 0; j < report.schemes.size(); ++j) {
+        const sim::AuditSummary& a = report.results[i][j].audit;
+        std::printf("%-12s %-11s %12llu %12llu %12llu %12llu %10llu\n",
+                    report.sweep_values[i].c_str(),
+                    scheme_name(report.schemes[j]),
+                    static_cast<unsigned long long>(a.checks),
+                    static_cast<unsigned long long>(a.violations_total),
+                    static_cast<unsigned long long>(a.packets_injected),
+                    static_cast<unsigned long long>(a.packets_delivered),
+                    static_cast<unsigned long long>(a.packets_in_flight_at_end));
+        for (const sim::AuditViolation& v : a.violations) {
+          std::printf("    [%s] t=%lld ns event=%llu: %s\n", v.rule.c_str(),
+                      static_cast<long long>(v.when),
+                      static_cast<unsigned long long>(v.event_seq),
+                      v.detail.c_str());
+        }
+      }
+    }
+  }
   std::fflush(stdout);
 }
 

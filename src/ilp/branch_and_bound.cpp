@@ -117,18 +117,22 @@ BnbResult solve_ilp(const Model& model, const BnbOptions& opts) {
     incumbent_obj = incumbent.objective;
   }
 
+  // netrs-lint: allow(wall-clock): max_seconds is an explicit opt-in cutoff
+  // for offline use; simulation callers (placement.cpp) set it to 0.
   const auto wall_start = std::chrono::steady_clock::now();
   while (!open.empty()) {
     if (res.nodes_explored >= opts.max_nodes) {
       limit_hit = true;
       break;
     }
-    if (opts.max_seconds > 0.0 && (res.nodes_explored & 15) == 0 &&
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      wall_start)
-                .count() > opts.max_seconds) {
-      limit_hit = true;
-      break;
+    if (opts.max_seconds > 0.0 && (res.nodes_explored & 15) == 0) {
+      // netrs-lint: allow(wall-clock): see wall_start above.
+      const auto wall_now = std::chrono::steady_clock::now();
+      if (std::chrono::duration<double>(wall_now - wall_start).count() >
+          opts.max_seconds) {
+        limit_hit = true;
+        break;
+      }
     }
     auto node = open.top();
     open.pop();

@@ -17,6 +17,9 @@ struct BnbOptions {
   /// Wall-clock budget; <= 0 disables. Hitting it returns the incumbent
   /// with status kFeasible — the paper's "terminate the solving process
   /// early ... trade-off between recalculation expense and optimality".
+  /// WARNING: wall-clock cutoffs make results machine-speed-dependent; any
+  /// caller inside the simulation must set this to 0 and rely on max_nodes
+  /// (placement.cpp does).
   double max_seconds = 2.0;
   double int_tol = 1e-6;
   /// Prune nodes whose LP bound is within this of the incumbent.

@@ -17,6 +17,7 @@ Server::Server(net::Fabric& fabric, net::HostId id, ServerConfig cfg,
   assert(cfg.parallelism >= 1);
   service_slots_.resize(static_cast<std::size_t>(cfg.parallelism));
   slot_busy_.resize(static_cast<std::size_t>(cfg.parallelism), false);
+  station_ledger_.set_name("server@" + std::to_string(id));
   // Seed the advertised service time with the configured mean so early
   // piggybacks are sane.
   service_time_ewma_.add(sim::to_micros(cfg.mean_service_time));
@@ -44,11 +45,13 @@ void Server::receive(net::Packet pkt, net::NodeId from) {
   // A real server drops traffic it cannot parse instead of crashing.
   if (!core::decode_request(pkt.payload).has_value()) {
     ++malformed_;
+    simulator().auditor().on_packet_dropped("server-malformed");
     return;
   }
   const auto app = decode_app_request(core::request_app_payload(pkt.payload));
   if (!app.has_value()) {
     ++malformed_;
+    simulator().auditor().on_packet_dropped("server-malformed");
     return;
   }
   if (app->op == AppOp::kCancel) {
@@ -59,6 +62,7 @@ void Server::receive(net::Packet pkt, net::NodeId from) {
     start_service(std::move(pkt));
   } else {
     queue_.push_back(std::move(pkt));
+    station_ledger_.on_enqueue(simulator().auditor(), queue_.size());
   }
 }
 
@@ -76,6 +80,8 @@ void Server::handle_cancel(const net::Packet& cancel, const AppRequest& app) {
     }
     net::Packet victim = std::move(*it);
     queue_.erase(it);
+    station_ledger_.on_remove(simulator().auditor(), queue_.size());
+    simulator().auditor().on_packet_dropped("server-cancel");
     ++cancelled_;
     send_response(victim, /*value_bytes=*/0);
     return;
@@ -87,6 +93,8 @@ void Server::handle_cancel(const net::Packet& cancel, const AppRequest& app) {
 void Server::start_service(net::Packet pkt) {
   if (in_service_ == 0) busy_since_ = simulator().now();
   ++in_service_;
+  station_ledger_.on_service_start(simulator().auditor(), in_service_,
+                                   cfg_.parallelism);
   std::size_t slot = slot_busy_.size();
   for (std::size_t s = 0; s < slot_busy_.size(); ++s) {
     if (!slot_busy_[s]) {
@@ -94,8 +102,17 @@ void Server::start_service(net::Packet pkt) {
       break;
     }
   }
-  assert(slot < slot_busy_.size() &&
-         "in_service_ admitted more requests than parallelism");
+  if constexpr (sim::kAuditEnabled) {
+    simulator().auditor().check(
+        slot < slot_busy_.size(), "service-slot-overflow", [&] {
+          return "server admitted a request with all " +
+                 std::to_string(cfg_.parallelism) + " slots busy";
+        });
+    if (slot >= slot_busy_.size()) return;  // unrecordable; avoid UB
+  } else {
+    assert(slot < slot_busy_.size() &&
+           "in_service_ admitted more requests than parallelism");
+  }
   slot_busy_[slot] = true;
   const auto service =
       cfg_.deterministic_service
@@ -110,9 +127,21 @@ void Server::start_service(net::Packet pkt) {
 }
 
 void Server::finish_service(std::size_t slot, sim::Duration service_time) {
-  assert(in_service_ > 0);
-  assert(slot_busy_[slot]);
+  if constexpr (sim::kAuditEnabled) {
+    simulator().auditor().check(
+        in_service_ > 0 && slot_busy_[slot], "service-slot-underflow", [&] {
+          return "server completion fired for slot " + std::to_string(slot) +
+                 " with in_service=" + std::to_string(in_service_) +
+                 " slot_busy=" +
+                 std::to_string(static_cast<int>(slot_busy_[slot]));
+        });
+  } else {
+    assert(in_service_ > 0);
+    assert(slot_busy_[slot]);
+  }
   --in_service_;
+  station_ledger_.on_service_finish(simulator().auditor(), in_service_,
+                                    cfg_.parallelism);
   if (in_service_ == 0) busy_accum_ += simulator().now() - busy_since_;
   net::Packet pkt = std::move(service_slots_[slot]);
   slot_busy_[slot] = false;
@@ -123,6 +152,7 @@ void Server::finish_service(std::size_t slot, sim::Duration service_time) {
   if (!queue_.empty()) {
     net::Packet next = std::move(queue_.front());
     queue_.pop_front();
+    station_ledger_.on_dequeue(simulator().auditor(), queue_.size());
     start_service(std::move(next));
   }
 }

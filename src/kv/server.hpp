@@ -18,6 +18,7 @@
 
 #include "kv/app_message.hpp"
 #include "net/host.hpp"
+#include "sim/audit.hpp"
 #include "sim/rng.hpp"
 #include "sim/stats.hpp"
 
@@ -82,6 +83,7 @@ class Server final : public net::Host {
   // Busy-time accounting.
   sim::Time busy_since_ = 0;
   sim::Duration busy_accum_ = 0;
+  sim::StationLedger station_ledger_;  // queue-accounting audit
 };
 
 }  // namespace netrs::kv

@@ -9,6 +9,7 @@ Fabric::Fabric(sim::Simulator& simulator, const FatTree& topo,
                FabricConfig cfg)
     : sim_(simulator), topo_(topo), cfg_(cfg) {
   nodes_.resize(topo.node_count(), nullptr);
+  delivery_ledger_.set_name("fabric-delivery");
 }
 
 void Fabric::attach(NodeId id, Node* node) {
@@ -77,6 +78,13 @@ void Fabric::send(NodeId from, NodeId to, Packet pkt) {
   d.pkt = std::move(pkt);
   d.dst = dst;
   d.from = from;
+  sim_.auditor().on_packet_injected();
+  delivery_ledger_.on_park(sim_.auditor(), slot, [&] {
+    return "packet src=" + std::to_string(d.pkt.src) +
+           " dst=" + std::to_string(d.pkt.dst) + " link " +
+           std::to_string(from) + "->" + std::to_string(to) +
+           " sent at t=" + std::to_string(sim_.now()) + " ns";
+  });
   sim_.after(lat, [this, slot] { deliver(slot); });
 }
 
@@ -85,10 +93,37 @@ void Fabric::deliver(std::uint32_t slot) {
   Packet pkt = std::move(d.pkt);
   Node* const dst = d.dst;
   const NodeId from = d.from;
+  sim_.auditor().on_packet_delivered();
+  delivery_ledger_.on_release(sim_.auditor(), slot);
   // Recycle before receive(): anything the receiver sends can reuse the
   // slot immediately, keeping the pool at its high-water mark.
   free_deliveries_.push_back(slot);
   dst->receive(std::move(pkt), from);
+}
+
+void Fabric::audit_finalize(bool expect_drained) {
+  if constexpr (!sim::kAuditEnabled) {
+    (void)expect_drained;
+    return;
+  }
+  if (expect_drained) {
+    delivery_ledger_.finalize(sim_.auditor());
+  } else {
+    sim_.auditor().on_packets_in_flight_at_end(delivery_ledger_.parked_count());
+  }
+  // Conservation identity: the counters must balance regardless of drain
+  // state — a mismatch means a delivery fired without a send (duplication)
+  // or vice versa (loss the slot ledger missed).
+  sim_.auditor().check(
+      packets_sent_ ==
+          sim_.auditor().summary().packets_delivered + deliveries_in_flight(),
+      "conservation-identity", [&] {
+        return "fabric sent " + std::to_string(packets_sent_) +
+               " packets but delivered " +
+               std::to_string(sim_.auditor().summary().packets_delivered) +
+               " with " + std::to_string(deliveries_in_flight()) +
+               " in flight";
+      });
 }
 
 std::uint64_t Fabric::flow_hash(const Packet& pkt) {

@@ -62,6 +62,13 @@ class Fabric {
     return deliveries_.size() - free_deliveries_.size();
   }
 
+  /// Closes the packet-conservation ledger (checked builds; no-op
+  /// otherwise). With `expect_drained`, every delivery slot still parked is
+  /// reported as a packet leak with its send provenance; without it (a run
+  /// cut off at a simulated-time wall with traffic legitimately on the
+  /// wire) the in-flight count is recorded in the audit summary instead.
+  void audit_finalize(bool expect_drained = true);
+
  private:
   /// One in-flight link crossing. Pooled: slots are recycled through
   /// free_deliveries_, so steady-state traffic allocates nothing.
@@ -88,6 +95,7 @@ class Fabric {
   std::vector<std::uint32_t> free_deliveries_;   // free slot indices
   std::uint64_t packets_sent_ = 0;
   std::uint64_t bytes_sent_ = 0;
+  sim::SlotLedger delivery_ledger_;  // conservation audit (checked builds)
 };
 
 }  // namespace netrs::net

@@ -40,14 +40,33 @@ void Switch::run_pipeline(Packet pkt, NodeId from) {
 }
 
 void Switch::forward_toward_host(Packet pkt) {
-  assert(pkt.dst != kInvalidHost);
+  if constexpr (sim::kAuditEnabled) {
+    fabric_.simulator().auditor().check(
+        pkt.dst != kInvalidHost, "invalid-forward", [&] {
+          return "switch " + std::to_string(self_) +
+                 " forwarding packet src=" + std::to_string(pkt.src) +
+                 " with no destination host";
+        });
+  } else {
+    assert(pkt.dst != kInvalidHost);
+  }
   const NodeId next = fabric_.topology().next_hop_toward_host(
       self_, pkt.dst, Fabric::flow_hash(pkt));
   emit(std::move(pkt), next);
 }
 
 void Switch::forward_toward_switch(Packet pkt, NodeId target) {
-  assert(target != self_ && "steering to self is a pipeline bug");
+  if constexpr (sim::kAuditEnabled) {
+    fabric_.simulator().auditor().check(
+        target != self_, "invalid-forward", [&] {
+          return "switch " + std::to_string(self_) +
+                 " steered packet src=" + std::to_string(pkt.src) +
+                 " dst=" + std::to_string(pkt.dst) +
+                 " to itself (pipeline bug)";
+        });
+  } else {
+    assert(target != self_ && "steering to self is a pipeline bug");
+  }
   const NodeId next = fabric_.topology().next_hop_toward_switch(
       self_, target, Fabric::flow_hash(pkt));
   emit(std::move(pkt), next);

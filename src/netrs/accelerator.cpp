@@ -16,6 +16,7 @@ Accelerator::Accelerator(net::Fabric& fabric, net::NodeId co_located_switch,
   in_service_.resize(static_cast<std::size_t>(cfg.cores));
   primary_switch_ = co_located_switch;
   primary_node_ = attach_switch(co_located_switch);
+  station_ledger_.set_name("accelerator@" + std::to_string(co_located_switch));
 }
 
 net::NodeId Accelerator::attach_switch(net::NodeId sw) {
@@ -38,18 +39,30 @@ bool Accelerator::is_request(const net::Packet& pkt) const {
 }
 
 void Accelerator::receive(net::Packet pkt, net::NodeId from) {
-  assert(by_switch_.count(from) != 0 &&
-         "packet from a switch this accelerator is not cabled to");
+  if constexpr (sim::kAuditEnabled) {
+    fabric_.simulator().auditor().check(
+        by_switch_.contains(from), "invalid-forward", [&] {
+          return "accelerator received packet src=" +
+                 std::to_string(pkt.src) + " from uncabled switch " +
+                 std::to_string(from);
+        });
+  } else {
+    assert(by_switch_.contains(from) &&
+           "packet from a switch this accelerator is not cabled to");
+  }
   Job job{std::move(pkt), from};
   if (busy_cores_ < cfg_.cores) {
     start_service(std::move(job));
   } else {
     queue_.push_back(std::move(job));
+    station_ledger_.on_enqueue(fabric_.simulator().auditor(), queue_.size());
   }
 }
 
 void Accelerator::start_service(Job job) {
   ++busy_cores_;
+  station_ledger_.on_service_start(fabric_.simulator().auditor(), busy_cores_,
+                                   cfg_.cores);
   std::size_t slot = slot_busy_.size();
   for (std::size_t s = 0; s < slot_busy_.size(); ++s) {
     if (!slot_busy_[s]) {
@@ -57,8 +70,17 @@ void Accelerator::start_service(Job job) {
       break;
     }
   }
-  assert(slot < slot_busy_.size() &&
-         "busy_cores_ admitted more jobs than cores");
+  if constexpr (sim::kAuditEnabled) {
+    fabric_.simulator().auditor().check(
+        slot < slot_busy_.size(), "service-slot-overflow", [&] {
+          return "accelerator admitted a job with all " +
+                 std::to_string(cfg_.cores) + " core slots busy";
+        });
+    if (slot >= slot_busy_.size()) return;  // unrecordable; avoid UB
+  } else {
+    assert(slot < slot_busy_.size() &&
+           "busy_cores_ admitted more jobs than cores");
+  }
   slot_busy_[slot] = true;
   service_start_[slot] = fabric_.simulator().now();
   const sim::Duration service = is_request(job.pkt)
@@ -72,9 +94,21 @@ void Accelerator::start_service(Job job) {
 }
 
 void Accelerator::finish_service(std::size_t slot) {
-  assert(busy_cores_ > 0);
-  assert(slot_busy_[slot]);
+  if constexpr (sim::kAuditEnabled) {
+    fabric_.simulator().auditor().check(
+        busy_cores_ > 0 && slot_busy_[slot], "service-slot-underflow", [&] {
+          return "accelerator completion fired for slot " +
+                 std::to_string(slot) + " with busy_cores=" +
+                 std::to_string(busy_cores_) + " slot_busy=" +
+                 std::to_string(static_cast<int>(slot_busy_[slot]));
+        });
+  } else {
+    assert(busy_cores_ > 0);
+    assert(slot_busy_[slot]);
+  }
   --busy_cores_;
+  station_ledger_.on_service_finish(fabric_.simulator().auditor(), busy_cores_,
+                                    cfg_.cores);
   Job job = std::move(in_service_[slot]);
   // service_start_ was clamped forward by any reset_utilization() that
   // happened mid-service, so this charges only the busy time that falls
@@ -92,6 +126,7 @@ void Accelerator::finish_service(std::size_t slot) {
   if (!queue_.empty()) {
     Job next = std::move(queue_.front());
     queue_.pop_front();
+    station_ledger_.on_dequeue(fabric_.simulator().auditor(), queue_.size());
     start_service(std::move(next));
   }
 }
@@ -104,6 +139,12 @@ double Accelerator::utilization(sim::Time now) const {
     if (slot_busy_[s] && now > service_start_[s]) {
       busy += now - service_start_[s];  // elapsed part of in-flight service
     }
+  }
+  if constexpr (sim::kAuditEnabled) {
+    // Busy core-time can never exceed the window's wall time x cores; an
+    // overflow here is the PR 1 utilization-accounting bug resurfacing.
+    station_ledger_.check_busy_time(fabric_.simulator().auditor(), busy, span,
+                                    cfg_.cores);
   }
   return static_cast<double>(busy) /
          (static_cast<double>(span) * cfg_.cores);

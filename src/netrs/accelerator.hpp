@@ -106,6 +106,9 @@ class Accelerator final : public net::Node {
   sim::Time window_start_ = 0;
   std::vector<sim::Time> service_start_;  // per core slot; valid iff busy
   std::vector<bool> slot_busy_;
+  // Mutable: utilization() is const but its busy-time bound check counts
+  // toward the auditor's check tally.
+  mutable sim::StationLedger station_ledger_;  // queue-accounting audit
 };
 
 }  // namespace netrs::core

@@ -54,6 +54,8 @@ void Controller::collect_stats() {
   for (NetRSOperator* op : operators_) {
     Monitor* mon = op->monitor();
     if (mon == nullptr) continue;
+    // netrs-lint: allow(unordered-iteration): order-independent accumulation
+    // (+= into an ordered map keyed by group; no decisions made here).
     for (auto& [group, tiers] : mon->snapshot_and_reset()) {
       GroupRate& r = rates_[group];
       for (int t = 0; t < 3; ++t) {
@@ -69,6 +71,9 @@ PlacementProblem Controller::build_problem() const {
   PlacementProblem problem;
   problem.groups.reserve(rates_.size());
   double aggregate = 0.0;
+  // rates_ is ordered by GroupId, so the solver sees groups (and creates
+  // its variables) in the same order every run regardless of the order
+  // monitors reported them.
   for (const auto& [group, r] : rates_) {
     GroupDemand g;
     g.id = group;

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <set>
 #include <unordered_map>
@@ -96,11 +97,13 @@ class Controller {
   std::set<RsNodeId> failed_;
   std::set<RsNodeId> active_;  // RSNodes used by the current plan
 
-  // Latest stats window: per group, requests/s by tier.
+  // Latest stats window: per group, requests/s by tier. Ordered map: the
+  // placement problem is built by iterating this, and the solver's variable
+  // order (hence tie-breaking) must not depend on hash-table layout.
   struct GroupRate {
     double tier[3] = {0, 0, 0};
   };
-  std::unordered_map<GroupId, GroupRate> rates_;
+  std::map<GroupId, GroupRate> rates_;
   sim::Time last_collect_ = 0;
 
   PlacementResult plan_;

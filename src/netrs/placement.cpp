@@ -7,6 +7,7 @@
 #include <map>
 #include <optional>
 #include <set>
+#include <unordered_map>
 
 #include "ilp/branch_and_bound.hpp"
 
@@ -61,7 +62,9 @@ class CapacityPools {
 };
 
 struct Attempt {
-  std::unordered_map<GroupId, std::size_t> assignment;  // group -> op index
+  // Lookup-only (finalize walks problem.groups, not this map), so the
+  // unordered container is safe; never iterate it.
+  std::unordered_map<GroupId, std::size_t> op_of_group;  // group -> op index
   bool feasible = false;
   bool proven_optimal = false;
 };
@@ -76,8 +79,8 @@ PlacementResult finalize(const PlacementProblem& problem,
   res.proven_optimal = attempt.proven_optimal;
   std::set<RsNodeId> used;
   for (const GroupDemand& g : problem.groups) {
-    auto it = attempt.assignment.find(g.id);
-    if (it == attempt.assignment.end()) continue;
+    auto it = attempt.op_of_group.find(g.id);
+    if (it == attempt.op_of_group.end()) continue;
     const OperatorSpec& op = problem.operators[it->second];
     res.assignment[g.id] = op.id;
     used.insert(op.id);
@@ -173,6 +176,10 @@ std::optional<Attempt> solve_full_ilp(const PlacementProblem& problem,
 
   ilp::BnbOptions bnb;
   bnb.max_nodes = opts.max_bnb_nodes;
+  // Determinism: the solver's default wall-clock cutoff would make plans
+  // depend on machine speed; the node budget is the only termination knob
+  // allowed inside a simulation.
+  bnb.max_seconds = 0.0;
   const ilp::BnbResult r = ilp::solve_ilp(model, bnb);
   if (!r.solution.has_point()) return std::nullopt;
 
@@ -181,7 +188,7 @@ std::optional<Attempt> solve_full_ilp(const PlacementProblem& problem,
   attempt.proven_optimal = r.solution.status == ilp::SolveStatus::kOptimal;
   for (const PVar& p : pvars) {
     if (r.solution.values[static_cast<std::size_t>(p.var)] > 0.5) {
-      attempt.assignment[problem.groups[gidx[p.gi]].id] = p.j;
+      attempt.op_of_group[problem.groups[gidx[p.gi]].id] = p.j;
     }
   }
   return attempt;
@@ -288,7 +295,7 @@ std::optional<Attempt> solve_reduced_ilp(const PlacementProblem& problem,
       link.add(it->second, 1.0).add(gv[a].tor, -1.0);
       model.add_constraint(std::move(link), ilp::Sense::kGe, 0.0);
     }
-    if (shape.aggs.count(g.pod) != 0) gv[a].agg = model.add_binary(0.0);
+    if (shape.aggs.contains(g.pod)) gv[a].agg = model.add_binary(0.0);
     if (!shape.cores.empty()) gv[a].core = model.add_binary(0.0);
     ilp::LinExpr assign;
     if (gv[a].tor >= 0) assign.add(gv[a].tor, 1.0);
@@ -370,6 +377,7 @@ std::optional<Attempt> solve_reduced_ilp(const PlacementProblem& problem,
 
   ilp::BnbOptions bnb;
   bnb.max_nodes = opts.max_bnb_nodes;
+  bnb.max_seconds = 0.0;  // determinism: node budget only (see full ILP)
 
   // Warm start: "every group on an aggregation switch of its pod" (falling
   // back to ToR, then core). Usually feasible and within ~2x of optimal,
@@ -431,7 +439,7 @@ std::optional<Attempt> solve_reduced_ilp(const PlacementProblem& problem,
   for (std::size_t a = 0; a < gidx.size(); ++a) {
     const GroupDemand& g = problem.groups[gidx[a]];
     if (gv[a].tor >= 0 && x[static_cast<std::size_t>(gv[a].tor)] > 0.5) {
-      attempt.assignment[g.id] = shape.tors.at({g.pod, g.rack});
+      attempt.op_of_group[g.id] = shape.tors.at({g.pod, g.rack});
     } else if (gv[a].agg >= 0 &&
                x[static_cast<std::size_t>(gv[a].agg)] > 0.5) {
       agg_items[g.pod].emplace_back(g.total(), agg_items[g.pod].size());
@@ -455,7 +463,7 @@ std::optional<Attempt> solve_reduced_ilp(const PlacementProblem& problem,
     const auto& members = agg_item_group.at(pod);
     for (std::size_t t = 0; t < items.size(); ++t) {
       const std::size_t a = members[t];
-      attempt.assignment[problem.groups[gidx[a]].id] =
+      attempt.op_of_group[problem.groups[gidx[a]].id] =
           ops[static_cast<std::size_t>((*packed)[t])];
     }
   }
@@ -468,7 +476,7 @@ std::optional<Attempt> solve_reduced_ilp(const PlacementProblem& problem,
     if (!packed.has_value()) return std::nullopt;
     for (std::size_t t = 0; t < core_items.size(); ++t) {
       const std::size_t a = core_item_group[t];
-      attempt.assignment[problem.groups[gidx[a]].id] =
+      attempt.op_of_group[problem.groups[gidx[a]].id] =
           shape.cores[static_cast<std::size_t>((*packed)[t])];
     }
   }
@@ -552,7 +560,7 @@ std::optional<Attempt> solve_greedy(const PlacementProblem& problem,
     pools.consume(best, load);
     e_used += best_cost;
     open.insert(best);
-    attempt.assignment[g.id] = best;
+    attempt.op_of_group[g.id] = best;
   }
 
   // Consolidation: try to close lightly loaded operators by relocating
@@ -564,8 +572,8 @@ std::optional<Attempt> solve_greedy(const PlacementProblem& problem,
       // Collect the victim's groups.
       std::vector<std::size_t> members;
       for (std::size_t gi : order) {
-        auto a = attempt.assignment.find(problem.groups[gi].id);
-        if (a != attempt.assignment.end() && a->second == victim) {
+        auto a = attempt.op_of_group.find(problem.groups[gi].id);
+        if (a != attempt.op_of_group.end() && a->second == victim) {
           members.push_back(gi);
         }
       }
@@ -623,7 +631,7 @@ std::optional<Attempt> solve_greedy(const PlacementProblem& problem,
           const GroupDemand& g = problem.groups[gi];
           pools.release(victim, g.total());
           pools.consume(dest, g.total());
-          attempt.assignment[g.id] = dest;
+          attempt.op_of_group[g.id] = dest;
           e_used += extra_hop_cost(g, problem.operators[dest].tier) -
                     extra_hop_cost(g, problem.operators[victim].tier);
           open.insert(dest);

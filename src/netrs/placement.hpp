@@ -30,8 +30,8 @@
 // to Degraded Replica Selection and the problem re-solved.
 #pragma once
 
+#include <map>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "net/address.hpp"
@@ -90,7 +90,9 @@ struct PlacementOptions {
 
 struct PlacementResult {
   /// Group -> RSNode assignment; groups absent here are in drs_groups.
-  std::unordered_map<GroupId, RsNodeId> assignment;
+  /// Ordered map: plans are iterated when installed (ToR tables, active-set
+  /// computation), so the walk order must not depend on hash layout.
+  std::map<GroupId, RsNodeId> assignment;
   std::vector<GroupId> drs_groups;
   int rsnodes_used = 0;
   double extra_hops_used = 0.0;  ///< Eq. (7) cost of the final plan

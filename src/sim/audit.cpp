@@ -1,0 +1,195 @@
+#include "sim/audit.hpp"
+
+#include <utility>
+
+#include "sim/simulator.hpp"
+
+namespace netrs::sim {
+
+void AuditSummary::merge(const AuditSummary& other) {
+  enabled = enabled || other.enabled;
+  checks += other.checks;
+  violations_total += other.violations_total;
+  for (const AuditViolation& v : other.violations) {
+    if (violations.size() >= Auditor::kMaxDetailedViolations) break;
+    violations.push_back(v);
+  }
+  packets_injected += other.packets_injected;
+  packets_delivered += other.packets_delivered;
+  packets_in_flight_at_end += other.packets_in_flight_at_end;
+  for (const auto& [reason, n] : other.drops_by_reason) {
+    drops_by_reason[reason] += n;
+  }
+}
+
+void Auditor::record(const char* rule, std::string detail) {
+  if constexpr (!kAuditEnabled) {
+    (void)rule;
+    (void)detail;
+    return;
+  }
+  ++violations_total_;
+  if (violations_.size() >= kMaxDetailedViolations) return;
+  AuditViolation v;
+  v.rule = rule;
+  v.detail = std::move(detail);
+  if (sim_ != nullptr) {
+    v.when = sim_->now();
+    v.event_seq = sim_->events_fired();
+  }
+  violations_.push_back(std::move(v));
+}
+
+AuditSummary Auditor::summary() const {
+  AuditSummary s;
+  s.enabled = kAuditEnabled;
+  s.checks = checks_;
+  s.violations_total = violations_total_;
+  s.violations = violations_;
+  s.packets_injected = packets_injected_;
+  s.packets_delivered = packets_delivered_;
+  s.packets_in_flight_at_end = packets_in_flight_at_end_;
+  s.drops_by_reason = drops_by_reason_;
+  return s;
+}
+
+void Auditor::clear() {
+  checks_ = 0;
+  violations_total_ = 0;
+  violations_.clear();
+  packets_injected_ = 0;
+  packets_delivered_ = 0;
+  packets_in_flight_at_end_ = 0;
+  drops_by_reason_.clear();
+}
+
+// --- SlotLedger -------------------------------------------------------------
+
+void SlotLedger::park(Auditor& a, std::uint32_t slot, std::string provenance) {
+  if constexpr (!kAuditEnabled) {
+    (void)a;
+    (void)slot;
+    (void)provenance;
+    return;
+  }
+  if (slot >= parked_.size()) {
+    parked_.resize(slot + 1, 0);
+    provenance_.resize(slot + 1);
+  }
+  if (parked_[slot] != 0) {
+    a.record("double-park", name_ + " slot " + std::to_string(slot) +
+                                " parked twice; first: " + provenance_[slot] +
+                                "; second: " + provenance);
+    return;
+  }
+  parked_[slot] = 1;
+  provenance_[slot] = std::move(provenance);
+  ++parked_count_;
+}
+
+void SlotLedger::on_release(Auditor& a, std::uint32_t slot) {
+  if constexpr (!kAuditEnabled) {
+    (void)a;
+    (void)slot;
+    return;
+  }
+  if (slot >= parked_.size() || parked_[slot] == 0) {
+    a.record("double-delivery",
+             name_ + " slot " + std::to_string(slot) +
+                 " released while not parked (delivered twice, or never "
+                 "sent)");
+    return;
+  }
+  parked_[slot] = 0;
+  provenance_[slot].clear();
+  --parked_count_;
+}
+
+void SlotLedger::finalize(Auditor& a) const {
+  if constexpr (!kAuditEnabled) {
+    (void)a;
+    return;
+  }
+  for (std::size_t slot = 0; slot < parked_.size(); ++slot) {
+    if (parked_[slot] != 0) {
+      a.record("packet-leak", name_ + " slot " + std::to_string(slot) +
+                                  " still parked at finalize: " +
+                                  provenance_[slot]);
+    }
+  }
+}
+
+// --- StationLedger ----------------------------------------------------------
+
+void StationLedger::check_depth(Auditor& a, const char* op,
+                                std::size_t actual_depth) {
+  const std::uint64_t expected = enqueued_ - dequeued_ - removed_;
+  a.check(expected == actual_depth, "queue-accounting", [&] {
+    return name_ + " after " + op + ": ledger depth " +
+           std::to_string(expected) + " (enq " + std::to_string(enqueued_) +
+           " - deq " + std::to_string(dequeued_) + " - removed " +
+           std::to_string(removed_) + ") != live depth " +
+           std::to_string(actual_depth);
+  });
+}
+
+void StationLedger::on_enqueue(Auditor& a, std::size_t actual_depth) {
+  if constexpr (!kAuditEnabled) {
+    (void)a;
+    (void)actual_depth;
+    return;
+  }
+  ++enqueued_;
+  check_depth(a, "enqueue", actual_depth);
+}
+
+void StationLedger::on_dequeue(Auditor& a, std::size_t actual_depth) {
+  if constexpr (!kAuditEnabled) {
+    (void)a;
+    (void)actual_depth;
+    return;
+  }
+  ++dequeued_;
+  check_depth(a, "dequeue", actual_depth);
+}
+
+void StationLedger::on_remove(Auditor& a, std::size_t actual_depth) {
+  if constexpr (!kAuditEnabled) {
+    (void)a;
+    (void)actual_depth;
+    return;
+  }
+  ++removed_;
+  check_depth(a, "remove", actual_depth);
+}
+
+void StationLedger::on_service_start(Auditor& a, int busy_after,
+                                     int capacity) {
+  a.check(busy_after >= 1 && busy_after <= capacity, "service-slot-overflow",
+          [&] {
+            return name_ + ": " + std::to_string(busy_after) +
+                   " busy slots after service start, capacity " +
+                   std::to_string(capacity);
+          });
+}
+
+void StationLedger::on_service_finish(Auditor& a, int busy_after,
+                                      int capacity) {
+  a.check(busy_after >= 0 && busy_after < capacity, "service-slot-underflow",
+          [&] {
+            return name_ + ": " + std::to_string(busy_after) +
+                   " busy slots after service finish, capacity " +
+                   std::to_string(capacity);
+          });
+}
+
+void StationLedger::check_busy_time(Auditor& a, Duration busy,
+                                    Duration window, int cores) {
+  a.check(busy <= window * cores, "busy-time-overflow", [&] {
+    return name_ + ": accrued busy time " + std::to_string(busy) +
+           " ns exceeds window " + std::to_string(window) + " ns x " +
+           std::to_string(cores) + " cores";
+  });
+}
+
+}  // namespace netrs::sim

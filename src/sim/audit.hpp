@@ -1,0 +1,201 @@
+// Runtime invariant auditor for the simulation core (checked builds).
+//
+// Configure with -DNETRS_AUDIT=ON to compile the checks in; without it every
+// method below is an inline no-op and the instrumented call sites vanish
+// entirely, so release builds pay nothing. The auditor is deliberately
+// observation-only: it never changes control flow, so an audit build is
+// behavior-identical to a plain build (the golden-digest test runs under
+// both to prove it).
+//
+// Three families of invariants:
+//   - event causality: nothing schedules into the past, fired event times
+//     never regress, event-queue slots are in the state their heap entries
+//     claim (the bare asserts of simulator.cpp/event_queue.cpp, promoted to
+//     violations that carry event provenance instead of aborting);
+//   - packet conservation: every Fabric::send parks exactly one delivery
+//     slot and every slot is delivered exactly once (no duplication); at
+//     finalize the ledger must balance (no leaks), and node-level drops
+//     (malformed, cancelled) are explicitly accounted by reason;
+//   - queue accounting: per-station enqueue/dequeue/remove counters must
+//     match the live queue depth at every step, service slots never exceed
+//     capacity, and accelerator busy time never exceeds wall time.
+//
+// Violations are recorded (capped detail, full count), never thrown: the
+// end-of-run summary is attached to harness experiment results so CI can
+// fail on `violations_total != 0` while a human still gets provenance.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace netrs::sim {
+
+class Simulator;
+
+#ifdef NETRS_AUDIT
+inline constexpr bool kAuditEnabled = true;
+#else
+inline constexpr bool kAuditEnabled = false;
+#endif
+
+struct AuditViolation {
+  std::string rule;    ///< e.g. "schedule-into-past", "packet-leak"
+  std::string detail;  ///< provenance: times, ids, counters
+  Time when = 0;       ///< simulated time at detection
+  std::uint64_t event_seq = 0;  ///< events fired when detected
+};
+
+/// Copyable end-of-run audit result; merged across harness repeats.
+struct AuditSummary {
+  bool enabled = false;
+  std::uint64_t checks = 0;
+  std::uint64_t violations_total = 0;
+  /// First kMaxDetailedViolations violations with full provenance.
+  std::vector<AuditViolation> violations;
+
+  // Packet-conservation counters (Fabric ledger + node-level drops).
+  std::uint64_t packets_injected = 0;
+  std::uint64_t packets_delivered = 0;
+  std::uint64_t packets_in_flight_at_end = 0;
+  std::map<std::string, std::uint64_t> drops_by_reason;
+
+  void merge(const AuditSummary& other);
+};
+
+/// Central violation sink, one per Simulator. Components reach it through
+/// Simulator::auditor(); every check is a no-op unless kAuditEnabled.
+class Auditor {
+ public:
+  static constexpr std::size_t kMaxDetailedViolations = 32;
+
+  /// Binds the simulator whose clock stamps violation provenance.
+  void attach(const Simulator* sim) {
+    if constexpr (kAuditEnabled) sim_ = sim;
+  }
+
+  /// Evaluates an invariant; on failure records a violation whose detail is
+  /// produced lazily by `detail` (a callable returning std::string), so the
+  /// passing path never formats anything.
+  template <typename F>
+  void check(bool ok, const char* rule, F&& detail) {
+    if constexpr (kAuditEnabled) {
+      ++checks_;
+      if (!ok) record(rule, std::forward<F>(detail)());
+    } else {
+      (void)ok;
+      (void)rule;
+      (void)detail;
+    }
+  }
+
+  /// Records a violation unconditionally (used by ledgers).
+  void record(const char* rule, std::string detail);
+
+  // --- Packet-conservation counters ---------------------------------------
+  void on_packet_injected() {
+    if constexpr (kAuditEnabled) ++packets_injected_;
+  }
+  void on_packet_delivered() {
+    if constexpr (kAuditEnabled) ++packets_delivered_;
+  }
+  /// A node terminally discarded a delivered packet for `reason`
+  /// (e.g. "server-malformed", "server-cancel"). Accounted, not a violation.
+  void on_packet_dropped(const char* reason) {
+    if constexpr (kAuditEnabled) ++drops_by_reason_[reason];
+    (void)reason;
+  }
+  void on_packets_in_flight_at_end(std::uint64_t n) {
+    if constexpr (kAuditEnabled) packets_in_flight_at_end_ += n;
+    (void)n;
+  }
+
+  [[nodiscard]] AuditSummary summary() const;
+  [[nodiscard]] std::uint64_t violations_total() const {
+    return violations_total_;
+  }
+
+  void clear();
+
+ private:
+  const Simulator* sim_ = nullptr;
+  std::uint64_t checks_ = 0;
+  std::uint64_t violations_total_ = 0;
+  std::vector<AuditViolation> violations_;
+  std::uint64_t packets_injected_ = 0;
+  std::uint64_t packets_delivered_ = 0;
+  std::uint64_t packets_in_flight_at_end_ = 0;
+  std::map<std::string, std::uint64_t> drops_by_reason_;
+};
+
+/// Park/release ledger over pooled slots (Fabric's delivery pool): detects
+/// double delivery (release of a slot that is not parked), double park, and
+/// leaks (slots still parked at finalize), keeping per-slot provenance.
+class SlotLedger {
+ public:
+  /// `what` names the pool in violation messages, e.g. "fabric-delivery".
+  void set_name(std::string what) {
+    if constexpr (kAuditEnabled) name_ = std::move(what);
+  }
+
+  template <typename F>
+  void on_park(Auditor& a, std::uint32_t slot, F&& provenance) {
+    if constexpr (kAuditEnabled) {
+      park(a, slot, std::forward<F>(provenance)());
+    } else {
+      (void)a;
+      (void)slot;
+      (void)provenance;
+    }
+  }
+
+  void on_release(Auditor& a, std::uint32_t slot);
+
+  /// Checks that nothing is still parked. Call once the pool is expected to
+  /// be drained; every parked slot is reported with its provenance.
+  void finalize(Auditor& a) const;
+
+  [[nodiscard]] std::size_t parked_count() const { return parked_count_; }
+
+ private:
+  void park(Auditor& a, std::uint32_t slot, std::string provenance);
+
+  std::string name_ = "slot-pool";
+  std::vector<std::uint8_t> parked_;       // by slot index
+  std::vector<std::string> provenance_;    // by slot index, valid iff parked
+  std::size_t parked_count_ = 0;
+};
+
+/// Queue-accounting ledger for a FIFO service station (Accelerator, Server):
+/// enqueue/dequeue/remove counters must match the station's live queue depth
+/// at every step, and busy service slots must stay within capacity.
+class StationLedger {
+ public:
+  /// `name` identifies the station in violation messages.
+  void set_name(std::string name) {
+    if constexpr (kAuditEnabled) name_ = std::move(name);
+  }
+
+  void on_enqueue(Auditor& a, std::size_t actual_depth);
+  void on_dequeue(Auditor& a, std::size_t actual_depth);
+  /// Out-of-order removal (e.g. cross-server cancellation).
+  void on_remove(Auditor& a, std::size_t actual_depth);
+  void on_service_start(Auditor& a, int busy_after, int capacity);
+  void on_service_finish(Auditor& a, int busy_after, int capacity);
+  /// Busy core-time accrued within a window must fit in cores * wall time.
+  void check_busy_time(Auditor& a, Duration busy, Duration window, int cores);
+
+ private:
+  void check_depth(Auditor& a, const char* op, std::size_t actual_depth);
+
+  std::string name_ = "station";
+  std::uint64_t enqueued_ = 0;
+  std::uint64_t dequeued_ = 0;
+  std::uint64_t removed_ = 0;
+};
+
+}  // namespace netrs::sim

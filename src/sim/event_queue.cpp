@@ -80,7 +80,22 @@ std::pair<Time, EventQueue::Callback> EventQueue::pop() {
   const HeapEntry e = heap_.back();
   heap_.pop_back();
   Slot& s = slots_[e.slot];
-  assert(s.state == SlotState::kLive);
+  // A surfacing heap entry must reference a live slot — tombstones were
+  // dropped above, and a free slot here means the (slot, generation)
+  // recycling lost track of an event.
+  if constexpr (kAuditEnabled) {
+    if (auditor_ != nullptr) {
+      auditor_->check(s.state == SlotState::kLive, "event-slot-state", [&] {
+        return "heap entry (t=" + std::to_string(e.time) +
+               " ns, seq=" + std::to_string(e.seq) + ") surfaced slot " +
+               std::to_string(e.slot) + " in state " +
+               std::to_string(static_cast<int>(s.state)) +
+               " (generation " + std::to_string(s.generation) + ")";
+      });
+    }
+  } else {
+    assert(s.state == SlotState::kLive);
+  }
   Task cb = std::move(s.task);
   release_slot(e.slot);
   assert(live_ > 0);

@@ -17,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "sim/audit.hpp"
 #include "sim/task.hpp"
 #include "sim/time.hpp"
 
@@ -57,6 +58,10 @@ class EventQueue {
   /// Removes and returns the earliest live event. Precondition: !empty().
   std::pair<Time, Callback> pop();
 
+  /// Routes slot-state invariant violations to the simulator's auditor
+  /// (checked builds only; the pointer is unused otherwise).
+  void set_auditor(Auditor* auditor) { auditor_ = auditor; }
+
  private:
   static constexpr std::uint32_t kNilSlot = 0xFFFFFFFFu;
 
@@ -93,6 +98,7 @@ class EventQueue {
   std::uint32_t free_head_ = kNilSlot;
   std::uint64_t next_seq_ = 1;
   std::size_t live_ = 0;
+  Auditor* auditor_ = nullptr;
 };
 
 }  // namespace netrs::sim

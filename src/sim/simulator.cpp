@@ -8,12 +8,32 @@
 namespace netrs::sim {
 
 EventId Simulator::at(Time t, Callback cb) {
-  assert(t >= now_ && "cannot schedule into the past");
+  // Causality: scheduling into the past would fire the callback at now()
+  // anyway (the clamp below), silently reordering it after events it should
+  // have preceded. Checked builds record the violation with provenance;
+  // plain builds keep the original assert.
+  if constexpr (kAuditEnabled) {
+    auditor_.check(t >= now_, "schedule-into-past", [&] {
+      return "event scheduled at t=" + std::to_string(t) +
+             " ns while now=" + std::to_string(now_) + " ns (" +
+             std::to_string(fired_) + " events fired, " +
+             std::to_string(queue_.size()) + " pending); clamped to now";
+    });
+  } else {
+    assert(t >= now_ && "cannot schedule into the past");
+  }
   return queue_.push(t < now_ ? now_ : t, std::move(cb));
 }
 
 EventId Simulator::after(Duration d, Callback cb) {
-  assert(d >= 0 && "negative delay");
+  if constexpr (kAuditEnabled) {
+    auditor_.check(d >= 0, "schedule-into-past", [&] {
+      return "negative delay " + std::to_string(d) + " ns at now=" +
+             std::to_string(now_) + " ns; clamped to zero";
+    });
+  } else {
+    assert(d >= 0 && "negative delay");
+  }
   return at(now_ + (d < 0 ? 0 : d), std::move(cb));
 }
 
@@ -45,7 +65,17 @@ std::uint64_t Simulator::run_until(Time deadline) {
       return n;
     }
     auto [t, cb] = queue_.pop();
-    assert(t >= now_);
+    // Causality: the queue's (time, seq) order guarantees fired times never
+    // regress; a regression here means queue-state corruption.
+    if constexpr (kAuditEnabled) {
+      auditor_.check(t >= now_, "event-time-regression", [&] {
+        return "popped event at t=" + std::to_string(t) +
+               " ns behind now=" + std::to_string(now_) + " ns (" +
+               std::to_string(fired_) + " events fired)";
+      });
+    } else {
+      assert(t >= now_);
+    }
     now_ = t;
     cb();
     ++n;

@@ -9,6 +9,7 @@
 #include <functional>
 #include <memory>
 
+#include "sim/audit.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/time.hpp"
 
@@ -21,7 +22,10 @@ class Simulator {
   /// heap.
   using Callback = EventQueue::Callback;
 
-  Simulator() = default;
+  Simulator() {
+    auditor_.attach(this);
+    queue_.set_auditor(&auditor_);
+  }
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
@@ -59,6 +63,11 @@ class Simulator {
   /// Live events still queued (diagnostic).
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
 
+  /// Invariant auditor (checked builds; inline no-op otherwise). Components
+  /// reach it through here to report conservation and causality violations.
+  [[nodiscard]] Auditor& auditor() { return auditor_; }
+  [[nodiscard]] const Auditor& auditor() const { return auditor_; }
+
  private:
   void schedule_tick(Duration period,
                      std::shared_ptr<std::function<bool()>> body);
@@ -67,6 +76,7 @@ class Simulator {
   Time now_ = 0;
   std::uint64_t fired_ = 0;
   bool stopped_ = false;
+  Auditor auditor_;
 };
 
 }  // namespace netrs::sim

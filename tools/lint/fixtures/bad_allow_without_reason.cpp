@@ -1,0 +1,12 @@
+// Fixture: an allow without a reason is itself an error AND does not
+// suppress the underlying diagnostic.
+// lint-fixture-expect: allow-without-reason 1
+// lint-fixture-expect: wall-clock 1
+
+#include <chrono>
+
+double now_seconds() {
+  // netrs-lint: allow(wall-clock)
+  const auto t = std::chrono::steady_clock::now();
+  return static_cast<double>(t.time_since_epoch().count());
+}

@@ -1,0 +1,11 @@
+// Fixture: ordered containers keyed on raw pointers iterate in
+// allocation-address order, which varies run to run.
+// lint-fixture-expect: pointer-order 2
+
+#include <map>
+#include <set>
+
+struct Server;
+
+std::map<Server*, int> load_by_server;
+std::set<const Server*> active;

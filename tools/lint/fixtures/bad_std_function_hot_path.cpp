@@ -1,0 +1,10 @@
+// Fixture: std::function reintroduced into a file the allocation-free PR
+// scrubbed it from (masquerades as net/fabric via the path directive).
+// lint-fixture-path: src/net/fabric.hpp
+// lint-fixture-expect: std-function-hot-path 1
+
+#include <functional>
+
+struct Delivery {
+  std::function<void()> on_deliver;  // heap-allocates per packet
+};

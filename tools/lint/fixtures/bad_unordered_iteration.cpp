@@ -1,0 +1,33 @@
+// Fixture: iteration over hash containers must be flagged — the walk order
+// depends on libstdc++ version, hash seed mixing, and insertion history.
+// All four shapes: range-for over a variable, over an alias-typed function
+// result, an explicit iterator walk, and a temporary.
+// lint-fixture-expect: unordered-iteration 4
+
+#include <unordered_map>
+#include <unordered_set>
+
+using Counts = std::unordered_map<int, long>;
+
+Counts snapshot_and_reset();
+
+long first_key_wins() {
+  std::unordered_map<int, long> counts;
+  counts[3] = 1;
+  long picked = 0;
+  for (const auto& [k, v] : counts) {
+    picked = k;  // "first" element is hash-order-dependent
+    break;
+  }
+  for (const auto& [k, v] : snapshot_and_reset()) {
+    picked += k + v;
+  }
+  std::unordered_set<int> seen;
+  for (auto it = seen.begin(); it != seen.end(); ++it) {
+    picked += *it;
+  }
+  for (int x : std::unordered_set<int>{1, 2, 3}) {
+    picked -= x;
+  }
+  return picked;
+}

@@ -1,0 +1,12 @@
+// Fixture: randomness outside the run's seeded sim::Rng tree makes runs
+// unreproducible.
+// lint-fixture-expect: unseeded-random 3
+
+#include <cstdlib>
+#include <random>
+
+int roll() {
+  std::random_device rd;
+  srand(rd());
+  return rand() % 6;
+}

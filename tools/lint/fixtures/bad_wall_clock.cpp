@@ -1,0 +1,15 @@
+// Fixture: wall-clock reads couple simulation results to machine speed.
+// lint-fixture-expect: wall-clock 4
+
+#include <chrono>
+#include <ctime>
+
+double elapsed() {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto t1 = std::chrono::system_clock::now();
+  (void)t1;
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+long seconds_since_epoch() { return std::time(nullptr); }

@@ -1,0 +1,9 @@
+// Fixture: pointers as mapped values (not keys) are fine; keying on a
+// stable integer id is the sanctioned pattern.
+// lint-fixture-expect: pointer-order 0
+
+#include <map>
+
+struct Server;
+
+std::map<int, Server*> server_by_id;

@@ -1,0 +1,16 @@
+// Fixture: a PRNG explicitly seeded from the run's root seed is the
+// sanctioned pattern (sim::Rng in the real tree).
+// lint-fixture-expect: unseeded-random 0
+
+#include <cstdint>
+
+struct Rng {
+  std::uint64_t state;
+  explicit Rng(std::uint64_t seed) : state(seed) {}
+  std::uint64_t next() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state;
+  }
+};
+
+std::uint64_t draw(Rng& rng) { return rng.next(); }

@@ -1,0 +1,8 @@
+// Fixture: std::function outside the scrubbed hot-path files is legal —
+// e.g. Simulator::every()'s periodic-task API allocates once per periodic
+// task, not per event.
+// lint-fixture-expect: std-function-hot-path 0
+
+#include <functional>
+
+void run_periodic(const std::function<void()>& tick) { tick(); }

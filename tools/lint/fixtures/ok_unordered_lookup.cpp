@@ -1,0 +1,23 @@
+// Fixture: point lookups into hash containers are legal, and an
+// order-independent accumulation carrying a justified allow is suppressed.
+// lint-fixture-expect: unordered-iteration 0
+
+#include <string>
+#include <unordered_map>
+
+double lookup(const std::unordered_map<int, double>& table, int key) {
+  auto it = table.find(key);
+  return it == table.end() ? 0.0 : it->second;
+}
+
+double total_mass() {
+  std::unordered_map<std::string, double> mass;
+  mass["a"] = 1.0;
+  double sum = 0.0;
+  // netrs-lint: allow(unordered-iteration): order-independent accumulation
+  // (commutative +=; no decisions or ordered output derived from the walk).
+  for (const auto& [name, m] : mass) {
+    sum += m;
+  }
+  return sum;
+}

@@ -1,0 +1,21 @@
+// Fixture: allows with reasons suppress the diagnostic, and neither member
+// functions named time() nor their call sites are the libc wall clock.
+// lint-fixture-expect: wall-clock 0
+
+#include <chrono>
+
+struct Event {
+  long when = 0;
+  long time() const { return when; }
+};
+
+long event_time(const Event& e) { return e.time(); }
+
+double harness_wall_seconds() {
+  // netrs-lint: allow(wall-clock): harness-only diagnostic printed after the
+  // run; never feeds back into simulated time or decisions.
+  const auto t0 = std::chrono::steady_clock::now();
+  // netrs-lint: allow(wall-clock): see t0 above.
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}

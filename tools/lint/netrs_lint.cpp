@@ -1,0 +1,926 @@
+// netrs_lint: project-specific determinism lint for the simulation core.
+//
+// The simulator's contract is bit-for-bit reproducibility for a given seed
+// (ROADMAP north star; the golden-digest tests enforce it end-to-end). This
+// tool rejects the source patterns that historically break that contract
+// long before a digest drifts:
+//
+//   unordered-iteration   range-for / begin() iteration over
+//                         unordered_map/unordered_set state. Hash-table
+//                         walk order depends on libstdc++ version, seed
+//                         mixing, and insertion history, so any decision or
+//                         ordered accumulation driven by it is
+//                         nondeterministic. Lookups are fine.
+//   wall-clock            std::chrono::*_clock::now(), time(), gettimeofday
+//                         etc. inside simulation code: anything keyed to
+//                         wall time makes results machine-speed-dependent
+//                         (the placement B&B's max_seconds cutoff was a
+//                         live instance of this).
+//   unseeded-random       rand()/srand()/std::random_device: randomness
+//                         outside the seeded sim::Rng tree.
+//   pointer-order         std::map/std::set keyed on a pointer type:
+//                         iteration order becomes allocation-address order.
+//   std-function-hot-path std::function reappearing in the files the
+//                         allocation-free hot path was scrubbed of it
+//                         (sim/task, sim/event_queue, net/fabric,
+//                         net/switch, net/packet, net/payload). sim::Task
+//                         is the sanctioned callable there.
+//
+// Escape hatch — a justified suppression directly above (or on) the line:
+//   // netrs-lint: allow(<rule>): <reason>
+// The reason is mandatory; an allow without one is itself an error.
+//
+// Implementation: a comment/string/raw-string-aware lexer splits each file
+// into code text and comment text, a global two-phase pass collects the
+// names of unordered-typed variables, type aliases, and unordered-returning
+// functions across all inputs, then per-file rule scans run over the code
+// text. No libclang dependency: the container image has no clang, and the
+// patterns above are regular enough for token matching (self-tested against
+// tools/lint/fixtures/).
+//
+// Usage:
+//   netrs_lint <file-or-dir>...          lint; exit 1 on any violation
+//   netrs_lint --self-test <fixture-dir> check fixtures against their
+//                                        embedded lint-fixture-expect
+//                                        directives; exit 1 on mismatch
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// --------------------------------------------------------------------------
+// Lexing: split a translation unit into code text (comments and literal
+// contents blanked out, structure preserved) and per-line comment text.
+// --------------------------------------------------------------------------
+
+struct FileText {
+  std::string path;           ///< as given on the command line
+  std::string effective_path; ///< overridden by lint-fixture-path directives
+  std::string code;           ///< newline-preserving, comments/strings blanked
+  std::vector<std::string> comment;  ///< comment text by 0-based line
+  std::vector<std::size_t> line_start;  ///< offset of each line in `code`
+};
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+FileText lex_file(const std::string& path, const std::string& text) {
+  FileText out;
+  out.path = path;
+  out.effective_path = path;
+  out.code.reserve(text.size());
+
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString,
+  };
+  State state = State::kCode;
+  std::string raw_delim;  // for raw strings: the )delim" terminator
+  std::size_t line = 0;
+  out.comment.emplace_back();
+
+  auto emit_code = [&](char c) { out.code.push_back(c); };
+  auto emit_blank = [&](char c) { out.code.push_back(c == '\n' ? '\n' : ' '); };
+  auto emit_comment = [&](char c) {
+    if (c != '\n') out.comment[line].push_back(c);
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          emit_blank(c);
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          emit_blank(c);
+          emit_blank(next);
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || !ident_char(text[i - 1]))) {
+          // R"delim( ... )delim"
+          std::size_t p = i + 2;
+          std::string delim;
+          while (p < text.size() && text[p] != '(') delim.push_back(text[p++]);
+          raw_delim = ")" + delim + "\"";
+          state = State::kRawString;
+          emit_blank(c);
+          emit_blank(next);
+          for (std::size_t k = i + 2; k <= p && k < text.size(); ++k) {
+            emit_blank(text[k]);
+          }
+          i = p;
+        } else if (c == '"') {
+          state = State::kString;
+          emit_blank(c);
+        } else if (c == '\'' &&
+                   (i == 0 || !std::isdigit(static_cast<unsigned char>(
+                                  text[i - 1])))) {
+          // Skip digit separators (1'000'000) — only enter char-literal
+          // state when not between digits.
+          state = State::kChar;
+          emit_blank(c);
+        } else {
+          emit_code(c);
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+          emit_code(c);
+        } else {
+          emit_comment(c);
+          emit_blank(c);
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          emit_blank(c);
+          emit_blank(next);
+          ++i;
+        } else {
+          emit_comment(c);
+          emit_blank(c);
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && next != '\0') {
+          emit_blank(c);
+          emit_blank(next);
+          ++i;
+        } else {
+          if (c == '"') state = State::kCode;
+          emit_blank(c);
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && next != '\0') {
+          emit_blank(c);
+          emit_blank(next);
+          ++i;
+        } else {
+          if (c == '\'') state = State::kCode;
+          emit_blank(c);
+        }
+        break;
+      case State::kRawString:
+        if (c == ')' && text.compare(i, raw_delim.size(), raw_delim) == 0) {
+          for (std::size_t k = 0; k < raw_delim.size(); ++k) emit_blank(' ');
+          i += raw_delim.size() - 1;
+          state = State::kCode;
+        } else {
+          emit_blank(c);
+        }
+        break;
+    }
+    if (c == '\n') {
+      ++line;
+      out.comment.emplace_back();
+    }
+  }
+
+  out.line_start.push_back(0);
+  for (std::size_t i = 0; i < out.code.size(); ++i) {
+    if (out.code[i] == '\n') out.line_start.push_back(i + 1);
+  }
+  return out;
+}
+
+std::size_t line_of_offset(const FileText& f, std::size_t off) {
+  // 1-based line number for a code offset.
+  auto it = std::upper_bound(f.line_start.begin(), f.line_start.end(), off);
+  return static_cast<std::size_t>(it - f.line_start.begin());
+}
+
+// --------------------------------------------------------------------------
+// Small token helpers over the blanked code text.
+// --------------------------------------------------------------------------
+
+/// Finds the next occurrence of `word` at or after `from` with identifier
+/// boundaries on both sides. Returns npos when absent.
+std::size_t find_word(const std::string& s, const std::string& word,
+                      std::size_t from) {
+  for (std::size_t p = s.find(word, from); p != std::string::npos;
+       p = s.find(word, p + 1)) {
+    const bool left_ok = p == 0 || !ident_char(s[p - 1]);
+    const bool right_ok =
+        p + word.size() >= s.size() || !ident_char(s[p + word.size()]);
+    if (left_ok && right_ok) return p;
+  }
+  return std::string::npos;
+}
+
+std::size_t skip_ws(const std::string& s, std::size_t p) {
+  while (p < s.size() &&
+         std::isspace(static_cast<unsigned char>(s[p])) != 0) {
+    ++p;
+  }
+  return p;
+}
+
+std::size_t skip_ws_back(const std::string& s, std::size_t p) {
+  // Returns the index of the last non-space char at or before p, or npos.
+  while (p != std::string::npos &&
+         std::isspace(static_cast<unsigned char>(s[p])) != 0) {
+    if (p == 0) return std::string::npos;
+    --p;
+  }
+  return p;
+}
+
+std::string read_ident(const std::string& s, std::size_t p,
+                       std::size_t* end = nullptr) {
+  std::size_t q = p;
+  while (q < s.size() && ident_char(s[q])) ++q;
+  if (end != nullptr) *end = q;
+  return s.substr(p, q - p);
+}
+
+/// True when the word at `p` looks like a function *declaration* rather
+/// than a call: the preceding token is an identifier (its return type, as
+/// in `long time() const;`) that is not a statement keyword. `return
+/// time(0)` and `= time(0)` still count as calls.
+bool is_declaration_context(const std::string& s, std::size_t p) {
+  std::size_t q = skip_ws_back(s, p == 0 ? 0 : p - 1);
+  if (q == std::string::npos || !ident_char(s[q])) return false;
+  std::size_t begin = q;
+  while (begin > 0 && ident_char(s[begin - 1])) --begin;
+  const std::string prev = s.substr(begin, q - begin + 1);
+  return prev != "return" && prev != "co_return" && prev != "case" &&
+         prev != "throw" && prev != "co_yield";
+}
+
+/// Matches the `<...>` starting at `open` (s[open] == '<'); returns the
+/// offset of the closing '>' or npos. Tracks parens so `foo<bar(1,2)>`
+/// nests correctly; treats '<'/'>' as brackets, which is valid inside a
+/// template-argument type position.
+std::size_t match_angle(const std::string& s, std::size_t open) {
+  int angle = 0;
+  int paren = 0;
+  for (std::size_t p = open; p < s.size(); ++p) {
+    const char c = s[p];
+    if (c == '(') ++paren;
+    if (c == ')') --paren;
+    if (paren > 0) continue;
+    if (c == '<') ++angle;
+    if (c == '>') {
+      --angle;
+      if (angle == 0) return p;
+    }
+    if (c == ';') return std::string::npos;  // runaway: not a template
+  }
+  return std::string::npos;
+}
+
+// --------------------------------------------------------------------------
+// Violations and allow directives.
+// --------------------------------------------------------------------------
+
+struct Violation {
+  std::string file;
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct Directive {
+  std::string rule;
+  bool has_reason = false;
+};
+
+/// Parses every `netrs-lint: allow(<rule>): <reason>` in a comment string.
+std::vector<Directive> parse_allows(const std::string& comment) {
+  std::vector<Directive> out;
+  const std::string kKey = "netrs-lint:";
+  for (std::size_t p = comment.find(kKey); p != std::string::npos;
+       p = comment.find(kKey, p + 1)) {
+    std::size_t q = skip_ws(comment, p + kKey.size());
+    if (comment.compare(q, 6, "allow(") != 0) continue;
+    q += 6;
+    const std::size_t close = comment.find(')', q);
+    if (close == std::string::npos) continue;
+    Directive d;
+    d.rule = comment.substr(q, close - q);
+    std::size_t after = skip_ws(comment, close + 1);
+    if (after < comment.size() && comment[after] == ':') {
+      const std::string reason = comment.substr(after + 1);
+      // A reason must contain a word character, not just punctuation.
+      d.has_reason = std::any_of(reason.begin(), reason.end(), ident_char);
+    }
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+/// True when a violation of `rule` at 1-based `line` is covered by an allow
+/// directive on that line or in the contiguous comment/blank block directly
+/// above it. Malformed (reason-less) allows are reported via `errors`.
+bool is_allowed(const FileText& f, const std::string& rule, std::size_t line,
+                std::vector<Violation>* errors) {
+  auto line_has_code = [&](std::size_t l) {
+    // l is 1-based.
+    const std::size_t a = f.line_start[l - 1];
+    const std::size_t b =
+        l < f.line_start.size() ? f.line_start[l] : f.code.size();
+    for (std::size_t p = a; p < b; ++p) {
+      if (std::isspace(static_cast<unsigned char>(f.code[p])) == 0) {
+        return true;
+      }
+    }
+    return false;
+  };
+  for (std::size_t l = line;; --l) {
+    if (l - 1 < f.comment.size()) {
+      for (const Directive& d : parse_allows(f.comment[l - 1])) {
+        if (d.rule != rule) continue;
+        if (!d.has_reason) {
+          errors->push_back({f.path, l, "allow-without-reason",
+                             "allow(" + d.rule +
+                                 ") must carry a reason: "
+                                 "`// netrs-lint: allow(" +
+                                 d.rule + "): <why this is safe>`"});
+          continue;
+        }
+        return true;
+      }
+    }
+    if (l != line && line_has_code(l)) break;  // hit real code above
+    if (l == 1) break;
+  }
+  return false;
+}
+
+// --------------------------------------------------------------------------
+// Phase 1: global symbol collection.
+// --------------------------------------------------------------------------
+
+struct SymbolTable {
+  std::set<std::string> unordered_vars;   ///< variables/members of unordered type
+  std::set<std::string> unordered_funcs;  ///< functions returning unordered
+  std::set<std::string> aliases;          ///< type aliases for unordered types
+};
+
+/// After a type spelled at [.., type_end] (offset one past its closing '>'
+/// or last ident char), classify what is being declared and record it.
+void record_decl_after_type(const std::string& code, std::size_t type_end,
+                            SymbolTable* table) {
+  std::size_t p = skip_ws(code, type_end);
+  // Skip refs/pointers and cv-qualifiers between type and name.
+  while (p < code.size()) {
+    if (code[p] == '&' || code[p] == '*') {
+      ++p;
+      p = skip_ws(code, p);
+      continue;
+    }
+    if (code.compare(p, 5, "const") == 0 && !ident_char(code[p + 5])) {
+      p = skip_ws(code, p + 5);
+      continue;
+    }
+    break;
+  }
+  if (p >= code.size() || !ident_char(code[p])) return;
+  std::size_t name_end = 0;
+  const std::string name = read_ident(code, p, &name_end);
+  if (name.empty()) return;
+  std::size_t q = skip_ws(code, name_end);
+  if (q < code.size() && code[q] == '(') {
+    table->unordered_funcs.insert(name);
+  } else if (q < code.size() &&
+             (code[q] == ';' || code[q] == '=' || code[q] == '{' ||
+              code[q] == ',' || code[q] == ')')) {
+    table->unordered_vars.insert(name);
+  }
+}
+
+void collect_symbols(const FileText& f, SymbolTable* table) {
+  const std::string& code = f.code;
+
+  // Direct unordered_* spellings.
+  for (std::size_t p = code.find("unordered_"); p != std::string::npos;
+       p = code.find("unordered_", p + 1)) {
+    if (p > 0 && ident_char(code[p - 1])) continue;
+    std::size_t ident_end = 0;
+    read_ident(code, p, &ident_end);
+    const std::size_t open = skip_ws(code, ident_end);
+    if (open >= code.size() || code[open] != '<') continue;
+    const std::size_t close = match_angle(code, open);
+    if (close == std::string::npos) continue;
+
+    // `using NAME = std::unordered_map<...>;` → alias NAME.
+    {
+      std::size_t b = p;
+      // Step back over std:: qualification.
+      while (b >= 2 && code[b - 1] == ':' && code[b - 2] == ':') {
+        std::size_t q = b - 2;
+        while (q > 0 && ident_char(code[q - 1])) --q;
+        b = q;
+      }
+      const std::size_t eq = skip_ws_back(code, b == 0 ? 0 : b - 1);
+      if (eq != std::string::npos && code[eq] == '=') {
+        std::size_t name_last = skip_ws_back(code, eq == 0 ? 0 : eq - 1);
+        if (name_last != std::string::npos && ident_char(code[name_last])) {
+          std::size_t name_begin = name_last;
+          while (name_begin > 0 && ident_char(code[name_begin - 1])) {
+            --name_begin;
+          }
+          table->aliases.insert(
+              code.substr(name_begin, name_last - name_begin + 1));
+          continue;  // the alias itself declares nothing else
+        }
+      }
+    }
+    record_decl_after_type(code, close + 1, table);
+  }
+}
+
+void collect_alias_uses(const FileText& f, SymbolTable* table) {
+  // Declarations whose type is a known alias: `Counts snapshot_and_reset()`
+  // or `RsNodeDirectory directory;` (possibly Namespace::Alias-qualified —
+  // the word match finds the trailing alias component).
+  for (const std::string& alias : table->aliases) {
+    for (std::size_t p = find_word(f.code, alias, 0); p != std::string::npos;
+         p = find_word(f.code, alias, p + 1)) {
+      record_decl_after_type(f.code, p + alias.size(), table);
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Phase 2: rules.
+// --------------------------------------------------------------------------
+
+using Sink = std::vector<Violation>;
+
+void report(const FileText& f, std::size_t line, const char* rule,
+            std::string message, Sink* violations, Sink* errors) {
+  if (is_allowed(f, rule, line, errors)) return;
+  violations->push_back({f.path, line, rule, std::move(message)});
+}
+
+/// The expression a range-for iterates, reduced to its terminal name: the
+/// called function for `mon->snapshot_and_reset()`, the member for
+/// `state.rates_`, the variable for `rates_`.
+std::string terminal_name(const std::string& expr) {
+  std::string e = expr;
+  // Trim whitespace.
+  while (!e.empty() && std::isspace(static_cast<unsigned char>(e.back()))) {
+    e.pop_back();
+  }
+  // Strip one trailing call: `...name(...)` → `...name`.
+  if (!e.empty() && e.back() == ')') {
+    int depth = 0;
+    std::size_t p = e.size();
+    while (p > 0) {
+      --p;
+      if (e[p] == ')') ++depth;
+      if (e[p] == '(') {
+        --depth;
+        if (depth == 0) break;
+      }
+    }
+    if (depth == 0) e.erase(p);
+  }
+  while (!e.empty() && std::isspace(static_cast<unsigned char>(e.back()))) {
+    e.pop_back();
+  }
+  // Last identifier run.
+  std::size_t end = e.size();
+  while (end > 0 && !ident_char(e[end - 1])) --end;
+  std::size_t begin = end;
+  while (begin > 0 && ident_char(e[begin - 1])) --begin;
+  return e.substr(begin, end - begin);
+}
+
+void rule_unordered_iteration(const FileText& f, const SymbolTable& table,
+                              Sink* violations, Sink* errors) {
+  const std::string& code = f.code;
+  // Range-for statements: `for (` decl `:` range `)`.
+  for (std::size_t p = find_word(code, "for", 0); p != std::string::npos;
+       p = find_word(code, "for", p + 1)) {
+    const std::size_t open = skip_ws(code, p + 3);
+    if (open >= code.size() || code[open] != '(') continue;
+    int depth = 0;
+    std::size_t colon = std::string::npos;
+    std::size_t close = std::string::npos;
+    for (std::size_t q = open; q < code.size(); ++q) {
+      const char c = code[q];
+      if (c == '(') ++depth;
+      if (c == ')') {
+        --depth;
+        if (depth == 0) {
+          close = q;
+          break;
+        }
+      }
+      if (c == ':' && depth == 1 && colon == std::string::npos) {
+        const bool scope = (q + 1 < code.size() && code[q + 1] == ':') ||
+                           (q > 0 && code[q - 1] == ':');
+        if (!scope) colon = q;
+      }
+    }
+    if (colon == std::string::npos || close == std::string::npos) continue;
+    const std::string range = code.substr(colon + 1, close - colon - 1);
+    const std::string name = terminal_name(range);
+    const std::size_t line = line_of_offset(f, p);
+    if (range.find("unordered_") != std::string::npos) {
+      report(f, line, "unordered-iteration",
+             "range-for over an unordered container expression; iteration "
+             "order is not deterministic",
+             violations, errors);
+    } else if (table.unordered_vars.count(name) != 0) {
+      report(f, line, "unordered-iteration",
+             "range-for over `" + name +
+                 "`, declared as an unordered container; iteration order is "
+                 "not deterministic",
+             violations, errors);
+    } else if (table.unordered_funcs.count(name) != 0) {
+      report(f, line, "unordered-iteration",
+             "range-for over the result of `" + name +
+                 "()`, which returns an unordered container; iteration order "
+                 "is not deterministic",
+             violations, errors);
+    }
+  }
+
+  // Explicit iterator walks: name.begin() / name->begin() on a known
+  // unordered variable (find()/count()/at() lookups stay legal).
+  for (const std::string& name : table.unordered_vars) {
+    for (std::size_t p = find_word(code, name, 0); p != std::string::npos;
+         p = find_word(code, name, p + 1)) {
+      std::size_t q = skip_ws(code, p + name.size());
+      if (code.compare(q, 1, ".") == 0) {
+        q = skip_ws(code, q + 1);
+      } else if (code.compare(q, 2, "->") == 0) {
+        q = skip_ws(code, q + 2);
+      } else {
+        continue;
+      }
+      std::size_t call_end = 0;
+      const std::string member = read_ident(code, q, &call_end);
+      if ((member == "begin" || member == "cbegin" || member == "rbegin") &&
+          call_end < code.size() && code[skip_ws(code, call_end)] == '(') {
+        report(f, line_of_offset(f, p), "unordered-iteration",
+               "iterator walk over `" + name +
+                   "`, declared as an unordered container; use find()/at() "
+                   "for lookups or an ordered container for iteration",
+               violations, errors);
+      }
+    }
+  }
+}
+
+void rule_wall_clock(const FileText& f, Sink* violations, Sink* errors) {
+  const std::string& code = f.code;
+  static const char* kClockPatterns[] = {
+      "steady_clock", "system_clock", "high_resolution_clock",
+      "gettimeofday", "clock_gettime",
+  };
+  for (const char* pat : kClockPatterns) {
+    for (std::size_t p = find_word(code, pat, 0); p != std::string::npos;
+         p = find_word(code, pat, p + 1)) {
+      report(f, line_of_offset(f, p), "wall-clock",
+             std::string("`") + pat +
+                 "` couples simulation code to wall time; results become "
+                 "machine-speed-dependent. Use sim::Simulator::now()",
+             violations, errors);
+    }
+  }
+  // C `time(...)` / `std::time(...)` call (word `time` directly applied).
+  for (std::size_t p = find_word(code, "time", 0); p != std::string::npos;
+       p = find_word(code, "time", p + 1)) {
+    const std::size_t q = skip_ws(code, p + 4);
+    if (q >= code.size() || code[q] != '(') continue;
+    // Member calls `x.time(...)` are project API, not the libc function,
+    // and `long time() const;` is a member declaration, not a call.
+    if (p >= 1 && (code[p - 1] == '.' || code[p - 1] == '>')) continue;
+    if (is_declaration_context(code, p)) continue;
+    report(f, line_of_offset(f, p), "wall-clock",
+           "`time()` reads the wall clock; use sim::Simulator::now()",
+           violations, errors);
+  }
+}
+
+void rule_unseeded_random(const FileText& f, Sink* violations, Sink* errors) {
+  const std::string& code = f.code;
+  for (std::size_t p = find_word(code, "random_device", 0);
+       p != std::string::npos;
+       p = find_word(code, "random_device", p + 1)) {
+    report(f, line_of_offset(f, p), "unseeded-random",
+           "`std::random_device` is entropy-seeded; derive a child of the "
+           "run's sim::Rng instead",
+           violations, errors);
+  }
+  for (const char* fn : {"rand", "srand"}) {
+    for (std::size_t p = find_word(code, fn, 0); p != std::string::npos;
+         p = find_word(code, fn, p + 1)) {
+      const std::size_t q = skip_ws(code, p + std::string(fn).size());
+      if (q >= code.size() || code[q] != '(') continue;
+      if (p >= 1 && (code[p - 1] == '.' || code[p - 1] == '>')) continue;
+      if (is_declaration_context(code, p)) continue;
+      report(f, line_of_offset(f, p), "unseeded-random",
+             std::string("`") + fn +
+                 "()` uses global libc PRNG state; derive a child of the "
+                 "run's sim::Rng instead",
+             violations, errors);
+    }
+  }
+}
+
+void rule_pointer_order(const FileText& f, Sink* violations, Sink* errors) {
+  const std::string& code = f.code;
+  for (const char* container : {"map", "set", "multimap", "multiset"}) {
+    for (std::size_t p = find_word(code, container, 0);
+         p != std::string::npos;
+         p = find_word(code, container, p + 1)) {
+      // Require std:: (or ::) qualification so member names don't match.
+      if (p < 2 || code[p - 1] != ':' || code[p - 2] != ':') continue;
+      const std::size_t open = skip_ws(code, p + std::string(container).size());
+      if (open >= code.size() || code[open] != '<') continue;
+      const std::size_t close = match_angle(code, open);
+      if (close == std::string::npos) continue;
+      // First template argument = key type.
+      int angle = 0;
+      std::size_t key_end = close;
+      for (std::size_t q = open; q <= close; ++q) {
+        if (code[q] == '<') ++angle;
+        if (code[q] == '>') --angle;
+        if (code[q] == ',' && angle == 1) {
+          key_end = q;
+          break;
+        }
+      }
+      std::string key = code.substr(open + 1, key_end - open - 1);
+      while (!key.empty() &&
+             std::isspace(static_cast<unsigned char>(key.back()))) {
+        key.pop_back();
+      }
+      if (!key.empty() && key.back() == '*') {
+        report(f, line_of_offset(f, p), "pointer-order",
+               "std::" + std::string(container) + " keyed on pointer `" +
+                   key +
+                   "`: iteration order becomes allocation-address order. "
+                   "Key on a stable id instead",
+               violations, errors);
+      }
+    }
+  }
+}
+
+/// Files PR 2 scrubbed of std::function to keep the per-event/per-packet
+/// path allocation-free. sim/simulator.* is deliberately NOT listed: its
+/// every() takes std::function as the sanctioned periodic-task API (one
+/// allocation per periodic task, not per event).
+const char* kHotPathFiles[] = {
+    "sim/task.",    "sim/event_queue.", "net/fabric.",
+    "net/switch.",  "net/packet.",      "net/payload.",
+};
+
+void rule_std_function_hot_path(const FileText& f, Sink* violations,
+                                Sink* errors) {
+  std::string norm = f.effective_path;
+  std::replace(norm.begin(), norm.end(), '\\', '/');
+  bool hot = false;
+  for (const char* frag : kHotPathFiles) {
+    if (norm.find(frag) != std::string::npos) hot = true;
+  }
+  if (!hot) return;
+  const std::string& code = f.code;
+  for (std::size_t p = code.find("std::function"); p != std::string::npos;
+       p = code.find("std::function", p + 1)) {
+    if (ident_char(code[p + 13])) continue;
+    report(f, line_of_offset(f, p), "std-function-hot-path",
+           "std::function in the allocation-free hot path; use sim::Task "
+           "(small-buffer, move-only) instead",
+           violations, errors);
+  }
+}
+
+void run_rules(const FileText& f, const SymbolTable& table, Sink* violations,
+               Sink* errors) {
+  rule_unordered_iteration(f, table, violations, errors);
+  rule_wall_clock(f, violations, errors);
+  rule_unseeded_random(f, violations, errors);
+  rule_pointer_order(f, violations, errors);
+  rule_std_function_hot_path(f, violations, errors);
+}
+
+// --------------------------------------------------------------------------
+// Input handling.
+// --------------------------------------------------------------------------
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h";
+}
+
+std::vector<std::string> gather_inputs(const std::vector<std::string>& args) {
+  std::vector<std::string> files;
+  for (const std::string& a : args) {
+    std::error_code ec;
+    if (fs::is_directory(a, ec)) {
+      for (const auto& entry : fs::recursive_directory_iterator(a)) {
+        if (entry.is_regular_file() && lintable(entry.path())) {
+          files.push_back(entry.path().string());
+        }
+      }
+    } else {
+      files.push_back(a);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+bool read_file(const std::string& path, std::string* text) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *text = ss.str();
+  return true;
+}
+
+/// Applies `// lint-fixture-path: <path>` (fixtures masquerading as hot-path
+/// files) found anywhere in the comments.
+void apply_fixture_path(FileText* f) {
+  const std::string kKey = "lint-fixture-path:";
+  for (const std::string& c : f->comment) {
+    const std::size_t p = c.find(kKey);
+    if (p == std::string::npos) continue;
+    std::size_t b = skip_ws(c, p + kKey.size());
+    std::size_t e = b;
+    while (e < c.size() &&
+           std::isspace(static_cast<unsigned char>(c[e])) == 0) {
+      ++e;
+    }
+    f->effective_path = c.substr(b, e - b);
+    return;
+  }
+}
+
+// --------------------------------------------------------------------------
+// Modes.
+// --------------------------------------------------------------------------
+
+int lint_mode(const std::vector<std::string>& paths) {
+  const std::vector<std::string> files = gather_inputs(paths);
+  if (files.empty()) {
+    std::fprintf(stderr, "netrs_lint: no input files\n");
+    return 2;
+  }
+  std::vector<FileText> texts;
+  for (const std::string& path : files) {
+    std::string text;
+    if (!read_file(path, &text)) {
+      std::fprintf(stderr, "netrs_lint: cannot read %s\n", path.c_str());
+      return 2;
+    }
+    texts.push_back(lex_file(path, text));
+  }
+
+  // Symbol scoping: headers are shared (members and aliases declared in a
+  // .hpp are legitimately iterated from any .cpp), but symbols local to one
+  // .cpp must not leak into another — a local `out` that happens to be an
+  // unordered map in monitor.cpp must not taint a std::vector named `out`
+  // in rng.cpp.
+  auto is_header = [](const std::string& path) {
+    return path.size() >= 2 && (path.ends_with(".hpp") || path.ends_with(".h"));
+  };
+  SymbolTable headers;
+  for (const FileText& f : texts) {
+    if (is_header(f.path)) collect_symbols(f, &headers);
+  }
+  for (const FileText& f : texts) {
+    if (is_header(f.path)) collect_alias_uses(f, &headers);
+  }
+
+  Sink violations;
+  Sink errors;
+  for (const FileText& f : texts) {
+    SymbolTable table = headers;
+    if (!is_header(f.path)) {
+      collect_symbols(f, &table);
+      collect_alias_uses(f, &table);
+    }
+    run_rules(f, table, &violations, &errors);
+  }
+
+  for (const Violation& v : errors) {
+    std::printf("%s:%zu: error [%s] %s\n", v.file.c_str(), v.line,
+                v.rule.c_str(), v.message.c_str());
+  }
+  for (const Violation& v : violations) {
+    std::printf("%s:%zu: [%s] %s\n", v.file.c_str(), v.line, v.rule.c_str(),
+                v.message.c_str());
+  }
+  if (violations.empty() && errors.empty()) {
+    std::printf("netrs_lint: %zu files clean\n", texts.size());
+    return 0;
+  }
+  std::printf("netrs_lint: %zu violation(s), %zu error(s) in %zu files\n",
+              violations.size(), errors.size(), texts.size());
+  return 1;
+}
+
+int self_test_mode(const std::vector<std::string>& paths) {
+  const std::vector<std::string> files = gather_inputs(paths);
+  if (files.empty()) {
+    std::fprintf(stderr, "netrs_lint: no fixtures found\n");
+    return 2;
+  }
+  int failures = 0;
+  for (const std::string& path : files) {
+    std::string text;
+    if (!read_file(path, &text)) {
+      std::fprintf(stderr, "netrs_lint: cannot read %s\n", path.c_str());
+      return 2;
+    }
+    // Each fixture is linted in isolation so symbol tables don't leak
+    // between fixtures.
+    FileText f = lex_file(path, text);
+    apply_fixture_path(&f);
+    SymbolTable table;
+    collect_symbols(f, &table);
+    collect_alias_uses(f, &table);
+    Sink violations;
+    Sink errors;
+    run_rules(f, table, &violations, &errors);
+
+    // Expected counts from `// lint-fixture-expect: <rule> <count>`.
+    std::map<std::string, int> expected;
+    const std::string kKey = "lint-fixture-expect:";
+    for (const std::string& c : f.comment) {
+      const std::size_t p = c.find(kKey);
+      if (p == std::string::npos) continue;
+      std::istringstream ss(c.substr(p + kKey.size()));
+      std::string rule;
+      int count = 0;
+      if (ss >> rule >> count) expected[rule] += count;
+    }
+    // Zero-count directives document "this rule must not fire" — normalize
+    // them away so the map comparison below treats them as absence.
+    std::erase_if(expected, [](const auto& kv) { return kv.second == 0; });
+
+    std::map<std::string, int> actual;
+    for (const Violation& v : violations) ++actual[v.rule];
+    for (const Violation& v : errors) ++actual[v.rule];
+
+    if (actual == expected) {
+      std::printf("PASS %s\n", path.c_str());
+    } else {
+      ++failures;
+      std::printf("FAIL %s\n", path.c_str());
+      for (const auto& [rule, n] : expected) {
+        std::printf("  expected %-24s %d  got %d\n", rule.c_str(), n,
+                    actual.count(rule) != 0 ? actual.at(rule) : 0);
+      }
+      for (const auto& [rule, n] : actual) {
+        if (expected.count(rule) == 0) {
+          std::printf("  unexpected %-22s %d\n", rule.c_str(), n);
+        }
+      }
+      for (const Violation& v : violations) {
+        std::printf("  %s:%zu: [%s] %s\n", v.file.c_str(), v.line,
+                    v.rule.c_str(), v.message.c_str());
+      }
+    }
+  }
+  std::printf("netrs_lint --self-test: %zu fixtures, %d failure(s)\n",
+              files.size(), failures);
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (!args.empty() && args[0] == "--self-test") {
+    return self_test_mode({args.begin() + 1, args.end()});
+  }
+  if (args.empty() || args[0] == "--help") {
+    std::fprintf(stderr,
+                 "usage: netrs_lint <file-or-dir>...\n"
+                 "       netrs_lint --self-test <fixture-dir>\n");
+    return args.empty() ? 2 : 0;
+  }
+  return lint_mode(args);
+}
