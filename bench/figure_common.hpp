@@ -29,6 +29,37 @@ struct SweepPoint {
   std::function<void(harness::ExperimentConfig&)> apply;
 };
 
+/// Slug-safe fragment for observability filenames: keeps [A-Za-z0-9.-],
+/// maps everything else to '-'.
+inline std::string path_slug(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    const bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '.' || c == '-';
+    out += keep ? c : '-';
+  }
+  return out;
+}
+
+/// Derives a per-cell output path from a base path by inserting
+/// ".<sweep>-<point>.<scheme>" before the extension, so a sweep driven by
+/// NETRS_TRACE/NETRS_METRICS writes one file per grid cell instead of
+/// every cell clobbering the same file.
+inline std::string per_cell_path(const std::string& base,
+                                 const std::string& sweep_label,
+                                 const std::string& point_label,
+                                 harness::Scheme scheme) {
+  const std::string tag = "." + path_slug(sweep_label) + "-" +
+                          path_slug(point_label) + "." +
+                          path_slug(harness::scheme_name(scheme));
+  const std::size_t dot = base.find_last_of('.');
+  const std::size_t slash = base.find_last_of('/');
+  const bool has_ext =
+      dot != std::string::npos && (slash == std::string::npos || dot > slash);
+  return has_ext ? base.substr(0, dot) + tag + base.substr(dot) : base + tag;
+}
+
 inline int run_figure(const std::string& title,
                       const std::string& sweep_label,
                       const std::vector<SweepPoint>& points,
@@ -61,6 +92,16 @@ inline int run_figure(const std::string& title,
     harness::ExperimentConfig cfg = harness::default_config();
     points[pi].apply(cfg);
     cfg.jobs = inner;
+    // One observability file per grid cell (NETRS_TRACE/NETRS_METRICS set
+    // the base path via default_config()).
+    if (cfg.obs.want_trace()) {
+      cfg.obs.trace_path = per_cell_path(cfg.obs.trace_path, sweep_label,
+                                         points[pi].label, schemes[si]);
+    }
+    if (cfg.obs.want_metrics()) {
+      cfg.obs.metrics_path = per_cell_path(cfg.obs.metrics_path, sweep_label,
+                                           points[pi].label, schemes[si]);
+    }
     {
       const std::lock_guard<std::mutex> lock(io_mu);
       std::printf("[%s] %s=%s scheme=%s ...\n", title.c_str(),

@@ -38,7 +38,12 @@ void usage(const char* argv0) {
       "  --share-accel     share one accelerator per core group\n"
       "  --seed N          RNG seed               (default 1)\n"
       "  --jobs N          worker threads for repeats (default: all\n"
-      "                    cores; 1 = serial; results are identical)\n",
+      "                    cores; 1 = serial; results are identical)\n"
+      "  --trace FILE      write a Chrome trace-event JSON of per-request\n"
+      "                    lifecycle spans (open in Perfetto); also\n"
+      "                    --trace=FILE or NETRS_TRACE\n"
+      "  --metrics FILE    write a sampled metrics CSV time series; also\n"
+      "                    --metrics=FILE or NETRS_METRICS\n",
       argv0);
 }
 
@@ -112,6 +117,14 @@ int main(int argc, char** argv) {
       cfg.seed = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--jobs") {
       cfg.jobs = std::atoi(next());
+    } else if (arg == "--trace") {
+      cfg.obs.trace_path = next();
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      cfg.obs.trace_path = arg.substr(std::strlen("--trace="));
+    } else if (arg == "--metrics") {
+      cfg.obs.metrics_path = next();
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      cfg.obs.metrics_path = arg.substr(std::strlen("--metrics="));
     } else {
       usage(argv[0]);
       return arg == "--help" || arg == "-h" ? 0 : 2;
@@ -147,5 +160,25 @@ int main(int argc, char** argv) {
               r.drs_groups, r.avg_forwards,
               r.wire_bytes_per_request / 1024.0, r.load_oscillation,
               r.wall_seconds);
+  if (!cfg.obs.trace_path.empty()) {
+    std::printf("trace: %llu events -> %s (%llu dropped to ring "
+                "wraparound; open at https://ui.perfetto.dev)\n",
+                static_cast<unsigned long long>(r.trace_events),
+                cfg.obs.trace_path.c_str(),
+                static_cast<unsigned long long>(r.trace_dropped));
+  }
+  if (!cfg.obs.metrics_path.empty()) {
+    std::printf("metrics: %s (long-format CSV: repeat,time_us,metric,value)\n",
+                cfg.obs.metrics_path.c_str());
+    for (const obs::MetricSummaryEntry& e : r.metrics.entries) {
+      std::printf("  %-18s samples %llu | min %s | mean %s | max %s | "
+                  "last %s\n",
+                  e.name.c_str(), static_cast<unsigned long long>(e.samples),
+                  obs::format_metric_value(e.min).c_str(),
+                  obs::format_metric_value(e.mean).c_str(),
+                  obs::format_metric_value(e.max).c_str(),
+                  obs::format_metric_value(e.last).c_str());
+    }
+  }
   return 0;
 }

@@ -45,6 +45,12 @@ std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
   return std::strtoull(v, nullptr, 10);
 }
 
+std::string env_str(const char* name, std::string fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return v;
+}
+
 }  // namespace
 
 ExperimentConfig default_config() {
@@ -55,6 +61,8 @@ ExperimentConfig default_config() {
   cfg.seed = env_u64("NETRS_SEED", cfg.seed);
   cfg.jobs = static_cast<int>(
       env_u64("NETRS_JOBS", static_cast<std::uint64_t>(cfg.jobs)));
+  cfg.obs.trace_path = env_str("NETRS_TRACE", cfg.obs.trace_path);
+  cfg.obs.metrics_path = env_str("NETRS_METRICS", cfg.obs.metrics_path);
   return cfg;
 }
 

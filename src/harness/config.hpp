@@ -7,6 +7,7 @@
 #include "netrs/accelerator.hpp"
 #include "netrs/placement.hpp"
 #include "netrs/traffic_group.hpp"
+#include "obs/observer.hpp"
 #include "rs/factory.hpp"
 #include "sim/time.hpp"
 
@@ -23,12 +24,15 @@ enum class Scheme {
   kNetRSIlp,
 };
 
+/// Short scheme label used in reports ("cli-rs", "netrs-ilp", ...).
 [[nodiscard]] const char* scheme_name(Scheme s);
+/// True for the NetRS schemes (kNetRSToR, kNetRSIlp).
 [[nodiscard]] bool is_netrs(Scheme s);
 
+/// Every knob of one experiment; defaults are the paper's §V-A setup.
 struct ExperimentConfig {
   // --- Topology (16-ary 3-tier fat-tree, 1024 hosts) ---
-  int fat_tree_k = 16;
+  int fat_tree_k = 16;  ///< Fat-tree arity.
 
   // --- Cluster ---
   int num_servers = 100;  ///< Ns
@@ -96,14 +100,21 @@ struct ExperimentConfig {
   /// at any jobs value.
   int jobs = 0;
 
+  // --- Observability (DESIGN.md §8) ---
+  /// Trace / metrics outputs; empty paths (the default) disable the
+  /// observability layer entirely. Observation-only: results and golden
+  /// digests are identical with it on or off.
+  obs::ObsConfig obs;
+
   /// Aggregate request arrival rate A in requests/s (from `utilization`).
   [[nodiscard]] double aggregate_rate() const;
   /// Nominal run length: total_requests / aggregate_rate().
   [[nodiscard]] sim::Duration nominal_duration() const;
 };
 
-/// Paper defaults with NETRS_REQUESTS / NETRS_REPEATS / NETRS_SEED
-/// environment overrides applied (the benches use this).
+/// Paper defaults with NETRS_REQUESTS / NETRS_REPEATS / NETRS_SEED /
+/// NETRS_JOBS / NETRS_TRACE / NETRS_METRICS environment overrides applied
+/// (the benches use this).
 [[nodiscard]] ExperimentConfig default_config();
 
 }  // namespace netrs::harness

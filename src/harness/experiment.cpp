@@ -4,11 +4,14 @@
 #include <cassert>
 #include <chrono>
 #include <cmath>
+#include <fstream>
 #include <memory>
 #include <numeric>
+#include <string>
 #include <vector>
 
 #include "harness/parallel.hpp"
+#include "obs/observer.hpp"
 #include "kv/client.hpp"
 #include "kv/consistent_hash.hpp"
 #include "kv/server.hpp"
@@ -37,7 +40,136 @@ struct RunOutput {
   int plans_deployed = 0;
   std::size_t drs_groups = 0;
   sim::AuditSummary audit;
+  obs::TraceSnapshot trace;
+  obs::MetricsSnapshot metrics;
 };
+
+/// Registers the standard per-repeat metric set (DESIGN.md §8.2) against
+/// live component getters. Registration order fixes the column order, so
+/// it must be deterministic — and it is: plain index loops only.
+void register_run_metrics(obs::Observer& ob, sim::Simulator& simulator,
+                          const net::Fabric& fabric,
+                          const std::vector<std::unique_ptr<kv::Server>>& servers,
+                          const std::vector<std::unique_ptr<kv::Client>>& clients,
+                          const std::vector<std::unique_ptr<core::NetRSOperator>>& operators,
+                          const std::vector<std::unique_ptr<core::Accelerator>>& shared_accels,
+                          const std::vector<std::unique_ptr<core::SelectorNode>>& shared_selectors) {
+  obs::MetricsRegistry& reg = ob.metrics();
+
+  reg.gauge("cli.issued", [&clients] {
+    std::uint64_t n = 0;
+    for (const auto& c : clients) n += c->issued();
+    return static_cast<double>(n);
+  });
+  reg.gauge("cli.completed", [&clients] {
+    std::uint64_t n = 0;
+    for (const auto& c : clients) n += c->completed();
+    return static_cast<double>(n);
+  });
+  reg.gauge("cli.inflight", [&clients] {
+    std::uint64_t n = 0;
+    for (const auto& c : clients) n += c->in_flight();
+    return static_cast<double>(n);
+  });
+
+  // Per-server depth series are for plotting, not the summary table
+  // (their names embed the repeat's random placement).
+  for (const auto& s : servers) {
+    reg.gauge("kv.qdepth.s" + std::to_string(s->host_id()),
+              [srv = s.get()] { return static_cast<double>(srv->queue_size()); },
+              /*summarize=*/false);
+  }
+  reg.gauge("kv.qdepth.mean", [&servers] {
+    double sum = 0.0;
+    for (const auto& s : servers) sum += s->queue_size();
+    return servers.empty() ? 0.0 : sum / static_cast<double>(servers.size());
+  });
+  reg.gauge("kv.qdepth.max", [&servers] {
+    double mx = 0.0;
+    for (const auto& s : servers) {
+      mx = std::max(mx, static_cast<double>(s->queue_size()));
+    }
+    return mx;
+  });
+  // Instantaneous across-server coefficient of variation: the herd /
+  // load-oscillation signal (§II) as a time series.
+  reg.gauge("kv.qdepth.cv", [&servers] {
+    if (servers.empty()) return 0.0;
+    double sum = 0.0, sumsq = 0.0;
+    for (const auto& s : servers) {
+      const double q = s->queue_size();
+      sum += q;
+      sumsq += q * q;
+    }
+    const double n = static_cast<double>(servers.size());
+    const double mean = sum / n;
+    if (mean <= 1e-9) return 0.0;
+    const double var = std::max(0.0, sumsq / n - mean * mean);
+    return std::sqrt(var) / mean;
+  });
+
+  // Unique accelerators/selectors, in a deterministic order: the shared
+  // core-group pool first, then every dedicated operator.
+  std::vector<const core::Accelerator*> accels;
+  std::vector<const core::SelectorNode*> selectors;
+  for (std::size_t g = 0; g < shared_accels.size(); ++g) {
+    accels.push_back(shared_accels[g].get());
+    selectors.push_back(shared_selectors[g].get());
+    reg.gauge("accel.util.core" + std::to_string(g),
+              [a = shared_accels[g].get(), &simulator] {
+                return a->utilization(simulator.now());
+              },
+              /*summarize=*/false);
+  }
+  for (const auto& op : operators) {
+    if (op->accel_share_id() >= 0) continue;  // pool registered above
+    accels.push_back(&op->accelerator());
+    selectors.push_back(&op->selector_node());
+    reg.gauge("accel.util.rs" + std::to_string(op->id()),
+              [a = &op->accelerator(), &simulator] {
+                return a->utilization(simulator.now());
+              },
+              /*summarize=*/false);
+  }
+  if (!accels.empty()) {
+    reg.gauge("accel.util.mean", [accels, &simulator] {
+      double sum = 0.0;
+      for (const core::Accelerator* a : accels) {
+        sum += a->utilization(simulator.now());
+      }
+      return sum / static_cast<double>(accels.size());
+    });
+    reg.gauge("accel.util.max", [accels, &simulator] {
+      double mx = 0.0;
+      for (const core::Accelerator* a : accels) {
+        mx = std::max(mx, a->utilization(simulator.now()));
+      }
+      return mx;
+    });
+    for (std::size_t g = 0; g < shared_selectors.size(); ++g) {
+      reg.gauge("rs.selected.core" + std::to_string(g),
+                [s = shared_selectors[g].get()] {
+                  return static_cast<double>(s->requests_selected());
+                },
+                /*summarize=*/false);
+    }
+    for (const auto& op : operators) {
+      if (op->accel_share_id() >= 0) continue;
+      reg.gauge("rs.selected.rs" + std::to_string(op->id()),
+                [s = &op->selector_node()] {
+                  return static_cast<double>(s->requests_selected());
+                },
+                /*summarize=*/false);
+    }
+    reg.gauge("rs.selected.total", [selectors] {
+      std::uint64_t n = 0;
+      for (const core::SelectorNode* s : selectors) n += s->requests_selected();
+      return static_cast<double>(n);
+    });
+  }
+
+  fabric.register_metrics(reg);
+}
 
 RunOutput run_once(Scheme scheme, const ExperimentConfig& cfg,
                    std::uint64_t seed) {
@@ -126,6 +258,7 @@ RunOutput run_once(Scheme scheme, const ExperimentConfig& cfg,
         accel->set_handler([sel = selector.get()](net::Packet pkt) {
           return sel->process(std::move(pkt));
         });
+        selector->set_trace_tid(static_cast<std::int32_t>(accel->node_id()));
         shared_accels.push_back(std::move(accel));
         shared_selectors.push_back(std::move(selector));
       }
@@ -237,6 +370,21 @@ RunOutput run_once(Scheme scheme, const ExperimentConfig& cfg,
     return simulator.now() < t_end;
   });
 
+  // --- Observability (created before clients so the completion callback
+  // can capture the latency histogram; wired up fully once every
+  // component exists). Observation-only: results are identical with or
+  // without it.
+  std::unique_ptr<obs::Observer> observer;
+  obs::Histogram* latency_hist = nullptr;
+  if (cfg.obs.any()) {
+    observer = std::make_unique<obs::Observer>(cfg.obs);
+    simulator.set_observer(observer.get());
+    if (observer->metering()) {
+      latency_hist = observer->metrics().histogram(
+          "latency_ms", {1, 2, 4, 8, 16, 32, 64, 128, 256});
+    }
+  }
+
   RunOutput out;
   std::vector<std::unique_ptr<kv::Client>> clients;
   clients.reserve(client_hosts.size());
@@ -253,13 +401,41 @@ RunOutput run_once(Scheme scheme, const ExperimentConfig& cfg,
                    client_hosts[static_cast<std::size_t>(i)])));
     kv::Client* c = clients.back().get();
     c->set_completion_callback(
-        [&out, &simulator, warmup_time](const kv::Client::Completion& comp) {
+        [&out, &simulator, warmup_time,
+         latency_hist](const kv::Client::Completion& comp) {
           if (simulator.now() - comp.latency < warmup_time) return;
           out.latencies_ms.add(sim::to_millis(comp.latency));
+          if (latency_hist != nullptr) {
+            latency_hist->add(sim::to_millis(comp.latency));
+          }
           out.forwards_sum += comp.forwards;
           ++out.forwards_n;
         });
     c->start();
+  }
+
+  if (observer) {
+    register_run_metrics(*observer, simulator, fabric, servers, clients,
+                         operators, shared_accels, shared_selectors);
+    if (observer->tracing()) {
+      for (const auto& s : servers) {
+        observer->set_tid_name(static_cast<std::int32_t>(s->node_id()),
+                               "server@h" + std::to_string(s->host_id()));
+      }
+      for (const auto& c : clients) {
+        observer->set_tid_name(static_cast<std::int32_t>(c->node_id()),
+                               "client@h" + std::to_string(c->host_id()));
+      }
+      for (const auto& op : operators) {
+        observer->set_tid_name(
+            static_cast<std::int32_t>(op->switch_node()),
+            "sw" + std::to_string(op->switch_node()));
+        observer->set_tid_name(
+            static_cast<std::int32_t>(op->accelerator().node_id()),
+            "accel@sw" + std::to_string(op->accelerator().switch_node()));
+      }
+    }
+    observer->start_sampler(simulator, t_end);
   }
 
   // --- Run -------------------------------------------------------------------
@@ -323,6 +499,11 @@ RunOutput run_once(Scheme scheme, const ExperimentConfig& cfg,
         /*expect_drained=*/fabric.deliveries_in_flight() == 0);
     out.audit = simulator.auditor().summary();
   }
+  if (observer) {
+    out.trace = observer->take_trace();
+    out.metrics = observer->take_metrics();
+    simulator.set_observer(nullptr);
+  }
   return out;
 }
 
@@ -365,6 +546,26 @@ ExperimentResult run_experiment(Scheme scheme, const ExperimentConfig& cfg) {
     res.plans_deployed = out.plans_deployed;
     res.drs_groups = out.drs_groups;
     res.audit.merge(out.audit);
+    res.metrics.merge(out.metrics);
+    res.trace_events += out.trace.events.size();
+    res.trace_dropped += out.trace.dropped;
+  }
+  // Emit the merged observability artifacts in repeat order — the same
+  // order at any --jobs value, so both files are bit-identical to a
+  // serial run.
+  if (cfg.obs.want_trace()) {
+    std::vector<obs::TraceSnapshot> traces;
+    traces.reserve(outputs.size());
+    for (RunOutput& out : outputs) traces.push_back(std::move(out.trace));
+    std::ofstream os(cfg.obs.trace_path, std::ios::binary);
+    obs::write_chrome_trace(os, traces);
+  }
+  if (cfg.obs.want_metrics()) {
+    std::vector<obs::MetricsSnapshot> series;
+    series.reserve(outputs.size());
+    for (RunOutput& out : outputs) series.push_back(std::move(out.metrics));
+    std::ofstream os(cfg.obs.metrics_path, std::ios::binary);
+    obs::write_metrics_csv(os, series);
   }
   if (res.latencies_ms.count() > 0) {
     // avg_forwards accumulated raw forward counts across repeats.

@@ -7,13 +7,15 @@
 #include <string>
 
 #include "harness/config.hpp"
+#include "obs/metrics.hpp"
 #include "sim/audit.hpp"
 #include "sim/stats.hpp"
 
 namespace netrs::harness {
 
+/// Everything measured by one run_experiment() call (merged repeats).
 struct ExperimentResult {
-  Scheme scheme = Scheme::kCliRS;
+  Scheme scheme = Scheme::kCliRS;  ///< Scheme that was run.
   /// Measured completions (after warmup), merged over repeats.
   sim::LatencyRecorder latencies_ms;
 
@@ -45,9 +47,19 @@ struct ExperimentResult {
   /// NETRS_AUDIT builds; CI fails the audit job on violations_total != 0.
   sim::AuditSummary audit;
 
+  /// Per-metric aggregates over every sampling tick of every repeat;
+  /// empty unless `cfg.obs` requested metrics (DESIGN.md §8).
+  obs::MetricsSummary metrics;
+  /// Trace events retained across repeats (0 unless tracing was on).
+  std::uint64_t trace_events = 0;
+  /// Trace events lost to ring wraparound across repeats.
+  std::uint64_t trace_dropped = 0;
+
+  /// Mean measured latency in ms (0 when nothing was measured).
   [[nodiscard]] double mean_ms() const {
     return latencies_ms.empty() ? 0.0 : latencies_ms.mean();
   }
+  /// Latency percentile in ms, q in [0, 1] (0 when nothing was measured).
   [[nodiscard]] double percentile_ms(double q) const {
     return latencies_ms.empty() ? 0.0 : latencies_ms.percentile(q);
   }

@@ -30,12 +30,14 @@ namespace netrs::harness {
 /// until every submitted task has finished.
 class ThreadPool {
  public:
+  /// Spawns exactly `threads` workers (>= 1).
   explicit ThreadPool(int threads);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
+  /// Number of worker threads.
   [[nodiscard]] int thread_count() const {
     return static_cast<int>(workers_.size());
   }

@@ -58,6 +58,42 @@ void print_report(const SweepReport& report) {
     }
   }
 
+  // Metrics summary (only when the run sampled metrics, DESIGN.md §8):
+  // per-metric min / mean / max / last over every tick of every repeat.
+  bool any_metrics = false;
+  for (const auto& row : report.results) {
+    for (const ExperimentResult& r : row) any_metrics |= r.metrics.enabled();
+  }
+  if (any_metrics) {
+    std::printf("\n-- Metrics summary --\n");
+    std::printf("%-12s %-11s %-18s %10s %12s %12s %12s %12s\n",
+                report.sweep_label.c_str(), "scheme", "metric", "samples",
+                "min", "mean", "max", "last");
+    for (std::size_t i = 0; i < report.sweep_values.size(); ++i) {
+      for (std::size_t j = 0; j < report.schemes.size(); ++j) {
+        const ExperimentResult& r = report.results[i][j];
+        for (const obs::MetricSummaryEntry& e : r.metrics.entries) {
+          std::printf("%-12s %-11s %-18s %10llu %12s %12s %12s %12s\n",
+                      report.sweep_values[i].c_str(),
+                      scheme_name(report.schemes[j]), e.name.c_str(),
+                      static_cast<unsigned long long>(e.samples),
+                      obs::format_metric_value(e.min).c_str(),
+                      obs::format_metric_value(e.mean).c_str(),
+                      obs::format_metric_value(e.max).c_str(),
+                      obs::format_metric_value(e.last).c_str());
+        }
+        if (r.trace_events > 0 || r.trace_dropped > 0) {
+          std::printf("%-12s %-11s trace: %llu events retained, %llu "
+                      "dropped to ring wraparound\n",
+                      report.sweep_values[i].c_str(),
+                      scheme_name(report.schemes[j]),
+                      static_cast<unsigned long long>(r.trace_events),
+                      static_cast<unsigned long long>(r.trace_dropped));
+        }
+      }
+    }
+  }
+
   // Audit summary (checked builds only): one line per cell plus detailed
   // provenance for the first violations, so a red CI audit job is
   // actionable from the log alone.

@@ -10,6 +10,7 @@
 
 namespace netrs::harness {
 
+/// One figure's worth of results: a sweep axis × the compared schemes.
 struct SweepReport {
   std::string title;        ///< e.g. "Figure 4 — impact of number of clients"
   std::string sweep_label;  ///< e.g. "clients"

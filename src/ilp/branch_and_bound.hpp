@@ -12,8 +12,9 @@
 
 namespace netrs::ilp {
 
+/// Search limits and pruning knobs.
 struct BnbOptions {
-  int max_nodes = 20000;
+  int max_nodes = 20000;  ///< Node budget; hitting it returns kFeasible.
   /// Wall-clock budget; <= 0 disables. Hitting it returns the incumbent
   /// with status kFeasible — the paper's "terminate the solving process
   /// early ... trade-off between recalculation expense and optimality".
@@ -21,7 +22,7 @@ struct BnbOptions {
   /// caller inside the simulation must set this to 0 and rely on max_nodes
   /// (placement.cpp does).
   double max_seconds = 2.0;
-  double int_tol = 1e-6;
+  double int_tol = 1e-6;  ///< |x - round(x)| below this counts as integral.
   /// Prune nodes whose LP bound is within this of the incumbent.
   double gap_abs = 1e-9;
   /// When every objective coefficient is integral and attached to an
@@ -33,15 +34,17 @@ struct BnbOptions {
   /// incumbent, which lets the integral-objective pruning close symmetric
   /// search trees (like RSNode placement) almost immediately.
   std::vector<double> initial_incumbent;
-  SimplexOptions lp;
+  SimplexOptions lp;  ///< Options for every LP-relaxation solve.
 };
 
+/// Solve outcome plus search statistics.
 struct BnbResult {
-  Solution solution;
-  int nodes_explored = 0;
+  Solution solution;        ///< Best incumbent (or infeasible/limit).
+  int nodes_explored = 0;   ///< B&B nodes expanded.
   double best_bound = -kInf;  ///< global lower bound at termination
 };
 
+/// Solves the integer program (see the file comment for the search).
 BnbResult solve_ilp(const Model& model, const BnbOptions& opts = {});
 
 }  // namespace netrs::ilp

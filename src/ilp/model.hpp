@@ -11,46 +11,57 @@
 
 namespace netrs::ilp {
 
+/// Unbounded-variable sentinel (+infinity).
 inline constexpr double kInf = std::numeric_limits<double>::infinity();
 
 /// Index of a variable within its Model.
 using VarId = int;
 
-enum class Sense { kLe, kGe, kEq };
+/// Constraint direction.
+enum class Sense {
+  kLe,  ///< expr <= rhs
+  kGe,  ///< expr >= rhs
+  kEq,  ///< expr == rhs
+};
 
+/// One coefficient of a sparse linear expression.
 struct Term {
-  VarId var;
-  double coef;
+  VarId var;    ///< Variable index.
+  double coef;  ///< Its coefficient.
 };
 
 /// Sparse linear expression sum(coef * var). Constants belong on the RHS.
 struct LinExpr {
-  std::vector<Term> terms;
+  std::vector<Term> terms;  ///< The summands (unsorted, may repeat vars).
 
+  /// Appends `c * v` (dropping exact zeros); returns *this for chaining.
   LinExpr& add(VarId v, double c) {
     if (c != 0.0) terms.push_back({v, c});
     return *this;
   }
 };
 
+/// One decision variable: bounds, objective coefficient, integrality.
 struct VariableDef {
-  double lb = 0.0;
-  double ub = kInf;
-  double obj = 0.0;
-  bool integral = false;
+  double lb = 0.0;        ///< Lower bound.
+  double ub = kInf;       ///< Upper bound.
+  double obj = 0.0;       ///< Objective coefficient.
+  bool integral = false;  ///< Integer-constrained when true.
   /// Branch-and-bound picks fractional variables with the highest priority
   /// first (coupling variables like operator counts close trees faster).
   int branch_priority = 0;
-  std::string name;
+  std::string name;  ///< Diagnostic label.
 };
 
+/// One row: expr `sense` rhs.
 struct ConstraintDef {
-  LinExpr expr;
-  Sense sense = Sense::kLe;
-  double rhs = 0.0;
-  std::string name;
+  LinExpr expr;              ///< Left-hand side.
+  Sense sense = Sense::kLe;  ///< Direction.
+  double rhs = 0.0;          ///< Right-hand side.
+  std::string name;          ///< Diagnostic label.
 };
 
+/// Outcome classification of a solve.
 enum class SolveStatus {
   kOptimal,     ///< proven optimal
   kFeasible,    ///< feasible incumbent, optimality not proven (limit hit)
@@ -59,16 +70,19 @@ enum class SolveStatus {
   kLimit,       ///< iteration/node limit hit with no incumbent
 };
 
+/// Solver output: status, objective, and (when found) a point.
 struct Solution {
-  SolveStatus status = SolveStatus::kLimit;
-  double objective = kInf;
+  SolveStatus status = SolveStatus::kLimit;  ///< How the solve ended.
+  double objective = kInf;                   ///< Objective at `values`.
   std::vector<double> values;  ///< per-variable values; empty if no point
 
+  /// True when `values` holds a feasible point.
   [[nodiscard]] bool has_point() const {
     return status == SolveStatus::kOptimal || status == SolveStatus::kFeasible;
   }
 };
 
+/// A minimization LP/ILP under construction (see the file comment).
 class Model {
  public:
   /// Adds a variable; returns its id. Bounds must satisfy lb <= ub.
@@ -85,19 +99,25 @@ class Model {
     return add_var(lb, ub, obj, true, std::move(name));
   }
 
+  /// Adds the row `expr sense rhs`.
   void add_constraint(LinExpr expr, Sense sense, double rhs,
                       std::string name = {});
 
+  /// Number of variables added so far.
   [[nodiscard]] int num_vars() const {
     return static_cast<int>(vars_.size());
   }
+  /// Number of constraints added so far.
   [[nodiscard]] int num_constraints() const {
     return static_cast<int>(cons_.size());
   }
+  /// All variable definitions, indexed by VarId.
   [[nodiscard]] const std::vector<VariableDef>& vars() const { return vars_; }
+  /// All constraint rows, in insertion order.
   [[nodiscard]] const std::vector<ConstraintDef>& constraints() const {
     return cons_;
   }
+  /// True when any variable is integer-constrained.
   [[nodiscard]] bool has_integers() const { return has_integers_; }
 
   /// Evaluates the objective at a point (no feasibility check).

@@ -14,11 +14,12 @@
 
 namespace netrs::ilp {
 
+/// Iteration limits and tolerances.
 struct SimplexOptions {
-  int max_iterations = 200000;
+  int max_iterations = 200000;  ///< Pivot budget before giving up (kLimit).
   /// After this many consecutive non-improving pivots, switch to Bland.
   int stall_before_bland = 2000;
-  double eps = 1e-9;
+  double eps = 1e-9;  ///< Numerical zero tolerance.
 };
 
 /// Solves the LP relaxation of `m` (integrality ignored).

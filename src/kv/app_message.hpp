@@ -17,32 +17,36 @@
 
 namespace netrs::kv {
 
-inline constexpr std::uint16_t kServerPort = 7000;
-inline constexpr std::uint16_t kClientPort = 9000;
+inline constexpr std::uint16_t kServerPort = 7000;  ///< KV service UDP port.
+inline constexpr std::uint16_t kClientPort = 9000;  ///< Client reply port.
 
+/// Application operation code.
 enum class AppOp : std::uint8_t {
-  kGet = 0,
+  kGet = 0,  ///< Read a key.
   /// Cancels a *queued* copy of the same client_request_id from the same
   /// client; the server answers immediately with an empty response so the
   /// client's per-copy accounting still settles.
   kCancel = 1,
 };
 
+/// A client's read (or cancel) request.
 struct AppRequest {
   std::uint64_t client_request_id = 0;  ///< client-scoped correlation id
-  std::uint64_t key = 0;
-  AppOp op = AppOp::kGet;
+  std::uint64_t key = 0;                ///< Key being read.
+  AppOp op = AppOp::kGet;               ///< Operation.
 };
 
+/// A server's reply to an AppRequest.
 struct AppResponse {
-  std::uint64_t client_request_id = 0;
-  std::uint64_t key = 0;
+  std::uint64_t client_request_id = 0;  ///< Echoed correlation id.
+  std::uint64_t key = 0;                ///< Echoed key.
   std::uint32_t value_bytes = 0;  ///< size of the (phantom) value
 };
 
-inline constexpr std::size_t kAppRequestBytes = 17;
-inline constexpr std::size_t kAppResponseBytes = 20;
+inline constexpr std::size_t kAppRequestBytes = 17;   ///< Wire size of a request.
+inline constexpr std::size_t kAppResponseBytes = 20;  ///< Wire size of a response.
 
+/// Serializes a request into its fixed wire form.
 inline std::array<std::byte, kAppRequestBytes> encode_app_request(
     const AppRequest& r) {
   std::array<std::byte, kAppRequestBytes> out{};
@@ -52,6 +56,7 @@ inline std::array<std::byte, kAppRequestBytes> encode_app_request(
   return out;
 }
 
+/// Parses a request; nullopt on short input or unknown opcode.
 inline std::optional<AppRequest> decode_app_request(
     std::span<const std::byte> p) {
   if (p.size() < kAppRequestBytes) return std::nullopt;
@@ -64,6 +69,7 @@ inline std::optional<AppRequest> decode_app_request(
   return r;
 }
 
+/// Serializes a response into its fixed wire form.
 inline std::array<std::byte, kAppResponseBytes> encode_app_response(
     const AppResponse& r) {
   std::array<std::byte, kAppResponseBytes> out{};
@@ -73,6 +79,7 @@ inline std::array<std::byte, kAppResponseBytes> encode_app_response(
   return out;
 }
 
+/// Parses a response; nullopt on short input.
 inline std::optional<AppResponse> decode_app_response(
     std::span<const std::byte> p) {
   if (p.size() < kAppResponseBytes) return std::nullopt;

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "netrs/packet_format.hpp"
+#include "obs/observer.hpp"
 
 namespace netrs::kv {
 
@@ -96,6 +97,11 @@ void Client::send_copy(std::uint64_t req_id, Pending& p, net::HostId target,
   pkt.meta.redundant = redundant;
 
   p.sends.emplace_back(target, simulator().now());
+  if (obs::Observer* o = simulator().observer()) {
+    o->instant(redundant ? "cli.send.dup" : "cli.send", "cli",
+               static_cast<std::int32_t>(node_id()), simulator().now(),
+               req_id, "dst", static_cast<std::uint64_t>(target));
+  }
   send(std::move(pkt));
 }
 
@@ -155,6 +161,11 @@ void Client::send_cancels(std::uint64_t req_id, const Pending& p) {
     pkt.meta.request_id = req_id;
     pkt.meta.client_send_time = simulator().now();
     ++cancels_;
+    if (obs::Observer* o = simulator().observer()) {
+      o->instant("cli.cancel", "cli", static_cast<std::int32_t>(node_id()),
+                 simulator().now(), req_id, "dst",
+                 static_cast<std::uint64_t>(server));
+    }
     send(std::move(pkt));
   }
 }
@@ -207,6 +218,11 @@ void Client::handle_response(net::Packet& pkt) {
       send_cancels(app->client_request_id, p);
     }
     const sim::Duration latency = simulator().now() - p.first_send;
+    if (obs::Observer* o = simulator().observer()) {
+      o->span("request", "cli", static_cast<std::int32_t>(node_id()),
+              p.first_send, latency, app->client_request_id, "server",
+              static_cast<std::uint64_t>(server), "fwd", pkt.meta.forwards);
+    }
     p95_.add(sim::to_micros(latency));
     if (on_complete_) {
       Completion c;

@@ -30,8 +30,13 @@
 
 namespace netrs::kv {
 
-enum class ClientMode { kClientSelect, kNetRS };
+/// Who performs replica selection (see the file comment).
+enum class ClientMode {
+  kClientSelect,  ///< Client-side selection (CliRS / CliRS-R95).
+  kNetRS,         ///< In-network selection at an RSNode.
+};
 
+/// CliRS-R95 duplicate-request policy knobs.
 struct RedundancyConfig {
   bool enabled = false;  ///< CliRS-R95 when true (kClientSelect mode only)
   double quantile = 0.95;
@@ -44,24 +49,29 @@ struct RedundancyConfig {
   bool cancel_on_completion = false;
 };
 
+/// Per-client workload and selection parameters.
 struct ClientConfig {
-  ClientMode mode = ClientMode::kClientSelect;
+  ClientMode mode = ClientMode::kClientSelect;  ///< Selection scheme.
   double arrival_rate = 100.0;  ///< requests per second (open loop)
   RedundancyConfig redundancy;
   rs::SelectorConfig selector;  ///< local algorithm for kClientSelect
 };
 
+/// Key-value client: open-loop workload generator and latency observer
+/// (see the file comment for the two operating modes).
 class Client final : public net::Host {
  public:
+  /// Everything recorded about one finished request.
   struct Completion {
-    sim::Duration latency = 0;
-    std::uint64_t key = 0;
+    sim::Duration latency = 0;  ///< First-response latency.
+    std::uint64_t key = 0;      ///< Key that was read.
     net::HostId server = net::kInvalidHost;  ///< first responder
     bool redundant_used = false;             ///< a duplicate had been sent
     /// Switch forwarding operations over the whole request+response path
     /// (the paper's hop metric; extra hops to RSNodes show up here).
     std::uint32_t forwards = 0;
   };
+  /// Invoked once per completed request (first response).
   using CompletionCallback = std::function<void(const Completion&)>;
 
   /// `zipf` and `ring` are shared, immutable workload state owned by the
@@ -75,16 +85,23 @@ class Client final : public net::Host {
   /// Stops generating new requests (in-flight ones still complete).
   void stop() { running_ = false; }
 
+  /// Registers the per-completion observer (the harness's latency sink).
   void set_completion_callback(CompletionCallback cb) {
     on_complete_ = std::move(cb);
   }
 
+  /// Handles a delivered response packet.
   void receive(net::Packet pkt, net::NodeId from) override;
 
+  /// Primary requests issued so far.
   [[nodiscard]] std::uint64_t issued() const { return issued_; }
+  /// Requests completed (first response received).
   [[nodiscard]] std::uint64_t completed() const { return completed_; }
+  /// Redundant (R95 duplicate) copies sent.
   [[nodiscard]] std::uint64_t redundant_sent() const { return redundant_; }
+  /// Cross-server cancel messages sent.
   [[nodiscard]] std::uint64_t cancels_sent() const { return cancels_; }
+  /// Requests currently outstanding.
   [[nodiscard]] std::size_t in_flight() const { return pending_.size(); }
   /// Streaming p95 latency estimate in microseconds (R95 trigger; tests).
   [[nodiscard]] double p95_estimate_us() const { return p95_.estimate(); }

@@ -18,6 +18,8 @@
 
 namespace netrs::kv {
 
+/// Consistent-hashing ring with virtual nodes; doubles as the RGID
+/// database installed into NetRS selectors (see the file comment).
 class ConsistentHashRing {
  public:
   /// `servers`: host ids of the KV servers. `replication_factor` servers
@@ -39,7 +41,9 @@ class ConsistentHashRing {
     return replicas(group_of_key(key));
   }
 
+  /// Number of distinct replica groups (ring segments).
   [[nodiscard]] std::size_t group_count() const { return groups_.size(); }
+  /// Replicas per key, as configured.
   [[nodiscard]] int replication_factor() const { return rf_; }
 
   /// Full RGID database (index == RGID), e.g. for installing into NetRS
@@ -48,6 +52,8 @@ class ConsistentHashRing {
     return groups_;
   }
 
+  /// The ring's key-hash function (splitmix64 finalizer; stable across
+  /// platforms).
   static std::uint64_t hash_key(std::uint64_t key);
 
  private:

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "netrs/packet_format.hpp"
+#include "obs/observer.hpp"
 
 namespace netrs::kv {
 
@@ -59,9 +60,9 @@ void Server::receive(net::Packet pkt, net::NodeId from) {
     return;
   }
   if (in_service_ < cfg_.parallelism) {
-    start_service(std::move(pkt));
+    start_service(std::move(pkt), simulator().now());
   } else {
-    queue_.push_back(std::move(pkt));
+    queue_.push_back(Queued{std::move(pkt), simulator().now()});
     station_ledger_.on_enqueue(simulator().auditor(), queue_.size());
   }
 }
@@ -71,18 +72,22 @@ void Server::handle_cancel(const net::Packet& cancel, const AppRequest& app) {
   // in-service request cannot be recalled) and settle it immediately with
   // an empty response so the issuing client's bookkeeping completes.
   for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-    if (it->src != cancel.src) continue;
+    if (it->pkt.src != cancel.src) continue;
     const auto queued_app =
-        decode_app_request(core::request_app_payload(it->payload));
+        decode_app_request(core::request_app_payload(it->pkt.payload));
     if (!queued_app.has_value() ||
         queued_app->client_request_id != app.client_request_id) {
       continue;
     }
-    net::Packet victim = std::move(*it);
+    net::Packet victim = std::move(it->pkt);
     queue_.erase(it);
     station_ledger_.on_remove(simulator().auditor(), queue_.size());
     simulator().auditor().on_packet_dropped("server-cancel");
     ++cancelled_;
+    if (obs::Observer* o = simulator().observer()) {
+      o->instant("kv.cancel", "kv", static_cast<std::int32_t>(node_id()),
+                 simulator().now(), victim.meta.request_id);
+    }
     send_response(victim, /*value_bytes=*/0);
     return;
   }
@@ -90,7 +95,7 @@ void Server::handle_cancel(const net::Packet& cancel, const AppRequest& app) {
   // normal response settles the copy.
 }
 
-void Server::start_service(net::Packet pkt) {
+void Server::start_service(net::Packet pkt, sim::Time arrival) {
   if (in_service_ == 0) busy_since_ = simulator().now();
   ++in_service_;
   station_ledger_.on_service_start(simulator().auditor(), in_service_,
@@ -119,6 +124,17 @@ void Server::start_service(net::Packet pkt) {
           ? current_mean_
           : static_cast<sim::Duration>(
                 rng_.exponential(static_cast<double>(current_mean_)));
+  // Both spans are known here: the wait ended now and the (just-sampled)
+  // service ends `service` from now.
+  if (obs::Observer* o = simulator().observer()) {
+    const sim::Time now = simulator().now();
+    const auto tid = static_cast<std::int32_t>(node_id());
+    if (now > arrival) {
+      o->span("kv.queue", "kv", tid, arrival, now - arrival,
+              pkt.meta.request_id);
+    }
+    o->span("kv.service", "kv", tid, now, service, pkt.meta.request_id);
+  }
   // The request parks in its slot; the completion event captures
   // {this, slot, service} only, so scheduling never heap-allocates.
   service_slots_[slot] = std::move(pkt);
@@ -150,10 +166,10 @@ void Server::finish_service(std::size_t slot, sim::Duration service_time) {
   send_response(pkt, cfg_.value_bytes);
 
   if (!queue_.empty()) {
-    net::Packet next = std::move(queue_.front());
+    Queued next = std::move(queue_.front());
     queue_.pop_front();
     station_ledger_.on_dequeue(simulator().auditor(), queue_.size());
-    start_service(std::move(next));
+    start_service(std::move(next.pkt), next.enqueued);
   }
 }
 

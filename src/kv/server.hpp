@@ -24,23 +24,30 @@
 
 namespace netrs::kv {
 
+/// Service-process parameters (defaults follow the paper, see the file
+/// comment).
 struct ServerConfig {
   int parallelism = 4;                              ///< Np
   sim::Duration mean_service_time = sim::millis(4); ///< tkv
   /// When true, every request takes exactly the current mean (no
   /// exponential sampling) — for tests and deterministic ablations.
   bool deterministic_service = false;
-  bool fluctuate = true;
+  bool fluctuate = true;  ///< Enable the bimodal fast/slow mode switching.
+  /// How often the service-time mode is re-drawn.
   sim::Duration fluctuation_interval = sim::millis(50);
   double fluctuation_factor = 3.0;                  ///< d: fast mean = tkv/d
   std::uint32_t value_bytes = 1024;                 ///< response value size
-  double status_ewma_alpha = 0.9;
+  double status_ewma_alpha = 0.9;  ///< EWMA weight of the SS service time.
 };
 
+/// Key-value server: an Np-way parallel queueing station with bimodal
+/// service-time fluctuation (see the file comment).
 class Server final : public net::Host {
  public:
+  /// Attaches the server to `fabric` as host `id`.
   Server(net::Fabric& fabric, net::HostId id, ServerConfig cfg, sim::Rng rng);
 
+  /// Handles a delivered request (or cancel) packet.
   void receive(net::Packet pkt, net::NodeId from) override;
 
   /// Waiting + in-service requests (the SS queue-size field).
@@ -49,6 +56,7 @@ class Server final : public net::Host {
            static_cast<std::uint32_t>(in_service_);
   }
 
+  /// Requests fully served.
   [[nodiscard]] std::uint64_t served() const { return served_; }
   /// Unparseable packets dropped (diagnostic).
   [[nodiscard]] std::uint64_t malformed() const { return malformed_; }
@@ -60,7 +68,13 @@ class Server final : public net::Host {
   [[nodiscard]] sim::Duration current_mean() const { return current_mean_; }
 
  private:
-  void start_service(net::Packet pkt);
+  /// A waiting request plus its arrival time (for the kv.queue trace span).
+  struct Queued {
+    net::Packet pkt;
+    sim::Time enqueued = 0;
+  };
+
+  void start_service(net::Packet pkt, sim::Time arrival);
   void finish_service(std::size_t slot, sim::Duration service_time);
   void handle_cancel(const net::Packet& cancel, const AppRequest& app);
   void send_response(const net::Packet& pkt, std::uint32_t value_bytes);
@@ -69,7 +83,7 @@ class Server final : public net::Host {
   ServerConfig cfg_;
   sim::Rng rng_;
   sim::Duration current_mean_;
-  std::deque<net::Packet> queue_;
+  std::deque<Queued> queue_;
   // In-service requests parked per parallelism slot (valid iff
   // slot_busy_), so the completion event captures {this, slot, service}
   // and stays inline in the scheduled Task — no per-request allocation.

@@ -16,21 +16,23 @@ using HostId = std::uint32_t;
 /// Global index of a node (switch or host) in the fabric.
 using NodeId = std::uint32_t;
 
-inline constexpr NodeId kInvalidNode = 0xFFFFFFFFu;
-inline constexpr HostId kInvalidHost = 0xFFFFFFFFu;
+inline constexpr NodeId kInvalidNode = 0xFFFFFFFFu;  ///< "No node" sentinel.
+inline constexpr HostId kInvalidHost = 0xFFFFFFFFu;  ///< "No host" sentinel.
 
 /// Switch tiers, numbered as in the paper: the tier ID of a device is its
 /// distance in hops from the core tier (core = 0, aggregation = 1, ToR = 2).
 enum class Tier : std::uint8_t { kCore = 0, kAgg = 1, kTor = 2 };
 
+/// Numeric tier id as used in the paper's figures (core = 0).
 constexpr int tier_id(Tier t) { return static_cast<int>(t); }
 
 /// Physical location of a host: pod / rack-within-pod / slot-within-rack.
 struct HostLocation {
-  std::uint16_t pod = 0;
-  std::uint16_t rack = 0;
-  std::uint16_t slot = 0;
+  std::uint16_t pod = 0;   ///< Pod index.
+  std::uint16_t rack = 0;  ///< Rack index within the pod.
+  std::uint16_t slot = 0;  ///< Host slot within the rack.
 
+  /// Field-wise equality.
   friend bool operator==(const HostLocation&, const HostLocation&) = default;
 };
 
@@ -38,17 +40,20 @@ struct HostLocation {
 /// the high half, rack ID in the low half. A ToR switch compares a packet's
 /// marker against its own to classify traffic into tiers.
 struct SourceMarker {
-  std::uint16_t pod = 0;
-  std::uint16_t rack = 0;
+  std::uint16_t pod = 0;   ///< Origin pod id.
+  std::uint16_t rack = 0;  ///< Origin rack id within the pod.
 
+  /// Packs the marker into its 4-byte wire form.
   [[nodiscard]] std::uint32_t encoded() const {
     return (static_cast<std::uint32_t>(pod) << 16) | rack;
   }
+  /// Unpacks a 4-byte wire marker.
   static SourceMarker decode(std::uint32_t v) {
     return SourceMarker{static_cast<std::uint16_t>(v >> 16),
                         static_cast<std::uint16_t>(v & 0xFFFFu)};
   }
 
+  /// Field-wise equality.
   friend bool operator==(const SourceMarker&, const SourceMarker&) = default;
 };
 

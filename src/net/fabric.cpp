@@ -3,6 +3,8 @@
 #include <cassert>
 #include <utility>
 
+#include "obs/metrics.hpp"
+
 namespace netrs::net {
 
 Fabric::Fabric(sim::Simulator& simulator, const FatTree& topo,
@@ -99,6 +101,14 @@ void Fabric::deliver(std::uint32_t slot) {
   // slot immediately, keeping the pool at its high-water mark.
   free_deliveries_.push_back(slot);
   dst->receive(std::move(pkt), from);
+}
+
+void Fabric::register_metrics(obs::MetricsRegistry& reg) const {
+  reg.gauge("net.packets",
+            [this] { return static_cast<double>(packets_sent()); });
+  reg.gauge("net.bytes", [this] { return static_cast<double>(bytes_sent()); });
+  reg.gauge("net.inflight",
+            [this] { return static_cast<double>(deliveries_in_flight()); });
 }
 
 void Fabric::audit_finalize(bool expect_drained) {

@@ -17,16 +17,29 @@
 #include "net/packet.hpp"
 #include "sim/simulator.hpp"
 
+namespace netrs::obs {
+/// Forward declaration (obs/metrics.hpp); net does not depend on obs
+/// headers except in fabric.cpp's register_metrics implementation.
+class MetricsRegistry;
+}  // namespace netrs::obs
+
 namespace netrs::net {
 
+/// Link-latency parameters (defaults follow the paper, see file comment).
 struct FabricConfig {
+  /// One-way latency between directly connected switches.
   sim::Duration switch_link_latency = sim::micros(30);
+  /// One-way latency of a host's access link.
   sim::Duration host_link_latency = sim::micros(30);
+  /// One-way switch<->accelerator latency (2.5 us RTT in the paper).
   sim::Duration accelerator_link_latency = sim::micros(1.25);
 };
 
+/// Binds NodeIds to live Node objects and delivers packets over
+/// fixed-latency links through the simulator (see the file comment).
 class Fabric {
  public:
+  /// Builds a fabric over `topo`; `topo` must outlive the fabric.
   Fabric(sim::Simulator& simulator, const FatTree& topo, FabricConfig cfg);
 
   /// Registers the live object for a topology NodeId. Must precede traffic.
@@ -44,8 +57,11 @@ class Fabric {
   /// delivery pool and the scheduled event captures only {fabric, slot}.
   void send(NodeId from, NodeId to, Packet pkt);
 
+  /// The simulation clock/scheduler this fabric schedules deliveries on.
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  /// The static topology.
   [[nodiscard]] const FatTree& topology() const { return topo_; }
+  /// The link-latency parameters.
   [[nodiscard]] const FabricConfig& config() const { return cfg_; }
 
   /// Total packets handed to `send` (diagnostic).
@@ -61,6 +77,11 @@ class Fabric {
   [[nodiscard]] std::size_t deliveries_in_flight() const {
     return deliveries_.size() - free_deliveries_.size();
   }
+
+  /// Registers the fabric's wire-level gauges (`net.packets`, `net.bytes`,
+  /// `net.inflight`) with a metrics registry; sampled on the simulated-time
+  /// ticker. Pure reads of the const getters above.
+  void register_metrics(obs::MetricsRegistry& reg) const;
 
   /// Closes the packet-conservation ledger (checked builds; no-op
   /// otherwise). With `expect_drained`, every delivery slot still parked is

@@ -21,31 +21,43 @@ namespace netrs::net {
 /// Coordinates of a switch. For core switches `pod` is unused (0) and `idx`
 /// is the flat core index i*(k/2)+j where i is the core group.
 struct SwitchCoord {
-  Tier tier = Tier::kCore;
-  std::uint16_t pod = 0;
-  std::uint16_t idx = 0;
+  Tier tier = Tier::kCore;  ///< Which tier the switch sits in.
+  std::uint16_t pod = 0;    ///< Pod index (0 for core switches).
+  std::uint16_t idx = 0;    ///< Index within the pod/tier (see above).
 
+  /// Field-wise equality.
   friend bool operator==(const SwitchCoord&, const SwitchCoord&) = default;
 };
 
+/// Pure structure + routing math for the k-ary fat-tree (see the file
+/// comment); Fabric binds the NodeIds to live objects.
 class FatTree {
  public:
   /// Builds a k-ary fat-tree; k must be even and >= 2.
   explicit FatTree(int k);
 
+  /// The arity k.
   [[nodiscard]] int k() const { return k_; }
+  /// Number of pods (= k).
   [[nodiscard]] int pods() const { return k_; }
+  /// Aggregation switches per pod (= k/2).
   [[nodiscard]] int aggs_per_pod() const { return k_ / 2; }
+  /// ToR switches per pod (= k/2).
   [[nodiscard]] int tors_per_pod() const { return k_ / 2; }
+  /// Hosts cabled to each ToR (= k/2).
   [[nodiscard]] int hosts_per_rack() const { return k_ / 2; }
+  /// Total racks in the tree.
   [[nodiscard]] int racks() const { return pods() * tors_per_pod(); }
 
+  /// Number of core switches, (k/2)^2.
   [[nodiscard]] std::uint32_t core_count() const {
     return static_cast<std::uint32_t>((k_ / 2) * (k_ / 2));
   }
+  /// Total switches across all three tiers.
   [[nodiscard]] std::uint32_t switch_count() const {
     return core_count() + static_cast<std::uint32_t>(k_ * (k_ / 2) * 2);
   }
+  /// Total end-hosts, k^3/4.
   [[nodiscard]] std::uint32_t host_count() const {
     return static_cast<std::uint32_t>(k_ * (k_ / 2) * (k_ / 2));
   }
@@ -55,31 +67,47 @@ class FatTree {
   }
 
   // --- NodeId layout: [cores][aggs][tors][hosts] ---------------------------
+  /// NodeId of core switch j in core group `group`.
   [[nodiscard]] NodeId core_node(int group, int j) const;
+  /// NodeId of the core switch with flat index i*(k/2)+j.
   [[nodiscard]] NodeId core_node_flat(int core_index) const;
+  /// NodeId of aggregation switch `a` in pod `pod`.
   [[nodiscard]] NodeId agg_node(int pod, int a) const;
+  /// NodeId of ToR switch `t` in pod `pod`.
   [[nodiscard]] NodeId tor_node(int pod, int t) const;
+  /// NodeId of host `h`.
   [[nodiscard]] NodeId host_node(HostId h) const;
 
+  /// True when `n` is a switch NodeId.
   [[nodiscard]] bool is_switch(NodeId n) const { return n < switch_count(); }
+  /// True when `n` is a host NodeId.
   [[nodiscard]] bool is_host(NodeId n) const {
     return n >= switch_count() && n < node_count();
   }
+  /// HostId of a host NodeId. Precondition: is_host(n).
   [[nodiscard]] HostId host_of(NodeId n) const;
 
+  /// Tier/pod/index coordinates of a switch NodeId.
   [[nodiscard]] SwitchCoord coord(NodeId sw) const;
+  /// Tier of a switch NodeId.
   [[nodiscard]] Tier tier(NodeId sw) const { return coord(sw).tier; }
 
   // --- Host addressing ------------------------------------------------------
+  /// HostId at (pod, rack, slot).
   [[nodiscard]] HostId host_id(int pod, int rack, int slot) const;
+  /// (pod, rack, slot) of a host.
   [[nodiscard]] HostLocation location(HostId h) const;
+  /// The ToR switch host `h` is cabled to.
   [[nodiscard]] NodeId host_tor(HostId h) const;
+  /// The (pod, rack) source marker host `h` stamps on responses.
   [[nodiscard]] SourceMarker marker(HostId h) const;
   /// Rack index in [0, racks()) for grouping.
   [[nodiscard]] int rack_index(HostId h) const;
 
   // --- Adjacency ------------------------------------------------------------
+  /// True when `a` and `b` are directly cabled in the tree.
   [[nodiscard]] bool adjacent(NodeId a, NodeId b) const;
+  /// All nodes directly cabled to `n`, in ascending NodeId order.
   [[nodiscard]] std::vector<NodeId> neighbors(NodeId n) const;
 
   // --- Routing ---------------------------------------------------------------

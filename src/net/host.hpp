@@ -9,8 +9,12 @@
 
 namespace netrs::net {
 
+/// End-host base class: registers itself with the fabric and exposes the
+/// access-link send path to derived application nodes (KV servers,
+/// clients).
 class Host : public Node {
  public:
+  /// Attaches the host to `fabric` at host `id`'s topology position.
   Host(Fabric& fabric, HostId id)
       : fabric_(fabric),
         host_id_(id),
@@ -19,8 +23,11 @@ class Host : public Node {
     fabric.attach(node_id_, this);
   }
 
+  /// This host's index in [0, host_count).
   [[nodiscard]] HostId host_id() const { return host_id_; }
+  /// This host's fabric node id.
   [[nodiscard]] NodeId node_id() const { return node_id_; }
+  /// The ToR switch this host is cabled to.
   [[nodiscard]] NodeId tor() const { return tor_; }
 
  protected:
@@ -31,7 +38,9 @@ class Host : public Node {
     fabric_.send(node_id_, tor_, std::move(pkt));
   }
 
+  /// The fabric this host is attached to.
   [[nodiscard]] Fabric& fabric() { return fabric_; }
+  /// The simulation clock/scheduler.
   [[nodiscard]] sim::Simulator& simulator() { return fabric_.simulator(); }
 
  private:

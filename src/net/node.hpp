@@ -6,9 +6,11 @@
 
 namespace netrs::net {
 
+/// Interface for anything attachable to the Fabric: receives packets
+/// delivered over links.
 class Node {
  public:
-  virtual ~Node() = default;
+  virtual ~Node() = default;  ///< Polymorphic base.
 
   /// Delivery of a packet that traversed a link from `from`.
   virtual void receive(Packet pkt, NodeId from) = 0;

@@ -25,18 +25,19 @@ struct PacketMeta {
   bool redundant = false;         ///< true for CliRS-R95 duplicate requests
 };
 
+/// A simulated UDP datagram (see the file comment).
 struct Packet {
-  HostId src = kInvalidHost;
-  HostId dst = kInvalidHost;
-  std::uint16_t src_port = 0;
-  std::uint16_t dst_port = 0;
+  HostId src = kInvalidHost;   ///< Sending host.
+  HostId dst = kInvalidHost;   ///< Destination host (switches may rewrite).
+  std::uint16_t src_port = 0;  ///< UDP source port.
+  std::uint16_t dst_port = 0;  ///< UDP destination port (service demux).
   /// UDP payload (NetRS header + app data). Small-buffer: NetRS payloads
   /// are tens of bytes, so construction/clone/move never touch the heap.
   PayloadBuffer payload;
   /// Bytes carried on the wire but never parsed by any device (the bulk of
   /// a ~1 KB value). Counted in wire_size() without being materialized.
   std::uint32_t phantom_payload = 0;
-  PacketMeta meta;
+  PacketMeta meta;  ///< Simulation-side bookkeeping (never forwarded on).
 
   /// Total bytes on the wire: Ethernet(18) + IPv4(20) + UDP(8) + payload.
   [[nodiscard]] std::size_t wire_size() const {

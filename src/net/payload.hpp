@@ -21,24 +21,31 @@
 
 namespace netrs::net {
 
+/// Small-buffer byte buffer: the std::vector subset the packet path needs,
+/// allocation-free up to kInlineCapacity bytes (see the file comment).
 class PayloadBuffer {
  public:
   /// Covers every NetRS header + app payload combination with headroom.
   static constexpr std::size_t kInlineCapacity = 64;
 
+  /// Constructs an empty buffer (inline storage).
   PayloadBuffer() noexcept : data_(inline_), size_(0), capacity_(kInlineCapacity) {}
 
+  /// Constructs a zero-filled buffer of `n` bytes.
   explicit PayloadBuffer(std::size_t n) : PayloadBuffer() { resize(n); }
 
+  /// Copies `other`'s bytes (inline when they fit).
   PayloadBuffer(const PayloadBuffer& other) : PayloadBuffer() {
     resize_uninitialized(other.size_);
     std::memcpy(data_, other.data_, other.size_);
   }
 
+  /// Takes `other`'s bytes; `other` is left empty.
   PayloadBuffer(PayloadBuffer&& other) noexcept : PayloadBuffer() {
     steal(other);
   }
 
+  /// Copy assignment; reuses existing capacity where possible.
   PayloadBuffer& operator=(const PayloadBuffer& other) {
     if (this != &other) {
       resize_uninitialized(other.size_);
@@ -47,6 +54,7 @@ class PayloadBuffer {
     return *this;
   }
 
+  /// Move assignment; `other` is left empty.
   PayloadBuffer& operator=(PayloadBuffer&& other) noexcept {
     if (this != &other) {
       release();
@@ -57,23 +65,34 @@ class PayloadBuffer {
 
   ~PayloadBuffer() { release(); }
 
+  /// Mutable pointer to the first byte.
   [[nodiscard]] std::byte* data() noexcept { return data_; }
+  /// Const pointer to the first byte.
   [[nodiscard]] const std::byte* data() const noexcept { return data_; }
+  /// Current length in bytes.
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  /// Bytes storable without reallocating.
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  /// True when size() == 0.
   [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
   /// True while the bytes live in the inline buffer (diagnostics and
   /// allocation-regression tests).
   [[nodiscard]] bool is_inline() const noexcept { return data_ == inline_; }
 
+  /// Unchecked element access.
   std::byte& operator[](std::size_t i) noexcept { return data_[i]; }
+  /// Unchecked const element access.
   const std::byte& operator[](std::size_t i) const noexcept {
     return data_[i];
   }
 
+  /// Iterator to the first byte.
   [[nodiscard]] std::byte* begin() noexcept { return data_; }
+  /// Iterator one past the last byte.
   [[nodiscard]] std::byte* end() noexcept { return data_ + size_; }
+  /// Const iterator to the first byte.
   [[nodiscard]] const std::byte* begin() const noexcept { return data_; }
+  /// Const iterator one past the last byte.
   [[nodiscard]] const std::byte* end() const noexcept {
     return data_ + size_;
   }
@@ -86,18 +105,23 @@ class PayloadBuffer {
     if (n > old) std::memset(data_ + old, 0, n - old);
   }
 
+  /// Replaces the contents with `n` copies of `value`.
   void assign(std::size_t n, std::byte value) {
     resize_uninitialized(n);
     std::memset(data_, static_cast<int>(value), n);
   }
 
+  /// Empties the buffer without releasing capacity.
   void clear() noexcept { size_ = 0; }
 
+  /// Implicit view over the bytes (parse/rewrite helper signatures).
   operator std::span<std::byte>() noexcept { return {data_, size_}; }
+  /// Implicit const view over the bytes.
   operator std::span<const std::byte>() const noexcept {
     return {data_, size_};
   }
 
+  /// Byte-wise equality.
   friend bool operator==(const PayloadBuffer& a, const PayloadBuffer& b) {
     return a.size_ == b.size_ &&
            std::memcmp(a.data_, b.data_, a.size_) == 0;

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <utility>
 
+#include "obs/observer.hpp"
+
 namespace netrs::net {
 
 Switch::Switch(Fabric& fabric, NodeId self) : fabric_(fabric), self_(self) {
@@ -30,8 +32,19 @@ void Switch::inject(Packet pkt, NodeId from) {
 void Switch::run_pipeline(Packet pkt, NodeId from) {
   for (IngressStage* stage : ingress_) {
     Disposition d = stage->on_ingress(pkt, from, *this);
-    if (std::holds_alternative<Consumed>(d)) return;
+    if (std::holds_alternative<Consumed>(d)) {
+      if (obs::Observer* o = fabric_.simulator().observer()) {
+        o->instant("sw.consume", "sw", static_cast<std::int32_t>(self_),
+                   fabric_.simulator().now(), pkt.meta.request_id);
+      }
+      return;
+    }
     if (auto* steer = std::get_if<Steer>(&d)) {
+      if (obs::Observer* o = fabric_.simulator().observer()) {
+        o->instant("sw.steer", "sw", static_cast<std::int32_t>(self_),
+                   fabric_.simulator().now(), pkt.meta.request_id, "target",
+                   static_cast<std::uint64_t>(steer->target_switch));
+      }
       forward_toward_switch(std::move(pkt), steer->target_switch);
       return;
     }

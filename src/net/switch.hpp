@@ -19,6 +19,8 @@
 
 namespace netrs::net {
 
+/// Programmable switch: default up/down L3 forwarding plus installable
+/// ingress/egress match-action stages (see the file comment).
 class Switch : public Node {
  public:
   /// Pipeline continues to the next stage / default forwarding.
@@ -27,29 +29,37 @@ class Switch : public Node {
   struct Consumed {};
   /// Forward toward another switch instead of the packet's destination.
   struct Steer {
-    NodeId target_switch;
+    NodeId target_switch;  ///< The switch to steer toward.
   };
+  /// What an ingress stage decided to do with a packet.
   using Disposition = std::variant<Continue, Consumed, Steer>;
 
+  /// A match-action stage run on every arriving packet.
   class IngressStage {
    public:
-    virtual ~IngressStage() = default;
+    virtual ~IngressStage() = default;  ///< Polymorphic base.
+    /// Inspects (and may rewrite) `pkt`; returns its disposition.
     virtual Disposition on_ingress(Packet& pkt, NodeId from, Switch& sw) = 0;
   };
 
+  /// An observation stage run on every departing packet.
   class EgressStage {
    public:
-    virtual ~EgressStage() = default;
+    virtual ~EgressStage() = default;  ///< Polymorphic base.
+    /// Observes `pkt` about to leave toward `next_hop`.
     virtual void on_egress(const Packet& pkt, NodeId next_hop, Switch& sw) = 0;
   };
 
+  /// Attaches the switch to `fabric` as node `self`.
   Switch(Fabric& fabric, NodeId self);
 
   /// Stages run in installation order. Non-owning: the NetRS operator owns
   /// its rules/monitor and outlives the switch's traffic.
   void add_ingress_stage(IngressStage* stage);
+  /// Installs an egress observation stage (same ownership rules).
   void add_egress_stage(EgressStage* stage);
 
+  /// Runs the ingress pipeline on a delivered packet.
   void receive(Packet pkt, NodeId from) override;
 
   /// Injects a packet as if it arrived fresh (used by the accelerator to
@@ -64,8 +74,11 @@ class Switch : public Node {
   /// Sends `pkt` one hop toward switch `target`, running egress stages.
   void forward_toward_switch(Packet pkt, NodeId target);
 
+  /// This switch's NodeId.
   [[nodiscard]] NodeId id() const { return self_; }
+  /// This switch's tier in the fat-tree.
   [[nodiscard]] Tier tier() const { return fabric_.topology().tier(self_); }
+  /// The fabric this switch forwards on.
   [[nodiscard]] Fabric& fabric() { return fabric_; }
 
   /// Switch forwarding operations performed (the paper's hop metric).

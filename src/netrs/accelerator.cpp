@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "netrs/packet_format.hpp"
+#include "obs/observer.hpp"
 
 namespace netrs::core {
 
@@ -50,7 +51,7 @@ void Accelerator::receive(net::Packet pkt, net::NodeId from) {
     assert(by_switch_.contains(from) &&
            "packet from a switch this accelerator is not cabled to");
   }
-  Job job{std::move(pkt), from};
+  Job job{std::move(pkt), from, fabric_.simulator().now()};
   if (busy_cores_ < cfg_.cores) {
     start_service(std::move(job));
   } else {
@@ -86,6 +87,18 @@ void Accelerator::start_service(Job job) {
   const sim::Duration service = is_request(job.pkt)
                                     ? cfg_.request_service_time
                                     : cfg_.response_service_time;
+  // Both spans are known here: the wait ended now and the (deterministic)
+  // service ends `service` from now.
+  if (obs::Observer* o = fabric_.simulator().observer()) {
+    const sim::Time now = fabric_.simulator().now();
+    const auto tid = static_cast<std::int32_t>(primary_node_);
+    if (now > job.enqueued) {
+      o->span("accel.queue", "accel", tid, job.enqueued, now - job.enqueued,
+              job.pkt.meta.request_id);
+    }
+    o->span("accel.service", "accel", tid, now, service,
+            job.pkt.meta.request_id, "is_req", is_request(job.pkt) ? 1 : 0);
+  }
   // The job parks in its core slot; the completion event captures
   // {this, slot} only, so scheduling never heap-allocates.
   in_service_[slot] = std::move(job);
@@ -140,17 +153,28 @@ double Accelerator::utilization(sim::Time now) const {
       busy += now - service_start_[s];  // elapsed part of in-flight service
     }
   }
-  if constexpr (sim::kAuditEnabled) {
-    // Busy core-time can never exceed the window's wall time x cores; an
-    // overflow here is the PR 1 utilization-accounting bug resurfacing.
-    station_ledger_.check_busy_time(fabric_.simulator().auditor(), busy, span,
-                                    cfg_.cores);
-  }
   return static_cast<double>(busy) /
          (static_cast<double>(span) * cfg_.cores);
 }
 
 void Accelerator::reset_utilization(sim::Time now) {
+  if constexpr (sim::kAuditEnabled) {
+    // Busy core-time can never exceed the window's wall time x cores; an
+    // overflow here is the PR 1 utilization-accounting bug resurfacing.
+    // Checked here (window close) rather than in utilization() so the
+    // getter stays a pure const read for samplers.
+    const sim::Duration span = now - window_start_;
+    if (span > 0) {
+      sim::Duration busy = busy_accum_;
+      for (std::size_t s = 0; s < slot_busy_.size(); ++s) {
+        if (slot_busy_[s] && now > service_start_[s]) {
+          busy += now - service_start_[s];
+        }
+      }
+      station_ledger_.check_busy_time(fabric_.simulator().auditor(), busy,
+                                      span, cfg_.cores);
+    }
+  }
   window_start_ = now;
   busy_accum_ = 0;
   // In-flight services are split at the boundary: the part before `now`

@@ -28,13 +28,17 @@
 
 namespace netrs::core {
 
+/// Accelerator service parameters (defaults follow the paper, §V-A).
 struct AcceleratorConfig {
-  int cores = 1;
+  int cores = 1;  ///< c parallel packet-processing cores.
+  /// Deterministic per-request selection time (IncBricks-measured 5 us).
   sim::Duration request_service_time = sim::micros(5);
   /// Response clones only update selector state: cheaper than ranking.
   sim::Duration response_service_time = sim::micros(1);
 };
 
+/// The c-core FIFO queueing station modeling a network accelerator (see
+/// the file comment).
 class Accelerator final : public net::Node {
  public:
   /// The handler implements the NetRS selector (§IV-C): it receives each
@@ -50,32 +54,44 @@ class Accelerator final : public net::Node {
   /// Returns the auxiliary NodeId that switch must address.
   net::NodeId attach_switch(net::NodeId sw);
 
+  /// Installs the selector-side packet handler.
   void set_handler(Handler h) { handler_ = std::move(h); }
 
+  /// Enqueues a delivered packet for service.
   void receive(net::Packet pkt, net::NodeId from) override;
 
   /// Auxiliary NodeId for the primary (first) switch.
   [[nodiscard]] net::NodeId node_id() const { return primary_node_; }
   /// Auxiliary NodeId used by a specific attached switch.
   [[nodiscard]] net::NodeId node_id_for(net::NodeId sw) const;
+  /// NodeId of the primary (first) switch.
   [[nodiscard]] net::NodeId switch_node() const { return primary_switch_; }
+  /// Number of switches cabled to this accelerator.
   [[nodiscard]] std::size_t attached_switches() const {
     return by_switch_.size();
   }
+  /// The service parameters.
   [[nodiscard]] const AcceleratorConfig& config() const { return cfg_; }
 
   // --- Diagnostics / controller inputs --------------------------------------
+  /// Packets fully serviced (requests selected + clones absorbed).
   [[nodiscard]] std::uint64_t processed() const { return processed_; }
+  /// Jobs waiting for a core right now (excludes jobs in service).
   [[nodiscard]] std::size_t queue_length() const { return queue_.size(); }
   /// Fraction of core-time spent busy since the last reset, including the
   /// elapsed part of services still in progress. Always in [0, 1].
+  /// A pure read — safe to call from metrics samplers and from const
+  /// contexts; the busy-time audit runs in reset_utilization() instead.
   [[nodiscard]] double utilization(sim::Time now) const;
+  /// Closes the measurement window at `now` (audits its busy-time bound
+  /// in checked builds) and starts a fresh one.
   void reset_utilization(sim::Time now);
 
  private:
   struct Job {
     net::Packet pkt;
     net::NodeId from_switch = net::kInvalidNode;
+    sim::Time enqueued = 0;  // arrival at the accelerator (for trace spans)
   };
 
   [[nodiscard]] bool is_request(const net::Packet& pkt) const;
@@ -106,9 +122,7 @@ class Accelerator final : public net::Node {
   sim::Time window_start_ = 0;
   std::vector<sim::Time> service_start_;  // per core slot; valid iff busy
   std::vector<bool> slot_busy_;
-  // Mutable: utilization() is const but its busy-time bound check counts
-  // toward the auditor's check tally.
-  mutable sim::StationLedger station_ledger_;  // queue-accounting audit
+  sim::StationLedger station_ledger_;  // queue-accounting audit
 };
 
 }  // namespace netrs::core

@@ -19,13 +19,15 @@
 
 namespace netrs::core {
 
+/// How the controller produces Replica Selection Plans.
 enum class PlanMode {
   kTor,  ///< NetRS-ToR: each group served by its rack's ToR operator
   kIlp,  ///< NetRS-ILP: plans from the placement solver
 };
 
+/// Controller timing, sizing, and exception-handling knobs.
 struct ControllerConfig {
-  PlanMode mode = PlanMode::kIlp;
+  PlanMode mode = PlanMode::kIlp;  ///< Plan source.
   /// How often monitors are polled (and overload checks run).
   sim::Duration replan_interval = sim::millis(250);
   /// Minimum time between RSP recomputations in kIlp mode. The paper notes
@@ -41,13 +43,15 @@ struct ControllerConfig {
   /// Accelerator utilization above which a live RSNode's groups are
   /// degraded (§III-C exception case ii). > 1 disables the check.
   double overload_utilization = 1.5;
-  PlacementOptions placement;
+  PlacementOptions placement;  ///< Solver knobs passed through.
   /// Invoked just before each plan is deployed (before fresh RSNodes are
   /// reset), e.g. so selector factories can adapt C3's concurrency
   /// compensation to the new RSNode count.
   std::function<void(const PlacementResult&)> on_plan_change;
 };
 
+/// The centralized NetRS controller: statistics collection, periodic
+/// replanning, plan deployment, exception handling (see the file comment).
 class Controller {
  public:
   /// `operators` must outlive the controller. The TrafficGroups instance is
@@ -70,7 +74,9 @@ class Controller {
   /// Forces statistics collection + replan right now (tests/examples).
   void replan_now();
 
+  /// The plan currently installed.
   [[nodiscard]] const PlacementResult& current_plan() const { return plan_; }
+  /// How many plans have been deployed so far.
   [[nodiscard]] std::uint32_t plans_deployed() const { return deployed_; }
   /// Number of distinct RSNodes in the active plan.
   [[nodiscard]] int active_rsnodes() const { return plan_.rsnodes_used; }

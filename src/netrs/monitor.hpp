@@ -20,11 +20,14 @@
 
 namespace netrs::core {
 
+/// Egress-pipeline response counters on one ToR (see the file comment).
 class Monitor final : public net::Switch::EgressStage {
  public:
+  /// `tor` is the switch this monitor is installed on.
   Monitor(const net::FatTree& topo, const TrafficGroups& groups,
           net::NodeId tor);
 
+  /// Counts Mmon responses leaving toward a host port.
   void on_egress(const net::Packet& pkt, net::NodeId next_hop,
                  net::Switch& sw) override;
 
@@ -36,6 +39,7 @@ class Monitor final : public net::Switch::EgressStage {
   /// NetRS controller).
   [[nodiscard]] Counts snapshot_and_reset();
 
+  /// Responses counted over the monitor's lifetime (diagnostic).
   [[nodiscard]] std::uint64_t total_counted() const { return total_; }
 
  private:

@@ -30,6 +30,10 @@ NetRSOperator::NetRSOperator(
         fabric.simulator(), replica_db, selector_factory_());
     accel_ = owned_accel_.get();
     selector_ = owned_selector_.get();
+    // Dedicated selectors trace under their accelerator's node id, the
+    // same lane as its queue/service spans. (Shared selectors are tagged
+    // by whoever created them.)
+    selector_->set_trace_tid(static_cast<std::int32_t>(accel_->node_id()));
     accel_->set_handler([sel = selector_](net::Packet pkt) {
       return sel->process(std::move(pkt));
     });

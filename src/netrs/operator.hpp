@@ -25,11 +25,13 @@ using SelectorFactory = std::function<std::unique_ptr<rs::ReplicaSelector>()>;
 /// Externally owned accelerator + selector for the shared configuration of
 /// §III-B; both null for a dedicated operator.
 struct SharedParts {
-  Accelerator* accelerator = nullptr;
-  SelectorNode* selector = nullptr;
-  int share_id = -1;
+  Accelerator* accelerator = nullptr;  ///< Pool accelerator (or null).
+  SelectorNode* selector = nullptr;    ///< Pool selector (or null).
+  int share_id = -1;                   ///< Pool id (-1 = dedicated).
 };
 
+/// One NetRS operator: switch rules + accelerator + selector (+ ToR
+/// monitor); see the file comment for the shared configuration.
 class NetRSOperator {
  public:
   /// Wires the full operator onto `sw`: attaches (or reuses) an
@@ -44,20 +46,29 @@ class NetRSOperator {
                 std::shared_ptr<const GroupRidTable> tor_rid_table,
                 SharedParts shared = SharedParts());
 
+  /// This operator's RSNode id (the RID requests carry).
   [[nodiscard]] RsNodeId id() const { return id_; }
+  /// NodeId of the switch the operator is installed on.
   [[nodiscard]] net::NodeId switch_node() const { return switch_.id(); }
+  /// Tier of that switch.
   [[nodiscard]] net::Tier tier() const { return switch_.tier(); }
   /// Shared-accelerator pool id (-1 = dedicated); fed into
   /// OperatorSpec::accel_share by the controller.
   [[nodiscard]] int accel_share_id() const { return share_id_; }
 
+  /// The (possibly shared) network accelerator.
   [[nodiscard]] Accelerator& accelerator() { return *accel_; }
+  /// Const view of the accelerator.
   [[nodiscard]] const Accelerator& accelerator() const { return *accel_; }
+  /// The (possibly shared) selector node running the RS algorithm.
   [[nodiscard]] SelectorNode& selector_node() { return *selector_; }
+  /// Const view of the selector node.
   [[nodiscard]] const SelectorNode& selector_node() const {
     return *selector_;
   }
+  /// The match-action rules installed on the switch.
   [[nodiscard]] NetRSRules& rules() { return *rules_; }
+  /// Const view of the rules.
   [[nodiscard]] const NetRSRules& rules() const { return *rules_; }
   /// Non-null on ToR operators only.
   [[nodiscard]] Monitor* monitor() { return monitor_.get(); }

@@ -35,15 +35,16 @@ namespace netrs::core {
 /// 48-bit magic-field value (low 48 bits used).
 using Magic = std::uint64_t;
 
-inline constexpr Magic kMagicMask = 0xFFFFFFFFFFFFULL;
-/// "NETRSQ" / "NETRSP" / "NETRSM" as 48-bit constants.
-inline constexpr Magic kMagicRequest = 0x4E4554525351ULL;
-inline constexpr Magic kMagicResponse = 0x4E4554525350ULL;
-inline constexpr Magic kMagicMonitor = 0x4E455452534DULL;
+inline constexpr Magic kMagicMask = 0xFFFFFFFFFFFFULL;  ///< Low 48 bits.
+inline constexpr Magic kMagicRequest = 0x4E4554525351ULL;   ///< "NETRSQ".
+inline constexpr Magic kMagicResponse = 0x4E4554525350ULL;  ///< "NETRSP".
+inline constexpr Magic kMagicMonitor = 0x4E455452534DULL;   ///< "NETRSM".
 /// XOR constant implementing the invertible f(.) — involutive: f == f^-1.
 inline constexpr Magic kMagicXorKey = 0x0F0F0F0F0F0FULL;
 
+/// The paper's invertible magic-field transform f(.).
 constexpr Magic magic_f(Magic m) { return (m ^ kMagicXorKey) & kMagicMask; }
+/// f^-1 — equal to f because f is an involution.
 constexpr Magic magic_f_inverse(Magic m) { return magic_f(m); }
 
 static_assert(magic_f(kMagicResponse) != kMagicRequest);
@@ -59,6 +60,7 @@ enum class PacketKind : std::uint8_t {
   kMonitorOnly,    ///< MF == Mmon: forwarded normally, counted by monitors
 };
 
+/// Maps a magic field to its PacketKind.
 constexpr PacketKind classify(Magic mf) {
   switch (mf) {
     case kMagicRequest:
@@ -75,18 +77,19 @@ constexpr PacketKind classify(Magic mf) {
 /// RSNode ids live in the RID field. 0 is reserved, 0xFFFF is the illegal
 /// id that enables Degraded Replica Selection (§III-C / §IV-B).
 using RsNodeId = std::uint16_t;
-inline constexpr RsNodeId kRidUnset = 0;
-inline constexpr RsNodeId kRidIllegal = 0xFFFF;
+inline constexpr RsNodeId kRidUnset = 0;       ///< No RSNode assigned yet.
+inline constexpr RsNodeId kRidIllegal = 0xFFFF;  ///< DRS trigger value.
 
 /// Replica-group identifier (24-bit on the wire).
 using ReplicaGroupId = std::uint32_t;
-inline constexpr ReplicaGroupId kMaxReplicaGroupId = 0xFFFFFF;
+inline constexpr ReplicaGroupId kMaxReplicaGroupId = 0xFFFFFF;  ///< 2^24-1.
 
+/// Decoded NetRS request header (Fig. 2 top row; see the file comment).
 struct RequestHeader {
-  RsNodeId rid = kRidUnset;
-  Magic mf = kMagicRequest;
-  std::uint16_t rv = 0;
-  ReplicaGroupId rgid = 0;
+  RsNodeId rid = kRidUnset;     ///< Assigned RSNode (or unset/illegal).
+  Magic mf = kMagicRequest;     ///< Packet-type label.
+  std::uint16_t rv = 0;         ///< Retaining value echoed by the server.
+  ReplicaGroupId rgid = 0;      ///< Replica group of the key.
 };
 
 /// Piggybacked server status (SS segment) — exactly what C3 consumes.
@@ -95,16 +98,20 @@ struct ServerStatus {
   std::uint32_t service_time_ns = 0;   ///< server's mean service time
 };
 
+/// Decoded NetRS response header (Fig. 2 bottom row; see the file comment).
 struct ResponseHeader {
-  RsNodeId rid = kRidUnset;
-  Magic mf = kMagicResponse;
-  std::uint16_t rv = 0;
-  net::SourceMarker sm;
-  ServerStatus status;
+  RsNodeId rid = kRidUnset;   ///< Echoed from the request.
+  Magic mf = kMagicResponse;  ///< f^-1 of the request's magic field.
+  std::uint16_t rv = 0;       ///< Echoed retaining value.
+  net::SourceMarker sm;       ///< Pod+rack of the responding server.
+  ServerStatus status;        ///< Piggybacked SS segment.
 };
 
+/// Wire size of the request header (RID+MF+RV+RGID).
 inline constexpr std::size_t kRequestHeaderBytes = 2 + 6 + 2 + 3;
+/// Wire size of the SS segment.
 inline constexpr std::size_t kServerStatusBytes = 8;
+/// Wire size of the response header (RID+MF+RV+SM+SSL+SS).
 inline constexpr std::size_t kResponseHeaderBytes =
     2 + 6 + 2 + 4 + 2 + kServerStatusBytes;
 
@@ -114,16 +121,19 @@ inline constexpr std::size_t kResponseHeaderBytes =
 /// (small-buffer: no allocation for NetRS-sized payloads).
 net::PayloadBuffer encode_request(const RequestHeader& h,
                                   std::span<const std::byte> app);
+/// Serializes a response header + app payload (see encode_request).
 net::PayloadBuffer encode_response(const ResponseHeader& h,
                                    std::span<const std::byte> app);
 
 /// Parses a request/response header. Returns nullopt on malformed/short
 /// payloads. The app payload starts at the returned offset.
 std::optional<RequestHeader> decode_request(std::span<const std::byte> p);
+/// Parses a response header (see decode_request).
 std::optional<ResponseHeader> decode_response(std::span<const std::byte> p);
 
-/// App payload view behind a request/response header.
+/// App payload view behind a request header.
 std::span<const std::byte> request_app_payload(std::span<const std::byte> p);
+/// App payload view behind a response header.
 std::span<const std::byte> response_app_payload(std::span<const std::byte> p);
 
 // --- Field peeks/rewrites (what a programmable switch actually does) -------
@@ -132,14 +142,21 @@ std::span<const std::byte> response_app_payload(std::span<const std::byte> p);
 /// NetRS packet.
 std::optional<Magic> peek_magic(std::span<const std::byte> p);
 
+/// Reads the RID field; nullopt on short payloads.
 std::optional<RsNodeId> peek_rid(std::span<const std::byte> p);
 
+/// Overwrites the RID field in place.
 void set_rid(std::span<std::byte> p, RsNodeId rid);
+/// Overwrites the magic field in place.
 void set_magic(std::span<std::byte> p, Magic mf);
+/// Overwrites the retaining value in place.
 void set_rv(std::span<std::byte> p, std::uint16_t rv);
+/// Reads the retaining value. Precondition: payload holds a NetRS header.
 std::uint16_t peek_rv(std::span<const std::byte> p);
-/// Response-only field rewrites (offsets differ from the request layout).
+/// Overwrites the response's source marker (offsets differ from the
+/// request layout — response-only).
 void set_source_marker(std::span<std::byte> p, net::SourceMarker sm);
+/// Reads the response's source marker; nullopt on short payloads.
 std::optional<net::SourceMarker> peek_source_marker(
     std::span<const std::byte> p);
 

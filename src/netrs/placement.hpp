@@ -40,23 +40,26 @@
 
 namespace netrs::core {
 
+/// One traffic group's location and measured demand (a row of the ILP).
 struct GroupDemand {
-  GroupId id = 0;
-  int pod = 0;
+  GroupId id = 0;  ///< Traffic-group id.
+  int pod = 0;     ///< Pod the group sits in.
   int rack = 0;  ///< rack index within the pod
   /// Requests/s by traffic tier (index = tier id; [0]=inter-pod,
   /// [1]=intra-pod, [2]=intra-rack), from monitor statistics.
   double tier_traffic[3] = {0, 0, 0};
 
+  /// Total requests/s across all tiers (load_i in Eq. 6).
   [[nodiscard]] double total() const {
     return tier_traffic[0] + tier_traffic[1] + tier_traffic[2];
   }
 };
 
+/// One candidate RSNode location (a column of the ILP).
 struct OperatorSpec {
-  RsNodeId id = kRidUnset;
-  net::NodeId sw = net::kInvalidNode;
-  net::Tier tier = net::Tier::kCore;
+  RsNodeId id = kRidUnset;             ///< The operator's RSNode id.
+  net::NodeId sw = net::kInvalidNode;  ///< Switch it is installed on.
+  net::Tier tier = net::Tier::kCore;   ///< Tier of that switch.
   int pod = 0;   ///< agg/ToR only
   int rack = 0;  ///< ToR only: rack index within the pod
   double t_max = 0.0;  ///< accelerator capacity in requests/s (U*c/t)
@@ -66,16 +69,24 @@ struct OperatorSpec {
   bool available = true;  ///< false: failed / excluded by the controller
 };
 
+/// A complete placement instance (Eqs. 1-7 data).
 struct PlacementProblem {
-  std::vector<GroupDemand> groups;
-  std::vector<OperatorSpec> operators;
+  std::vector<GroupDemand> groups;      ///< Rows: traffic groups.
+  std::vector<OperatorSpec> operators;  ///< Columns: candidate RSNodes.
   double extra_hop_budget = 0.0;  ///< E, in forwarding operations/s
 };
 
-enum class PlacementMethod { kAuto, kFullIlp, kReducedIlp, kGreedy };
+/// Which solve path to use (see the file comment).
+enum class PlacementMethod {
+  kAuto,        ///< Pick by instance size/shape.
+  kFullIlp,     ///< The paper's ILP verbatim.
+  kReducedIlp,  ///< Symmetry-reduced exact model + packing.
+  kGreedy,      ///< Consolidation heuristic.
+};
 
+/// Solver knobs.
 struct PlacementOptions {
-  PlacementMethod method = PlacementMethod::kAuto;
+  PlacementMethod method = PlacementMethod::kAuto;  ///< Solve path.
   /// Branch-and-bound node budget (the paper's early-termination knob).
   int max_bnb_nodes = 5000;
   /// kAuto uses the full ILP up to this many P variables; beyond that the
@@ -88,15 +99,16 @@ struct PlacementOptions {
   std::size_t reduced_ilp_group_limit = 320;
 };
 
+/// A solved Replica Selection Plan.
 struct PlacementResult {
   /// Group -> RSNode assignment; groups absent here are in drs_groups.
   /// Ordered map: plans are iterated when installed (ToR tables, active-set
   /// computation), so the walk order must not depend on hash layout.
   std::map<GroupId, RsNodeId> assignment;
-  std::vector<GroupId> drs_groups;
-  int rsnodes_used = 0;
+  std::vector<GroupId> drs_groups;  ///< Groups degraded to DRS (§III-C).
+  int rsnodes_used = 0;             ///< Objective value: active RSNodes.
   double extra_hops_used = 0.0;  ///< Eq. (7) cost of the final plan
-  bool proven_optimal = false;
+  bool proven_optimal = false;  ///< True when the solver proved optimality.
   std::string method;  ///< "full-ilp", "reduced-ilp", "greedy", "tor"
 };
 
@@ -107,6 +119,8 @@ struct PlacementResult {
 /// (for eligible pairings; groups sit at tier 2).
 [[nodiscard]] double extra_hop_cost(const GroupDemand& g, net::Tier op_tier);
 
+/// Solves the placement instance, degrading groups to DRS on
+/// infeasibility (see the file comment for the method choices).
 PlacementResult solve_placement(const PlacementProblem& problem,
                                 const PlacementOptions& opts = {});
 

@@ -36,6 +36,7 @@ using RsNodeDirectory = std::unordered_map<RsNodeId, net::NodeId>;
 /// entries enable DRS for that group.
 using GroupRidTable = std::vector<RsNodeId>;
 
+/// The Fig. 3 ingress pipeline as a switch stage (see the file comment).
 class NetRSRules final : public net::Switch::IngressStage {
  public:
   /// `accelerator_node` is the co-located accelerator to hand packets to.
@@ -52,15 +53,21 @@ class NetRSRules final : public net::Switch::IngressStage {
   /// Swaps in a new group->RSNode mapping (RSP deployment).
   void update_rid_table(std::shared_ptr<const GroupRidTable> rid_table);
 
+  /// Runs the pipeline of the file comment on one arriving packet.
   net::Switch::Disposition on_ingress(net::Packet& pkt, net::NodeId from,
                                       net::Switch& sw) override;
 
+  /// RSNode id of the operator these rules belong to.
   [[nodiscard]] RsNodeId local_id() const { return local_id_; }
 
   // --- Diagnostics -----------------------------------------------------------
+  /// Packets steered toward another RSNode's switch.
   [[nodiscard]] std::uint64_t steered() const { return steered_; }
+  /// Requests handed to the local accelerator.
   [[nodiscard]] std::uint64_t to_accelerator() const { return to_accel_; }
+  /// Responses cloned to the local accelerator.
   [[nodiscard]] std::uint64_t cloned() const { return cloned_; }
+  /// Requests relabelled for Degraded Replica Selection.
   [[nodiscard]] std::uint64_t drs_labelled() const { return drs_; }
 
  private:

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <utility>
 
+#include "obs/observer.hpp"
+
 namespace netrs::core {
 
 SelectorNode::SelectorNode(sim::Simulator& sim, const ReplicaDatabase& db,
@@ -51,6 +53,11 @@ std::optional<net::Packet> SelectorNode::handle_request(net::Packet pkt) {
 
   const std::uint16_t rv = next_rv_++;
   pending_[rv] = PendingSlot{server, sim_.now(), true};
+  if (obs::Observer* o = sim_.observer()) {
+    o->instant("rs.select", "rs", trace_tid_, sim_.now(),
+               pkt.meta.request_id, "server",
+               static_cast<std::uint64_t>(server), "rv", rv);
+  }
 
   pkt.dst = server;
   set_rv(pkt.payload, rv);

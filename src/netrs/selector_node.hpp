@@ -25,8 +25,12 @@ namespace netrs::core {
 /// (derived from the KV store's consistent-hash ring).
 using ReplicaDatabase = std::vector<std::vector<net::HostId>>;
 
+/// The NetRS selector logic behind an accelerator's handler (see the
+/// file comment).
 class SelectorNode {
  public:
+  /// `db` is shared immutable state owned by the harness; `selector` is
+  /// this node's private algorithm instance.
   SelectorNode(sim::Simulator& sim, const ReplicaDatabase& db,
                std::unique_ptr<rs::ReplicaSelector> selector);
 
@@ -39,16 +43,24 @@ class SelectorNode {
   /// "newly introduced RSNodes have to build the view from scratch").
   void reset_selector(std::unique_ptr<rs::ReplicaSelector> selector);
 
+  /// The current selection algorithm (diagnostic/report access).
   [[nodiscard]] const rs::ReplicaSelector& selector() const {
     return *selector_;
   }
+  /// Requests rewritten toward a chosen replica.
   [[nodiscard]] std::uint64_t requests_selected() const {
     return requests_selected_;
   }
+  /// Cloned responses absorbed into selector state.
   [[nodiscard]] std::uint64_t responses_absorbed() const {
     return responses_absorbed_;
   }
+  /// Responses whose RV no longer matched a pending slot (reused tag).
   [[nodiscard]] std::uint64_t rv_mismatches() const { return rv_mismatches_; }
+
+  /// Sets the trace thread id this selector records "rs.select" events
+  /// under (its RSNode's switch id). Defaults to -1 (untagged).
+  void set_trace_tid(std::int32_t tid) { trace_tid_ = tid; }
 
  private:
   struct PendingSlot {
@@ -69,6 +81,7 @@ class SelectorNode {
   std::uint64_t requests_selected_ = 0;
   std::uint64_t responses_absorbed_ = 0;
   std::uint64_t rv_mismatches_ = 0;
+  std::int32_t trace_tid_ = -1;
 };
 
 }  // namespace netrs::core

@@ -19,10 +19,18 @@
 
 namespace netrs::core {
 
-enum class GroupGranularity { kHost, kRack, kSubRack };
+/// How hosts are partitioned into traffic groups (see the file comment).
+enum class GroupGranularity {
+  kHost,     ///< One group per end-host.
+  kRack,     ///< One group per ToR (the default).
+  kSubRack,  ///< n consecutive hosts of a rack per group.
+};
 
+/// Dense traffic-group index in [0, group_count()).
 using GroupId = std::uint32_t;
 
+/// Pure index math mapping hosts to traffic groups and groups to their
+/// rack/ToR (no per-host storage).
 class TrafficGroups {
  public:
   /// `hosts_per_group` is only used for kSubRack and must divide the rack
@@ -30,15 +38,21 @@ class TrafficGroups {
   TrafficGroups(const net::FatTree& topo, GroupGranularity granularity,
                 int hosts_per_group = 0);
 
+  /// Group of an end-host.
   [[nodiscard]] GroupId group_of_host(net::HostId h) const;
+  /// Total number of groups.
   [[nodiscard]] std::uint32_t group_count() const { return count_; }
 
   /// ToR switch the group's hosts connect to.
   [[nodiscard]] net::NodeId tor_of_group(GroupId g) const;
+  /// Pod the group sits in.
   [[nodiscard]] int pod_of_group(GroupId g) const;
+  /// Rack index (see FatTree::rack_index) of the group.
   [[nodiscard]] int rack_of_group(GroupId g) const;
+  /// The group's member hosts, ascending.
   [[nodiscard]] std::vector<net::HostId> hosts_of_group(GroupId g) const;
 
+  /// The configured granularity.
   [[nodiscard]] GroupGranularity granularity() const { return granularity_; }
 
  private:

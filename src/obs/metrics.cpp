@@ -1,0 +1,193 @@
+#include "obs/metrics.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace netrs::obs {
+namespace {
+
+/// Nanoseconds -> microsecond decimal string with exact remainder,
+/// integer arithmetic only (mirrors the trace writer's formatting).
+std::string time_us_string(sim::Time t) {
+  char buf[40];
+  const auto ns = static_cast<std::uint64_t>(t);
+  const std::uint64_t us = ns / 1000;
+  const unsigned rem = static_cast<unsigned>(ns % 1000);
+  int len = 0;
+  if (rem == 0) {
+    len = std::snprintf(buf, sizeof(buf), "%llu",
+                        static_cast<unsigned long long>(us));
+  } else {
+    len = std::snprintf(buf, sizeof(buf), "%llu.%03u",
+                        static_cast<unsigned long long>(us), rem);
+    while (len > 0 && buf[len - 1] == '0') --len;
+  }
+  return std::string(buf, static_cast<std::size_t>(len));
+}
+
+/// Expanded column label for one histogram bucket upper bound.
+std::string bucket_label(const std::string& name, double bound) {
+  return name + ".le_" + format_metric_value(bound);
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    assert(bounds_[i - 1] < bounds_[i] && "histogram bounds must increase");
+  }
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::add(double v) {
+  std::size_t i = 0;
+  while (i < bounds_.size() && v > bounds_[i]) ++i;
+  ++counts_[i];
+  ++count_;
+  sum_ += v;
+}
+
+void MetricsSummary::merge(const MetricsSnapshot& snap) {
+  if (snap.rows.empty()) return;
+  if (entries.empty()) {
+    for (std::size_t c = 0; c < snap.columns.size(); ++c) {
+      if (snap.summarize[c] == 0) continue;
+      MetricSummaryEntry e;
+      e.name = snap.columns[c];
+      entries.push_back(std::move(e));
+    }
+  }
+  std::size_t out = 0;
+  for (std::size_t c = 0; c < snap.columns.size(); ++c) {
+    if (snap.summarize[c] == 0) continue;
+    assert(out < entries.size() && entries[out].name == snap.columns[c] &&
+           "merged snapshots must share one column layout");
+    MetricSummaryEntry& e = entries[out++];
+    for (const MetricsSnapshot::Row& row : snap.rows) {
+      const double v = row.values[c];
+      if (e.samples == 0) {
+        e.min = e.max = v;
+      } else {
+        if (v < e.min) e.min = v;
+        if (v > e.max) e.max = v;
+      }
+      // Running mean keeps the merge independent of how repeats are
+      // batched (same fold order as the serial harness).
+      ++e.samples;
+      e.mean += (v - e.mean) / static_cast<double>(e.samples);
+      e.last = v;
+    }
+  }
+}
+
+std::uint64_t* MetricsRegistry::counter(std::string name, bool summarize) {
+  assert(rows_.empty() && "register metrics before the first sample");
+  counters_.push_back(0);
+  metrics_.push_back(
+      {std::move(name), Kind::kCounter, summarize, counters_.size() - 1});
+  return &counters_.back();
+}
+
+void MetricsRegistry::gauge(std::string name, GaugeFn fn, bool summarize) {
+  assert(rows_.empty() && "register metrics before the first sample");
+  gauges_.push_back(std::move(fn));
+  metrics_.push_back(
+      {std::move(name), Kind::kGauge, summarize, gauges_.size() - 1});
+}
+
+Histogram* MetricsRegistry::histogram(std::string name,
+                                      std::vector<double> bounds,
+                                      bool summarize) {
+  assert(rows_.empty() && "register metrics before the first sample");
+  histograms_.emplace_back(std::move(bounds));
+  metrics_.push_back(
+      {std::move(name), Kind::kHistogram, summarize, histograms_.size() - 1});
+  return &histograms_.back();
+}
+
+void MetricsRegistry::sample(sim::Time now) {
+  if (columns_ == 0) {
+    for (const Metric& m : metrics_) {
+      columns_ += m.kind == Kind::kHistogram
+                      ? histograms_[m.index].bucket_count() + 2
+                      : 1;
+    }
+  }
+  MetricsSnapshot::Row row;
+  row.t = now;
+  row.values.reserve(columns_);
+  for (const Metric& m : metrics_) {
+    switch (m.kind) {
+      case Kind::kCounter:
+        row.values.push_back(static_cast<double>(counters_[m.index]));
+        break;
+      case Kind::kGauge:
+        row.values.push_back(gauges_[m.index]());
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = histograms_[m.index];
+        for (std::size_t b = 0; b < h.bucket_count(); ++b) {
+          row.values.push_back(static_cast<double>(h.bucket(b)));
+        }
+        row.values.push_back(static_cast<double>(h.count()));
+        row.values.push_back(h.sum());
+        break;
+      }
+    }
+  }
+  rows_.push_back(std::move(row));
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  for (const Metric& m : metrics_) {
+    if (m.kind == Kind::kHistogram) {
+      const Histogram& h = histograms_[m.index];
+      for (std::size_t b = 0; b < h.bounds().size(); ++b) {
+        snap.columns.push_back(bucket_label(m.name, h.bounds()[b]));
+        snap.summarize.push_back(0);
+      }
+      snap.columns.push_back(m.name + ".le_inf");
+      snap.summarize.push_back(0);
+      snap.columns.push_back(m.name + ".count");
+      snap.summarize.push_back(m.summarize ? 1 : 0);
+      snap.columns.push_back(m.name + ".sum");
+      snap.summarize.push_back(0);
+    } else {
+      snap.columns.push_back(m.name);
+      snap.summarize.push_back(m.summarize ? 1 : 0);
+    }
+  }
+  snap.rows = rows_;
+  return snap;
+}
+
+std::string format_metric_value(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    const int len = std::snprintf(buf, sizeof(buf), "%lld",
+                                  static_cast<long long>(v));
+    return std::string(buf, static_cast<std::size_t>(len));
+  }
+  char buf[40];
+  const int len = std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return std::string(buf, static_cast<std::size_t>(len));
+}
+
+void write_metrics_csv(std::ostream& os,
+                       const std::vector<MetricsSnapshot>& repeats) {
+  os << "repeat,time_us,metric,value\n";
+  for (std::size_t rep = 0; rep < repeats.size(); ++rep) {
+    const MetricsSnapshot& snap = repeats[rep];
+    for (const MetricsSnapshot::Row& row : snap.rows) {
+      const std::string t = time_us_string(row.t);
+      for (std::size_t c = 0; c < snap.columns.size(); ++c) {
+        os << rep << ',' << t << ',' << snap.columns[c] << ','
+           << format_metric_value(row.values[c]) << '\n';
+      }
+    }
+  }
+}
+
+}  // namespace netrs::obs

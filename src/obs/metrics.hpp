@@ -1,0 +1,178 @@
+// Deterministic metrics registry sampled on simulated time.
+//
+// Components register counters (monotone uint64, owned by the caller via
+// a stable pointer), gauges (pull-style callbacks over const getters)
+// and fixed-bucket histograms. A simulated-time ticker calls sample()
+// at a fixed interval, appending one row per tick; after the run the
+// rows become a long-format CSV time series plus a compact per-metric
+// summary for the harness report.
+//
+// Determinism contract: the column layout is the registration order
+// (never hash order), sampling reads const state only, and all value
+// formatting goes through a locale-independent fixed-format printer —
+// so the CSV is bit-identical for a given seed at any --jobs value.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace netrs::obs {
+
+/// Fixed-bucket histogram in the Prometheus "le" style: a value lands in
+/// the first bucket whose upper bound is >= the value; values above the
+/// last bound land in the overflow bucket.
+class Histogram {
+ public:
+  /// Creates a histogram with the given strictly increasing upper bounds
+  /// (one overflow bucket is added implicitly).
+  explicit Histogram(std::vector<double> bounds);
+
+  /// Records one observation.
+  void add(double v);
+
+  /// Upper bounds as configured (excludes the implicit overflow bucket).
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+
+  /// Number of buckets including the overflow bucket.
+  [[nodiscard]] std::size_t bucket_count() const { return counts_.size(); }
+
+  /// Observation count in bucket `i` (the last index is the overflow
+  /// bucket). Not cumulative.
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const {
+    return counts_[i];
+  }
+
+  /// Total observations.
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+
+  /// Sum of all observed values.
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+/// One sampled time series extracted from a repeat: the expanded column
+/// names, which columns feed the report summary, and one row per tick.
+struct MetricsSnapshot {
+  /// A single sample row: the tick's simulated time plus one value per
+  /// column (same order as MetricsSnapshot::columns).
+  struct Row {
+    /// Simulated time of the tick, ns.
+    sim::Time t = 0;
+    /// Column values at the tick.
+    std::vector<double> values;
+  };
+
+  /// Expanded column names in registration order (histograms expand to
+  /// `<name>.le_<bound>` buckets plus `<name>.count` / `<name>.sum`).
+  std::vector<std::string> columns;
+  /// Per-column flag: include this column in the report summary table.
+  std::vector<std::uint8_t> summarize;
+  /// Sample rows in tick order.
+  std::vector<Row> rows;
+};
+
+/// Per-column aggregate over every tick of every repeat, shown as the
+/// "Metrics summary" table in the harness report.
+struct MetricSummaryEntry {
+  /// Expanded column name.
+  std::string name;
+  /// Number of contributing samples (ticks x repeats).
+  std::uint64_t samples = 0;
+  /// Smallest sampled value.
+  double min = 0.0;
+  /// Largest sampled value.
+  double max = 0.0;
+  /// Mean over all samples.
+  double mean = 0.0;
+  /// Value at the last tick (of the last merged repeat).
+  double last = 0.0;
+};
+
+/// Summary rows for every summarized column; merged across repeats in
+/// repeat order.
+struct MetricsSummary {
+  /// One entry per summarized column, registration order.
+  std::vector<MetricSummaryEntry> entries;
+
+  /// True once at least one snapshot has been merged.
+  [[nodiscard]] bool enabled() const { return !entries.empty(); }
+
+  /// Folds one repeat's snapshot into the running summary. Column sets
+  /// must match across merged snapshots (they do: every repeat registers
+  /// the same metrics in the same order).
+  void merge(const MetricsSnapshot& snap);
+};
+
+/// Registry of counters / gauges / histograms with a deterministic,
+/// registration-ordered column layout. One instance per repeat.
+class MetricsRegistry {
+ public:
+  /// Pull-style gauge callback; must only read const simulation state.
+  using GaugeFn = std::function<double()>;
+
+  /// Registers a counter and returns a stable pointer the owner
+  /// increments; the registry reads it at each tick. `summarize` selects
+  /// whether the column appears in the report summary table.
+  std::uint64_t* counter(std::string name, bool summarize = true);
+
+  /// Registers a pull gauge evaluated at each tick.
+  void gauge(std::string name, GaugeFn fn, bool summarize = true);
+
+  /// Registers a histogram with the given upper bounds and returns a
+  /// stable pointer the owner feeds via Histogram::add.
+  Histogram* histogram(std::string name, std::vector<double> bounds,
+                       bool summarize = true);
+
+  /// Number of registered metrics (pre-expansion).
+  [[nodiscard]] std::size_t metric_count() const { return metrics_.size(); }
+
+  /// Appends one sample row at simulated time `now`. Registration must
+  /// be finished before the first tick (the column layout freezes then).
+  void sample(sim::Time now);
+
+  /// Number of rows sampled so far.
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  /// Extracts the sampled series (column names, summary flags, rows).
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  struct Metric {
+    std::string name;
+    Kind kind;
+    bool summarize;
+    std::size_t index;  // into the kind-specific storage below
+  };
+
+  std::vector<Metric> metrics_;
+  std::deque<std::uint64_t> counters_;   // deque: stable addresses
+  std::vector<GaugeFn> gauges_;
+  std::deque<Histogram> histograms_;     // deque: stable addresses
+  std::vector<MetricsSnapshot::Row> rows_;
+  std::size_t columns_ = 0;  // frozen at first sample()
+};
+
+/// Formats a metric value for CSV/report output: integers print exactly
+/// ("17"), everything else through "%.9g". Locale-independent.
+[[nodiscard]] std::string format_metric_value(double v);
+
+/// Writes the merged long-format CSV: header
+/// `repeat,time_us,metric,value`, then one row per (repeat, tick,
+/// column), repeats in order. Bit-identical at any --jobs value.
+void write_metrics_csv(std::ostream& os,
+                       const std::vector<MetricsSnapshot>& repeats);
+
+}  // namespace netrs::obs

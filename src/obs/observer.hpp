@@ -1,0 +1,112 @@
+// Observability hub: one Observer per simulation run.
+//
+// The Observer bundles the trace ring (obs/trace.hpp) and the metrics
+// registry (obs/metrics.hpp) and hangs off the Simulator as a plain
+// pointer (`Simulator::set_observer`), which the simulator only forward-
+// declares — sim keeps zero dependency on obs. Components guard every
+// record with `if (obs::Observer* o = sim.observer())`, so a run without
+// observability pays exactly one pointer load + branch per would-be
+// event ("zero overhead when off" in the runtime sense; the audit layer
+// covers the compile-time sense).
+//
+// Observation only: recording never mutates simulation state, consumes
+// RNG draws, or reads the wall clock — golden digests are identical with
+// the Observer attached or absent.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sim/time.hpp"
+
+namespace netrs::sim {
+class Simulator;
+}  // namespace netrs::sim
+
+namespace netrs::obs {
+
+/// What to observe and where to write it. Carried by the harness config;
+/// empty paths disable the corresponding subsystem entirely.
+struct ObsConfig {
+  /// Chrome trace-event JSON output path ("" = tracing off).
+  std::string trace_path;
+  /// Metrics CSV output path ("" = metrics off).
+  std::string metrics_path;
+  /// Events retained per repeat before the ring wraps.
+  std::size_t trace_capacity = 1u << 16;
+  /// Metrics sampling tick, in simulated time.
+  sim::Duration sample_interval = 5 * sim::kMillisecond;
+
+  /// True when tracing is requested.
+  [[nodiscard]] bool want_trace() const { return !trace_path.empty(); }
+  /// True when metrics sampling is requested.
+  [[nodiscard]] bool want_metrics() const { return !metrics_path.empty(); }
+  /// True when either subsystem is requested.
+  [[nodiscard]] bool any() const { return want_trace() || want_metrics(); }
+};
+
+/// Per-run observability hub; owns the trace ring and metrics registry.
+/// Created by the harness (one per repeat), attached to that repeat's
+/// Simulator, and harvested via take_trace()/take_metrics() after the
+/// run.
+class Observer {
+ public:
+  /// Sizes the trace ring (0 when tracing is off) per `cfg`.
+  explicit Observer(const ObsConfig& cfg);
+
+  Observer(const Observer&) = delete;
+  Observer& operator=(const Observer&) = delete;
+
+  /// True when trace events are being recorded.
+  [[nodiscard]] bool tracing() const { return ring_.enabled(); }
+
+  /// True when the metrics registry is live (sampler + registrations).
+  [[nodiscard]] bool metering() const { return metering_; }
+
+  /// The trace ring (mostly for tests; components use span()/instant()).
+  [[nodiscard]] TraceRing& ring() { return ring_; }
+
+  /// The metrics registry; register counters/gauges/histograms here
+  /// before the sampler's first tick.
+  [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
+
+  /// Records a complete span ('X'): `ts` + `dur` in simulated ns,
+  /// `tid` = recording node, `id` = request correlation id, plus up to
+  /// two named integer args. All strings must be literals.
+  void span(const char* name, const char* cat, std::int32_t tid, sim::Time ts,
+            sim::Duration dur, std::uint64_t id = 0,
+            const char* arg0_name = nullptr, std::uint64_t arg0 = 0,
+            const char* arg1_name = nullptr, std::uint64_t arg1 = 0);
+
+  /// Records a thread-scoped instant ('i'); parameters as in span().
+  void instant(const char* name, const char* cat, std::int32_t tid,
+               sim::Time ts, std::uint64_t id = 0,
+               const char* arg0_name = nullptr, std::uint64_t arg0 = 0,
+               const char* arg1_name = nullptr, std::uint64_t arg1 = 0);
+
+  /// Names a trace thread (forwarded to TraceRing::set_tid_name).
+  void set_tid_name(std::int32_t tid, std::string name);
+
+  /// Starts the simulated-time metrics ticker on `sim`: one sample every
+  /// ObsConfig::sample_interval until simulated time passes `until`
+  /// (ticks stop themselves afterwards). No-op when metering() is false.
+  void start_sampler(sim::Simulator& sim, sim::Time until);
+
+  /// Extracts this run's trace contribution for the merged JSON file.
+  [[nodiscard]] TraceSnapshot take_trace() const;
+
+  /// Extracts this run's sampled metrics series.
+  [[nodiscard]] MetricsSnapshot take_metrics() const {
+    return metrics_.snapshot();
+  }
+
+ private:
+  TraceRing ring_;
+  MetricsRegistry metrics_;
+  bool metering_;
+  sim::Duration sample_interval_;
+};
+
+}  // namespace netrs::obs

@@ -1,0 +1,155 @@
+#include "obs/trace.hpp"
+
+#include <cassert>
+#include <cstdio>
+
+namespace netrs::obs {
+namespace {
+
+/// Formats a nanosecond quantity as a microsecond decimal string with an
+/// exact fractional part ("12", "12.5", "12.003"), using integer
+/// arithmetic only so the output is locale- and platform-independent.
+std::string ns_as_us(std::uint64_t ns) {
+  char buf[40];
+  const std::uint64_t us = ns / 1000;
+  const unsigned rem = static_cast<unsigned>(ns % 1000);
+  int len = 0;
+  if (rem == 0) {
+    len = std::snprintf(buf, sizeof(buf), "%llu",
+                        static_cast<unsigned long long>(us));
+  } else {
+    len = std::snprintf(buf, sizeof(buf), "%llu.%03u",
+                        static_cast<unsigned long long>(us), rem);
+    // Trim trailing zeros of the fraction ("12.500" -> "12.5").
+    while (len > 0 && buf[len - 1] == '0') --len;
+  }
+  return std::string(buf, static_cast<std::size_t>(len));
+}
+
+/// Emits one trace event as a JSON object (no trailing comma).
+void write_event(std::ostream& os, const TraceEvent& e, std::size_t pid) {
+  os << "{\"name\":\"" << json_escape(e.name != nullptr ? e.name : "?")
+     << "\",\"cat\":\"" << json_escape(e.cat != nullptr ? e.cat : "sim")
+     << "\",\"ph\":\"" << e.phase << "\",\"pid\":" << pid
+     << ",\"tid\":" << e.tid << ",\"ts\":"
+     << ns_as_us(static_cast<std::uint64_t>(e.ts));
+  if (e.phase == 'X') {
+    os << ",\"dur\":" << ns_as_us(static_cast<std::uint64_t>(e.dur));
+  }
+  if (e.phase == 'i') {
+    os << ",\"s\":\"t\"";  // thread-scoped instant
+  }
+  const bool has_args =
+      e.id != 0 || e.arg0_name != nullptr || e.arg1_name != nullptr;
+  if (has_args) {
+    os << ",\"args\":{";
+    const char* sep = "";
+    if (e.id != 0) {
+      os << "\"req\":" << e.id;
+      sep = ",";
+    }
+    if (e.arg0_name != nullptr) {
+      os << sep << '"' << json_escape(e.arg0_name) << "\":" << e.arg0;
+      sep = ",";
+    }
+    if (e.arg1_name != nullptr) {
+      os << sep << '"' << json_escape(e.arg1_name) << "\":" << e.arg1;
+    }
+    os << '}';
+  }
+  os << '}';
+}
+
+/// Emits a Chrome metadata event ('M') that names a process or thread.
+void write_metadata(std::ostream& os, const char* what, std::size_t pid,
+                    std::int32_t tid, const std::string& value) {
+  os << "{\"name\":\"" << what << "\",\"ph\":\"M\",\"pid\":" << pid;
+  if (tid >= 0) os << ",\"tid\":" << tid;
+  os << ",\"args\":{\"name\":\"" << json_escape(value) << "\"}}";
+}
+
+}  // namespace
+
+TraceRing::TraceRing(std::size_t capacity) : capacity_(capacity) {
+  ring_.reserve(capacity_);
+}
+
+void TraceRing::record(const TraceEvent& e) {
+  if (capacity_ == 0) return;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(e);
+  } else {
+    ring_[head_] = e;
+    head_ = (head_ + 1) % capacity_;
+    ++dropped_;
+  }
+  ++recorded_;
+}
+
+std::vector<TraceEvent> TraceRing::in_order() const {
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void TraceRing::set_tid_name(std::int32_t tid, std::string name) {
+  if (capacity_ == 0) return;
+  tid_names_[tid] = std::move(name);
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_chrome_trace(std::ostream& os,
+                        const std::vector<TraceSnapshot>& repeats) {
+  os << "{\"traceEvents\":[";
+  const char* sep = "\n";
+  for (std::size_t rep = 0; rep < repeats.size(); ++rep) {
+    const TraceSnapshot& snap = repeats[rep];
+    {
+      os << sep;
+      sep = ",\n";
+      char pname[32];
+      std::snprintf(pname, sizeof(pname), "repeat %llu",
+                    static_cast<unsigned long long>(rep));
+      write_metadata(os, "process_name", rep, -1, pname);
+    }
+    for (const auto& [tid, name] : snap.tid_names) {
+      os << sep;
+      write_metadata(os, "thread_name", rep, tid, name);
+    }
+    for (const TraceEvent& e : snap.events) {
+      os << sep;
+      write_event(os, e, rep);
+    }
+  }
+  os << "\n],\"displayTimeUnit\":\"ns\"}\n";
+}
+
+}  // namespace netrs::obs

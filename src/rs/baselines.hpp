@@ -16,37 +16,54 @@
 
 namespace netrs::rs {
 
+/// Uniform random choice among the candidates (stateless baseline).
 class RandomSelector final : public ReplicaSelector {
  public:
+  /// `rng` is this selector's private stream.
   explicit RandomSelector(sim::Rng rng) : rng_(rng) {}
 
+  /// Picks a candidate uniformly at random.
   net::HostId select(std::span<const net::HostId> candidates) override;
+  /// No bookkeeping.
   void on_send(net::HostId) override {}
+  /// No bookkeeping.
   void on_response(const Feedback&) override {}
+  /// "random".
   [[nodiscard]] std::string name() const override { return "random"; }
 
  private:
   sim::Rng rng_;
 };
 
+/// Rotates through the candidate list (stateful, feedback-free baseline).
 class RoundRobinSelector final : public ReplicaSelector {
  public:
+  /// Picks candidates[counter++ % size].
   net::HostId select(std::span<const net::HostId> candidates) override;
+  /// No bookkeeping.
   void on_send(net::HostId) override {}
+  /// No bookkeeping.
   void on_response(const Feedback&) override {}
+  /// "round-robin".
   [[nodiscard]] std::string name() const override { return "round-robin"; }
 
  private:
   std::uint64_t counter_ = 0;
 };
 
+/// Fewest requests outstanding from this RSNode; random tie-break.
 class LeastOutstandingSelector final : public ReplicaSelector {
  public:
+  /// `rng` breaks ties among equally loaded candidates.
   explicit LeastOutstandingSelector(sim::Rng rng) : rng_(rng) {}
 
+  /// Picks the candidate with the fewest outstanding requests.
   net::HostId select(std::span<const net::HostId> candidates) override;
+  /// Increments the server's outstanding count.
   void on_send(net::HostId server) override;
+  /// Decrements the server's outstanding count.
   void on_response(const Feedback& fb) override;
+  /// "least-outstanding".
   [[nodiscard]] std::string name() const override {
     return "least-outstanding";
   }
@@ -56,13 +73,20 @@ class LeastOutstandingSelector final : public ReplicaSelector {
   std::unordered_map<net::HostId, std::uint32_t> outstanding_;
 };
 
+/// Power-of-two-choices (Mitzenmacher): sample two random candidates,
+/// keep the one with the lower load estimate.
 class TwoChoicesSelector final : public ReplicaSelector {
  public:
+  /// `rng` draws the two candidates.
   explicit TwoChoicesSelector(sim::Rng rng) : rng_(rng) {}
 
+  /// Samples two candidates, returns the less loaded one.
   net::HostId select(std::span<const net::HostId> candidates) override;
+  /// Increments the server's outstanding count.
   void on_send(net::HostId server) override;
+  /// Decrements outstanding and records the reported queue size.
   void on_response(const Feedback& fb) override;
+  /// "two-choices".
   [[nodiscard]] std::string name() const override { return "two-choices"; }
 
  private:
@@ -77,14 +101,21 @@ class TwoChoicesSelector final : public ReplicaSelector {
   std::unordered_map<net::HostId, State> servers_;
 };
 
+/// Lowest EWMA response time (Cassandra Dynamic Snitch-style ranking).
 class EwmaLatencySelector final : public ReplicaSelector {
  public:
+  /// `alpha` is the EWMA history weight; `rng` breaks ties and picks
+  /// among never-seen servers.
   EwmaLatencySelector(sim::Rng rng, double alpha = 0.9)
       : rng_(rng), alpha_(alpha) {}
 
+  /// Picks the candidate with the lowest latency EWMA.
   net::HostId select(std::span<const net::HostId> candidates) override;
+  /// No bookkeeping.
   void on_send(net::HostId) override {}
+  /// Folds the measured response time into the server's EWMA.
   void on_response(const Feedback& fb) override;
+  /// "ewma-latency".
   [[nodiscard]] std::string name() const override { return "ewma-latency"; }
 
  private:

@@ -31,24 +31,33 @@
 
 namespace netrs::rs {
 
+/// C3 tuning knobs (defaults follow the NSDI'15 paper).
 struct C3Options {
   double ewma_alpha = 0.9;  ///< history weight of the EWMAs
   int cubic_exponent = 3;   ///< b in q̂^b
   /// Concurrency-compensation factor n: how many RSNodes share the servers.
   double concurrency = 1.0;
-  bool rate_control = true;
-  CubicOptions cubic;
+  bool rate_control = true;  ///< Enable CUBIC rate control ("c3-norate" off).
+  CubicOptions cubic;        ///< Per-server rate-controller parameters.
   /// Prior service time for servers never heard from (paper tkv = 4 ms).
   sim::Duration service_time_prior = sim::millis(4);
 };
 
+/// C3 replica selection: cubic replica ranking plus CUBIC rate control
+/// (see the file comment for the scoring function).
 class C3Selector final : public ReplicaSelector {
  public:
+  /// `sim` supplies the clock for rate control; `rng` breaks score ties.
   C3Selector(sim::Simulator& sim, sim::Rng rng, C3Options opts);
 
+  /// Returns the candidate with minimal score Ψ whose rate controller
+  /// admits a send (or the best-ranked one when all are exhausted).
   net::HostId select(std::span<const net::HostId> candidates) override;
+  /// Increments the server's outstanding count.
   void on_send(net::HostId server) override;
+  /// Folds the SS fields and measured response time into the server state.
   void on_response(const Feedback& fb) override;
+  /// "c3".
   [[nodiscard]] std::string name() const override { return "c3"; }
 
   /// Current score of a server (exposed for tests).

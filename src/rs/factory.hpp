@@ -11,6 +11,7 @@
 
 namespace netrs::rs {
 
+/// Selector choice by name plus the algorithm-specific options.
 struct SelectorConfig {
   /// One of: "c3", "c3-norate", "least-outstanding", "random",
   /// "round-robin", "two-choices", "ewma-latency".

@@ -14,6 +14,7 @@
 
 namespace netrs::rs {
 
+/// CUBIC rate-controller parameters (defaults follow C3's evaluation).
 struct CubicOptions {
   double initial_rate = 10.0;      ///< requests/s starting budget
   double min_rate = 0.1;           ///< floor to keep probing
@@ -24,8 +25,11 @@ struct CubicOptions {
   sim::Duration rate_window = sim::millis(20);  ///< receive-rate window
 };
 
+/// Token-bucket send limiter whose rate follows a cubic growth /
+/// multiplicative decrease law (see the file comment).
 class CubicRateController {
  public:
+  /// Starts at opts.initial_rate with a full token bucket.
   explicit CubicRateController(CubicOptions opts = {});
 
   /// True when a request may be sent now; consumes a token if so.
@@ -35,7 +39,9 @@ class CubicRateController {
   /// cubic growth/decrease decision).
   void on_response(sim::Time now);
 
+  /// Current allowed sending rate (requests/s; tests).
   [[nodiscard]] double send_rate() const { return rate_; }
+  /// Current receive-rate estimate (requests/s; tests).
   [[nodiscard]] double receive_rate() const { return recv_rate_; }
 
  private:

@@ -32,9 +32,11 @@ struct Feedback {
   sim::Duration service_time = 0;   ///< server's reported mean service time (SS)
 };
 
+/// Replica-selection algorithm interface; the same implementations run on
+/// clients and on NetRS selector nodes (see the file comment).
 class ReplicaSelector {
  public:
-  virtual ~ReplicaSelector() = default;
+  virtual ~ReplicaSelector() = default;  ///< Polymorphic base.
 
   /// Picks a replica server for a request. `candidates` is the replica
   /// group (non-empty). Implementations must not assume a stable order.

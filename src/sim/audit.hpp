@@ -38,11 +38,14 @@ namespace netrs::sim {
 class Simulator;
 
 #ifdef NETRS_AUDIT
+/// True in checked builds (-DNETRS_AUDIT=ON): audit checks are compiled in.
 inline constexpr bool kAuditEnabled = true;
 #else
+/// False in plain builds: every audit call below is an inline no-op.
 inline constexpr bool kAuditEnabled = false;
 #endif
 
+/// One recorded invariant violation with provenance.
 struct AuditViolation {
   std::string rule;    ///< e.g. "schedule-into-past", "packet-leak"
   std::string detail;  ///< provenance: times, ids, counters
@@ -52,18 +55,20 @@ struct AuditViolation {
 
 /// Copyable end-of-run audit result; merged across harness repeats.
 struct AuditSummary {
-  bool enabled = false;
-  std::uint64_t checks = 0;
-  std::uint64_t violations_total = 0;
+  bool enabled = false;  ///< True when produced by a checked build.
+  std::uint64_t checks = 0;  ///< Invariant evaluations performed.
+  std::uint64_t violations_total = 0;  ///< Total violations (uncapped).
   /// First kMaxDetailedViolations violations with full provenance.
   std::vector<AuditViolation> violations;
 
   // Packet-conservation counters (Fabric ledger + node-level drops).
-  std::uint64_t packets_injected = 0;
-  std::uint64_t packets_delivered = 0;
-  std::uint64_t packets_in_flight_at_end = 0;
+  std::uint64_t packets_injected = 0;   ///< Fabric::send calls.
+  std::uint64_t packets_delivered = 0;  ///< Deliveries to a node.
+  std::uint64_t packets_in_flight_at_end = 0;  ///< Undelivered at finalize.
+  /// Terminal node-side discards by reason (accounted, not violations).
   std::map<std::string, std::uint64_t> drops_by_reason;
 
+  /// Accumulates another repeat's summary into this one.
   void merge(const AuditSummary& other);
 };
 
@@ -71,6 +76,7 @@ struct AuditSummary {
 /// Simulator::auditor(); every check is a no-op unless kAuditEnabled.
 class Auditor {
  public:
+  /// Violations beyond this count are tallied but carry no detail string.
   static constexpr std::size_t kMaxDetailedViolations = 32;
 
   /// Binds the simulator whose clock stamps violation provenance.
@@ -97,9 +103,11 @@ class Auditor {
   void record(const char* rule, std::string detail);
 
   // --- Packet-conservation counters ---------------------------------------
+  /// Counts one Fabric::send (checked builds).
   void on_packet_injected() {
     if constexpr (kAuditEnabled) ++packets_injected_;
   }
+  /// Counts one delivery to a node (checked builds).
   void on_packet_delivered() {
     if constexpr (kAuditEnabled) ++packets_delivered_;
   }
@@ -109,16 +117,20 @@ class Auditor {
     if constexpr (kAuditEnabled) ++drops_by_reason_[reason];
     (void)reason;
   }
+  /// Records `n` packets still undelivered when the fabric finalized.
   void on_packets_in_flight_at_end(std::uint64_t n) {
     if constexpr (kAuditEnabled) packets_in_flight_at_end_ += n;
     (void)n;
   }
 
+  /// Snapshot of all counters and recorded violations.
   [[nodiscard]] AuditSummary summary() const;
+  /// Total violations recorded so far.
   [[nodiscard]] std::uint64_t violations_total() const {
     return violations_total_;
   }
 
+  /// Resets all counters and recorded violations.
   void clear();
 
  private:
@@ -142,6 +154,8 @@ class SlotLedger {
     if constexpr (kAuditEnabled) name_ = std::move(what);
   }
 
+  /// Marks `slot` parked; `provenance` (a callable returning std::string)
+  /// is only evaluated in checked builds.
   template <typename F>
   void on_park(Auditor& a, std::uint32_t slot, F&& provenance) {
     if constexpr (kAuditEnabled) {
@@ -153,12 +167,15 @@ class SlotLedger {
     }
   }
 
+  /// Marks `slot` released; a release without a matching park is a
+  /// double-delivery violation.
   void on_release(Auditor& a, std::uint32_t slot);
 
   /// Checks that nothing is still parked. Call once the pool is expected to
   /// be drained; every parked slot is reported with its provenance.
   void finalize(Auditor& a) const;
 
+  /// Slots currently parked (0 in plain builds).
   [[nodiscard]] std::size_t parked_count() const { return parked_count_; }
 
  private:
@@ -180,11 +197,15 @@ class StationLedger {
     if constexpr (kAuditEnabled) name_ = std::move(name);
   }
 
+  /// Counts one enqueue; `actual_depth` is the station's queue size after.
   void on_enqueue(Auditor& a, std::size_t actual_depth);
+  /// Counts one FIFO dequeue; `actual_depth` as in on_enqueue.
   void on_dequeue(Auditor& a, std::size_t actual_depth);
   /// Out-of-order removal (e.g. cross-server cancellation).
   void on_remove(Auditor& a, std::size_t actual_depth);
+  /// A service slot went busy; `busy_after` must stay within `capacity`.
   void on_service_start(Auditor& a, int busy_after, int capacity);
+  /// A service slot freed; `busy_after` must stay non-negative.
   void on_service_finish(Auditor& a, int busy_after, int capacity);
   /// Busy core-time accrued within a window must fit in cores * wall time.
   void check_busy_time(Auditor& a, Duration busy, Duration window, int cores);

@@ -28,10 +28,15 @@ namespace netrs::sim {
 /// valid id.
 using EventId = std::uint64_t;
 
+/// Min-heap of scheduled callbacks with FIFO same-instant ordering, O(1)
+/// generation-tagged cancellation, and a recycled slot arena (see the file
+/// comment for the allocation-free design).
 class EventQueue {
  public:
+  /// The stored callable type (sim::Task, move-only small-buffer).
   using Callback = Task;
 
+  /// Constructs an empty queue.
   EventQueue() = default;
   EventQueue(const EventQueue&) = delete;
   EventQueue& operator=(const EventQueue&) = delete;

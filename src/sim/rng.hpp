@@ -13,6 +13,8 @@
 
 namespace netrs::sim {
 
+/// Seeded xoshiro256++ stream with named child-stream derivation; the only
+/// randomness source simulation code may use (see the file comment).
 class Rng {
  public:
   /// Seeds the engine; equal seeds produce equal streams.
@@ -67,12 +69,16 @@ class Rng {
 /// the paper's 100-million-key keyspace with exponent 0.99.
 class ZipfDistribution {
  public:
+  /// Prepares a sampler over ranks [1, n] with the given exponent (>= 0;
+  /// 0 degenerates to uniform).
   ZipfDistribution(std::uint64_t n, double exponent);
 
   /// Returns a rank in [1, n]; rank 1 is the most popular.
   std::uint64_t operator()(Rng& rng) const;
 
+  /// Number of ranks.
   [[nodiscard]] std::uint64_t n() const { return n_; }
+  /// The configured skew exponent.
   [[nodiscard]] double exponent() const { return s_; }
 
  private:
@@ -91,11 +97,13 @@ class ZipfDistribution {
 /// Used for demand-skew client selection and workload mixes.
 class AliasTable {
  public:
+  /// Builds the alias table from `weights` (non-negative, not all zero).
   explicit AliasTable(const std::vector<double>& weights);
 
   /// Returns an index in [0, weights.size()).
   std::size_t operator()(Rng& rng) const;
 
+  /// Number of weights (and of drawable indices).
   [[nodiscard]] std::size_t size() const { return prob_.size(); }
 
  private:

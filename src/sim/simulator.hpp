@@ -13,8 +13,16 @@
 #include "sim/event_queue.hpp"
 #include "sim/time.hpp"
 
+namespace netrs::obs {
+/// Forward declaration (obs/observer.hpp); sim never includes obs.
+class Observer;
+}  // namespace netrs::obs
+
 namespace netrs::sim {
 
+/// The discrete-event scheduler: absolute/relative/periodic scheduling,
+/// deterministic (time, scheduling-order) dispatch, and the attachment
+/// points for the invariant auditor and the observability hub.
 class Simulator {
  public:
   /// Move-only small-buffer callable (sim::Task); lambdas convert
@@ -22,6 +30,7 @@ class Simulator {
   /// heap.
   using Callback = EventQueue::Callback;
 
+  /// Constructs an empty simulator at time 0 with the auditor attached.
   Simulator() {
     auditor_.attach(this);
     queue_.set_auditor(&auditor_);
@@ -66,7 +75,19 @@ class Simulator {
   /// Invariant auditor (checked builds; inline no-op otherwise). Components
   /// reach it through here to report conservation and causality violations.
   [[nodiscard]] Auditor& auditor() { return auditor_; }
+  /// Read-only auditor access (summary extraction after a run).
   [[nodiscard]] const Auditor& auditor() const { return auditor_; }
+
+  /// Attaches (or detaches, with nullptr) the observability hub. The
+  /// simulator only stores the pointer — obs stays a layer above sim —
+  /// and components reach tracing/metrics through observer(). The
+  /// Observer must outlive the run.
+  void set_observer(obs::Observer* o) { observer_ = o; }
+
+  /// The attached observability hub, or nullptr when observability is
+  /// off. Callers guard every record with this null check, which is the
+  /// entire cost of a run without observability.
+  [[nodiscard]] obs::Observer* observer() const { return observer_; }
 
  private:
   void schedule_tick(Duration period,
@@ -77,6 +98,7 @@ class Simulator {
   std::uint64_t fired_ = 0;
   bool stopped_ = false;
   Auditor auditor_;
+  obs::Observer* observer_ = nullptr;
 };
 
 }  // namespace netrs::sim

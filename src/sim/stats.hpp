@@ -16,12 +16,18 @@ namespace netrs::sim {
 /// mutates state).
 class LatencyRecorder {
  public:
+  /// Records one sample.
   void add(double v);
 
+  /// Number of recorded samples.
   [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  /// True when no samples have been recorded.
   [[nodiscard]] bool empty() const { return samples_.empty(); }
+  /// Arithmetic mean. Precondition: !empty().
   [[nodiscard]] double mean() const;
+  /// Smallest sample. Precondition: !empty().
   [[nodiscard]] double min() const;
+  /// Largest sample. Precondition: !empty().
   [[nodiscard]] double max() const;
 
   /// Exact q-quantile (q in [0,1]) with linear interpolation between order
@@ -37,8 +43,10 @@ class LatencyRecorder {
   /// Merges another recorder's samples into this one.
   void merge(const LatencyRecorder& other);
 
+  /// Discards all samples.
   void clear();
 
+  /// The raw samples (sorted only after finalize()).
   [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
 
  private:
@@ -55,6 +63,7 @@ class P2Quantile {
   /// `q` is the target quantile in (0, 1), e.g. 0.95.
   explicit P2Quantile(double q);
 
+  /// Feeds one observation into the estimator.
   void add(double v);
 
   /// Current estimate. Before 5 samples arrive, returns the interpolated
@@ -63,6 +72,7 @@ class P2Quantile {
   /// min_samples before trusting the estimate).
   [[nodiscard]] double estimate() const;
 
+  /// Number of observations fed so far.
   [[nodiscard]] std::uint64_t count() const { return count_; }
 
  private:
@@ -79,18 +89,24 @@ class P2Quantile {
 /// (alpha = 0.9 keeps 90% of history per update).
 class Ewma {
  public:
+  /// `alpha` is the history weight in [0, 1]; higher = smoother.
   explicit Ewma(double alpha) : alpha_(alpha) {}
 
+  /// Folds one sample into the average (the first sample seeds it).
   void add(double v) {
     value_ = seeded_ ? alpha_ * value_ + (1.0 - alpha_) * v : v;
     seeded_ = true;
   }
 
+  /// True once at least one sample has been added.
   [[nodiscard]] bool seeded() const { return seeded_; }
+  /// Current average (0 before the first sample; gate on seeded()).
   [[nodiscard]] double value() const { return value_; }
+  /// Current average, or `fallback` before the first sample.
   [[nodiscard]] double value_or(double fallback) const {
     return seeded_ ? value_ : fallback;
   }
+  /// Returns to the unseeded state.
   void reset() {
     seeded_ = false;
     value_ = 0.0;

@@ -22,14 +22,20 @@
 
 namespace netrs::sim {
 
+/// Move-only `void()` callable with small-buffer inline storage; the
+/// simulator's per-event callback type (see the file comment for why not
+/// std::function).
 class Task {
  public:
   /// Inline capture capacity. Total object size is kInlineSize + one
   /// vtable pointer (128 bytes with the default).
   static constexpr std::size_t kInlineSize = 120;
 
+  /// Constructs an empty Task (operator bool() returns false).
   Task() noexcept = default;
 
+  /// Wraps any `void()` callable; captures up to kInlineSize bytes are
+  /// stored inline, larger ones on the heap.
   template <typename F,
             typename D = std::decay_t<F>,
             typename = std::enable_if_t<!std::is_same_v<D, Task> &&
@@ -45,11 +51,14 @@ class Task {
     }
   }
 
+  /// Move constructor; `other` is left empty.
   Task(Task&& other) noexcept : vt_(other.vt_) {
     if (vt_ != nullptr) vt_->relocate(buf_, other.buf_);
     other.vt_ = nullptr;
   }
 
+  /// Move assignment; destroys any held callable first, leaves `other`
+  /// empty.
   Task& operator=(Task&& other) noexcept {
     if (this != &other) {
       reset();
@@ -63,6 +72,7 @@ class Task {
   Task(const Task&) = delete;
   Task& operator=(const Task&) = delete;
 
+  /// Destroys the held callable, if any.
   ~Task() { reset(); }
 
   /// Invokes the stored callable. Precondition: non-empty.
@@ -71,6 +81,7 @@ class Task {
     vt_->invoke(buf_);
   }
 
+  /// True when a callable is held.
   [[nodiscard]] explicit operator bool() const noexcept {
     return vt_ != nullptr;
   }

@@ -17,29 +17,36 @@ using Time = std::int64_t;
 /// but all scheduling APIs require non-negative durations.
 using Duration = std::int64_t;
 
-inline constexpr Duration kNanosecond = 1;
-inline constexpr Duration kMicrosecond = 1000 * kNanosecond;
-inline constexpr Duration kMillisecond = 1000 * kMicrosecond;
-inline constexpr Duration kSecond = 1000 * kMillisecond;
+inline constexpr Duration kNanosecond = 1;   ///< One nanosecond (the unit).
+inline constexpr Duration kMicrosecond = 1000 * kNanosecond;   ///< 1 us in ns.
+inline constexpr Duration kMillisecond = 1000 * kMicrosecond;  ///< 1 ms in ns.
+inline constexpr Duration kSecond = 1000 * kMillisecond;       ///< 1 s in ns.
 
-/// Convenience constructors, e.g. `micros(2.5)` for the accelerator RTT.
+/// Builds a Duration from a (possibly fractional) nanosecond count.
 constexpr Duration nanos(double n) { return static_cast<Duration>(n); }
+/// Builds a Duration from microseconds, e.g. `micros(2.5)` for the
+/// accelerator RTT.
 constexpr Duration micros(double us) {
   return static_cast<Duration>(us * static_cast<double>(kMicrosecond));
 }
+/// Builds a Duration from milliseconds, e.g. `millis(4.0)` for T_kv.
 constexpr Duration millis(double ms) {
   return static_cast<Duration>(ms * static_cast<double>(kMillisecond));
 }
+/// Builds a Duration from seconds.
 constexpr Duration seconds(double s) {
   return static_cast<Duration>(s * static_cast<double>(kSecond));
 }
 
+/// Converts a Duration to fractional microseconds (reporting only).
 constexpr double to_micros(Duration d) {
   return static_cast<double>(d) / static_cast<double>(kMicrosecond);
 }
+/// Converts a Duration to fractional milliseconds (reporting only).
 constexpr double to_millis(Duration d) {
   return static_cast<double>(d) / static_cast<double>(kMillisecond);
 }
+/// Converts a Duration to fractional seconds (reporting only).
 constexpr double to_seconds(Duration d) {
   return static_cast<double>(d) / static_cast<double>(kSecond);
 }

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Dependency-free markdown link checker.
+
+Verifies that every relative link / image target in the repo's markdown
+files points at an existing file or directory (external http(s)/mailto
+links are skipped — CI must not depend on third-party uptime). Fragment
+anchors are stripped before the existence check.
+
+Usage: tools/check_links.py [file.md ...]   (defaults to all tracked *.md)
+Exit 1 when any broken link is found.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# Inline links/images: [text](target) / ![alt](target), tolerating one
+# level of parentheses inside the target (rare but legal).
+LINK = re.compile(r"!?\[[^\]]*\]\(([^()\s]+(?:\([^()]*\)[^()\s]*)*)\)")
+CODE_FENCE = re.compile(r"^(```|~~~)")
+
+
+def links_in(text: str):
+    in_fence = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if CODE_FENCE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for m in LINK.finditer(line):
+            yield lineno, m.group(1)
+
+
+def check(path: Path, root: Path) -> list[str]:
+    problems = []
+    for lineno, target in links_in(path.read_text()):
+        if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, https:, mailto:
+            continue
+        if target.startswith("#"):  # same-document anchor
+            continue
+        rel = target.split("#", 1)[0]
+        base = root if rel.startswith("/") else path.parent
+        resolved = (base / rel.lstrip("/")).resolve()
+        if not resolved.exists():
+            problems.append(f"{path}:{lineno}: broken link: {target}")
+    return problems
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    args = sys.argv[1:]
+    paths = ([Path(a) for a in args] if args
+             else sorted(p for p in root.rglob("*.md")
+                         if "build" not in p.parts and ".git" not in p.parts))
+    total = 0
+    for p in paths:
+        for msg in check(p, root):
+            print(msg)
+            total += 1
+    print(f"check_links: {total} broken link(s) in {len(paths)} file(s)")
+    return 1 if total else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

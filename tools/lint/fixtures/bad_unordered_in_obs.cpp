@@ -1,0 +1,18 @@
+// Fixture: an unordered container inside the observability emitters
+// (masquerades as src/obs via the path directive). Banned outright there —
+// even lookup-only use — because trace/metrics output is compared
+// byte-for-byte across --jobs values.
+// lint-fixture-path: src/obs/emit.cpp
+// lint-fixture-expect: unordered-in-obs 2
+// lint-fixture-expect: unordered-iteration 1
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+void emit_names(const std::unordered_map<int, std::string>& names) {
+  for (const auto& [tid, name] : names) {  // hash-order output
+    (void)tid;
+    (void)name;
+  }
+}

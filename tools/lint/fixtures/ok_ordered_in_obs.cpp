@@ -1,0 +1,16 @@
+// Fixture: ordered containers in the observability emitters are the
+// sanctioned pattern (std::map iterates in key order, so emission is
+// byte-stable), and unordered containers outside src/obs are untouched by
+// the obs rule (other rules still apply to their iteration).
+// lint-fixture-path: src/obs/emit.cpp
+// lint-fixture-expect: unordered-in-obs 0
+
+#include <map>
+#include <string>
+
+void emit_names(const std::map<int, std::string>& names) {
+  for (const auto& [tid, name] : names) {
+    (void)tid;
+    (void)name;
+  }
+}

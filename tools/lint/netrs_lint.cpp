@@ -25,6 +25,11 @@
 //                         (sim/task, sim/event_queue, net/fabric,
 //                         net/switch, net/packet, net/payload). sim::Task
 //                         is the sanctioned callable there.
+//   unordered-in-obs      any unordered container in src/obs: the trace /
+//                         metrics emitters promise byte-identical output
+//                         across --jobs values, so even a lookup-only
+//                         unordered map there is one refactor away from
+//                         hash-ordered output. Ordered containers only.
 //
 // Escape hatch — a justified suppression directly above (or on) the line:
 //   // netrs-lint: allow(<rule>): <reason>
@@ -714,6 +719,33 @@ void rule_std_function_hot_path(const FileText& f, Sink* violations,
   }
 }
 
+/// The observability emitters (src/obs) must be byte-stable: their output
+/// files are compared bit-for-bit across --jobs values, so even an
+/// unordered container used only for lookup is a landmine — one later
+/// refactor away from hash-order output. Ban the types there outright
+/// (the general unordered-iteration rule only catches actual walks).
+void rule_unordered_in_obs(const FileText& f, Sink* violations, Sink* errors) {
+  std::string norm = f.effective_path;
+  std::replace(norm.begin(), norm.end(), '\\', '/');
+  if (norm.find("/obs/") == std::string::npos &&
+      norm.rfind("obs/", 0) != 0) {
+    return;
+  }
+  const std::string& code = f.code;
+  for (const char* type : {"unordered_map", "unordered_set",
+                           "unordered_multimap", "unordered_multiset"}) {
+    for (std::size_t p = find_word(code, type, 0); p != std::string::npos;
+         p = find_word(code, type, p + 1)) {
+      report(f, line_of_offset(f, p), "unordered-in-obs",
+             std::string("`") + type +
+                 "` in an observability emitter: trace/metrics output must "
+                 "be byte-identical across runs, so obs code uses ordered "
+                 "containers only (std::map / sorted vector)",
+             violations, errors);
+    }
+  }
+}
+
 void run_rules(const FileText& f, const SymbolTable& table, Sink* violations,
                Sink* errors) {
   rule_unordered_iteration(f, table, violations, errors);
@@ -721,6 +753,7 @@ void run_rules(const FileText& f, const SymbolTable& table, Sink* violations,
   rule_unseeded_random(f, violations, errors);
   rule_pointer_order(f, violations, errors);
   rule_std_function_hot_path(f, violations, errors);
+  rule_unordered_in_obs(f, violations, errors);
 }
 
 // --------------------------------------------------------------------------
