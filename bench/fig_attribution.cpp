@@ -1,0 +1,31 @@
+// Latency attribution + selection quality — where does each scheme's
+// latency go, and how good are its decisions? Runs client-side C3
+// (CliRS), NetRS-ToR and NetRS-ILP on the default §V-A configuration
+// with the flight recorder and decision auditor enabled, so the report
+// gains the per-component latency breakdown (DESIGN.md §8.4) and the
+// oracle-regret / feedback-staleness / herd-index table (§8.5). This is
+// the paper's causal story as numbers: NetRS concentrates selection at
+// few in-network points -> fresher feedback -> lower regret -> lower
+// tail latency.
+//
+// NETRS_ATTRIBUTION / NETRS_DECISIONS write the per-cell long-format
+// CSVs for tools/plot_results.py (stacked component bars, regret CDF).
+#include "figure_common.hpp"
+
+int main() {
+  using netrs::bench::SweepPoint;
+  std::vector<SweepPoint> points;
+  for (double util : {0.7, 0.9}) {
+    points.push_back(
+        {std::to_string(static_cast<int>(util * 100)) + "%",
+         [util](netrs::harness::ExperimentConfig& cfg) {
+           cfg.utilization = util;
+           cfg.obs.record_attribution = true;
+           cfg.obs.record_decisions = true;
+         }});
+  }
+  return netrs::bench::run_figure(
+      "Latency attribution and selection quality", "util", points,
+      {netrs::harness::Scheme::kCliRS, netrs::harness::Scheme::kNetRSToR,
+       netrs::harness::Scheme::kNetRSIlp});
+}

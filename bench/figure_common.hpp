@@ -102,6 +102,15 @@ inline int run_figure(const std::string& title,
       cfg.obs.metrics_path = per_cell_path(cfg.obs.metrics_path, sweep_label,
                                            points[pi].label, schemes[si]);
     }
+    if (!cfg.obs.attribution_path.empty()) {
+      cfg.obs.attribution_path =
+          per_cell_path(cfg.obs.attribution_path, sweep_label,
+                        points[pi].label, schemes[si]);
+    }
+    if (!cfg.obs.decision_path.empty()) {
+      cfg.obs.decision_path = per_cell_path(
+          cfg.obs.decision_path, sweep_label, points[pi].label, schemes[si]);
+    }
     {
       const std::lock_guard<std::mutex> lock(io_mu);
       std::printf("[%s] %s=%s scheme=%s ...\n", title.c_str(),

@@ -43,7 +43,15 @@ void usage(const char* argv0) {
       "                    lifecycle spans (open in Perfetto); also\n"
       "                    --trace=FILE or NETRS_TRACE\n"
       "  --metrics FILE    write a sampled metrics CSV time series; also\n"
-      "                    --metrics=FILE or NETRS_METRICS\n",
+      "                    --metrics=FILE or NETRS_METRICS\n"
+      "  --attribution FILE  write the per-request latency-attribution CSV\n"
+      "                    (flight recorder); also --attribution=FILE or\n"
+      "                    NETRS_ATTRIBUTION\n"
+      "  --decisions FILE  write the per-decision audit CSV (oracle regret,\n"
+      "                    feedback staleness, herd index); also\n"
+      "                    --decisions=FILE or NETRS_DECISIONS\n"
+      "  --trace-capacity N  trace ring size per repeat (default 65536);\n"
+      "                    also NETRS_TRACE_CAPACITY\n",
       argv0);
 }
 
@@ -125,6 +133,17 @@ int main(int argc, char** argv) {
       cfg.obs.metrics_path = next();
     } else if (arg.rfind("--metrics=", 0) == 0) {
       cfg.obs.metrics_path = arg.substr(std::strlen("--metrics="));
+    } else if (arg == "--attribution") {
+      cfg.obs.attribution_path = next();
+    } else if (arg.rfind("--attribution=", 0) == 0) {
+      cfg.obs.attribution_path = arg.substr(std::strlen("--attribution="));
+    } else if (arg == "--decisions") {
+      cfg.obs.decision_path = next();
+    } else if (arg.rfind("--decisions=", 0) == 0) {
+      cfg.obs.decision_path = arg.substr(std::strlen("--decisions="));
+    } else if (arg == "--trace-capacity") {
+      cfg.obs.trace_capacity =
+          static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
     } else {
       usage(argv[0]);
       return arg == "--help" || arg == "-h" ? 0 : 2;
@@ -166,6 +185,19 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(r.trace_events),
                 cfg.obs.trace_path.c_str(),
                 static_cast<unsigned long long>(r.trace_dropped));
+    for (std::size_t rep = 0; rep < r.trace_repeats.size(); ++rep) {
+      std::printf("  repeat %zu: %llu recorded, %llu dropped\n", rep,
+                  static_cast<unsigned long long>(
+                      r.trace_repeats[rep].recorded),
+                  static_cast<unsigned long long>(
+                      r.trace_repeats[rep].dropped));
+    }
+    if (r.trace_dropped > 0) {
+      std::printf("WARNING: %llu trace events dropped; raise "
+                  "--trace-capacity (currently %zu) to keep them\n",
+                  static_cast<unsigned long long>(r.trace_dropped),
+                  cfg.obs.trace_capacity);
+    }
   }
   if (!cfg.obs.metrics_path.empty()) {
     std::printf("metrics: %s (long-format CSV: repeat,time_us,metric,value)\n",
@@ -179,6 +211,38 @@ int main(int argc, char** argv) {
                   obs::format_metric_value(e.max).c_str(),
                   obs::format_metric_value(e.last).c_str());
     }
+  }
+  if (!cfg.obs.attribution_path.empty()) {
+    std::printf("attribution: %llu requests -> %s (dup wins %llu, via "
+                "RSNode %llu, unmatched %llu)\n",
+                static_cast<unsigned long long>(r.attribution.requests),
+                cfg.obs.attribution_path.c_str(),
+                static_cast<unsigned long long>(r.attribution.dup_wins),
+                static_cast<unsigned long long>(r.attribution.via_rs),
+                static_cast<unsigned long long>(r.attribution.unmatched));
+    for (std::size_t c = 0; c < obs::kFlightComponents; ++c) {
+      const sim::LatencyRecorder& rec = r.attribution.components_ms[c];
+      std::printf("  %-12s mean %.4f ms | p99 %.4f ms\n",
+                  obs::kFlightComponentNames[c],
+                  rec.empty() ? 0.0 : rec.mean(),
+                  rec.empty() ? 0.0 : rec.percentile(0.99));
+    }
+  }
+  if (!cfg.obs.decision_path.empty()) {
+    std::printf("decisions: %llu audited -> %s | regret mean %.4f ms p99 "
+                "%.4f ms | staleness mean %.4f ms | herd %.3f\n",
+                static_cast<unsigned long long>(r.decisions.decisions),
+                cfg.obs.decision_path.c_str(),
+                r.decisions.regret_ms.empty()
+                    ? 0.0
+                    : r.decisions.regret_ms.mean(),
+                r.decisions.regret_ms.empty()
+                    ? 0.0
+                    : r.decisions.regret_ms.percentile(0.99),
+                r.decisions.staleness_ms.empty()
+                    ? 0.0
+                    : r.decisions.staleness_ms.mean(),
+                r.decisions.herd.empty() ? 0.0 : r.decisions.herd.mean());
   }
   return 0;
 }

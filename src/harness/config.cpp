@@ -63,6 +63,12 @@ ExperimentConfig default_config() {
       env_u64("NETRS_JOBS", static_cast<std::uint64_t>(cfg.jobs)));
   cfg.obs.trace_path = env_str("NETRS_TRACE", cfg.obs.trace_path);
   cfg.obs.metrics_path = env_str("NETRS_METRICS", cfg.obs.metrics_path);
+  cfg.obs.attribution_path =
+      env_str("NETRS_ATTRIBUTION", cfg.obs.attribution_path);
+  cfg.obs.decision_path = env_str("NETRS_DECISIONS", cfg.obs.decision_path);
+  cfg.obs.trace_capacity = static_cast<std::size_t>(env_u64(
+      "NETRS_TRACE_CAPACITY",
+      static_cast<std::uint64_t>(cfg.obs.trace_capacity)));
   return cfg;
 }
 

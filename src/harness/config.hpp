@@ -101,9 +101,9 @@ struct ExperimentConfig {
   int jobs = 0;
 
   // --- Observability (DESIGN.md §8) ---
-  /// Trace / metrics outputs; empty paths (the default) disable the
-  /// observability layer entirely. Observation-only: results and golden
-  /// digests are identical with it on or off.
+  /// Trace / metrics / attribution / decision outputs; empty paths (the
+  /// default) disable the observability layer entirely. Observation-only:
+  /// results and golden digests are identical with it on or off.
   obs::ObsConfig obs;
 
   /// Aggregate request arrival rate A in requests/s (from `utilization`).
@@ -113,7 +113,8 @@ struct ExperimentConfig {
 };
 
 /// Paper defaults with NETRS_REQUESTS / NETRS_REPEATS / NETRS_SEED /
-/// NETRS_JOBS / NETRS_TRACE / NETRS_METRICS environment overrides applied
+/// NETRS_JOBS / NETRS_TRACE / NETRS_METRICS / NETRS_ATTRIBUTION /
+/// NETRS_DECISIONS / NETRS_TRACE_CAPACITY environment overrides applied
 /// (the benches use this).
 [[nodiscard]] ExperimentConfig default_config();
 

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cmath>
 #include <fstream>
+#include <map>
 #include <memory>
 #include <numeric>
 #include <string>
@@ -42,7 +43,37 @@ struct RunOutput {
   sim::AuditSummary audit;
   obs::TraceSnapshot trace;
   obs::MetricsSnapshot metrics;
+  obs::FlightSnapshot flight;
+  obs::DecisionSnapshot decisions;
 };
+
+/// Running queue-length moments of one server, fed by the periodic herd
+/// sampler during the measured phase.
+struct QueueMoments {
+  double sum = 0.0, sumsq = 0.0;
+  std::uint64_t n = 0;
+};
+
+/// Herd / load-oscillation metric over the sampled moments: the mean over
+/// servers of each server's queue-length coefficient of variation.
+/// Servers with < 10 samples or a ~zero mean are excluded. Used both for
+/// the end-of-run scalar (the report's herdCV column) and the live
+/// `herd.cv` gauge, so the two always agree on the final tick.
+double herd_cv(const std::vector<QueueMoments>& moments) {
+  double cv_sum = 0.0;
+  int counted = 0;
+  for (const QueueMoments& m : moments) {
+    if (m.n < 10) continue;
+    const double mean = m.sum / static_cast<double>(m.n);
+    const double var =
+        std::max(0.0, m.sumsq / static_cast<double>(m.n) - mean * mean);
+    if (mean > 1e-9) {
+      cv_sum += std::sqrt(var) / mean;
+      ++counted;
+    }
+  }
+  return counted > 0 ? cv_sum / counted : 0.0;
+}
 
 /// Registers the standard per-repeat metric set (DESIGN.md §8.2) against
 /// live component getters. Registration order fixes the column order, so
@@ -53,7 +84,8 @@ void register_run_metrics(obs::Observer& ob, sim::Simulator& simulator,
                           const std::vector<std::unique_ptr<kv::Client>>& clients,
                           const std::vector<std::unique_ptr<core::NetRSOperator>>& operators,
                           const std::vector<std::unique_ptr<core::Accelerator>>& shared_accels,
-                          const std::vector<std::unique_ptr<core::SelectorNode>>& shared_selectors) {
+                          const std::vector<std::unique_ptr<core::SelectorNode>>& shared_selectors,
+                          const std::vector<QueueMoments>& moments) {
   obs::MetricsRegistry& reg = ob.metrics();
 
   reg.gauge("cli.issued", [&clients] {
@@ -107,6 +139,10 @@ void register_run_metrics(obs::Observer& ob, sim::Simulator& simulator,
     const double var = std::max(0.0, sumsq / n - mean * mean);
     return std::sqrt(var) / mean;
   });
+  // Cumulative herd metric over the measured phase so far — the same
+  // statistic the report's herdCV column shows at the end of the run, now
+  // also on the metrics timeline.
+  reg.gauge("herd.cv", [&moments] { return herd_cv(moments); });
 
   // Unique accelerators/selectors, in a deterministic order: the shared
   // core-group pool first, then every dedicated operator.
@@ -353,10 +389,6 @@ RunOutput run_once(Scheme scheme, const ExperimentConfig& cfg,
   // Herd-behavior instrumentation: sample every server's queue length
   // periodically during the measured phase; per-server mean/variance give
   // the load-oscillation metric (coefficient of variation).
-  struct QueueMoments {
-    double sum = 0.0, sumsq = 0.0;
-    std::uint64_t n = 0;
-  };
   std::vector<QueueMoments> moments(servers.size());
   simulator.every(sim::millis(5), [&servers, &moments, &simulator,
                                    warmup_time, t_end] {
@@ -416,7 +448,48 @@ RunOutput run_once(Scheme scheme, const ExperimentConfig& cfg,
 
   if (observer) {
     register_run_metrics(*observer, simulator, fabric, servers, clients,
-                         operators, shared_accels, shared_selectors);
+                         operators, shared_accels, shared_selectors, moments);
+    // Flight recorder: same warmup filter as the measured latencies, so
+    // its record count matches the latency sample count exactly.
+    observer->flight().set_measure_from(warmup_time);
+    if (observer->deciding()) {
+      obs::DecisionRecorder* rec = &observer->decisions();
+      rec->set_measure_from(warmup_time);
+      // Omniscient oracle: true instantaneous queue + current
+      // fluctuation-mode mean per server. Observation-only const reads.
+      std::map<net::HostId, const kv::Server*> by_host;
+      for (const auto& s : servers) by_host.emplace(s->host_id(), s.get());
+      rec->set_oracle([by_host](net::HostId h) {
+        obs::OracleServerState st;
+        const auto it = by_host.find(h);
+        if (it == by_host.end()) return st;
+        st.valid = true;
+        st.queue_size = it->second->queue_size();
+        st.parallelism = it->second->parallelism();
+        st.mean_service_time = it->second->current_mean();
+        return st;
+      });
+      // Audit every deciding RSNode: clients (CliRS schemes), the shared
+      // core-group selector pool, and each dedicated operator's selector.
+      const auto make_hook = [rec, &simulator](std::int32_t tid) {
+        return [rec, tid, &simulator](const rs::DecisionContext& ctx) {
+          rec->on_decision(tid, simulator.now(), ctx.candidates, ctx.chosen,
+                           ctx.scores, ctx.ages);
+        };
+      };
+      for (const auto& c : clients) {
+        c->set_decision_hook(
+            make_hook(static_cast<std::int32_t>(c->node_id())));
+      }
+      for (const auto& sel : shared_selectors) {
+        sel->set_decision_hook(make_hook(sel->trace_tid()));
+      }
+      for (const auto& op : operators) {
+        if (op->accel_share_id() >= 0) continue;  // pool hooked above
+        op->selector_node().set_decision_hook(
+            make_hook(op->selector_node().trace_tid()));
+      }
+    }
     if (observer->tracing()) {
       for (const auto& s : servers) {
         observer->set_tid_name(static_cast<std::int32_t>(s->node_id()),
@@ -458,21 +531,7 @@ RunOutput run_once(Scheme scheme, const ExperimentConfig& cfg,
     out.cancels += c->cancels_sent();
   }
   out.wire_bytes = fabric.bytes_sent();
-  {
-    double cv_sum = 0.0;
-    int counted = 0;
-    for (const QueueMoments& m : moments) {
-      if (m.n < 10) continue;
-      const double mean = m.sum / static_cast<double>(m.n);
-      const double var =
-          std::max(0.0, m.sumsq / static_cast<double>(m.n) - mean * mean);
-      if (mean > 1e-9) {
-        cv_sum += std::sqrt(var) / mean;
-        ++counted;
-      }
-    }
-    out.load_oscillation = counted > 0 ? cv_sum / counted : 0.0;
-  }
+  out.load_oscillation = herd_cv(moments);
   if (is_netrs(scheme)) {
     out.rsnodes = controller->active_rsnodes();
     out.plan_method = controller->current_plan().method;
@@ -502,6 +561,8 @@ RunOutput run_once(Scheme scheme, const ExperimentConfig& cfg,
   if (observer) {
     out.trace = observer->take_trace();
     out.metrics = observer->take_metrics();
+    out.flight = observer->take_flight();
+    out.decisions = observer->take_decisions();
     simulator.set_observer(nullptr);
   }
   return out;
@@ -549,7 +610,15 @@ ExperimentResult run_experiment(Scheme scheme, const ExperimentConfig& cfg) {
     res.metrics.merge(out.metrics);
     res.trace_events += out.trace.events.size();
     res.trace_dropped += out.trace.dropped;
+    if (cfg.obs.want_trace()) {
+      res.trace_repeats.push_back(
+          {out.trace.recorded, out.trace.dropped});
+    }
+    res.attribution.merge(out.flight);
+    res.decisions.merge(out.decisions);
   }
+  res.attribution.finalize();
+  res.decisions.finalize();
   // Emit the merged observability artifacts in repeat order — the same
   // order at any --jobs value, so both files are bit-identical to a
   // serial run.
@@ -566,6 +635,22 @@ ExperimentResult run_experiment(Scheme scheme, const ExperimentConfig& cfg) {
     for (RunOutput& out : outputs) series.push_back(std::move(out.metrics));
     std::ofstream os(cfg.obs.metrics_path, std::ios::binary);
     obs::write_metrics_csv(os, series);
+  }
+  if (!cfg.obs.attribution_path.empty()) {
+    std::vector<obs::FlightSnapshot> flights;
+    flights.reserve(outputs.size());
+    for (RunOutput& out : outputs) flights.push_back(std::move(out.flight));
+    std::ofstream os(cfg.obs.attribution_path, std::ios::binary);
+    obs::write_attribution_csv(os, flights);
+  }
+  if (!cfg.obs.decision_path.empty()) {
+    std::vector<obs::DecisionSnapshot> decisions;
+    decisions.reserve(outputs.size());
+    for (RunOutput& out : outputs) {
+      decisions.push_back(std::move(out.decisions));
+    }
+    std::ofstream os(cfg.obs.decision_path, std::ios::binary);
+    obs::write_decision_csv(os, decisions);
   }
   if (res.latencies_ms.count() > 0) {
     // avg_forwards accumulated raw forward counts across repeats.

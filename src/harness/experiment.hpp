@@ -5,8 +5,11 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "harness/config.hpp"
+#include "obs/attribution.hpp"
+#include "obs/decision.hpp"
 #include "obs/metrics.hpp"
 #include "sim/audit.hpp"
 #include "sim/stats.hpp"
@@ -54,6 +57,20 @@ struct ExperimentResult {
   std::uint64_t trace_events = 0;
   /// Trace events lost to ring wraparound across repeats.
   std::uint64_t trace_dropped = 0;
+  /// One repeat's trace bookkeeping, for the per-repeat report rows.
+  struct TraceRepeatCounts {
+    std::uint64_t recorded = 0;  ///< Events offered to the ring.
+    std::uint64_t dropped = 0;   ///< Events lost to ring wraparound.
+  };
+  /// Per-repeat trace counts in repeat order (empty unless tracing).
+  std::vector<TraceRepeatCounts> trace_repeats;
+
+  /// Per-request latency attribution merged over repeats; disabled unless
+  /// `cfg.obs` requested attribution (DESIGN.md §8.4).
+  obs::AttributionSummary attribution;
+  /// Selection-quality (regret / staleness / herd) aggregates merged over
+  /// repeats; disabled unless `cfg.obs` requested decisions (§8.5).
+  obs::DecisionSummary decisions;
 
   /// Mean measured latency in ms (0 when nothing was measured).
   [[nodiscard]] double mean_ms() const {

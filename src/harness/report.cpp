@@ -90,6 +90,100 @@ void print_report(const SweepReport& report) {
                       static_cast<unsigned long long>(r.trace_events),
                       static_cast<unsigned long long>(r.trace_dropped));
         }
+        for (std::size_t rep = 0; rep < r.trace_repeats.size(); ++rep) {
+          const ExperimentResult::TraceRepeatCounts& t = r.trace_repeats[rep];
+          std::printf("%-12s %-11s   trace repeat %llu: %llu recorded, "
+                      "%llu dropped\n",
+                      report.sweep_values[i].c_str(),
+                      scheme_name(report.schemes[j]),
+                      static_cast<unsigned long long>(rep),
+                      static_cast<unsigned long long>(t.recorded),
+                      static_cast<unsigned long long>(t.dropped));
+        }
+        if (r.trace_dropped > 0) {
+          std::printf("WARNING: %s/%s dropped %llu trace events to ring "
+                      "wraparound; raise --trace-capacity (or "
+                      "NETRS_TRACE_CAPACITY) to keep them\n",
+                      report.sweep_values[i].c_str(),
+                      scheme_name(report.schemes[j]),
+                      static_cast<unsigned long long>(r.trace_dropped));
+        }
+      }
+    }
+  }
+
+  // Latency attribution (flight recorder, DESIGN.md §8.4): per-component
+  // mean / p99 per scheme. Components telescope, so the component means
+  // sum to the total's mean exactly.
+  bool any_attribution = false;
+  for (const auto& row : report.results) {
+    for (const ExperimentResult& r : row) {
+      any_attribution |= r.attribution.enabled;
+    }
+  }
+  if (any_attribution) {
+    std::printf("\n-- Latency attribution (ms) --\n");
+    std::printf("%-12s %-11s %-12s %12s %12s %12s\n",
+                report.sweep_label.c_str(), "scheme", "component", "count",
+                "mean", "p99");
+    for (std::size_t i = 0; i < report.sweep_values.size(); ++i) {
+      for (std::size_t j = 0; j < report.schemes.size(); ++j) {
+        const obs::AttributionSummary& a = report.results[i][j].attribution;
+        if (!a.enabled) continue;
+        for (std::size_t c = 0; c < obs::kFlightComponents; ++c) {
+          const sim::LatencyRecorder& rec = a.components_ms[c];
+          std::printf("%-12s %-11s %-12s %12llu %12.4f %12.4f\n",
+                      report.sweep_values[i].c_str(),
+                      scheme_name(report.schemes[j]),
+                      obs::kFlightComponentNames[c],
+                      static_cast<unsigned long long>(rec.count()),
+                      rec.empty() ? 0.0 : rec.mean(),
+                      rec.empty() ? 0.0 : rec.percentile(0.99));
+        }
+        std::printf("%-12s %-11s %-12s %12llu %12.4f %12.4f\n",
+                    report.sweep_values[i].c_str(),
+                    scheme_name(report.schemes[j]), "total",
+                    static_cast<unsigned long long>(a.total_ms.count()),
+                    a.total_ms.empty() ? 0.0 : a.total_ms.mean(),
+                    a.total_ms.empty() ? 0.0 : a.total_ms.percentile(0.99));
+        std::printf("%-12s %-11s   dup wins %llu, via RSNode %llu, "
+                    "unmatched %llu\n",
+                    report.sweep_values[i].c_str(),
+                    scheme_name(report.schemes[j]),
+                    static_cast<unsigned long long>(a.dup_wins),
+                    static_cast<unsigned long long>(a.via_rs),
+                    static_cast<unsigned long long>(a.unmatched));
+      }
+    }
+  }
+
+  // Selection quality (decision auditor, DESIGN.md §8.5): oracle regret,
+  // feedback staleness, and herd index per scheme — the paper's freshness
+  // causal claim as numbers.
+  bool any_decisions = false;
+  for (const auto& row : report.results) {
+    for (const ExperimentResult& r : row) any_decisions |= r.decisions.enabled;
+  }
+  if (any_decisions) {
+    std::printf("\n-- Selection quality --\n");
+    std::printf("%-12s %-11s %10s %12s %12s %12s %12s %10s\n",
+                report.sweep_label.c_str(), "scheme", "decisions",
+                "regret(ms)", "regretP99", "stale(ms)", "staleP99",
+                "herd");
+    for (std::size_t i = 0; i < report.sweep_values.size(); ++i) {
+      for (std::size_t j = 0; j < report.schemes.size(); ++j) {
+        const obs::DecisionSummary& d = report.results[i][j].decisions;
+        if (!d.enabled) continue;
+        std::printf("%-12s %-11s %10llu %12.4f %12.4f %12.4f %12.4f %10.3f\n",
+                    report.sweep_values[i].c_str(),
+                    scheme_name(report.schemes[j]),
+                    static_cast<unsigned long long>(d.decisions),
+                    d.regret_ms.empty() ? 0.0 : d.regret_ms.mean(),
+                    d.regret_ms.empty() ? 0.0 : d.regret_ms.percentile(0.99),
+                    d.staleness_ms.empty() ? 0.0 : d.staleness_ms.mean(),
+                    d.staleness_ms.empty() ? 0.0
+                                           : d.staleness_ms.percentile(0.99),
+                    d.herd.empty() ? 0.0 : d.herd.mean());
       }
     }
   }

@@ -222,6 +222,8 @@ void Client::handle_response(net::Packet& pkt) {
       o->span("request", "cli", static_cast<std::int32_t>(node_id()),
               p.first_send, latency, app->client_request_id, "server",
               static_cast<std::uint64_t>(server), "fwd", pkt.meta.forwards);
+      o->flight().on_complete(app->client_request_id, p.first_send, sent_at,
+                              server, simulator().now());
     }
     p95_.add(sim::to_micros(latency));
     if (on_complete_) {

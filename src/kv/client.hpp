@@ -90,6 +90,12 @@ class Client final : public net::Host {
     on_complete_ = std::move(cb);
   }
 
+  /// Installs the decision-audit hook on the local selector (no-op in
+  /// kNetRS mode, where selection happens at an RSNode instead).
+  void set_decision_hook(rs::DecisionHook hook) {
+    if (selector_) selector_->set_decision_hook(std::move(hook));
+  }
+
   /// Handles a delivered response packet.
   void receive(net::Packet pkt, net::NodeId from) override;
 

@@ -134,6 +134,8 @@ void Server::start_service(net::Packet pkt, sim::Time arrival) {
               pkt.meta.request_id);
     }
     o->span("kv.service", "kv", tid, now, service, pkt.meta.request_id);
+    o->flight().on_server(pkt.meta.request_id, host_id(), arrival, now,
+                          service);
   }
   // The request parks in its slot; the completion event captures
   // {this, slot, service} only, so scheduling never heap-allocates.

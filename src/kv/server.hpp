@@ -66,6 +66,8 @@ class Server final : public net::Host {
   [[nodiscard]] double busy_fraction(sim::Time now) const;
   /// Current fluctuation-mode mean (tests).
   [[nodiscard]] sim::Duration current_mean() const { return current_mean_; }
+  /// Configured service parallelism Np (the decision auditor's oracle).
+  [[nodiscard]] int parallelism() const { return cfg_.parallelism; }
 
  private:
   /// A waiting request plus its arrival time (for the kv.queue trace span).

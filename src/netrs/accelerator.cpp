@@ -98,6 +98,10 @@ void Accelerator::start_service(Job job) {
     }
     o->span("accel.service", "accel", tid, now, service,
             job.pkt.meta.request_id, "is_req", is_request(job.pkt) ? 1 : 0);
+    if (is_request(job.pkt)) {
+      o->flight().on_accel(job.pkt.meta.request_id, job.enqueued, now,
+                           service);
+    }
   }
   // The job parks in its core slot; the completion event captures
   // {this, slot} only, so scheduling never heap-allocates.

@@ -20,6 +20,7 @@ void SelectorNode::reset_selector(
     std::unique_ptr<rs::ReplicaSelector> selector) {
   assert(selector != nullptr);
   selector_ = std::move(selector);
+  selector_->set_decision_hook(hook_);
   pending_.assign(pending_.size(), PendingSlot{});
 }
 

@@ -62,6 +62,17 @@ class SelectorNode {
   /// under (its RSNode's switch id). Defaults to -1 (untagged).
   void set_trace_tid(std::int32_t tid) { trace_tid_ = tid; }
 
+  /// The trace thread id (also labels this node's audited decisions).
+  [[nodiscard]] std::int32_t trace_tid() const { return trace_tid_; }
+
+  /// Installs the decision-audit hook on the current selector and keeps
+  /// it across reset_selector() (an RSP change swaps the algorithm
+  /// instance but the node keeps being audited).
+  void set_decision_hook(rs::DecisionHook hook) {
+    hook_ = std::move(hook);
+    selector_->set_decision_hook(hook_);
+  }
+
  private:
   struct PendingSlot {
     net::HostId server = net::kInvalidHost;
@@ -75,6 +86,7 @@ class SelectorNode {
   sim::Simulator& sim_;
   const ReplicaDatabase& db_;
   std::unique_ptr<rs::ReplicaSelector> selector_;
+  rs::DecisionHook hook_;  // reapplied on reset_selector()
   // RV-indexed pending table (the RV field is 16 bits wide).
   std::vector<PendingSlot> pending_;
   std::uint16_t next_rv_ = 1;

@@ -1,0 +1,130 @@
+#include "obs/attribution.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace netrs::obs {
+
+void FlightRecorder::on_accel(std::uint64_t request_id, sim::Time arrival,
+                              sim::Time start, sim::Duration service) {
+  if (!enabled_ || request_id == 0) return;
+  PendingFlight& p = pending_[request_id];
+  if (p.accel_valid) return;  // keep the first accelerator contact
+  p.accel_valid = true;
+  p.accel_arrival = arrival;
+  p.accel_start = start;
+  p.accel_service = service;
+}
+
+void FlightRecorder::on_server(std::uint64_t request_id, net::HostId server,
+                               sim::Time arrival, sim::Time start,
+                               sim::Duration service) {
+  if (!enabled_ || request_id == 0) return;
+  pending_[request_id].copies.push_back(
+      CopyObs{server, arrival, start, service});
+}
+
+void FlightRecorder::on_complete(std::uint64_t request_id,
+                                 sim::Time first_send, sim::Time winner_send,
+                                 net::HostId winner, sim::Time now) {
+  if (!enabled_ || request_id == 0) return;
+  const auto it = pending_.find(request_id);
+  if (it == pending_.end()) {
+    ++unmatched_;
+    return;
+  }
+  // Same warmup filter as the harness's measured latencies: a request
+  // belongs to the measured set iff it was first sent after warmup.
+  if (first_send < measure_from_) {
+    pending_.erase(it);
+    ++warmup_skipped_;
+    return;
+  }
+  const PendingFlight& p = it->second;
+  const CopyObs* copy = nullptr;
+  for (const CopyObs& c : p.copies) {
+    if (c.server == winner) {
+      copy = &c;
+      break;
+    }
+  }
+  if (copy == nullptr) {
+    ++unmatched_;
+    pending_.erase(it);
+    return;
+  }
+
+  FlightRecord r;
+  r.request_id = request_id;
+  r.completed_at = now;
+  r.server = winner;
+  r.dup_won = winner_send != first_send;
+  r.via_rs = p.accel_valid;
+  r.total = now - first_send;
+  // Every component is a difference of adjacent observed timestamps along
+  // the winning copy's path, so the sum telescopes to `total` exactly.
+  r.components[0] = winner_send - first_send;  // dup_wait
+  sim::Time cursor = winner_send;
+  if (p.accel_valid) {
+    r.components[1] = p.accel_arrival - cursor;           // wire_cli_rs
+    r.components[2] = p.accel_start - p.accel_arrival;    // accel_queue
+    r.components[3] = p.accel_service;                    // accel_serv
+    cursor = p.accel_start + p.accel_service;
+  }
+  r.components[4] = copy->arrival - cursor;               // wire_rs_srv
+  r.components[5] = copy->start - copy->arrival;          // srv_queue
+  r.components[6] = copy->service;                        // srv_serv
+  r.components[7] = now - (copy->start + copy->service);  // wire_return
+  records_.push_back(r);
+  pending_.erase(it);
+}
+
+FlightSnapshot FlightRecorder::take() const {
+  FlightSnapshot snap;
+  snap.enabled = enabled_;
+  snap.records = records_;
+  snap.warmup_skipped = warmup_skipped_;
+  snap.unmatched = unmatched_;
+  snap.pending_at_end = pending_.size();
+  return snap;
+}
+
+void AttributionSummary::merge(const FlightSnapshot& snap) {
+  if (!snap.enabled) return;
+  enabled = true;
+  unmatched += snap.unmatched;
+  for (const FlightRecord& r : snap.records) {
+    ++requests;
+    if (r.dup_won) ++dup_wins;
+    if (r.via_rs) ++via_rs;
+    total_ms.add(sim::to_millis(r.total));
+    for (std::size_t c = 0; c < kFlightComponents; ++c) {
+      components_ms[c].add(sim::to_millis(r.components[c]));
+    }
+  }
+}
+
+void AttributionSummary::finalize() {
+  total_ms.finalize();
+  for (sim::LatencyRecorder& rec : components_ms) rec.finalize();
+}
+
+void write_attribution_csv(std::ostream& os,
+                           const std::vector<FlightSnapshot>& repeats) {
+  os << "repeat,req,complete_us,server,dup,via_rs,component,ns\n";
+  for (std::size_t rep = 0; rep < repeats.size(); ++rep) {
+    for (const FlightRecord& r : repeats[rep].records) {
+      const std::string t = format_time_us(r.completed_at);
+      const char* prefix_dup = r.dup_won ? "1" : "0";
+      const char* prefix_rs = r.via_rs ? "1" : "0";
+      for (std::size_t c = 0; c < kFlightComponents; ++c) {
+        os << rep << ',' << r.request_id << ',' << t << ',' << r.server
+           << ',' << prefix_dup << ',' << prefix_rs << ','
+           << kFlightComponentNames[c] << ',' << r.components[c] << '\n';
+      }
+      os << rep << ',' << r.request_id << ',' << t << ',' << r.server << ','
+         << prefix_dup << ',' << prefix_rs << ",total," << r.total << '\n';
+    }
+  }
+}
+
+}  // namespace netrs::obs

@@ -1,0 +1,179 @@
+// Per-request latency attribution ("flight recorder").
+//
+// The FlightRecorder rides the existing Observer null-guard hooks and
+// decomposes every completed request's end-to-end latency into named
+// additive components along the path of the copy that won (duplicate and
+// cancelled copies are attributed to the winner): duplicate wait, client->
+// RSNode wire, accelerator queue, accelerator service (the selection
+// itself), RSNode->server wire, server queue, server service, and the
+// return path. Every component is a difference of observed event
+// timestamps, so the eight components telescope to exactly the measured
+// end-to-end latency — the invariant attribution_test asserts per record.
+//
+// Determinism contract (DESIGN.md §8.4): recording is observation-only (no
+// RNG draws, no wall clock, no feedback into simulated behavior), records
+// append in completion order of a single-threaded simulation, and repeats
+// merge in repeat order — so the CSV and summaries are bit-identical for a
+// given seed at any harness --jobs value, and golden digests are unchanged
+// with the recorder on or off.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <vector>
+
+#include "net/address.hpp"
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+
+namespace netrs::obs {
+
+/// Number of additive latency components in a FlightRecord.
+inline constexpr std::size_t kFlightComponents = 8;
+
+/// Component names in chronological (and CSV/report) order along the
+/// winning copy's path. All values are durations in simulated ns:
+///   dup_wait     first send -> winning copy's send (0 unless a duplicate
+///                won);
+///   wire_cli_rs  winning send -> accelerator arrival (0 when the request
+///                never crossed an accelerator, i.e. CliRS or DRS);
+///   accel_queue  accelerator arrival -> accelerator service start;
+///   accel_serv   accelerator service (the in-network selection);
+///   wire_rs_srv  accelerator done (or winning send) -> server arrival;
+///   srv_queue    server arrival -> server service start;
+///   srv_serv     server service;
+///   wire_return  server service end -> response at the client.
+inline constexpr std::array<const char*, kFlightComponents>
+    kFlightComponentNames = {"dup_wait",    "wire_cli_rs", "accel_queue",
+                             "accel_serv",  "wire_rs_srv", "srv_queue",
+                             "srv_serv",    "wire_return"};
+
+/// One completed request's latency decomposition.
+struct FlightRecord {
+  /// End-to-end correlation id (PacketMeta::request_id).
+  std::uint64_t request_id = 0;
+  /// Simulated completion time (first response at the client), ns.
+  sim::Time completed_at = 0;
+  /// Server whose response completed the request.
+  net::HostId server = net::kInvalidHost;
+  /// True when a redundant (R95) duplicate won, not the primary copy.
+  bool dup_won = false;
+  /// True when the winning copy passed through an accelerator (NetRS path).
+  bool via_rs = false;
+  /// Measured end-to-end latency, ns; equals the sum of `components`.
+  sim::Duration total = 0;
+  /// Additive components in kFlightComponentNames order, ns each.
+  std::array<sim::Duration, kFlightComponents> components{};
+};
+
+/// One repeat's worth of completed-flight records plus bookkeeping counts.
+struct FlightSnapshot {
+  /// True when the repeat recorded attribution at all.
+  bool enabled = false;
+  /// Completed records in completion order.
+  std::vector<FlightRecord> records;
+  /// Completions skipped because the request was issued during warmup.
+  std::uint64_t warmup_skipped = 0;
+  /// Completions whose winning copy had no matching server observation
+  /// (defensive; 0 in practice).
+  std::uint64_t unmatched = 0;
+  /// Requests still pending (never completed) when the repeat ended.
+  std::uint64_t pending_at_end = 0;
+};
+
+/// Per-request flight recorder; one per repeat, owned by the Observer.
+/// Components call the on_*() hooks under the existing observer null
+/// guard; every hook is a cheap early-out when the recorder is disabled.
+class FlightRecorder {
+ public:
+  /// A disabled recorder ignores every hook.
+  explicit FlightRecorder(bool enabled) : enabled_(enabled) {}
+
+  /// True when hooks record (construction-time switch).
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Completions of requests first sent before `t` are dropped — the same
+  /// warmup filter the harness applies to measured latencies.
+  void set_measure_from(sim::Time t) { measure_from_ = t; }
+
+  /// Accelerator observation for a request: arrival (enqueue) time,
+  /// service start, and service duration. Response clones must not be
+  /// reported. Only the first accelerator contact per request is kept.
+  void on_accel(std::uint64_t request_id, sim::Time arrival, sim::Time start,
+                sim::Duration service);
+
+  /// Server observation for one copy of a request: the serving host, its
+  /// arrival time, service start, and sampled service duration.
+  void on_server(std::uint64_t request_id, net::HostId server,
+                 sim::Time arrival, sim::Time start, sim::Duration service);
+
+  /// Completion at the client (first response): the primary copy's send
+  /// time, the winning copy's send time and server, and the completion
+  /// time. Computes the decomposition and appends a FlightRecord.
+  void on_complete(std::uint64_t request_id, sim::Time first_send,
+                   sim::Time winner_send, net::HostId winner, sim::Time now);
+
+  /// Extracts this repeat's records (completion order) and counts.
+  [[nodiscard]] FlightSnapshot take() const;
+
+ private:
+  /// Per-copy server observation (duplicates land on distinct servers).
+  struct CopyObs {
+    net::HostId server = net::kInvalidHost;
+    sim::Time arrival = 0;
+    sim::Time start = 0;
+    sim::Duration service = 0;
+  };
+  /// Pending (not yet completed) per-request observations.
+  struct PendingFlight {
+    bool accel_valid = false;
+    sim::Time accel_arrival = 0;
+    sim::Time accel_start = 0;
+    sim::Duration accel_service = 0;
+    std::vector<CopyObs> copies;
+  };
+
+  bool enabled_;
+  sim::Time measure_from_ = 0;
+  // Ordered map: the obs tree bans unordered containers (netrs_lint
+  // unordered-in-obs) so iteration order can never leak into output.
+  std::map<std::uint64_t, PendingFlight> pending_;
+  std::vector<FlightRecord> records_;
+  std::uint64_t warmup_skipped_ = 0;
+  std::uint64_t unmatched_ = 0;
+};
+
+/// Per-component latency aggregates over every record of every repeat,
+/// shown as the "Latency attribution" report table.
+struct AttributionSummary {
+  /// True once an enabled snapshot has been merged.
+  bool enabled = false;
+  /// Records merged (completed, post-warmup requests).
+  std::uint64_t requests = 0;
+  /// Records where a duplicate copy won.
+  std::uint64_t dup_wins = 0;
+  /// Records whose winning copy crossed an accelerator.
+  std::uint64_t via_rs = 0;
+  /// Completions with no matching server observation, over all repeats.
+  std::uint64_t unmatched = 0;
+  /// End-to-end latency distribution (ms) over merged records.
+  sim::LatencyRecorder total_ms;
+  /// Per-component latency distributions (ms), kFlightComponentNames order.
+  std::array<sim::LatencyRecorder, kFlightComponents> components_ms;
+
+  /// Folds one repeat's snapshot into the running summary.
+  void merge(const FlightSnapshot& snap);
+  /// Sorts all recorders so percentile() calls are plain lookups.
+  void finalize();
+};
+
+/// Writes the merged long-format attribution CSV: header
+/// `repeat,req,complete_us,server,dup,via_rs,component,ns`, then one row
+/// per (record, component) plus a `total` row per record, repeats in
+/// order. Bit-identical at any --jobs value.
+void write_attribution_csv(std::ostream& os,
+                           const std::vector<FlightSnapshot>& repeats);
+
+}  // namespace netrs::obs

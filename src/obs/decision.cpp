@@ -1,0 +1,151 @@
+#include "obs/decision.hpp"
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace netrs::obs {
+namespace {
+
+/// Formats a score/regret for CSV output; -1 marks an absent value (real
+/// values are always >= 0 for regret; scores use format_metric_value, so
+/// collisions with real -1 scores are acceptable: consumers key on the
+/// paired has_* CSV semantics, and no selector emits negative scores).
+std::string optional_value(bool has, double v) {
+  return has ? format_metric_value(v) : std::string("-1");
+}
+
+}  // namespace
+
+double oracle_cost_ns(const OracleServerState& s) {
+  const int np = s.parallelism > 0 ? s.parallelism : 1;
+  return static_cast<double>(s.mean_service_time) *
+         (1.0 + static_cast<double>(s.queue_size) / static_cast<double>(np));
+}
+
+void DecisionRecorder::on_decision(std::int32_t node, sim::Time now,
+                                   std::span<const net::HostId> candidates,
+                                   net::HostId chosen,
+                                   std::span<const double> scores,
+                                   std::span<const sim::Duration> ages) {
+  if (!enabled_ || chosen == net::kInvalidHost) return;
+  ++observed_;
+
+  // Herd window maintenance runs for every decision (including warmup) so
+  // the first post-warmup records see a fully warmed window.
+  const sim::Time horizon = now - window_;
+  while (!window_picks_.empty() && window_picks_.front().first <= horizon) {
+    const auto cit = window_counts_.find(window_picks_.front().second);
+    if (cit != window_counts_.end() && --cit->second == 0) {
+      window_counts_.erase(cit);
+    }
+    window_picks_.pop_front();
+  }
+  window_picks_.emplace_back(now, chosen);
+  ++window_counts_[chosen];
+
+  if (now < measure_from_) return;
+
+  DecisionRecord rec;
+  rec.t = now;
+  rec.node = node;
+  rec.chosen = chosen;
+  rec.candidates = static_cast<std::uint32_t>(candidates.size());
+  rec.herd = static_cast<double>(window_counts_[chosen]) /
+             static_cast<double>(window_picks_.size());
+
+  std::size_t chosen_idx = candidates.size();
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (candidates[i] == chosen) {
+      chosen_idx = i;
+      break;
+    }
+  }
+  if (chosen_idx < scores.size()) {
+    rec.chosen_score = scores[chosen_idx];
+    rec.has_score = true;
+  }
+  if (chosen_idx < ages.size() && ages[chosen_idx] >= 0) {
+    rec.staleness = ages[chosen_idx];
+    rec.has_staleness = true;
+  }
+
+  if (oracle_ && !candidates.empty()) {
+    double best = 0.0;
+    double chosen_cost = 0.0;
+    bool all_valid = true;
+    bool chosen_valid = false;
+    bool first = true;
+    for (const net::HostId host : candidates) {
+      const OracleServerState s = oracle_(host);
+      if (!s.valid) {
+        all_valid = false;
+        break;
+      }
+      const double cost = oracle_cost_ns(s);
+      if (first || cost < best) best = cost;
+      first = false;
+      if (host == chosen) {
+        chosen_cost = cost;
+        chosen_valid = true;
+      }
+    }
+    if (all_valid && chosen_valid) {
+      rec.regret_ns = chosen_cost - best;
+      if (rec.regret_ns < 0) rec.regret_ns = 0;  // float-order guard
+      rec.has_regret = true;
+    }
+  }
+
+  records_.push_back(rec);
+}
+
+DecisionSnapshot DecisionRecorder::take() const {
+  DecisionSnapshot snap;
+  snap.enabled = enabled_;
+  snap.records = records_;
+  snap.observed = observed_;
+  return snap;
+}
+
+void DecisionSummary::merge(const DecisionSnapshot& snap) {
+  if (!snap.enabled) return;
+  enabled = true;
+  for (const DecisionRecord& r : snap.records) {
+    ++decisions;
+    herd.add(r.herd);
+    if (r.has_regret) {
+      ++with_regret;
+      regret_ms.add(r.regret_ns * 1e-6);
+    }
+    if (r.has_staleness) {
+      ++with_feedback;
+      staleness_ms.add(sim::to_millis(r.staleness));
+    }
+  }
+}
+
+void DecisionSummary::finalize() {
+  regret_ms.finalize();
+  staleness_ms.finalize();
+  herd.finalize();
+}
+
+void write_decision_csv(std::ostream& os,
+                        const std::vector<DecisionSnapshot>& repeats) {
+  os << "repeat,time_us,node,chosen,candidates,score,regret_ns,staleness_ns,"
+        "herd\n";
+  for (std::size_t rep = 0; rep < repeats.size(); ++rep) {
+    for (const DecisionRecord& r : repeats[rep].records) {
+      os << rep << ',' << format_time_us(r.t) << ',' << r.node << ','
+         << r.chosen << ',' << r.candidates << ','
+         << optional_value(r.has_score, r.chosen_score) << ','
+         << optional_value(r.has_regret, r.regret_ns) << ','
+         << (r.has_staleness ? std::to_string(r.staleness)
+                             : std::string("-1"))
+         << ',' << format_metric_value(r.herd) << '\n';
+    }
+  }
+}
+
+}  // namespace netrs::obs

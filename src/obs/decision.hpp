@@ -1,0 +1,177 @@
+// Decision auditor: scores every ReplicaSelector::select() call against an
+// omniscient oracle.
+//
+// The selectors see only stale, piggybacked server status; the oracle sees
+// the true instantaneous server state (queue depth, parallelism, current
+// fluctuation-mode mean). For each decision it records:
+//
+//   regret     — oracle cost of the chosen replica minus the cheapest
+//                candidate's oracle cost, where cost(s) = mean_s * (1 +
+//                queue_s / Np): the expected in-system time of joining
+//                server s right now. Zero iff the selector picked an
+//                oracle-optimal candidate;
+//   staleness  — simulated age of the q_s/T̄_s snapshot behind the choice
+//                (now minus the selector's last feedback from the chosen
+//                server; absent when the server was never heard from);
+//   herd index — fraction of all selection decisions in the trailing herd
+//                window (across every RSNode of the repeat) that picked
+//                the same server as this one, including this one. Near
+//                1/candidates when balanced, near 1 when RSNodes stampede
+//                one replica (§II load oscillation, per decision).
+//
+// Observation-only contract (DESIGN.md §8.5): the oracle callback reads
+// const simulation state only — it must not consume RNG draws, mutate any
+// component, or read the wall clock. Golden digests are identical with the
+// auditor on or off, and output is bit-identical at any --jobs value.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <ostream>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "net/address.hpp"
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+
+namespace netrs::obs {
+
+/// True instantaneous state of one server, read by the oracle callback.
+struct OracleServerState {
+  /// False when the host is unknown to the oracle (no regret computed).
+  bool valid = false;
+  /// Waiting + in-service requests right now.
+  std::uint32_t queue_size = 0;
+  /// Service parallelism Np (>= 1).
+  int parallelism = 1;
+  /// Current fluctuation-mode mean service time, ns.
+  sim::Duration mean_service_time = 0;
+};
+
+/// Oracle callback: true state of a candidate server, by host id. Must
+/// only read const simulation state (see the file comment's contract).
+using OracleFn = std::function<OracleServerState(net::HostId)>;
+
+/// Oracle cost of joining a server now, in ns: mean * (1 + queue / Np),
+/// the expected in-system time under the server's true current state.
+[[nodiscard]] double oracle_cost_ns(const OracleServerState& s);
+
+/// One audited selection decision.
+struct DecisionRecord {
+  /// Simulated decision time, ns.
+  sim::Time t = 0;
+  /// Deciding RSNode's trace tid (client node id or accelerator node id).
+  std::int32_t node = -1;
+  /// The replica the selector picked.
+  net::HostId chosen = net::kInvalidHost;
+  /// Candidate count the decision chose among.
+  std::uint32_t candidates = 0;
+  /// Selector's score for the chosen replica (algorithm-specific units).
+  double chosen_score = 0.0;
+  /// False when the selector reported no scores (e.g. random).
+  bool has_score = false;
+  /// Oracle regret in ns (>= 0); meaningful iff has_regret.
+  double regret_ns = 0.0;
+  /// False when the oracle was absent or a candidate was unknown to it.
+  bool has_regret = false;
+  /// Feedback age of the chosen server's snapshot, ns; meaningful iff
+  /// has_staleness.
+  sim::Duration staleness = 0;
+  /// False when the selector never heard from the chosen server (or
+  /// reported no ages at all).
+  bool has_staleness = false;
+  /// Herd index in [0, 1] (see the file comment).
+  double herd = 0.0;
+};
+
+/// One repeat's audited decisions plus bookkeeping counts.
+struct DecisionSnapshot {
+  /// True when the repeat audited decisions at all.
+  bool enabled = false;
+  /// Post-warmup decisions in decision order.
+  std::vector<DecisionRecord> records;
+  /// All decisions observed, including warmup (herd state covers these).
+  std::uint64_t observed = 0;
+};
+
+/// Per-repeat decision auditor, owned by the Observer. The harness
+/// installs the oracle and routes every selector's decision hook here.
+class DecisionRecorder {
+ public:
+  /// A disabled recorder ignores every call. `herd_window` is the
+  /// trailing window of the herd index.
+  DecisionRecorder(bool enabled, sim::Duration herd_window)
+      : enabled_(enabled), window_(herd_window) {}
+
+  /// True when decisions record (construction-time switch).
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Installs the omniscient oracle; absent = no regret computed.
+  void set_oracle(OracleFn fn) { oracle_ = std::move(fn); }
+
+  /// Decisions before `t` update herd state but produce no records — the
+  /// same warmup filter the harness applies to measured latencies.
+  void set_measure_from(sim::Time t) { measure_from_ = t; }
+
+  /// Audits one selection: `candidates`/`chosen` from the selector,
+  /// `scores`/`ages` parallel to `candidates` (either may be empty; an
+  /// age < 0 means never heard from). Computes regret via the oracle,
+  /// staleness from `ages`, and the herd index from the trailing window.
+  void on_decision(std::int32_t node, sim::Time now,
+                   std::span<const net::HostId> candidates,
+                   net::HostId chosen, std::span<const double> scores,
+                   std::span<const sim::Duration> ages);
+
+  /// Extracts this repeat's records (decision order) and counts.
+  [[nodiscard]] DecisionSnapshot take() const;
+
+ private:
+  bool enabled_;
+  sim::Duration window_;
+  sim::Time measure_from_ = 0;
+  OracleFn oracle_;
+  std::vector<DecisionRecord> records_;
+  std::uint64_t observed_ = 0;
+  // Trailing herd window: (time, server) picks plus per-server counts.
+  // Ordered map: the obs tree bans unordered containers (netrs_lint
+  // unordered-in-obs) so iteration order can never leak into output.
+  std::deque<std::pair<sim::Time, net::HostId>> window_picks_;
+  std::map<net::HostId, std::uint32_t> window_counts_;
+};
+
+/// Selection-quality aggregates over every decision of every repeat,
+/// shown as the "Selection quality" report table.
+struct DecisionSummary {
+  /// True once an enabled snapshot has been merged.
+  bool enabled = false;
+  /// Post-warmup decisions merged.
+  std::uint64_t decisions = 0;
+  /// Decisions with a feedback age for the chosen server.
+  std::uint64_t with_feedback = 0;
+  /// Decisions with a computed regret.
+  std::uint64_t with_regret = 0;
+  /// Regret distribution (ms) over decisions with regret.
+  sim::LatencyRecorder regret_ms;
+  /// Staleness distribution (ms) over decisions with feedback.
+  sim::LatencyRecorder staleness_ms;
+  /// Herd-index distribution ([0, 1]) over all merged decisions.
+  sim::LatencyRecorder herd;
+
+  /// Folds one repeat's snapshot into the running summary.
+  void merge(const DecisionSnapshot& snap);
+  /// Sorts all recorders so percentile() calls are plain lookups.
+  void finalize();
+};
+
+/// Writes the merged long-format decision CSV: header
+/// `repeat,time_us,node,chosen,candidates,score,regret_ns,staleness_ns,
+/// herd`, one row per post-warmup decision, repeats in order; absent
+/// score/regret/staleness print as -1. Bit-identical at any --jobs value.
+void write_decision_csv(std::ostream& os,
+                        const std::vector<DecisionSnapshot>& repeats);
+
+}  // namespace netrs::obs

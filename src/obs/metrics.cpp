@@ -7,25 +7,6 @@
 namespace netrs::obs {
 namespace {
 
-/// Nanoseconds -> microsecond decimal string with exact remainder,
-/// integer arithmetic only (mirrors the trace writer's formatting).
-std::string time_us_string(sim::Time t) {
-  char buf[40];
-  const auto ns = static_cast<std::uint64_t>(t);
-  const std::uint64_t us = ns / 1000;
-  const unsigned rem = static_cast<unsigned>(ns % 1000);
-  int len = 0;
-  if (rem == 0) {
-    len = std::snprintf(buf, sizeof(buf), "%llu",
-                        static_cast<unsigned long long>(us));
-  } else {
-    len = std::snprintf(buf, sizeof(buf), "%llu.%03u",
-                        static_cast<unsigned long long>(us), rem);
-    while (len > 0 && buf[len - 1] == '0') --len;
-  }
-  return std::string(buf, static_cast<std::size_t>(len));
-}
-
 /// Expanded column label for one histogram bucket upper bound.
 std::string bucket_label(const std::string& name, double bound) {
   return name + ".le_" + format_metric_value(bound);
@@ -175,13 +156,30 @@ std::string format_metric_value(double v) {
   return std::string(buf, static_cast<std::size_t>(len));
 }
 
+std::string format_time_us(sim::Time t) {
+  char buf[40];
+  const auto ns = static_cast<std::uint64_t>(t);
+  const std::uint64_t us = ns / 1000;
+  const unsigned rem = static_cast<unsigned>(ns % 1000);
+  int len = 0;
+  if (rem == 0) {
+    len = std::snprintf(buf, sizeof(buf), "%llu",
+                        static_cast<unsigned long long>(us));
+  } else {
+    len = std::snprintf(buf, sizeof(buf), "%llu.%03u",
+                        static_cast<unsigned long long>(us), rem);
+    while (len > 0 && buf[len - 1] == '0') --len;
+  }
+  return std::string(buf, static_cast<std::size_t>(len));
+}
+
 void write_metrics_csv(std::ostream& os,
                        const std::vector<MetricsSnapshot>& repeats) {
   os << "repeat,time_us,metric,value\n";
   for (std::size_t rep = 0; rep < repeats.size(); ++rep) {
     const MetricsSnapshot& snap = repeats[rep];
     for (const MetricsSnapshot::Row& row : snap.rows) {
-      const std::string t = time_us_string(row.t);
+      const std::string t = format_time_us(row.t);
       for (std::size_t c = 0; c < snap.columns.size(); ++c) {
         os << rep << ',' << t << ',' << snap.columns[c] << ','
            << format_metric_value(row.values[c]) << '\n';

@@ -169,6 +169,11 @@ class MetricsRegistry {
 /// ("17"), everything else through "%.9g". Locale-independent.
 [[nodiscard]] std::string format_metric_value(double v);
 
+/// Formats simulated nanoseconds as a microsecond decimal string with
+/// exact remainder and trailing zeros stripped ("1250.5"), integer
+/// arithmetic only — the shared `time_us` CSV column format.
+[[nodiscard]] std::string format_time_us(sim::Time t);
+
 /// Writes the merged long-format CSV: header
 /// `repeat,time_us,metric,value`, then one row per (repeat, tick,
 /// column), repeats in order. Bit-identical at any --jobs value.

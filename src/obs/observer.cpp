@@ -6,6 +6,8 @@ namespace netrs::obs {
 
 Observer::Observer(const ObsConfig& cfg)
     : ring_(cfg.want_trace() ? cfg.trace_capacity : 0),
+      flight_(cfg.want_attribution()),
+      decisions_(cfg.want_decisions(), cfg.herd_window),
       metering_(cfg.want_metrics()),
       sample_interval_(cfg.sample_interval) {}
 

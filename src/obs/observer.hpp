@@ -17,6 +17,8 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/attribution.hpp"
+#include "obs/decision.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sim/time.hpp"
@@ -34,17 +36,41 @@ struct ObsConfig {
   std::string trace_path;
   /// Metrics CSV output path ("" = metrics off).
   std::string metrics_path;
+  /// Per-request latency attribution CSV path ("" = no CSV; recording can
+  /// still be forced on via `record_attribution` for the report tables).
+  std::string attribution_path;
+  /// Per-decision audit CSV path ("" = no CSV; see `record_decisions`).
+  std::string decision_path;
+  /// Record flight attribution even without a CSV path (report tables /
+  /// tests); implied by a non-empty attribution_path.
+  bool record_attribution = false;
+  /// Audit selection decisions even without a CSV path (report tables /
+  /// tests); implied by a non-empty decision_path.
+  bool record_decisions = false;
   /// Events retained per repeat before the ring wraps.
   std::size_t trace_capacity = 1u << 16;
   /// Metrics sampling tick, in simulated time.
   sim::Duration sample_interval = 5 * sim::kMillisecond;
+  /// Trailing window of the decision auditor's herd index.
+  sim::Duration herd_window = 1 * sim::kMillisecond;
 
   /// True when tracing is requested.
   [[nodiscard]] bool want_trace() const { return !trace_path.empty(); }
   /// True when metrics sampling is requested.
   [[nodiscard]] bool want_metrics() const { return !metrics_path.empty(); }
-  /// True when either subsystem is requested.
-  [[nodiscard]] bool any() const { return want_trace() || want_metrics(); }
+  /// True when flight attribution is requested (CSV or report tables).
+  [[nodiscard]] bool want_attribution() const {
+    return record_attribution || !attribution_path.empty();
+  }
+  /// True when decision auditing is requested (CSV or report tables).
+  [[nodiscard]] bool want_decisions() const {
+    return record_decisions || !decision_path.empty();
+  }
+  /// True when any subsystem is requested.
+  [[nodiscard]] bool any() const {
+    return want_trace() || want_metrics() || want_attribution() ||
+           want_decisions();
+  }
 };
 
 /// Per-run observability hub; owns the trace ring and metrics registry.
@@ -64,6 +90,18 @@ class Observer {
 
   /// True when the metrics registry is live (sampler + registrations).
   [[nodiscard]] bool metering() const { return metering_; }
+
+  /// True when the flight recorder is capturing latency attribution.
+  [[nodiscard]] bool attributing() const { return flight_.enabled(); }
+
+  /// True when the decision auditor is capturing selection quality.
+  [[nodiscard]] bool deciding() const { return decisions_.enabled(); }
+
+  /// The per-request flight recorder (hooks early-out when disabled).
+  [[nodiscard]] FlightRecorder& flight() { return flight_; }
+
+  /// The decision auditor (hooks early-out when disabled).
+  [[nodiscard]] DecisionRecorder& decisions() { return decisions_; }
 
   /// The trace ring (mostly for tests; components use span()/instant()).
   [[nodiscard]] TraceRing& ring() { return ring_; }
@@ -102,9 +140,19 @@ class Observer {
     return metrics_.snapshot();
   }
 
+  /// Extracts this run's flight-attribution records.
+  [[nodiscard]] FlightSnapshot take_flight() const { return flight_.take(); }
+
+  /// Extracts this run's audited decisions.
+  [[nodiscard]] DecisionSnapshot take_decisions() const {
+    return decisions_.take();
+  }
+
  private:
   TraceRing ring_;
   MetricsRegistry metrics_;
+  FlightRecorder flight_;
+  DecisionRecorder decisions_;
   bool metering_;
   sim::Duration sample_interval_;
 };

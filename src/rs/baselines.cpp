@@ -4,17 +4,42 @@
 #include <cassert>
 #include <limits>
 
+#include "sim/simulator.hpp"
+
 namespace netrs::rs {
+namespace {
+
+/// Snapshot age of `host` for the decision hook: now minus the recorded
+/// feedback time, or -1 when the selector never heard from the host (or
+/// has no clock at all).
+sim::Duration feedback_age(
+    const sim::Simulator* sim,
+    const std::unordered_map<net::HostId, sim::Time>& last, net::HostId host) {
+  if (sim == nullptr) return sim::Duration{-1};
+  const auto it = last.find(host);
+  if (it == last.end()) return sim::Duration{-1};
+  return sim->now() - it->second;
+}
+
+}  // namespace
 
 net::HostId RandomSelector::select(std::span<const net::HostId> candidates) {
   assert(!candidates.empty());
-  return candidates[rng_.uniform(candidates.size())];
+  const net::HostId chosen = candidates[rng_.uniform(candidates.size())];
+  if (has_decision_hook()) {
+    report_decision(DecisionContext{candidates, chosen, {}, {}});
+  }
+  return chosen;
 }
 
 net::HostId RoundRobinSelector::select(
     std::span<const net::HostId> candidates) {
   assert(!candidates.empty());
-  return candidates[counter_++ % candidates.size()];
+  const net::HostId chosen = candidates[counter_++ % candidates.size()];
+  if (has_decision_hook()) {
+    report_decision(DecisionContext{candidates, chosen, {}, {}});
+  }
+  return chosen;
 }
 
 net::HostId LeastOutstandingSelector::select(
@@ -36,6 +61,18 @@ net::HostId LeastOutstandingSelector::select(
       if (rng_.uniform(ties) == 0) best = h;
     }
   }
+  if (has_decision_hook()) {
+    scores_scratch_.clear();
+    ages_scratch_.clear();
+    for (net::HostId h : candidates) {
+      auto it = outstanding_.find(h);
+      scores_scratch_.push_back(
+          it == outstanding_.end() ? 0.0 : static_cast<double>(it->second));
+      ages_scratch_.push_back(feedback_age(sim_, last_feedback_, h));
+    }
+    report_decision(
+        DecisionContext{candidates, best, scores_scratch_, ages_scratch_});
+  }
   return best;
 }
 
@@ -46,6 +83,7 @@ void LeastOutstandingSelector::on_send(net::HostId server) {
 void LeastOutstandingSelector::on_response(const Feedback& fb) {
   auto it = outstanding_.find(fb.server);
   if (it != outstanding_.end() && it->second > 0) --it->second;
+  if (sim_ != nullptr) last_feedback_[fb.server] = sim_->now();
 }
 
 double TwoChoicesSelector::load(net::HostId h) const {
@@ -58,14 +96,34 @@ double TwoChoicesSelector::load(net::HostId h) const {
 net::HostId TwoChoicesSelector::select(
     std::span<const net::HostId> candidates) {
   assert(!candidates.empty());
-  if (candidates.size() == 1) return candidates[0];
-  const std::size_t i = rng_.uniform(candidates.size());
-  std::size_t j = rng_.uniform(candidates.size() - 1);
-  if (j >= i) ++j;
-  const net::HostId a = candidates[i];
-  const net::HostId b = candidates[j];
-  if (load(a) != load(b)) return load(a) < load(b) ? a : b;
-  return rng_.bernoulli(0.5) ? a : b;
+  net::HostId chosen = candidates[0];
+  if (candidates.size() > 1) {
+    const std::size_t i = rng_.uniform(candidates.size());
+    std::size_t j = rng_.uniform(candidates.size() - 1);
+    if (j >= i) ++j;
+    const net::HostId a = candidates[i];
+    const net::HostId b = candidates[j];
+    if (load(a) != load(b)) {
+      chosen = load(a) < load(b) ? a : b;
+    } else {
+      chosen = rng_.bernoulli(0.5) ? a : b;
+    }
+  }
+  if (has_decision_hook()) {
+    scores_scratch_.clear();
+    ages_scratch_.clear();
+    for (net::HostId h : candidates) {
+      scores_scratch_.push_back(load(h));
+      auto it = servers_.find(h);
+      const bool heard = it != servers_.end() && it->second.heard;
+      ages_scratch_.push_back(heard && sim_ != nullptr
+                                  ? sim_->now() - it->second.last_feedback
+                                  : sim::Duration{-1});
+    }
+    report_decision(
+        DecisionContext{candidates, chosen, scores_scratch_, ages_scratch_});
+  }
+  return chosen;
 }
 
 void TwoChoicesSelector::on_send(net::HostId server) {
@@ -76,6 +134,10 @@ void TwoChoicesSelector::on_response(const Feedback& fb) {
   State& s = servers_[fb.server];
   if (s.outstanding > 0) --s.outstanding;
   s.queue_size = fb.queue_size;
+  if (sim_ != nullptr) {
+    s.last_feedback = sim_->now();
+    s.heard = true;
+  }
 }
 
 net::HostId EwmaLatencySelector::select(
@@ -97,6 +159,18 @@ net::HostId EwmaLatencySelector::select(
       if (rng_.uniform(ties) == 0) best = h;
     }
   }
+  if (has_decision_hook()) {
+    scores_scratch_.clear();
+    ages_scratch_.clear();
+    for (net::HostId h : candidates) {
+      auto it = latency_.find(h);
+      scores_scratch_.push_back(it == latency_.end() ? -1.0
+                                                     : it->second.value());
+      ages_scratch_.push_back(feedback_age(sim_, last_feedback_, h));
+    }
+    report_decision(
+        DecisionContext{candidates, best, scores_scratch_, ages_scratch_});
+  }
   return best;
 }
 
@@ -107,6 +181,7 @@ void EwmaLatencySelector::on_response(const Feedback& fb) {
     it = latency_.emplace(fb.server, sim::Ewma(alpha_)).first;
   }
   it->second.add(sim::to_micros(fb.response_time));
+  if (sim_ != nullptr) last_feedback_[fb.server] = sim_->now();
 }
 
 }  // namespace netrs::rs

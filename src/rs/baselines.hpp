@@ -6,13 +6,22 @@
 //     freshest queue estimates;
 //   - EwmaLatencySelector: lowest EWMA response time (Cassandra's Dynamic
 //     Snitch-style history ranking).
+//
+// Every selector fires the base-class decision hook (rs/selector.hpp) once
+// per select(); the stateful ones also report per-candidate scores and
+// feedback-snapshot ages (which is why they take the simulator clock).
 #pragma once
 
 #include <unordered_map>
+#include <vector>
 
 #include "rs/selector.hpp"
 #include "sim/rng.hpp"
 #include "sim/stats.hpp"
+
+namespace netrs::sim {
+class Simulator;
+}  // namespace netrs::sim
 
 namespace netrs::rs {
 
@@ -54,8 +63,11 @@ class RoundRobinSelector final : public ReplicaSelector {
 /// Fewest requests outstanding from this RSNode; random tie-break.
 class LeastOutstandingSelector final : public ReplicaSelector {
  public:
-  /// `rng` breaks ties among equally loaded candidates.
-  explicit LeastOutstandingSelector(sim::Rng rng) : rng_(rng) {}
+  /// `rng` breaks ties among equally loaded candidates; `sim` (optional)
+  /// supplies the clock for decision-hook feedback ages.
+  explicit LeastOutstandingSelector(sim::Rng rng,
+                                    sim::Simulator* sim = nullptr)
+      : rng_(rng), sim_(sim) {}
 
   /// Picks the candidate with the fewest outstanding requests.
   net::HostId select(std::span<const net::HostId> candidates) override;
@@ -70,15 +82,21 @@ class LeastOutstandingSelector final : public ReplicaSelector {
 
  private:
   sim::Rng rng_;
+  sim::Simulator* sim_;
   std::unordered_map<net::HostId, std::uint32_t> outstanding_;
+  std::unordered_map<net::HostId, sim::Time> last_feedback_;
+  std::vector<double> scores_scratch_;
+  std::vector<sim::Duration> ages_scratch_;
 };
 
 /// Power-of-two-choices (Mitzenmacher): sample two random candidates,
 /// keep the one with the lower load estimate.
 class TwoChoicesSelector final : public ReplicaSelector {
  public:
-  /// `rng` draws the two candidates.
-  explicit TwoChoicesSelector(sim::Rng rng) : rng_(rng) {}
+  /// `rng` draws the two candidates; `sim` (optional) supplies the clock
+  /// for decision-hook feedback ages.
+  explicit TwoChoicesSelector(sim::Rng rng, sim::Simulator* sim = nullptr)
+      : rng_(rng), sim_(sim) {}
 
   /// Samples two candidates, returns the less loaded one.
   net::HostId select(std::span<const net::HostId> candidates) override;
@@ -94,20 +112,27 @@ class TwoChoicesSelector final : public ReplicaSelector {
   [[nodiscard]] double load(net::HostId h) const;
 
   sim::Rng rng_;
+  sim::Simulator* sim_;
   struct State {
     std::uint32_t outstanding = 0;
     std::uint32_t queue_size = 0;
+    sim::Time last_feedback = 0;
+    bool heard = false;
   };
   std::unordered_map<net::HostId, State> servers_;
+  std::vector<double> scores_scratch_;
+  std::vector<sim::Duration> ages_scratch_;
 };
 
 /// Lowest EWMA response time (Cassandra Dynamic Snitch-style ranking).
 class EwmaLatencySelector final : public ReplicaSelector {
  public:
   /// `alpha` is the EWMA history weight; `rng` breaks ties and picks
-  /// among never-seen servers.
-  EwmaLatencySelector(sim::Rng rng, double alpha = 0.9)
-      : rng_(rng), alpha_(alpha) {}
+  /// among never-seen servers; `sim` (optional) supplies the clock for
+  /// decision-hook feedback ages.
+  EwmaLatencySelector(sim::Rng rng, double alpha = 0.9,
+                      sim::Simulator* sim = nullptr)
+      : rng_(rng), alpha_(alpha), sim_(sim) {}
 
   /// Picks the candidate with the lowest latency EWMA.
   net::HostId select(std::span<const net::HostId> candidates) override;
@@ -121,7 +146,11 @@ class EwmaLatencySelector final : public ReplicaSelector {
  private:
   sim::Rng rng_;
   double alpha_;
+  sim::Simulator* sim_;
   std::unordered_map<net::HostId, sim::Ewma> latency_;
+  std::unordered_map<net::HostId, sim::Time> last_feedback_;
+  std::vector<double> scores_scratch_;
+  std::vector<sim::Duration> ages_scratch_;
 };
 
 }  // namespace netrs::rs

@@ -45,29 +45,53 @@ std::uint32_t C3Selector::outstanding(net::HostId server) const {
 net::HostId C3Selector::select(std::span<const net::HostId> candidates) {
   assert(!candidates.empty());
   ranked_.clear();
+  scores_scratch_.clear();
   for (net::HostId h : candidates) {
     auto it = servers_.find(h);
+    double sc = 0.0;
     if (it == servers_.end()) {
       // Never-heard-from servers are explored first; random jitter breaks
       // ties among them so cold starts don't stampede one replica.
-      ranked_.emplace_back(-1.0 + rng_.next_double() * 1e-3, h);
+      sc = -1.0 + rng_.next_double() * 1e-3;
     } else {
-      ranked_.emplace_back(score_of(it->second), h);
+      sc = score_of(it->second);
     }
+    ranked_.emplace_back(sc, h);
+    scores_scratch_.push_back(sc);  // candidate order, for the audit hook
   }
   std::sort(ranked_.begin(), ranked_.end());
 
+  net::HostId chosen = ranked_.front().second;
   if (opts_.rate_control) {
     const sim::Time now = sim_.now();
     for (auto& [sc, h] : ranked_) {
       auto it = servers_.find(h);
-      if (it == servers_.end()) return h;  // no controller yet: free to send
-      if (it->second.rate.try_acquire(now)) return h;
+      if (it == servers_.end()) {  // no controller yet: free to send
+        chosen = h;
+        break;
+      }
+      if (it->second.rate.try_acquire(now)) {
+        chosen = h;
+        break;
+      }
+      // All limiters closed: fall through to the best-ranked replica (see
+      // the header comment about the backpressure-queue substitution).
     }
-    // All limiters closed: send to the best-ranked replica anyway (see the
-    // header comment about the backpressure-queue substitution).
   }
-  return ranked_.front().second;
+
+  if (has_decision_hook()) {
+    ages_scratch_.clear();
+    const sim::Time now = sim_.now();
+    for (net::HostId h : candidates) {
+      auto it = servers_.find(h);
+      ages_scratch_.push_back(it != servers_.end() && it->second.heard
+                                  ? now - it->second.last_feedback
+                                  : sim::Duration{-1});
+    }
+    report_decision(DecisionContext{candidates, chosen, scores_scratch_,
+                                    ages_scratch_});
+  }
+  return chosen;
 }
 
 void C3Selector::on_send(net::HostId server) {
@@ -82,6 +106,8 @@ void C3Selector::on_response(const Feedback& fb) {
   }
   s.service_time.add(sim::to_micros(fb.service_time));
   s.queue_size = fb.queue_size;
+  s.last_feedback = sim_.now();
+  s.heard = true;
   if (opts_.rate_control) s.rate.on_response(sim_.now());
 }
 

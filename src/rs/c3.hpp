@@ -71,6 +71,8 @@ class C3Selector final : public ReplicaSelector {
     sim::Ewma service_time;
     std::uint32_t queue_size = 0;
     std::uint32_t outstanding = 0;
+    sim::Time last_feedback = 0;  ///< when the last SS snapshot arrived
+    bool heard = false;           ///< true once any feedback arrived
     CubicRateController rate;
 
     ServerState(double alpha, const CubicOptions& cubic)
@@ -84,8 +86,10 @@ class C3Selector final : public ReplicaSelector {
   sim::Rng rng_;
   C3Options opts_;
   std::unordered_map<net::HostId, ServerState> servers_;
-  // Scratch buffer reused across select() calls.
+  // Scratch buffers reused across select() calls.
   std::vector<std::pair<double, net::HostId>> ranked_;
+  std::vector<double> scores_scratch_;
+  std::vector<sim::Duration> ages_scratch_;
 };
 
 }  // namespace netrs::rs

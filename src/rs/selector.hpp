@@ -12,9 +12,11 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <string>
+#include <utility>
 
 #include "net/address.hpp"
 #include "sim/time.hpp"
@@ -32,11 +34,39 @@ struct Feedback {
   sim::Duration service_time = 0;   ///< server's reported mean service time (SS)
 };
 
+/// Everything a selector knew at the moment of one select() call, handed
+/// to an observation-only audit hook (the decision auditor, DESIGN.md
+/// §8). `scores` and `ages` are parallel to `candidates` when non-empty;
+/// an age < 0 means the selector never heard from that server. The spans
+/// alias selector-internal scratch buffers and are only valid inside the
+/// hook invocation.
+struct DecisionContext {
+  /// The replica group the decision chose among.
+  std::span<const net::HostId> candidates;
+  /// The replica the selector picked.
+  net::HostId chosen = net::kInvalidHost;
+  /// Per-candidate algorithm scores (empty when the algorithm has none).
+  std::span<const double> scores;
+  /// Per-candidate age of the server-state snapshot used, ns; < 0 when
+  /// the server was never heard from (empty when the algorithm keeps no
+  /// feedback at all).
+  std::span<const sim::Duration> ages;
+};
+
+/// Observation-only audit callback invoked once per select() decision.
+/// Must not mutate selector or simulation state and must not consume RNG
+/// draws — installing it leaves behavior bit-identical.
+using DecisionHook = std::function<void(const DecisionContext&)>;
+
 /// Replica-selection algorithm interface; the same implementations run on
 /// clients and on NetRS selector nodes (see the file comment).
 class ReplicaSelector {
  public:
   virtual ~ReplicaSelector() = default;  ///< Polymorphic base.
+
+  /// Installs (or clears, with an empty function) the audit hook fired
+  /// once per select() with the finished decision.
+  void set_decision_hook(DecisionHook hook) { hook_ = std::move(hook); }
 
   /// Picks a replica server for a request. `candidates` is the replica
   /// group (non-empty). Implementations must not assume a stable order.
@@ -51,6 +81,21 @@ class ReplicaSelector {
 
   /// Algorithm name for reports.
   [[nodiscard]] virtual std::string name() const = 0;
+
+ protected:
+  /// True when an audit hook is installed (lets implementations skip
+  /// building the per-candidate context entirely when nobody listens).
+  [[nodiscard]] bool has_decision_hook() const {
+    return static_cast<bool>(hook_);
+  }
+
+  /// Fires the audit hook (no-op when none is installed).
+  void report_decision(const DecisionContext& ctx) const {
+    if (hook_) hook_(ctx);
+  }
+
+ private:
+  DecisionHook hook_;
 };
 
 }  // namespace netrs::rs

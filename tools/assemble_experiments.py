@@ -184,6 +184,30 @@ paper's caution holds for slow-converging algorithms, but for C3 the RSP
 could be updated far more aggressively than the paper assumes.
 """,
 
+    "fig_attribution": """## Latency attribution & selection quality (extension)
+
+Where does each scheme's latency go, and how good are its decisions?
+`bench/fig_attribution` runs CliRS, NetRS-ToR and NetRS-ILP at 70 % and
+90 % utilization with the flight recorder and decision auditor enabled
+(DESIGN.md §8.4/§8.5). Expected from the paper's causal chain:
+CliRS's latency excess over NetRS should sit in the *server queue*
+component (bad selections join long queues — the wire and service
+components are scheme-invariant by construction), and the decision audit
+should show CliRS deciding on much staler feedback with correspondingly
+higher oracle regret, while NetRS pays a small, visible accelerator
+queue + service toll per request.
+
+Measured: exactly that shape. The `srv_queue` component dominates the
+scheme differences (CliRS 2.84 ms vs NetRS-ILP 0.71 ms mean at 90 %)
+while the wire components are flat and `srv_serv` nearly so (good
+selections also land on fast-fluctuation-mode servers slightly more
+often); NetRS's `accel_queue`+`accel_serv` toll is microseconds against
+a milliseconds-scale `srv_queue` saving. The "Selection quality" table
+shows NetRS-ILP deciding on ~50x fresher feedback than client-side C3
+(6.4 ms vs 313 ms mean staleness at 90 %) with ~1/4 of its mean regret —
+the paper's freshness argument as per-decision numbers rather than
+end-to-end latency differences.
+""",
     "micro": """## Microbenchmarks
 
 Hot-path costs on this machine (single core). The per-packet operations a

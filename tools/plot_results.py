@@ -1,35 +1,39 @@
 #!/usr/bin/env python3
-"""Plot the benches' CSV output (bench_results.csv) as paper-style figures.
+"""Plot the benches' CSV output as paper-style figures.
 
 Usage:
-    python3 tools/plot_results.py bench_results.csv [outdir]
+    python3 tools/plot_results.py bench_results.csv [more.csv ...] [outdir]
 
-Creates one PNG per (figure, metric panel) with the sweep on the x-axis and
-one line per scheme, mirroring the bar groups of the paper's Figs. 4-7.
-Requires matplotlib; the simulation itself has no Python dependency.
+Each input CSV is classified by its header:
+  - `bench_results.csv` rows (figure,sweep,scheme,panel,value) become one
+    PNG per (figure, metric panel): sweep on the x-axis, one line per
+    scheme, mirroring the bar groups of the paper's Figs. 4-7;
+  - attribution CSVs (`--attribution` / NETRS_ATTRIBUTION, DESIGN.md
+    §8.4) become one stacked-component bar per file: mean ms per latency
+    component, so "where did the latency go" is one glance;
+  - decision CSVs (`--decisions` / NETRS_DECISIONS, DESIGN.md §8.5)
+    become one oracle-regret CDF curve per file.
+
+A trailing argument that is not an existing file is taken as the output
+directory (default `plots`). Requires matplotlib; the simulation itself
+has no Python dependency.
 """
 import collections
 import csv
 import os
 import sys
 
+ATTRIBUTION_HEADER = "repeat,req,complete_us,server,dup,via_rs,component,ns"
+DECISION_HEADER = (
+    "repeat,time_us,node,chosen,candidates,score,regret_ns,staleness_ns,herd"
+)
 
-def main() -> int:
-    if len(sys.argv) < 2:
-        print(__doc__)
-        return 2
-    path = sys.argv[1]
-    outdir = sys.argv[2] if len(sys.argv) > 2 else "plots"
 
-    try:
-        import matplotlib
+def file_label(path):
+    return os.path.splitext(os.path.basename(path))[0]
 
-        matplotlib.use("Agg")
-        import matplotlib.pyplot as plt
-    except ImportError:
-        print("matplotlib not available; install it to plot", file=sys.stderr)
-        return 1
 
+def plot_bench(path, outdir, plt):
     # figure -> metric -> scheme -> [(sweep, value)]
     data = collections.defaultdict(
         lambda: collections.defaultdict(lambda: collections.defaultdict(list))
@@ -41,7 +45,6 @@ def main() -> int:
             figure, sweep, scheme, metric, value = row
             data[figure][metric][scheme].append((sweep, float(value)))
 
-    os.makedirs(outdir, exist_ok=True)
     for figure, metrics in data.items():
         for metric, schemes in metrics.items():
             plt.figure(figsize=(5, 3.2))
@@ -65,6 +68,118 @@ def main() -> int:
             plt.savefig(out, dpi=140)
             plt.close()
             print("wrote", out)
+
+
+def plot_attribution(paths, outdir, plt):
+    """One stacked bar per attribution CSV: mean ms per component."""
+    # Component order as first encountered (the CSV emits them in
+    # chronological path order).
+    order = []
+    means = {}  # path -> {component: mean_ms}
+    for path in paths:
+        sums = collections.defaultdict(float)
+        counts = collections.defaultdict(int)
+        with open(path, newline="") as f:
+            reader = csv.DictReader(f)
+            for row in reader:
+                comp = row["component"]
+                if comp == "total":
+                    continue
+                if comp not in order:
+                    order.append(comp)
+                sums[comp] += float(row["ns"])
+                counts[comp] += 1
+        means[path] = {
+            c: sums[c] / counts[c] / 1e6 for c in sums if counts[c] > 0
+        }
+
+    plt.figure(figsize=(max(4.0, 1.2 * len(paths) + 2.0), 3.6))
+    xs = range(len(paths))
+    bottoms = [0.0] * len(paths)
+    for comp in order:
+        heights = [means[p].get(comp, 0.0) for p in paths]
+        plt.bar(xs, heights, bottom=bottoms, width=0.6, label=comp)
+        bottoms = [b + h for b, h in zip(bottoms, heights)]
+    plt.xticks(list(xs), [file_label(p) for p in paths], rotation=20,
+               ha="right", fontsize=7)
+    plt.ylabel("mean latency (ms)")
+    plt.title("Latency attribution (stacked component means)")
+    plt.legend(fontsize=7)
+    plt.grid(True, axis="y", alpha=0.3)
+    plt.tight_layout()
+    out = os.path.join(outdir, "attribution_components.png")
+    plt.savefig(out, dpi=140)
+    plt.close()
+    print("wrote", out)
+
+
+def plot_decisions(paths, outdir, plt):
+    """One oracle-regret CDF curve per decision CSV."""
+    plt.figure(figsize=(5, 3.2))
+    for path in paths:
+        regrets = []
+        with open(path, newline="") as f:
+            for row in csv.DictReader(f):
+                r = float(row["regret_ns"])
+                if r >= 0.0:  # -1 marks "no regret computed"
+                    regrets.append(r / 1e6)
+        if not regrets:
+            continue
+        regrets.sort()
+        n = len(regrets)
+        ys = [(i + 1) / n for i in range(n)]
+        plt.plot(regrets, ys, label=f"{file_label(path)} (n={n})")
+    plt.xlabel("oracle regret (ms)")
+    plt.ylabel("fraction of decisions")
+    plt.title("Selection-decision regret CDF")
+    plt.grid(True, alpha=0.3)
+    plt.legend(fontsize=7)
+    plt.tight_layout()
+    out = os.path.join(outdir, "decision_regret_cdf.png")
+    plt.savefig(out, dpi=140)
+    plt.close()
+    print("wrote", out)
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 2
+    args = sys.argv[1:]
+    outdir = "plots"
+    if len(args) > 1 and not os.path.isfile(args[-1]):
+        outdir = args.pop()
+    if not args:
+        print(__doc__)
+        return 2
+
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib not available; install it to plot", file=sys.stderr)
+        return 1
+
+    bench, attribution, decisions = [], [], []
+    for path in args:
+        with open(path, newline="") as f:
+            header = f.readline().strip()
+        if header == ATTRIBUTION_HEADER:
+            attribution.append(path)
+        elif header == DECISION_HEADER:
+            decisions.append(path)
+        else:
+            bench.append(path)
+
+    os.makedirs(outdir, exist_ok=True)
+    for path in bench:
+        plot_bench(path, outdir, plt)
+    if attribution:
+        plot_attribution(attribution, outdir, plt)
+    if decisions:
+        plot_decisions(decisions, outdir, plt)
     return 0
 
 
