@@ -130,6 +130,9 @@ int main() {
 
   std::printf("\n%-10s %10s %10s %10s\n", "window", "mean(ms)", "p99(ms)",
               "samples");
+  // Sampling is done: finalize each bucket once so the percentile queries
+  // below (and the merged summaries) are lookups, not per-call copy-sorts.
+  for (auto& bucket : timeline) bucket.finalize();
   for (int b = 2; b < kBuckets; ++b) {  // skip warmup buckets
     if (timeline[b].empty()) continue;
     std::printf("%.1f-%.1fs  %10.3f %10.3f %10zu%s\n", b / 10.0,
@@ -142,6 +145,8 @@ int main() {
   sim::LatencyRecorder steady, transient;
   for (int b = 10; b < 15; ++b) steady.merge(timeline[b]);
   for (int b = 15; b < 18; ++b) transient.merge(timeline[b]);
+  steady.finalize();
+  transient.finalize();
   std::printf(
       "\nsteady p99 %.3f ms | transient p99 %.3f ms | penalty %.2fx "
       "(plan: %d RSNodes, %s)\n",

@@ -1,0 +1,105 @@
+// Counting global-allocator shim shared by the benchmark binaries.
+//
+// Including this header replaces the global operator new/delete of the
+// translation unit's binary with malloc-backed versions that bump a
+// process-wide counter, so benchmarks can snapshot allocation counts
+// around their timed loops (BM_FabricHotPath asserts 0 allocs/hop; the
+// macro benchmark reports allocs per simulated hop in BENCH_*.json).
+// Include it from exactly ONE translation unit per binary — it defines
+// the replaceable global allocation functions, including the
+// std::nothrow_t variants (new(std::nothrow) previously escaped the
+// count and weakened the zero-alloc assertions).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+namespace netrs::benchshim {
+
+/// Allocations observed process-wide since start (monotonic).
+inline std::atomic<std::uint64_t> g_alloc_count{0};
+
+/// Current allocation count (snapshot around a timed loop).
+inline std::uint64_t alloc_count() {
+  return g_alloc_count.load(std::memory_order_relaxed);
+}
+
+/// Counting malloc wrapper behind the throwing operator new overloads.
+inline void* counted_alloc(std::size_t n) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+
+/// Counting aligned_alloc wrapper (size rounded up per the contract).
+inline void* counted_alloc_aligned(std::size_t n, std::align_val_t al) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  const auto a = static_cast<std::size_t>(al);
+  const std::size_t size = (n + a - 1) / a * a;
+  if (void* p = std::aligned_alloc(a, size ? size : a)) return p;
+  throw std::bad_alloc();
+}
+
+}  // namespace netrs::benchshim
+
+void* operator new(std::size_t n) { return netrs::benchshim::counted_alloc(n); }
+void* operator new[](std::size_t n) {
+  return netrs::benchshim::counted_alloc(n);
+}
+void* operator new(std::size_t n, std::align_val_t al) {
+  return netrs::benchshim::counted_alloc_aligned(n, al);
+}
+void* operator new[](std::size_t n, std::align_val_t al) {
+  return netrs::benchshim::counted_alloc_aligned(n, al);
+}
+// nothrow variants: same counting, but report failure as nullptr.
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  netrs::benchshim::g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n ? n : 1);
+}
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  netrs::benchshim::g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n ? n : 1);
+}
+void* operator new(std::size_t n, std::align_val_t al,
+                   const std::nothrow_t&) noexcept {
+  netrs::benchshim::g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  const auto a = static_cast<std::size_t>(al);
+  const std::size_t size = (n + a - 1) / a * a;
+  return std::aligned_alloc(a, size ? size : a);
+}
+void* operator new[](std::size_t n, std::align_val_t al,
+                     const std::nothrow_t&) noexcept {
+  netrs::benchshim::g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  const auto a = static_cast<std::size_t>(al);
+  const std::size_t size = (n + a - 1) / a * a;
+  return std::aligned_alloc(a, size ? size : a);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+// nothrow deletes are invoked when a nothrow-new'd constructor throws.
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  std::free(p);
+}

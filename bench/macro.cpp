@@ -1,0 +1,174 @@
+// The canonical macro-benchmark behind the tracked BENCH_*.json perf
+// trajectory (EXPERIMENTS.md "Perf trajectory").
+//
+// Runs one fixed fig6-style cell — the NetRS-ILP scheme across the
+// utilization grid {30, 50, 70, 90}% on a pinned seed — single-threaded,
+// and emits a machine-readable JSON record with:
+//   - simulated requests completed per wall-second,
+//   - simulator events fired per core-second (jobs is pinned to 1, so
+//     core-seconds == wall-seconds),
+//   - total wall time,
+//   - heap allocations per simulated switch hop (via the counting
+//     allocator shim, nothrow variants included).
+// tools/bench_gate.py compares the newest two BENCH_*.json records and
+// fails CI when a rate metric regresses by more than 10%.
+//
+// The cell is intentionally pinned (seed, grid, scale, jobs) so numbers
+// are comparable across commits; NETRS_BENCH_REQUESTS scales the run for
+// quick smoke tests, and the value is recorded in the JSON fingerprint so
+// the gate refuses to compare records from different cells.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "alloc_shim.hpp"
+#include "harness/experiment.hpp"
+#include "sim/event_queue.hpp"
+
+namespace {
+
+using namespace netrs;
+
+// The pinned cell. Smaller than the paper's §V-A setup so the benchmark
+// finishes in CI minutes, but large enough (8-ary fat-tree, 128 hosts)
+// that the event core, selector scans, and fabric hot path dominate.
+constexpr int kFatTreeK = 8;
+constexpr int kNumServers = 32;
+constexpr int kNumClients = 64;
+constexpr std::uint64_t kRequestsPerCell = 60'000;
+constexpr int kRepeats = 2;
+constexpr std::uint64_t kSeed = 17;
+const std::vector<int> kUtilizationPct = {30, 50, 70, 90};
+
+harness::ExperimentConfig cell_config(int util_pct, std::uint64_t requests) {
+  // Built from scratch (not default_config()) so NETRS_* env overrides
+  // cannot silently change the canonical cell.
+  harness::ExperimentConfig cfg;
+  cfg.fat_tree_k = kFatTreeK;
+  cfg.num_servers = kNumServers;
+  cfg.num_clients = kNumClients;
+  cfg.utilization = util_pct / 100.0;
+  cfg.total_requests = requests;
+  cfg.repeats = kRepeats;
+  cfg.seed = kSeed;
+  cfg.jobs = 1;  // core-seconds == wall-seconds for events/core-sec
+  return cfg;
+}
+
+std::string queue_strategy_name() {
+  return sim::EventQueue::default_strategy() == sim::QueueStrategy::kCalendar
+             ? "calendar"
+             : "heap";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_6.json";
+  if (argc > 1) out_path = argv[1];
+
+  std::uint64_t requests = kRequestsPerCell;
+  if (const char* e = std::getenv("NETRS_BENCH_REQUESTS")) {
+    requests = std::strtoull(e, nullptr, 10);
+    if (requests == 0) requests = kRequestsPerCell;
+  }
+
+  struct CellResult {
+    int util_pct;
+    harness::ExperimentResult res;
+    double wall_seconds;
+    std::uint64_t allocs;
+  };
+  std::vector<CellResult> cells;
+
+  std::uint64_t total_completed = 0;
+  std::uint64_t total_events = 0;
+  std::uint64_t total_allocs = 0;
+  double total_hops = 0.0;
+  double total_wall = 0.0;
+
+  for (const int pct : kUtilizationPct) {
+    const harness::ExperimentConfig cfg = cell_config(pct, requests);
+    std::printf("[macro] util=%d%% scheme=netrs-ilp requests=%llu x%d ...\n",
+                pct, static_cast<unsigned long long>(cfg.total_requests),
+                cfg.repeats);
+    std::fflush(stdout);
+    const std::uint64_t allocs_before = benchshim::alloc_count();
+    const auto t0 = std::chrono::steady_clock::now();
+    harness::ExperimentResult res =
+        harness::run_experiment(harness::Scheme::kNetRSIlp, cfg);
+    const auto t1 = std::chrono::steady_clock::now();
+    const std::uint64_t allocs = benchshim::alloc_count() - allocs_before;
+    const double wall = std::chrono::duration<double>(t1 - t0).count();
+
+    total_completed += res.completed;
+    total_events += res.events_fired;
+    total_allocs += allocs;
+    // avg_forwards is mean switch forwards per completed request+response,
+    // so this is the cell's total simulated switch hops.
+    total_hops += res.avg_forwards * static_cast<double>(res.completed);
+    total_wall += wall;
+    cells.push_back({pct, std::move(res), wall, allocs});
+  }
+
+  const double req_per_sec =
+      total_wall > 0.0 ? static_cast<double>(total_completed) / total_wall
+                       : 0.0;
+  const double events_per_core_sec =
+      total_wall > 0.0 ? static_cast<double>(total_events) / total_wall : 0.0;
+  const double allocs_per_hop =
+      total_hops > 0.0 ? static_cast<double>(total_allocs) / total_hops : 0.0;
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "macro: cannot open %s for writing\n",
+                 out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"schema\": 1,\n");
+  std::fprintf(f, "  \"bench\": \"netrs-macro\",\n");
+  std::fprintf(f,
+               "  \"fingerprint\": \"k%d-s%d-c%d-r%llu-x%d-seed%llu-ilp\",\n",
+               kFatTreeK, kNumServers, kNumClients,
+               static_cast<unsigned long long>(requests), kRepeats,
+               static_cast<unsigned long long>(kSeed));
+  std::fprintf(f, "  \"queue_strategy\": \"%s\",\n",
+               queue_strategy_name().c_str());
+  std::fprintf(f, "  \"wall_seconds\": %.3f,\n", total_wall);
+  std::fprintf(f, "  \"simulated_requests\": %llu,\n",
+               static_cast<unsigned long long>(total_completed));
+  std::fprintf(f, "  \"requests_per_sec\": %.1f,\n", req_per_sec);
+  std::fprintf(f, "  \"events_fired\": %llu,\n",
+               static_cast<unsigned long long>(total_events));
+  std::fprintf(f, "  \"events_per_core_sec\": %.1f,\n", events_per_core_sec);
+  std::fprintf(f, "  \"allocs\": %llu,\n",
+               static_cast<unsigned long long>(total_allocs));
+  std::fprintf(f, "  \"allocs_per_hop\": %.4f,\n", allocs_per_hop);
+  std::fprintf(f, "  \"cells\": [\n");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const CellResult& c = cells[i];
+    std::fprintf(f,
+                 "    {\"utilization\": %.2f, \"completed\": %llu, "
+                 "\"events\": %llu, \"wall_seconds\": %.3f, "
+                 "\"mean_ms\": %.4f, \"p99_ms\": %.4f}%s\n",
+                 c.util_pct / 100.0,
+                 static_cast<unsigned long long>(c.res.completed),
+                 static_cast<unsigned long long>(c.res.events_fired),
+                 c.wall_seconds, c.res.mean_ms(), c.res.percentile_ms(0.99),
+                 i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+
+  std::printf(
+      "[macro] %s: %.1f req/s | %.0f events/core-sec | %.4f allocs/hop | "
+      "%.1fs wall (queue=%s)\n",
+      out_path.c_str(), req_per_sec, events_per_core_sec, allocs_per_hop,
+      total_wall, queue_strategy_name().c_str());
+  return 0;
+}

@@ -3,17 +3,17 @@
 // forwarding, Zipf sampling, consistent-hash lookups, C3 selection, and
 // the RSP ILP solve.
 //
-// This translation unit replaces the global allocator with a counting
-// shim so BM_FabricHotPath can report allocations per simulated hop;
-// steady-state forwarding must report zero.
+// This translation unit replaces the global allocator with the counting
+// shim (bench/alloc_shim.hpp, nothrow variants included) so
+// BM_FabricHotPath can report allocations per simulated hop; steady-state
+// forwarding must report zero.
 #include <benchmark/benchmark.h>
 
-#include <atomic>
 #include <cstdlib>
-#include <new>
 #include <utility>
 #include <vector>
 
+#include "alloc_shim.hpp"
 #include "kv/app_message.hpp"
 #include "kv/consistent_hash.hpp"
 #include "net/fabric.hpp"
@@ -24,54 +24,12 @@
 #include "sim/event_queue.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
-
-// --- Allocation-counting hook -----------------------------------------------
-// Counts every global operator new in the process. Benchmarks snapshot the
-// counter around their timed loop to report allocations per iteration.
-namespace {
-std::atomic<std::uint64_t> g_alloc_count{0};
-
-void* counted_alloc(std::size_t n) {
-  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::malloc(n ? n : 1)) return p;
-  throw std::bad_alloc();
-}
-}  // namespace
-
-namespace {
-void* counted_alloc_aligned(std::size_t n, std::align_val_t al) {
-  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
-  const auto a = static_cast<std::size_t>(al);
-  const std::size_t size = (n + a - 1) / a * a;  // aligned_alloc contract
-  if (void* p = std::aligned_alloc(a, size ? size : a)) return p;
-  throw std::bad_alloc();
-}
-}  // namespace
-
-void* operator new(std::size_t n) { return counted_alloc(n); }
-void* operator new[](std::size_t n) { return counted_alloc(n); }
-void* operator new(std::size_t n, std::align_val_t al) {
-  return counted_alloc_aligned(n, al);
-}
-void* operator new[](std::size_t n, std::align_val_t al) {
-  return counted_alloc_aligned(n, al);
-}
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
-void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
-  std::free(p);
-}
-void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
-  std::free(p);
-}
+#include "sim/stats.hpp"
 
 namespace {
 
 using namespace netrs;
+using netrs::benchshim::alloc_count;
 
 void BM_EncodeRequest(benchmark::State& state) {
   core::RequestHeader h;
@@ -109,7 +67,10 @@ void BM_SwitchFieldRewrite(benchmark::State& state) {
 BENCHMARK(BM_SwitchFieldRewrite);
 
 void BM_EventQueueChurn(benchmark::State& state) {
-  sim::EventQueue q;
+  // Arg 0: steady-state queue depth. Arg 1: queue strategy (the tracked
+  // perf criterion: the calendar queue must beat the heap at depth 100k).
+  const auto strategy = static_cast<sim::QueueStrategy>(state.range(1));
+  sim::EventQueue q(strategy);
   sim::Rng rng(1);
   sim::Time t = 0;
   // Steady-state: keep N events queued, push one / pop one.
@@ -123,7 +84,40 @@ void BM_EventQueueChurn(benchmark::State& state) {
     q.push(t + static_cast<sim::Time>(rng.uniform(1000)), std::move(cb));
   }
 }
-BENCHMARK(BM_EventQueueChurn)->Arg(1000)->Arg(100000);
+BENCHMARK(BM_EventQueueChurn)
+    ->ArgNames({"depth", "calendar"})
+    ->Args({1000, 0})
+    ->Args({1000, 1})
+    ->Args({100000, 0})
+    ->Args({100000, 1});
+
+void BM_PercentileBatch(benchmark::State& state) {
+  // The report pattern: p50/p95/p99/p999 back-to-back. Finalizing first
+  // makes the batch four lookups; the regression counter proves no query
+  // fell back to the unsorted copy-and-sort slow path.
+  sim::Rng rng(7);
+  sim::LatencyRecorder base;
+  for (int i = 0; i < 100'000; ++i) base.add(rng.next_double());
+  sim::LatencyRecorder::reset_unsorted_percentile_sorts();
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::LatencyRecorder rec;
+    rec.merge(base);  // unsorted copy, as after a parallel merge
+    state.ResumeTiming();
+    rec.finalize();
+    benchmark::DoNotOptimize(rec.percentile(0.50));
+    benchmark::DoNotOptimize(rec.percentile(0.95));
+    benchmark::DoNotOptimize(rec.percentile(0.99));
+    benchmark::DoNotOptimize(rec.percentile(0.999));
+  }
+  const auto slow = sim::LatencyRecorder::unsorted_percentile_sorts();
+  state.counters["unsorted_sorts"] =
+      benchmark::Counter(static_cast<double>(slow));
+  if (slow != 0) {
+    state.SkipWithError("percentile batch hit the unsorted copy-sort path");
+  }
+}
+BENCHMARK(BM_PercentileBatch);
 
 // Bounces a NetRS-sized packet between a host and its ToR forever; each
 // benchmark iteration advances the simulation by exactly one link crossing
@@ -177,14 +171,14 @@ void BM_FabricHotPath(benchmark::State& state) {
   // high-water marks before counting.
   for (int i = 0; i < 1024; ++i) sim.run_until(sim.now() + hop);
 
-  const std::uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  const std::uint64_t before = alloc_count();
   std::uint64_t hops = 0;
   for (auto _ : state) {
     sim.run_until(sim.now() + hop);
     ++hops;
   }
   const std::uint64_t allocs =
-      g_alloc_count.load(std::memory_order_relaxed) - before;
+      alloc_count() - before;
   state.counters["allocs_per_hop"] =
       benchmark::Counter(static_cast<double>(allocs) /
                          static_cast<double>(hops ? hops : 1));

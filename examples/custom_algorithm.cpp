@@ -148,6 +148,7 @@ sim::LatencyRecorder run_with(core::SelectorFactory make_one_selector,
   for (auto& c : clients) c->stop();
   sim.run_until(sim.now() + sim::millis(200));
 
+  rec.finalize();
   std::printf("%-16s mean %6.3f ms   p99 %7.3f ms   (%zu samples, %d "
               "RSNodes)\n",
               label, rec.mean(), rec.percentile(0.99), rec.count(),

@@ -128,6 +128,7 @@ int main() {
 
   std::printf("\n%-8s %10s %10s %10s %9s\n", "window", "mean(ms)", "p99(ms)",
               "samples", "RSNodes");
+  for (auto& bucket : timeline) bucket.finalize();
   for (int b = 0; b < kBuckets; ++b) {
     if (timeline[b].empty()) continue;
     std::printf("%.1f-%.1fs %10.3f %10.3f %10zu\n", b / 10.0,

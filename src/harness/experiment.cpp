@@ -35,6 +35,7 @@ struct RunOutput {
   double forwards_sum = 0.0;
   std::uint64_t forwards_n = 0;
   std::uint64_t wire_bytes = 0;
+  std::uint64_t events_fired = 0;
   double load_oscillation = 0.0;
   int rsnodes = 0;
   std::string plan_method;
@@ -531,6 +532,7 @@ RunOutput run_once(Scheme scheme, const ExperimentConfig& cfg,
     out.cancels += c->cancels_sent();
   }
   out.wire_bytes = fabric.bytes_sent();
+  out.events_fired = simulator.events_fired();
   out.load_oscillation = herd_cv(moments);
   if (is_netrs(scheme)) {
     out.rsnodes = controller->active_rsnodes();
@@ -602,6 +604,7 @@ ExperimentResult run_experiment(Scheme scheme, const ExperimentConfig& cfg) {
             ? static_cast<double>(out.wire_bytes) / out.completed
             : 0.0;
     res.load_oscillation += out.load_oscillation;
+    res.events_fired += out.events_fired;
     res.rsnodes = out.rsnodes;
     res.plan_method = out.plan_method;
     res.plans_deployed = out.plans_deployed;

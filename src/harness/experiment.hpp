@@ -44,6 +44,10 @@ struct ExperimentResult {
   int plans_deployed = 0;
   std::size_t drs_groups = 0;  ///< groups on Degraded Replica Selection
 
+  /// Simulator events fired, summed over repeats (throughput accounting
+  /// for the macro benchmark's events/sec metric; not part of digests).
+  std::uint64_t events_fired = 0;
+
   double wall_seconds = 0.0;
 
   /// Invariant-audit result merged over repeats. `enabled` only in

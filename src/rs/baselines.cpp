@@ -7,21 +7,6 @@
 #include "sim/simulator.hpp"
 
 namespace netrs::rs {
-namespace {
-
-/// Snapshot age of `host` for the decision hook: now minus the recorded
-/// feedback time, or -1 when the selector never heard from the host (or
-/// has no clock at all).
-sim::Duration feedback_age(
-    const sim::Simulator* sim,
-    const std::unordered_map<net::HostId, sim::Time>& last, net::HostId host) {
-  if (sim == nullptr) return sim::Duration{-1};
-  const auto it = last.find(host);
-  if (it == last.end()) return sim::Duration{-1};
-  return sim->now() - it->second;
-}
-
-}  // namespace
 
 net::HostId RandomSelector::select(std::span<const net::HostId> candidates) {
   assert(!candidates.empty());
@@ -49,8 +34,9 @@ net::HostId LeastOutstandingSelector::select(
   std::uint32_t best_count = std::numeric_limits<std::uint32_t>::max();
   std::uint32_t ties = 0;
   for (net::HostId h : candidates) {
-    auto it = outstanding_.find(h);
-    const std::uint32_t c = it == outstanding_.end() ? 0 : it->second;
+    const std::uint32_t slot = index_.find(h);
+    const std::uint32_t c =
+        slot == HostSlotIndex::kNone ? 0 : outstanding_[slot];
     if (c < best_count) {
       best_count = c;
       best = h;
@@ -64,11 +50,17 @@ net::HostId LeastOutstandingSelector::select(
   if (has_decision_hook()) {
     scores_scratch_.clear();
     ages_scratch_.clear();
+    const sim::Time now = sim_ != nullptr ? sim_->now() : sim::Time{0};
     for (net::HostId h : candidates) {
-      auto it = outstanding_.find(h);
+      const std::uint32_t slot = index_.find(h);
       scores_scratch_.push_back(
-          it == outstanding_.end() ? 0.0 : static_cast<double>(it->second));
-      ages_scratch_.push_back(feedback_age(sim_, last_feedback_, h));
+          slot == HostSlotIndex::kNone
+              ? 0.0
+              : static_cast<double>(outstanding_[slot]));
+      const bool aged = sim_ != nullptr && slot != HostSlotIndex::kNone &&
+                        has_feedback_[slot] != 0;
+      ages_scratch_.push_back(aged ? now - last_feedback_[slot]
+                                   : sim::Duration{-1});
     }
     report_decision(
         DecisionContext{candidates, best, scores_scratch_, ages_scratch_});
@@ -77,20 +69,36 @@ net::HostId LeastOutstandingSelector::select(
 }
 
 void LeastOutstandingSelector::on_send(net::HostId server) {
-  ++outstanding_[server];
+  const auto [slot, inserted] = index_.get_or_add(server);
+  if (inserted) {
+    outstanding_.push_back(0);
+    last_feedback_.push_back(0);
+    has_feedback_.push_back(0);
+  }
+  ++outstanding_[slot];
 }
 
 void LeastOutstandingSelector::on_response(const Feedback& fb) {
-  auto it = outstanding_.find(fb.server);
-  if (it != outstanding_.end() && it->second > 0) --it->second;
-  if (sim_ != nullptr) last_feedback_[fb.server] = sim_->now();
+  const std::uint32_t found = index_.find(fb.server);
+  if (found != HostSlotIndex::kNone && outstanding_[found] > 0) {
+    --outstanding_[found];
+  }
+  if (sim_ != nullptr) {
+    const auto [slot, inserted] = index_.get_or_add(fb.server);
+    if (inserted) {
+      outstanding_.push_back(0);
+      last_feedback_.push_back(0);
+      has_feedback_.push_back(0);
+    }
+    last_feedback_[slot] = sim_->now();
+    has_feedback_[slot] = 1;
+  }
 }
 
-double TwoChoicesSelector::load(net::HostId h) const {
-  auto it = servers_.find(h);
-  if (it == servers_.end()) return 0.0;
-  return static_cast<double>(it->second.outstanding) +
-         static_cast<double>(it->second.queue_size);
+double TwoChoicesSelector::load(std::uint32_t slot) const {
+  if (slot == HostSlotIndex::kNone) return 0.0;
+  return static_cast<double>(outstanding_[slot]) +
+         static_cast<double>(queue_size_[slot]);
 }
 
 net::HostId TwoChoicesSelector::select(
@@ -103,8 +111,10 @@ net::HostId TwoChoicesSelector::select(
     if (j >= i) ++j;
     const net::HostId a = candidates[i];
     const net::HostId b = candidates[j];
-    if (load(a) != load(b)) {
-      chosen = load(a) < load(b) ? a : b;
+    const double load_a = load(index_.find(a));
+    const double load_b = load(index_.find(b));
+    if (load_a != load_b) {
+      chosen = load_a < load_b ? a : b;
     } else {
       chosen = rng_.bernoulli(0.5) ? a : b;
     }
@@ -113,11 +123,11 @@ net::HostId TwoChoicesSelector::select(
     scores_scratch_.clear();
     ages_scratch_.clear();
     for (net::HostId h : candidates) {
-      scores_scratch_.push_back(load(h));
-      auto it = servers_.find(h);
-      const bool heard = it != servers_.end() && it->second.heard;
+      const std::uint32_t slot = index_.find(h);
+      scores_scratch_.push_back(load(slot));
+      const bool heard = slot != HostSlotIndex::kNone && heard_[slot] != 0;
       ages_scratch_.push_back(heard && sim_ != nullptr
-                                  ? sim_->now() - it->second.last_feedback
+                                  ? sim_->now() - last_feedback_[slot]
                                   : sim::Duration{-1});
     }
     report_decision(
@@ -127,16 +137,29 @@ net::HostId TwoChoicesSelector::select(
 }
 
 void TwoChoicesSelector::on_send(net::HostId server) {
-  ++servers_[server].outstanding;
+  const auto [slot, inserted] = index_.get_or_add(server);
+  if (inserted) {
+    outstanding_.push_back(0);
+    queue_size_.push_back(0);
+    last_feedback_.push_back(0);
+    heard_.push_back(0);
+  }
+  ++outstanding_[slot];
 }
 
 void TwoChoicesSelector::on_response(const Feedback& fb) {
-  State& s = servers_[fb.server];
-  if (s.outstanding > 0) --s.outstanding;
-  s.queue_size = fb.queue_size;
+  const auto [slot, inserted] = index_.get_or_add(fb.server);
+  if (inserted) {
+    outstanding_.push_back(0);
+    queue_size_.push_back(0);
+    last_feedback_.push_back(0);
+    heard_.push_back(0);
+  }
+  if (outstanding_[slot] > 0) --outstanding_[slot];
+  queue_size_[slot] = fb.queue_size;
   if (sim_ != nullptr) {
-    s.last_feedback = sim_->now();
-    s.heard = true;
+    last_feedback_[slot] = sim_->now();
+    heard_[slot] = 1;
   }
 }
 
@@ -147,9 +170,10 @@ net::HostId EwmaLatencySelector::select(
   double best_lat = std::numeric_limits<double>::max();
   std::uint32_t ties = 0;
   for (net::HostId h : candidates) {
-    auto it = latency_.find(h);
+    const std::uint32_t slot = index_.find(h);
     // Unknown servers look attractive (explore).
-    const double lat = it == latency_.end() ? -1.0 : it->second.value();
+    const double lat =
+        slot == HostSlotIndex::kNone ? -1.0 : latency_[slot].value();
     if (lat < best_lat) {
       best_lat = lat;
       best = h;
@@ -163,10 +187,12 @@ net::HostId EwmaLatencySelector::select(
     scores_scratch_.clear();
     ages_scratch_.clear();
     for (net::HostId h : candidates) {
-      auto it = latency_.find(h);
-      scores_scratch_.push_back(it == latency_.end() ? -1.0
-                                                     : it->second.value());
-      ages_scratch_.push_back(feedback_age(sim_, last_feedback_, h));
+      const std::uint32_t slot = index_.find(h);
+      scores_scratch_.push_back(
+          slot == HostSlotIndex::kNone ? -1.0 : latency_[slot].value());
+      const bool aged = sim_ != nullptr && slot != HostSlotIndex::kNone;
+      ages_scratch_.push_back(aged ? sim_->now() - last_feedback_[slot]
+                                   : sim::Duration{-1});
     }
     report_decision(
         DecisionContext{candidates, best, scores_scratch_, ages_scratch_});
@@ -176,12 +202,13 @@ net::HostId EwmaLatencySelector::select(
 
 void EwmaLatencySelector::on_response(const Feedback& fb) {
   if (!fb.has_response_time) return;
-  auto it = latency_.find(fb.server);
-  if (it == latency_.end()) {
-    it = latency_.emplace(fb.server, sim::Ewma(alpha_)).first;
+  const auto [slot, inserted] = index_.get_or_add(fb.server);
+  if (inserted) {
+    latency_.emplace_back(alpha_);
+    last_feedback_.push_back(0);
   }
-  it->second.add(sim::to_micros(fb.response_time));
-  if (sim_ != nullptr) last_feedback_[fb.server] = sim_->now();
+  latency_[slot].add(sim::to_micros(fb.response_time));
+  if (sim_ != nullptr) last_feedback_[slot] = sim_->now();
 }
 
 }  // namespace netrs::rs

@@ -12,10 +12,10 @@
 // feedback-snapshot ages (which is why they take the simulator clock).
 #pragma once
 
-#include <unordered_map>
 #include <vector>
 
 #include "rs/selector.hpp"
+#include "rs/server_table.hpp"
 #include "sim/rng.hpp"
 #include "sim/stats.hpp"
 
@@ -83,8 +83,13 @@ class LeastOutstandingSelector final : public ReplicaSelector {
  private:
   sim::Rng rng_;
   sim::Simulator* sim_;
-  std::unordered_map<net::HostId, std::uint32_t> outstanding_;
-  std::unordered_map<net::HostId, sim::Time> last_feedback_;
+  // Per-server hot state, SoA over the slot index (rs/server_table.hpp):
+  // the select() scan walks outstanding_ directly instead of hashing per
+  // candidate. has_feedback_ distinguishes "never responded" (age -1).
+  HostSlotIndex index_;
+  std::vector<std::uint32_t> outstanding_;
+  std::vector<sim::Time> last_feedback_;
+  std::vector<std::uint8_t> has_feedback_;
   std::vector<double> scores_scratch_;
   std::vector<sim::Duration> ages_scratch_;
 };
@@ -108,18 +113,18 @@ class TwoChoicesSelector final : public ReplicaSelector {
   [[nodiscard]] std::string name() const override { return "two-choices"; }
 
  private:
-  /// Estimated load: outstanding from this RSNode plus last reported queue.
-  [[nodiscard]] double load(net::HostId h) const;
+  /// Estimated load of the server in `slot` (kNone = never touched = 0):
+  /// outstanding from this RSNode plus last reported queue.
+  [[nodiscard]] double load(std::uint32_t slot) const;
 
   sim::Rng rng_;
   sim::Simulator* sim_;
-  struct State {
-    std::uint32_t outstanding = 0;
-    std::uint32_t queue_size = 0;
-    sim::Time last_feedback = 0;
-    bool heard = false;
-  };
-  std::unordered_map<net::HostId, State> servers_;
+  // Per-server load estimates in SoA layout over the slot index.
+  HostSlotIndex index_;
+  std::vector<std::uint32_t> outstanding_;
+  std::vector<std::uint32_t> queue_size_;
+  std::vector<sim::Time> last_feedback_;
+  std::vector<std::uint8_t> heard_;
   std::vector<double> scores_scratch_;
   std::vector<sim::Duration> ages_scratch_;
 };
@@ -147,8 +152,12 @@ class EwmaLatencySelector final : public ReplicaSelector {
   sim::Rng rng_;
   double alpha_;
   sim::Simulator* sim_;
-  std::unordered_map<net::HostId, sim::Ewma> latency_;
-  std::unordered_map<net::HostId, sim::Time> last_feedback_;
+  // Per-server EWMA state in SoA layout over the slot index. Slots are
+  // only created on a timed response, so slot-present implies the EWMA
+  // (and, when a clock is attached, the feedback time) is populated.
+  HostSlotIndex index_;
+  std::vector<sim::Ewma> latency_;
+  std::vector<sim::Time> last_feedback_;
   std::vector<double> scores_scratch_;
   std::vector<sim::Duration> ages_scratch_;
 };

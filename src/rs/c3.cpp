@@ -9,37 +9,41 @@ namespace netrs::rs {
 C3Selector::C3Selector(sim::Simulator& sim, sim::Rng rng, C3Options opts)
     : sim_(sim), rng_(rng), opts_(opts) {}
 
-C3Selector::ServerState& C3Selector::state(net::HostId server) {
-  auto it = servers_.find(server);
-  if (it == servers_.end()) {
-    it = servers_
-             .emplace(server, ServerState(opts_.ewma_alpha, opts_.cubic))
-             .first;
+std::uint32_t C3Selector::slot_of(net::HostId server) {
+  const auto [slot, inserted] = index_.get_or_add(server);
+  if (inserted) {
+    response_time_.emplace_back(opts_.ewma_alpha);
+    service_time_.emplace_back(opts_.ewma_alpha);
+    queue_size_.push_back(0);
+    outstanding_.push_back(0);
+    last_feedback_.push_back(0);
+    heard_.push_back(0);
+    rate_.emplace_back(opts_.cubic);
   }
-  return it->second;
+  return slot;
 }
 
-double C3Selector::score_of(const ServerState& s) const {
+double C3Selector::score_of(std::uint32_t slot) const {
   const double prior_us = sim::to_micros(opts_.service_time_prior);
-  const double t_service = s.service_time.value_or(prior_us);
-  const double r = s.response_time.value_or(t_service);
-  const double q_hat = 1.0 +
-                       static_cast<double>(s.outstanding) * opts_.concurrency +
-                       static_cast<double>(s.queue_size);
+  const double t_service = service_time_[slot].value_or(prior_us);
+  const double r = response_time_[slot].value_or(t_service);
+  const double q_hat =
+      1.0 + static_cast<double>(outstanding_[slot]) * opts_.concurrency +
+      static_cast<double>(queue_size_[slot]);
   return (r - t_service) +
          std::pow(q_hat, static_cast<double>(opts_.cubic_exponent)) *
              t_service;
 }
 
 double C3Selector::score(net::HostId server) const {
-  auto it = servers_.find(server);
-  if (it == servers_.end()) return -1.0;
-  return score_of(it->second);
+  const std::uint32_t slot = index_.find(server);
+  if (slot == HostSlotIndex::kNone) return -1.0;
+  return score_of(slot);
 }
 
 std::uint32_t C3Selector::outstanding(net::HostId server) const {
-  auto it = servers_.find(server);
-  return it == servers_.end() ? 0 : it->second.outstanding;
+  const std::uint32_t slot = index_.find(server);
+  return slot == HostSlotIndex::kNone ? 0 : outstanding_[slot];
 }
 
 net::HostId C3Selector::select(std::span<const net::HostId> candidates) {
@@ -47,31 +51,30 @@ net::HostId C3Selector::select(std::span<const net::HostId> candidates) {
   ranked_.clear();
   scores_scratch_.clear();
   for (net::HostId h : candidates) {
-    auto it = servers_.find(h);
+    const std::uint32_t slot = index_.find(h);
     double sc = 0.0;
-    if (it == servers_.end()) {
+    if (slot == HostSlotIndex::kNone) {
       // Never-heard-from servers are explored first; random jitter breaks
       // ties among them so cold starts don't stampede one replica.
       sc = -1.0 + rng_.next_double() * 1e-3;
     } else {
-      sc = score_of(it->second);
+      sc = score_of(slot);
     }
-    ranked_.emplace_back(sc, h);
+    ranked_.push_back(Ranked{sc, h, slot});
     scores_scratch_.push_back(sc);  // candidate order, for the audit hook
   }
   std::sort(ranked_.begin(), ranked_.end());
 
-  net::HostId chosen = ranked_.front().second;
+  net::HostId chosen = ranked_.front().host;
   if (opts_.rate_control) {
     const sim::Time now = sim_.now();
-    for (auto& [sc, h] : ranked_) {
-      auto it = servers_.find(h);
-      if (it == servers_.end()) {  // no controller yet: free to send
-        chosen = h;
+    for (const Ranked& r : ranked_) {
+      if (r.slot == HostSlotIndex::kNone) {  // no controller yet: free to send
+        chosen = r.host;
         break;
       }
-      if (it->second.rate.try_acquire(now)) {
-        chosen = h;
+      if (rate_[r.slot].try_acquire(now)) {
+        chosen = r.host;
         break;
       }
       // All limiters closed: fall through to the best-ranked replica (see
@@ -83,9 +86,10 @@ net::HostId C3Selector::select(std::span<const net::HostId> candidates) {
     ages_scratch_.clear();
     const sim::Time now = sim_.now();
     for (net::HostId h : candidates) {
-      auto it = servers_.find(h);
-      ages_scratch_.push_back(it != servers_.end() && it->second.heard
-                                  ? now - it->second.last_feedback
+      const std::uint32_t slot = index_.find(h);
+      ages_scratch_.push_back(slot != HostSlotIndex::kNone &&
+                                      heard_[slot] != 0
+                                  ? now - last_feedback_[slot]
                                   : sim::Duration{-1});
     }
     report_decision(DecisionContext{candidates, chosen, scores_scratch_,
@@ -95,20 +99,20 @@ net::HostId C3Selector::select(std::span<const net::HostId> candidates) {
 }
 
 void C3Selector::on_send(net::HostId server) {
-  ++state(server).outstanding;
+  ++outstanding_[slot_of(server)];
 }
 
 void C3Selector::on_response(const Feedback& fb) {
-  ServerState& s = state(fb.server);
-  if (s.outstanding > 0) --s.outstanding;
+  const std::uint32_t slot = slot_of(fb.server);
+  if (outstanding_[slot] > 0) --outstanding_[slot];
   if (fb.has_response_time) {
-    s.response_time.add(sim::to_micros(fb.response_time));
+    response_time_[slot].add(sim::to_micros(fb.response_time));
   }
-  s.service_time.add(sim::to_micros(fb.service_time));
-  s.queue_size = fb.queue_size;
-  s.last_feedback = sim_.now();
-  s.heard = true;
-  if (opts_.rate_control) s.rate.on_response(sim_.now());
+  service_time_[slot].add(sim::to_micros(fb.service_time));
+  queue_size_[slot] = fb.queue_size;
+  last_feedback_[slot] = sim_.now();
+  heard_[slot] = 1;
+  if (opts_.rate_control) rate_[slot].on_response(sim_.now());
 }
 
 }  // namespace netrs::rs

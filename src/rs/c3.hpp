@@ -20,11 +20,11 @@
 // indefinitely. DESIGN.md records this substitution.
 #pragma once
 
-#include <unordered_map>
 #include <vector>
 
 #include "rs/rate_control.hpp"
 #include "rs/selector.hpp"
+#include "rs/server_table.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stats.hpp"
@@ -66,28 +66,41 @@ class C3Selector final : public ReplicaSelector {
   [[nodiscard]] std::uint32_t outstanding(net::HostId server) const;
 
  private:
-  struct ServerState {
-    sim::Ewma response_time;
-    sim::Ewma service_time;
-    std::uint32_t queue_size = 0;
-    std::uint32_t outstanding = 0;
-    sim::Time last_feedback = 0;  ///< when the last SS snapshot arrived
-    bool heard = false;           ///< true once any feedback arrived
-    CubicRateController rate;
+  // Ranked candidate; sorted by (score, host) exactly like the
+  // pair<double, HostId> this replaced, with the slot carried along so the
+  // rate-control pass needs no second lookup.
+  struct Ranked {
+    double score;
+    net::HostId host;
+    std::uint32_t slot;
 
-    ServerState(double alpha, const CubicOptions& cubic)
-        : response_time(alpha), service_time(alpha), rate(cubic) {}
+    bool operator<(const Ranked& o) const {
+      if (score != o.score) return score < o.score;
+      return host < o.host;
+    }
   };
 
-  ServerState& state(net::HostId server);
-  [[nodiscard]] double score_of(const ServerState& s) const;
+  /// Slot of `server`, created on first touch (one element appended to
+  /// every parallel array).
+  std::uint32_t slot_of(net::HostId server);
+  [[nodiscard]] double score_of(std::uint32_t slot) const;
 
   sim::Simulator& sim_;
   sim::Rng rng_;
   C3Options opts_;
-  std::unordered_map<net::HostId, ServerState> servers_;
+  // Per-server hot state in SoA layout (parallel arrays indexed by the
+  // slot from index_): the select() scan reads the first four arrays
+  // sequentially instead of chasing unordered_map nodes per candidate.
+  HostSlotIndex index_;
+  std::vector<sim::Ewma> response_time_;
+  std::vector<sim::Ewma> service_time_;
+  std::vector<std::uint32_t> queue_size_;
+  std::vector<std::uint32_t> outstanding_;
+  std::vector<sim::Time> last_feedback_;
+  std::vector<std::uint8_t> heard_;
+  std::vector<CubicRateController> rate_;
   // Scratch buffers reused across select() calls.
-  std::vector<std::pair<double, net::HostId>> ranked_;
+  std::vector<Ranked> ranked_;
   std::vector<double> scores_scratch_;
   std::vector<sim::Duration> ages_scratch_;
 };

@@ -5,12 +5,25 @@
 // which makes every run with the same seed bit-for-bit reproducible.
 //
 // The queue is allocation-free in steady state: callbacks are sim::Task
-// objects (small-buffer inline storage), heap entries carry only
+// objects (small-buffer inline storage), index entries carry only
 // (time, seq, slot) triples, and callbacks live in a recycled slot arena.
 // Cancellation is O(1) and hash-free — an EventId encodes its slot index
 // plus a generation tag, so cancel() is a bounds check and a generation
 // compare. Cancelling destroys the callback (and everything it captured)
-// eagerly; the slot itself is tombstoned until its heap entry surfaces.
+// eagerly; the slot itself is tombstoned until its index entry surfaces.
+//
+// Two interchangeable priority-index strategies sit behind the same API
+// (DESIGN.md §4 "Event-queue strategies"):
+//   - kBinaryHeap: std::push_heap/pop_heap over a flat vector. O(log n)
+//     push/pop, simple, and the reference implementation.
+//   - kCalendar: a calendar queue (Brown 1988) of width-aligned time
+//     buckets, each kept sorted by (time, seq) with an amortized-O(1)
+//     sorted-append fast path. Pop reads the head of the current bucket,
+//     so push and pop are amortized O(1) at any depth; the bucket count
+//     and width adapt to the live event population.
+// Both produce the exact same (time, seq) total order, so golden digests
+// are bit-identical across strategies; the default is process-wide and
+// overridable with NETRS_EVENT_QUEUE=heap|calendar.
 #pragma once
 
 #include <cstdint>
@@ -28,18 +41,38 @@ namespace netrs::sim {
 /// valid id.
 using EventId = std::uint64_t;
 
-/// Min-heap of scheduled callbacks with FIFO same-instant ordering, O(1)
-/// generation-tagged cancellation, and a recycled slot arena (see the file
-/// comment for the allocation-free design).
+/// Priority-index implementation behind EventQueue (see the file comment);
+/// every strategy yields the identical (time, seq) pop order.
+enum class QueueStrategy : std::uint8_t {
+  kBinaryHeap = 0,  ///< Flat binary min-heap, O(log n) push/pop.
+  kCalendar = 1,    ///< Adaptive calendar queue, amortized O(1) push/pop.
+};
+
+/// Scheduled-callback priority queue with FIFO same-instant ordering, O(1)
+/// generation-tagged cancellation, a recycled slot arena, and a runtime
+/// strategy switch between a binary heap and a calendar queue (see the
+/// file comment for the allocation-free design and the strategy contract).
 class EventQueue {
  public:
   /// The stored callable type (sim::Task, move-only small-buffer).
   using Callback = Task;
 
-  /// Constructs an empty queue.
-  EventQueue() = default;
+  /// Constructs an empty queue using `strategy` as its priority index.
+  explicit EventQueue(QueueStrategy strategy = default_strategy());
   EventQueue(const EventQueue&) = delete;
   EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Process-wide default strategy for newly constructed queues: the
+  /// NETRS_EVENT_QUEUE environment variable ("heap" / "calendar") when
+  /// set and valid, else kCalendar.
+  [[nodiscard]] static QueueStrategy default_strategy();
+
+  /// Overrides the process-wide default (tests and benchmarks; queues
+  /// already constructed keep their strategy).
+  static void set_default_strategy(QueueStrategy s);
+
+  /// The strategy this queue was constructed with.
+  [[nodiscard]] QueueStrategy strategy() const { return strategy_; }
 
   /// Schedules `cb` to fire at absolute time `t`. Returns an id usable with
   /// `cancel`.
@@ -48,7 +81,7 @@ class EventQueue {
   /// Cancels a pending event. Returns true if the id was pending;
   /// cancelling an already-fired or unknown id is a no-op returning false.
   /// The callback is destroyed immediately (releasing captured resources);
-  /// the tombstoned heap entry is discarded when it reaches the head.
+  /// the tombstoned index entry is discarded when it reaches the head.
   bool cancel(EventId id);
 
   /// True when no live (non-cancelled) events remain.
@@ -68,6 +101,8 @@ class EventQueue {
   void set_auditor(Auditor* auditor) { auditor_ = auditor; }
 
  private:
+  friend struct EventQueueTestPeer;  // generation-wraparound tests
+
   static constexpr std::uint32_t kNilSlot = 0xFFFFFFFFu;
 
   enum class SlotState : std::uint8_t { kFree, kLive, kCancelled };
@@ -79,7 +114,7 @@ class EventQueue {
     SlotState state = SlotState::kFree;
   };
 
-  struct HeapEntry {
+  struct Entry {
     Time time = 0;
     std::uint64_t seq = 0;
     std::uint32_t slot = kNilSlot;
@@ -88,17 +123,52 @@ class EventQueue {
   // Min-heap ordering over (time, seq); seqs are strictly increasing so
   // the order is total and FIFO within an instant.
   struct Later {
-    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+    bool operator()(const Entry& a, const Entry& b) const {
       if (a.time != b.time) return a.time > b.time;
       return a.seq > b.seq;
     }
   };
 
+  // Calendar bucket: entries ascending by (time, seq) from `head` on;
+  // positions before `head` are already consumed (cleared when the bucket
+  // drains, so capacity is recycled without memmoves).
+  struct Bucket {
+    std::vector<Entry> entries;
+    std::size_t head = 0;
+  };
+
+  static bool entry_less(const Entry& a, const Entry& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
   [[nodiscard]] std::uint32_t acquire_slot();
   void release_slot(std::uint32_t index);
-  void drop_cancelled_heads();
+  void check_live_slot(const Entry& e, const Slot& s);
 
-  std::vector<HeapEntry> heap_;
+  // Binary-heap strategy.
+  void heap_drop_cancelled();
+
+  // Calendar strategy.
+  [[nodiscard]] static Time floor_div(Time t, Time w);
+  [[nodiscard]] std::size_t bucket_of(Time t) const;
+  void cal_init();
+  void cal_insert(const Entry& e);
+  Entry* cal_find_min();
+  void cal_direct_seek();
+  void cal_rebuild(std::size_t nbuckets);
+
+  QueueStrategy strategy_;
+  std::vector<Entry> heap_;
+
+  std::vector<Bucket> buckets_;
+  std::vector<Entry> rebuild_scratch_;
+  Time width_ = 1;
+  std::size_t bucket_mask_ = 0;
+  std::size_t cursor_ = 0;      // bucket the year scan is positioned on
+  Time cursor_upper_ = 1;       // exclusive time bound of cursor_'s window
+  std::size_t cal_stored_ = 0;  // entries in buckets incl. tombstones
+
   std::vector<Slot> slots_;
   std::uint32_t free_head_ = kNilSlot;
   std::uint64_t next_seq_ = 1;

@@ -1,11 +1,27 @@
 #include "sim/stats.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cmath>
 #include <limits>
 
 namespace netrs::sim {
+namespace {
+
+// Slow-path tally shared by every recorder; relaxed is enough for a
+// monotonic diagnostic counter.
+std::atomic<std::uint64_t> g_unsorted_percentile_sorts{0};
+
+}  // namespace
+
+std::uint64_t LatencyRecorder::unsorted_percentile_sorts() {
+  return g_unsorted_percentile_sorts.load(std::memory_order_relaxed);
+}
+
+void LatencyRecorder::reset_unsorted_percentile_sorts() {
+  g_unsorted_percentile_sorts.store(0, std::memory_order_relaxed);
+}
 
 void LatencyRecorder::add(double v) {
   samples_.push_back(v);
@@ -47,6 +63,7 @@ double LatencyRecorder::percentile(double q) const {
   if (sorted_) return quantile_of_sorted(samples_, q);
   // Not finalized: sort a copy instead of mutating from a const method,
   // which would race with concurrent readers.
+  g_unsorted_percentile_sorts.fetch_add(1, std::memory_order_relaxed);
   std::vector<double> copy = samples_;
   std::sort(copy.begin(), copy.end());
   return quantile_of_sorted(copy, q);

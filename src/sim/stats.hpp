@@ -40,6 +40,16 @@ class LatencyRecorder {
   /// direct lookups.
   void finalize();
 
+  /// Process-wide count of percentile() calls that hit the unsorted
+  /// copy-and-sort slow path. Report paths batch p50/p95/p99/p999 queries,
+  /// so a recorder that reaches them unfinalized re-sorts the same samples
+  /// once per query; benchmarks and tests watch this counter to keep that
+  /// regression from quietly coming back.
+  [[nodiscard]] static std::uint64_t unsorted_percentile_sorts();
+
+  /// Resets the slow-path counter to zero (test/benchmark setup).
+  static void reset_unsorted_percentile_sorts();
+
   /// Merges another recorder's samples into this one.
   void merge(const LatencyRecorder& other);
 

@@ -1,0 +1,296 @@
+// Strategy-equivalence guard for the event queue (DESIGN.md §4): the
+// binary heap and the calendar queue must produce the exact same
+// (time, seq) pop order, so full-system results are bit-identical under
+// either strategy at any --jobs value. Also stresses the calendar's
+// cancel/tombstone handling (interleaved push/cancel/pop churn) and the
+// slot-generation wraparound boundary shared by both strategies.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+
+namespace netrs::sim {
+
+/// Test-only backdoor (friend of EventQueue) used to steer a slot's
+/// generation counter to the wraparound boundary.
+struct EventQueueTestPeer {
+  /// Sets the generation counter of `slot` (must not have live events
+  /// whose ids embed the old generation).
+  static void set_generation(EventQueue& q, std::uint32_t slot,
+                             std::uint32_t gen) {
+    q.slots_[slot].generation = gen;
+  }
+  /// Reads the generation counter of `slot`.
+  static std::uint32_t generation(const EventQueue& q, std::uint32_t slot) {
+    return q.slots_[slot].generation;
+  }
+};
+
+namespace {
+
+TEST(QueueStrategyTest, ChurnPopOrderIdenticalAcrossStrategies) {
+  // Drive both strategies through the same deterministic push/cancel/pop
+  // interleaving and require identical pop streams. EventIds are tracked
+  // per logical event (slot reuse order differs between strategies, so the
+  // raw ids may not match — only the pop order must).
+  EventQueue heap(QueueStrategy::kBinaryHeap);
+  EventQueue cal(QueueStrategy::kCalendar);
+  Rng rng(99);
+
+  std::vector<EventId> heap_ids, cal_ids;   // per logical event
+  std::vector<bool> gone;                   // popped or cancelled
+  int heap_fired = -1, cal_fired = -1;      // set by callbacks
+
+  Time t = 0;
+  for (int op = 0; op < 20000; ++op) {
+    const std::uint64_t dice = rng.uniform(10);
+    if (dice < 5 || heap.empty()) {
+      // Push (sometimes far ahead, to exercise bucket-year wraps and the
+      // calendar's direct-seek fallback).
+      const Time when =
+          t + static_cast<Time>(rng.uniform(rng.uniform(50) == 0 ? 2'000'000
+                                                                 : 2'000));
+      const int k = static_cast<int>(heap_ids.size());
+      heap_ids.push_back(heap.push(when, [&heap_fired, k] { heap_fired = k; }));
+      cal_ids.push_back(cal.push(when, [&cal_fired, k] { cal_fired = k; }));
+      gone.push_back(false);
+    } else if (dice < 7) {
+      // Cancel a random not-yet-gone logical event (may pick none).
+      const std::size_t probe = rng.uniform(heap_ids.size());
+      if (!gone[probe]) {
+        EXPECT_TRUE(heap.cancel(heap_ids[probe]));
+        EXPECT_TRUE(cal.cancel(cal_ids[probe]));
+        gone[probe] = true;
+      } else {
+        EXPECT_FALSE(heap.cancel(heap_ids[probe]));
+        EXPECT_FALSE(cal.cancel(cal_ids[probe]));
+      }
+    } else {
+      ASSERT_EQ(heap.empty(), cal.empty());
+      ASSERT_EQ(heap.next_time(), cal.next_time());
+      auto [ht, hcb] = heap.pop();
+      auto [ct, ccb] = cal.pop();
+      ASSERT_EQ(ht, ct) << "pop time diverged at op " << op;
+      hcb();
+      ccb();
+      ASSERT_EQ(heap_fired, cal_fired) << "pop order diverged at op " << op;
+      ASSERT_GE(heap_fired, 0);
+      gone[static_cast<std::size_t>(heap_fired)] = true;
+      t = ht;
+    }
+    ASSERT_EQ(heap.size(), cal.size());
+  }
+  // Drain both completely; tails must match too.
+  while (!heap.empty()) {
+    ASSERT_FALSE(cal.empty());
+    auto [ht, hcb] = heap.pop();
+    auto [ct, ccb] = cal.pop();
+    ASSERT_EQ(ht, ct);
+    hcb();
+    ccb();
+    ASSERT_EQ(heap_fired, cal_fired);
+  }
+  EXPECT_TRUE(cal.empty());
+}
+
+TEST(QueueStrategyTest, CancelHeavyChurnReclaimsTombstones) {
+  // Cancel-dominated load on the calendar: tombstones in windows the
+  // cursor jumps over must be purged (not pinned forever). Every cancel
+  // must succeed exactly once, stale ids must keep failing, and live
+  // accounting must stay exact through 200 rounds of 90% cancellation.
+  EventQueue q(QueueStrategy::kCalendar);
+  Rng rng(7);
+  Time t = 0;
+  std::vector<EventId> ids;  // by logical event k
+  std::vector<bool> gone;    // popped or cancelled
+  std::size_t live_count = 0;
+  int fired = -1;
+  for (int round = 0; round < 200; ++round) {
+    for (int i = 0; i < 100; ++i) {
+      const int k = static_cast<int>(ids.size());
+      ids.push_back(q.push(t + 1 + static_cast<Time>(rng.uniform(1'000'000)),
+                           [&fired, k] { fired = k; }));
+      gone.push_back(false);
+      ++live_count;
+    }
+    // Cancel ~90% of everything still pending.
+    for (std::size_t k = 0; k < ids.size(); ++k) {
+      if (!gone[k] && rng.uniform(10) != 0) {
+        ASSERT_TRUE(q.cancel(ids[k]));
+        gone[k] = true;
+        --live_count;
+        ASSERT_FALSE(q.cancel(ids[k])) << "double cancel must fail";
+      }
+    }
+    // Pop a few survivors; time only moves forward.
+    for (int i = 0; i < 3 && !q.empty(); ++i) {
+      auto [when, cb] = q.pop();
+      EXPECT_GE(when, t);
+      t = when;
+      cb();
+      ASSERT_GE(fired, 0);
+      ASSERT_FALSE(gone[static_cast<std::size_t>(fired)]);
+      gone[static_cast<std::size_t>(fired)] = true;
+      --live_count;
+    }
+    ASSERT_EQ(q.size(), live_count);
+  }
+  while (!q.empty()) {
+    auto [when, cb] = q.pop();
+    cb();
+    gone[static_cast<std::size_t>(fired)] = true;
+    --live_count;
+  }
+  EXPECT_EQ(live_count, 0u);
+}
+
+class QueueStrategyWraparoundTest
+    : public ::testing::TestWithParam<QueueStrategy> {};
+
+TEST_P(QueueStrategyWraparoundTest, GenerationWrapSkipsZeroAndKillsStaleIds) {
+  EventQueue q(GetParam());
+
+  // Cycle slot 0 once so it exists and is free.
+  const EventId first = q.push(1, [] {});
+  ASSERT_EQ(static_cast<std::uint32_t>(first & 0xFFFFFFFFu), 0u);
+  (void)q.pop();
+
+  // Park the free slot's generation at the wrap boundary.
+  EventQueueTestPeer::set_generation(q, 0, 0xFFFFFFFFu);
+
+  // Reuse the slot: the id embeds generation 0xFFFFFFFF.
+  const EventId boundary = q.push(2, [] {});
+  ASSERT_EQ(static_cast<std::uint32_t>(boundary & 0xFFFFFFFFu), 0u);
+  ASSERT_EQ(static_cast<std::uint32_t>(boundary >> 32), 0xFFFFFFFFu);
+
+  // Cancel it, then force the tombstone to be swept so the slot recycles:
+  // a live event at the same instant sits behind the tombstone (lower
+  // seq first), so popping it releases the cancelled slot on the way.
+  ASSERT_TRUE(q.cancel(boundary));
+  const EventId later = q.push(2, [] {});
+  auto [when, cb] = q.pop();
+  EXPECT_EQ(when, 2);
+
+  // The wrapped generation must have skipped 0 (0 is never a valid id).
+  EXPECT_EQ(EventQueueTestPeer::generation(q, 0), 1u);
+
+  // Stale ids from before the wrap are dead, and a forged generation-0 id
+  // never matches anything.
+  EXPECT_FALSE(q.cancel(boundary));
+  EXPECT_FALSE(q.cancel(EventId{0} << 32 | 0u));
+  EXPECT_FALSE(q.cancel(later));  // already popped
+
+  // Recycled slots keep working: a fresh push's id embeds exactly its
+  // slot's current generation and cancels cleanly.
+  const EventId fresh = q.push(4, [] {});
+  const auto fresh_slot = static_cast<std::uint32_t>(fresh & 0xFFFFFFFFu);
+  EXPECT_EQ(static_cast<std::uint32_t>(fresh >> 32),
+            EventQueueTestPeer::generation(q, fresh_slot));
+  EXPECT_TRUE(q.cancel(fresh));
+}
+
+INSTANTIATE_TEST_SUITE_P(BothStrategies, QueueStrategyWraparoundTest,
+                         ::testing::Values(QueueStrategy::kBinaryHeap,
+                                           QueueStrategy::kCalendar),
+                         [](const auto& info) {
+                           return info.param == QueueStrategy::kBinaryHeap
+                                      ? "heap"
+                                      : "calendar";
+                         });
+
+}  // namespace
+}  // namespace netrs::sim
+
+namespace netrs::harness {
+namespace {
+
+// FNV-1a over every sample and summary statistic, as in golden_digest_test.
+class Digest {
+ public:
+  void add_u64(std::uint64_t v) {
+    const auto* b = reinterpret_cast<const unsigned char*>(&v);
+    for (std::size_t i = 0; i < sizeof(v); ++i) {
+      h_ ^= b[i];
+      h_ *= 0x100000001B3ULL;
+    }
+  }
+  void add_double(double v) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    __builtin_memcpy(&bits, &v, sizeof(bits));
+    add_u64(bits);
+  }
+  [[nodiscard]] std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 0xCBF29CE484222325ULL;
+};
+
+std::uint64_t result_digest(const ExperimentResult& res) {
+  Digest d;
+  d.add_u64(res.latencies_ms.count());
+  for (double s : res.latencies_ms.samples()) d.add_double(s);
+  d.add_u64(res.issued);
+  d.add_u64(res.completed);
+  d.add_u64(res.redundant);
+  d.add_u64(res.cancels);
+  d.add_double(res.avg_forwards);
+  d.add_double(res.wire_bytes_per_request);
+  d.add_double(res.load_oscillation);
+  d.add_u64(static_cast<std::uint64_t>(res.rsnodes));
+  d.add_u64(res.drs_groups);
+  return d.value();
+}
+
+class StrategyDigestTest : public ::testing::TestWithParam<Scheme> {};
+
+TEST_P(StrategyDigestTest, HeapAndCalendarDigestsMatchAtAnyJobsValue) {
+  const Scheme scheme = GetParam();
+  ExperimentConfig cfg;
+  cfg.fat_tree_k = 4;  // 16 hosts
+  cfg.num_servers = 5;
+  cfg.num_clients = 8;
+  cfg.total_requests = 2000;
+  cfg.repeats = 2;
+  cfg.seed = 17;
+
+  const sim::QueueStrategy saved = sim::EventQueue::default_strategy();
+  std::uint64_t digests[2][2];  // [strategy][jobs index]
+  const sim::QueueStrategy strategies[2] = {sim::QueueStrategy::kBinaryHeap,
+                                            sim::QueueStrategy::kCalendar};
+  for (int s = 0; s < 2; ++s) {
+    sim::EventQueue::set_default_strategy(strategies[s]);
+    for (int j = 0; j < 2; ++j) {
+      cfg.jobs = j == 0 ? 1 : 4;
+      digests[s][j] = result_digest(run_experiment(scheme, cfg));
+    }
+  }
+  sim::EventQueue::set_default_strategy(saved);
+
+  EXPECT_EQ(digests[0][0], digests[0][1])
+      << "heap: jobs=1 vs jobs=4 diverged for " << scheme_name(scheme);
+  EXPECT_EQ(digests[1][0], digests[1][1])
+      << "calendar: jobs=1 vs jobs=4 diverged for " << scheme_name(scheme);
+  EXPECT_EQ(digests[0][0], digests[1][0])
+      << "heap vs calendar diverged for " << scheme_name(scheme);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, StrategyDigestTest,
+    ::testing::Values(Scheme::kCliRS, Scheme::kCliRSR95Cancel,
+                      Scheme::kNetRSToR, Scheme::kNetRSIlp),
+    [](const auto& info) {
+      std::string n = scheme_name(info.param);
+      for (char& c : n) {
+        if (c == '-') c = '_';
+      }
+      return n;
+    });
+
+}  // namespace
+}  // namespace netrs::harness

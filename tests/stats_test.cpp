@@ -53,6 +53,31 @@ TEST(LatencyRecorderTest, MergeCombinesSamples) {
   EXPECT_DOUBLE_EQ(a.percentile(1.0), 3.0);
 }
 
+TEST(LatencyRecorderTest, UnsortedSortCounterTracksSlowPathOnly) {
+  // Regression guard: the report path batches p50/p95/p99/p999 queries, so
+  // an unfinalized recorder re-sorts the same samples once per query. The
+  // process-wide counter makes that slow path observable.
+  LatencyRecorder r;
+  for (int i = 0; i < 64; ++i) r.add(64.0 - i);
+
+  LatencyRecorder::reset_unsorted_percentile_sorts();
+  (void)r.percentile(0.5);
+  (void)r.percentile(0.95);
+  EXPECT_EQ(LatencyRecorder::unsorted_percentile_sorts(), 2u);
+
+  r.finalize();
+  (void)r.percentile(0.5);
+  (void)r.percentile(0.95);
+  (void)r.percentile(0.99);
+  (void)r.percentile(0.999);
+  EXPECT_EQ(LatencyRecorder::unsorted_percentile_sorts(), 2u)
+      << "finalized percentile queries must not copy-sort";
+
+  r.add(1.0);  // invalidates the sorted state again
+  (void)r.percentile(0.5);
+  EXPECT_EQ(LatencyRecorder::unsorted_percentile_sorts(), 3u);
+}
+
 TEST(LatencyRecorderTest, PercentileDoesNotMutateFromConstQuery) {
   // Regression: percentile() used to lazily sort `mutable` storage from a
   // const method — a data race once results are read while other threads

@@ -1,0 +1,187 @@
+#!/usr/bin/env python3
+"""Perf-trajectory gate over the BENCH_*.json records (EXPERIMENTS.md).
+
+Each PR that touches performance commits a ``BENCH_<n>.json`` at the repo
+root, produced by ``bench/macro``. This gate compares the newest record
+against the previous one and exits non-zero when a tracked rate metric
+regresses by more than the threshold (default 10%):
+
+* ``requests_per_sec``   — higher is better
+* ``events_per_core_sec`` — higher is better
+* ``allocs_per_hop``     — lower is better (absolute slack of 0.01 so a
+  0-alloc baseline does not turn any speck of dust into -inf%)
+
+Records with different ``fingerprint`` fields describe different canonical
+cells (scale, seed, topology) and are never compared — the gate reports
+the mismatch and passes, because a changed cell is a deliberate re-basing,
+not a regression. Likewise a single record (the first PR in the
+trajectory) passes trivially.
+
+Wall-clock seconds are reported but never gated: CI machines differ, and
+the two rate metrics already normalize by wall time measured on the same
+machine in the same job.
+
+Usage:
+    tools/bench_gate.py [--dir REPO_ROOT] [--threshold 0.10]
+    tools/bench_gate.py --self-test
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import re
+import sys
+import tempfile
+
+BENCH_RE = re.compile(r"^BENCH_(\d+)\.json$")
+
+# metric name -> higher_is_better
+RATE_METRICS = {
+    "requests_per_sec": True,
+    "events_per_core_sec": True,
+}
+ALLOCS_METRIC = "allocs_per_hop"
+ALLOCS_SLACK = 0.01  # absolute allowance around a ~zero baseline
+
+
+def find_records(root: pathlib.Path) -> list[tuple[int, pathlib.Path]]:
+    """All BENCH_<n>.json files under ``root``, sorted by ``n``."""
+    records = []
+    for p in root.iterdir():
+        m = BENCH_RE.match(p.name)
+        if m:
+            records.append((int(m.group(1)), p))
+    return sorted(records)
+
+
+def compare(prev: dict, cur: dict, threshold: float) -> list[str]:
+    """Regression messages comparing ``cur`` against ``prev`` (empty = ok)."""
+    failures = []
+    if prev.get("fingerprint") != cur.get("fingerprint"):
+        print(
+            "bench_gate: fingerprint changed "
+            f"({prev.get('fingerprint')!r} -> {cur.get('fingerprint')!r}); "
+            "records are not comparable, skipping"
+        )
+        return failures
+    for metric, higher_better in RATE_METRICS.items():
+        if metric not in prev or metric not in cur:
+            continue
+        old, new = float(prev[metric]), float(cur[metric])
+        if old <= 0.0:
+            continue
+        change = (new - old) / old
+        direction = change if higher_better else -change
+        status = "ok"
+        if direction < -threshold:
+            status = "REGRESSION"
+            failures.append(
+                f"{metric}: {old:.1f} -> {new:.1f} "
+                f"({change * 100.0:+.1f}%, threshold -{threshold * 100.0:.0f}%)"
+            )
+        print(
+            f"bench_gate: {metric}: {old:.1f} -> {new:.1f} "
+            f"({change * 100.0:+.1f}%) [{status}]"
+        )
+    if ALLOCS_METRIC in prev and ALLOCS_METRIC in cur:
+        old, new = float(prev[ALLOCS_METRIC]), float(cur[ALLOCS_METRIC])
+        limit = max(old * (1.0 + threshold), old + ALLOCS_SLACK)
+        status = "ok"
+        if new > limit:
+            status = "REGRESSION"
+            failures.append(
+                f"{ALLOCS_METRIC}: {old:.4f} -> {new:.4f} (limit {limit:.4f})"
+            )
+        print(
+            f"bench_gate: {ALLOCS_METRIC}: {old:.4f} -> {new:.4f} [{status}]"
+        )
+    return failures
+
+
+def run_gate(root: pathlib.Path, threshold: float) -> int:
+    records = find_records(root)
+    if not records:
+        print(f"bench_gate: no BENCH_*.json under {root}; nothing to gate")
+        return 0
+    if len(records) == 1:
+        n, path = records[0]
+        print(f"bench_gate: only {path.name}; first record, passing")
+        return 0
+    (prev_n, prev_path), (cur_n, cur_path) = records[-2], records[-1]
+    print(f"bench_gate: comparing {cur_path.name} against {prev_path.name}")
+    prev = json.loads(prev_path.read_text())
+    cur = json.loads(cur_path.read_text())
+    failures = compare(prev, cur, threshold)
+    if failures:
+        for msg in failures:
+            print(f"bench_gate: FAIL {msg}", file=sys.stderr)
+        return 1
+    print("bench_gate: pass")
+    return 0
+
+
+def self_test(threshold: float) -> int:
+    """Constructs a synthetic 10%+ regression and asserts the gate trips."""
+    base = {
+        "schema": 1,
+        "fingerprint": "selftest",
+        "requests_per_sec": 1000.0,
+        "events_per_core_sec": 500000.0,
+        "allocs_per_hop": 0.0,
+    }
+    regressed = dict(base)
+    regressed["requests_per_sec"] = base["requests_per_sec"] * 0.88  # -12%
+
+    improved = dict(base)
+    improved["requests_per_sec"] = base["requests_per_sec"] * 1.25
+
+    with tempfile.TemporaryDirectory() as td:
+        root = pathlib.Path(td)
+        (root / "BENCH_1.json").write_text(json.dumps(base))
+        (root / "BENCH_2.json").write_text(json.dumps(regressed))
+        if run_gate(root, threshold) == 0:
+            print("bench_gate: SELF-TEST FAIL: synthetic regression passed",
+                  file=sys.stderr)
+            return 1
+        (root / "BENCH_2.json").write_text(json.dumps(improved))
+        if run_gate(root, threshold) != 0:
+            print("bench_gate: SELF-TEST FAIL: improvement flagged",
+                  file=sys.stderr)
+            return 1
+        # Allocs-per-hop growth past the slack must also trip.
+        leaky = dict(base)
+        leaky["allocs_per_hop"] = 0.5
+        (root / "BENCH_2.json").write_text(json.dumps(leaky))
+        if run_gate(root, threshold) == 0:
+            print("bench_gate: SELF-TEST FAIL: alloc growth passed",
+                  file=sys.stderr)
+            return 1
+        # A re-based cell (different fingerprint) is informational only.
+        rebased = dict(regressed)
+        rebased["fingerprint"] = "selftest-v2"
+        (root / "BENCH_2.json").write_text(json.dumps(rebased))
+        if run_gate(root, threshold) != 0:
+            print("bench_gate: SELF-TEST FAIL: fingerprint mismatch gated",
+                  file=sys.stderr)
+            return 1
+    print("bench_gate: self-test pass")
+    return 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--dir", default=".", help="directory holding BENCH_*.json")
+    ap.add_argument("--threshold", type=float, default=0.10,
+                    help="relative regression threshold (default 0.10)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="verify the gate trips on a synthetic regression")
+    args = ap.parse_args()
+    if args.self_test:
+        return self_test(args.threshold)
+    return run_gate(pathlib.Path(args.dir), args.threshold)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
