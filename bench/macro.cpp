@@ -17,11 +17,19 @@
 // are comparable across commits; NETRS_BENCH_REQUESTS scales the run for
 // quick smoke tests, and the value is recorded in the JSON fingerprint so
 // the gate refuses to compare records from different cells.
+//
+// A second, separately fingerprinted "scale" section measures the
+// partitioned PDES core (DESIGN.md §4.10): one larger k=16 NetRS-ToR cell
+// run at --shards 1 and --shards 4 on the same pinned seed, recording
+// requests/wall-second per shard count plus the host core count (shard
+// speedup is meaningless without knowing how many cores backed the
+// threads). bench_gate.py gates each shard count's rate independently.
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "alloc_shim.hpp"
@@ -43,6 +51,16 @@ constexpr int kRepeats = 2;
 constexpr std::uint64_t kSeed = 17;
 const std::vector<int> kUtilizationPct = {30, 50, 70, 90};
 
+// The pinned scale cell (sharded-core section): a 16-ary tree (1024
+// hosts, 16 pods) so 4 shards own 4 pods each, NetRS-ToR to keep the
+// controller cheap relative to the event core being measured. 256 + 700
+// hosts stay inside the tree's 1024.
+constexpr int kScaleFatTreeK = 16;
+constexpr int kScaleServers = 256;
+constexpr int kScaleClients = 700;
+constexpr std::uint64_t kScaleRequests = 60'000;
+const std::vector<int> kScaleShards = {1, 4};
+
 harness::ExperimentConfig cell_config(int util_pct, std::uint64_t requests) {
   // Built from scratch (not default_config()) so NETRS_* env overrides
   // cannot silently change the canonical cell.
@@ -58,6 +76,20 @@ harness::ExperimentConfig cell_config(int util_pct, std::uint64_t requests) {
   return cfg;
 }
 
+harness::ExperimentConfig scale_config(int shards, std::uint64_t requests) {
+  harness::ExperimentConfig cfg;
+  cfg.fat_tree_k = kScaleFatTreeK;
+  cfg.num_servers = kScaleServers;
+  cfg.num_clients = kScaleClients;
+  cfg.utilization = 0.70;
+  cfg.total_requests = requests;
+  cfg.repeats = 1;
+  cfg.seed = kSeed;
+  cfg.jobs = 1;
+  cfg.shards = shards;
+  return cfg;
+}
+
 std::string queue_strategy_name() {
   return sim::EventQueue::default_strategy() == sim::QueueStrategy::kCalendar
              ? "calendar"
@@ -67,13 +99,18 @@ std::string queue_strategy_name() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string out_path = "BENCH_6.json";
+  std::string out_path = "BENCH_7.json";
   if (argc > 1) out_path = argv[1];
 
   std::uint64_t requests = kRequestsPerCell;
   if (const char* e = std::getenv("NETRS_BENCH_REQUESTS")) {
     requests = std::strtoull(e, nullptr, 10);
     if (requests == 0) requests = kRequestsPerCell;
+  }
+  std::uint64_t scale_requests = kScaleRequests;
+  if (const char* e = std::getenv("NETRS_BENCH_SCALE_REQUESTS")) {
+    scale_requests = std::strtoull(e, nullptr, 10);
+    if (scale_requests == 0) scale_requests = kScaleRequests;
   }
 
   struct CellResult {
@@ -113,6 +150,38 @@ int main(int argc, char** argv) {
     total_wall += wall;
     cells.push_back({pct, std::move(res), wall, allocs});
   }
+
+  // Sharded-core scale cells (see the file comment).
+  struct ScaleResult {
+    int shards;
+    std::uint64_t completed;
+    std::uint64_t events;
+    double wall_seconds;
+    double requests_per_sec;
+  };
+  std::vector<ScaleResult> scale_cells;
+  for (const int shards : kScaleShards) {
+    const harness::ExperimentConfig cfg = scale_config(shards, scale_requests);
+    std::printf("[macro] scale k=%d scheme=netrs-tor shards=%d "
+                "requests=%llu ...\n",
+                kScaleFatTreeK, shards,
+                static_cast<unsigned long long>(cfg.total_requests));
+    std::fflush(stdout);
+    const auto t0 = std::chrono::steady_clock::now();
+    const harness::ExperimentResult res =
+        harness::run_experiment(harness::Scheme::kNetRSToR, cfg);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double wall = std::chrono::duration<double>(t1 - t0).count();
+    scale_cells.push_back(
+        {shards, res.completed, res.events_fired, wall,
+         wall > 0.0 ? static_cast<double>(res.completed) / wall : 0.0});
+  }
+  const double scale_speedup =
+      (scale_cells.size() >= 2 && scale_cells.front().requests_per_sec > 0.0)
+          ? scale_cells.back().requests_per_sec /
+                scale_cells.front().requests_per_sec
+          : 0.0;
+  const unsigned host_cores = std::thread::hardware_concurrency();
 
   const double req_per_sec =
       total_wall > 0.0 ? static_cast<double>(total_completed) / total_wall
@@ -161,7 +230,29 @@ int main(int argc, char** argv) {
                  c.wall_seconds, c.res.mean_ms(), c.res.percentile_ms(0.99),
                  i + 1 < cells.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n");
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"scale\": {\n");
+  std::fprintf(f,
+               "    \"fingerprint\": "
+               "\"scale-k%d-s%d-c%d-r%llu-x1-seed%llu-tor\",\n",
+               kScaleFatTreeK, kScaleServers, kScaleClients,
+               static_cast<unsigned long long>(scale_requests),
+               static_cast<unsigned long long>(kSeed));
+  std::fprintf(f, "    \"host_cores\": %u,\n", host_cores);
+  std::fprintf(f, "    \"speedup\": %.3f,\n", scale_speedup);
+  std::fprintf(f, "    \"cells\": [\n");
+  for (std::size_t i = 0; i < scale_cells.size(); ++i) {
+    const ScaleResult& s = scale_cells[i];
+    std::fprintf(f,
+                 "      {\"shards\": %d, \"completed\": %llu, "
+                 "\"events\": %llu, \"wall_seconds\": %.3f, "
+                 "\"requests_per_sec\": %.1f}%s\n",
+                 s.shards, static_cast<unsigned long long>(s.completed),
+                 static_cast<unsigned long long>(s.events), s.wall_seconds,
+                 s.requests_per_sec, i + 1 < scale_cells.size() ? "," : "");
+  }
+  std::fprintf(f, "    ]\n");
+  std::fprintf(f, "  }\n");
   std::fprintf(f, "}\n");
   std::fclose(f);
 
@@ -170,5 +261,11 @@ int main(int argc, char** argv) {
       "%.1fs wall (queue=%s)\n",
       out_path.c_str(), req_per_sec, events_per_core_sec, allocs_per_hop,
       total_wall, queue_strategy_name().c_str());
+  std::printf("[macro] scale: shards=%d %.1f req/s -> shards=%d %.1f req/s "
+              "(speedup %.2fx on %u cores)\n",
+              scale_cells.front().shards,
+              scale_cells.front().requests_per_sec,
+              scale_cells.back().shards,
+              scale_cells.back().requests_per_sec, scale_speedup, host_cores);
   return 0;
 }

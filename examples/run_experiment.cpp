@@ -39,6 +39,12 @@ void usage(const char* argv0) {
       "  --seed N          RNG seed               (default 1)\n"
       "  --jobs N          worker threads for repeats (default: all\n"
       "                    cores; 1 = serial; results are identical)\n"
+      "  --shards N        event-queue shards per repeat (default 1;\n"
+      "                    clamped to the pod count; digests identical\n"
+      "                    at any value); also NETRS_SHARDS\n"
+      "  --multiplicity N  logical client streams per client object\n"
+      "                    (default 1; scales C3 concurrency accounting\n"
+      "                    only, not the arrival rate)\n"
       "  --trace FILE      write a Chrome trace-event JSON of per-request\n"
       "                    lifecycle spans (open in Perfetto); also\n"
       "                    --trace=FILE or NETRS_TRACE\n"
@@ -125,6 +131,10 @@ int main(int argc, char** argv) {
       cfg.seed = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--jobs") {
       cfg.jobs = std::atoi(next());
+    } else if (arg == "--shards") {
+      cfg.shards = std::atoi(next());
+    } else if (arg == "--multiplicity") {
+      cfg.client_multiplicity = std::atoi(next());
     } else if (arg == "--trace") {
       cfg.obs.trace_path = next();
     } else if (arg.rfind("--trace=", 0) == 0) {
@@ -151,13 +161,14 @@ int main(int argc, char** argv) {
   }
 
   std::printf("running %s: k=%d servers=%d clients=%d util=%.0f%% "
-              "skew=%.0f%% tkv=%.1fms requests=%llu x%d algo=%s jobs=%d\n",
+              "skew=%.0f%% tkv=%.1fms requests=%llu x%d algo=%s jobs=%d "
+              "shards=%d\n",
               harness::scheme_name(scheme), cfg.fat_tree_k, cfg.num_servers,
               cfg.num_clients, cfg.utilization * 100.0,
               cfg.demand_skew * 100.0, sim::to_millis(cfg.mean_service_time),
               static_cast<unsigned long long>(cfg.total_requests),
               cfg.repeats, cfg.selector.algorithm.c_str(),
-              harness::resolve_jobs(cfg.jobs));
+              harness::resolve_jobs(cfg.jobs), cfg.shards);
   std::fflush(stdout);
 
   const harness::ExperimentResult r = harness::run_experiment(scheme, cfg);

@@ -53,6 +53,13 @@ struct ExperimentConfig {
   // --- Workload ---
   /// System utilization tkv*A/(Ns*Np); determines the aggregate rate A.
   double utilization = 0.9;
+  /// Logical client streams superposed on each simulated Client object:
+  /// its Poisson arrival rate is multiplied by this, so num_clients x
+  /// client_multiplicity independent logical clients share num_clients
+  /// hosts. Lets a k=32 tree (8192 hosts) carry 100k+ logical clients
+  /// without 100k objects (superposed Poisson processes are one Poisson
+  /// process). 1 = one stream per client (the paper's setup).
+  int client_multiplicity = 1;
   /// Fraction of all requests issued by 20% of the clients; 0 = uniform
   /// (the paper sweeps 70%..95%).
   double demand_skew = 0.0;
@@ -99,6 +106,11 @@ struct ExperimentConfig {
   /// simulation, and merge order is fixed, so results are bit-identical
   /// at any jobs value.
   int jobs = 0;
+  /// Event-queue shards per repeat (DESIGN.md §4.10): the fat tree is
+  /// partitioned by pod across this many simulator shards advancing in
+  /// parallel under conservative lookahead sync. Clamped to [1, pods];
+  /// 1 = the serial core. Golden digests are bit-identical at any value.
+  int shards = 1;
 
   // --- Observability (DESIGN.md §8) ---
   /// Trace / metrics / attribution / decision outputs; empty paths (the
@@ -113,9 +125,9 @@ struct ExperimentConfig {
 };
 
 /// Paper defaults with NETRS_REQUESTS / NETRS_REPEATS / NETRS_SEED /
-/// NETRS_JOBS / NETRS_TRACE / NETRS_METRICS / NETRS_ATTRIBUTION /
-/// NETRS_DECISIONS / NETRS_TRACE_CAPACITY environment overrides applied
-/// (the benches use this).
+/// NETRS_JOBS / NETRS_SHARDS / NETRS_TRACE / NETRS_METRICS /
+/// NETRS_ATTRIBUTION / NETRS_DECISIONS / NETRS_TRACE_CAPACITY environment
+/// overrides applied (the benches use this).
 [[nodiscard]] ExperimentConfig default_config();
 
 }  // namespace netrs::harness

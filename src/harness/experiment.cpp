@@ -1,13 +1,16 @@
 #include "harness/experiment.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <map>
 #include <memory>
 #include <numeric>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -21,6 +24,7 @@
 #include "netrs/controller.hpp"
 #include "netrs/operator.hpp"
 #include "sim/rng.hpp"
+#include "sim/shard.hpp"
 #include "sim/simulator.hpp"
 
 namespace netrs::harness {
@@ -210,18 +214,44 @@ void register_run_metrics(obs::Observer& ob, sim::Simulator& simulator,
 
 RunOutput run_once(Scheme scheme, const ExperimentConfig& cfg,
                    std::uint64_t seed) {
-  sim::Simulator simulator;
+  // Shard-count resolution (DESIGN.md §4.10): clamp to [1, pods]. The obs
+  // layer's shared recorders are not shard-parallel, so observability runs
+  // fall back to the serial core — results are identical either way
+  // (golden digests are shard-count-invariant).
+  int shards = std::min(std::max(1, cfg.shards), cfg.fat_tree_k);
+  if (shards > 1 && cfg.obs.any()) {
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true)) {
+      std::fprintf(stderr,
+                   "[harness] WARNING: observability outputs requested; "
+                   "falling back to --shards 1 (trace/metrics/attribution/"
+                   "decision recorders are not shard-parallel)\n");
+    }
+    shards = 1;
+  }
+  const sim::Duration lookahead =
+      std::min(cfg.switch_link_latency, cfg.host_link_latency);
+  sim::ShardGroup shard_group(shards, lookahead);
+  sim::Simulator& simulator = shard_group.global_sim();
   sim::Rng root(seed);
 
   net::FatTree topo(cfg.fat_tree_k);
-  assert(cfg.num_servers + cfg.num_clients <=
-         static_cast<int>(topo.host_count()));
+  if (cfg.num_servers + cfg.num_clients >
+      static_cast<int>(topo.host_count())) {
+    // Fail fast in every build type: an over-provisioned cluster used to
+    // walk off the shuffled host vector in Release builds.
+    throw std::invalid_argument(
+        "run_experiment: num_servers + num_clients = " +
+        std::to_string(cfg.num_servers + cfg.num_clients) +
+        " exceeds the k=" + std::to_string(cfg.fat_tree_k) +
+        " fat tree's " + std::to_string(topo.host_count()) + " hosts");
+  }
 
   net::FabricConfig fabric_cfg;
   fabric_cfg.switch_link_latency = cfg.switch_link_latency;
   fabric_cfg.host_link_latency = cfg.host_link_latency;
   fabric_cfg.accelerator_link_latency = cfg.accelerator_link_latency;
-  net::Fabric fabric(simulator, topo, fabric_cfg);
+  net::Fabric fabric(shard_group, topo, fabric_cfg);
 
   // Switches.
   std::vector<std::unique_ptr<net::Switch>> switches;
@@ -253,6 +283,13 @@ RunOutput run_once(Scheme scheme, const ExperimentConfig& cfg,
   std::vector<std::unique_ptr<core::SelectorNode>> shared_selectors;
   std::unique_ptr<core::Controller> controller;
   auto concurrency_hint = std::make_shared<double>(1.0);
+  // Each Client object superposes `client_multiplicity` independent Poisson
+  // streams, so this is the logical client count the selector concurrency
+  // math must see (the aggregate rate A is unchanged — it is split over
+  // more, proportionally slower, logical streams).
+  const double logical_clients =
+      static_cast<double>(cfg.num_clients) *
+      static_cast<double>(std::max(1, cfg.client_multiplicity));
 
   if (is_netrs(scheme)) {
     auto directory = std::make_shared<core::RsNodeDirectory>();
@@ -262,10 +299,14 @@ RunOutput run_once(Scheme scheme, const ExperimentConfig& cfg,
     auto bootstrap_table = std::make_shared<const core::GroupRidTable>(
         groups.group_count(), core::kRidIllegal);
 
-    auto make_factory = [&simulator, concurrency_hint,
-                         &cfg](sim::Rng op_rng) -> core::SelectorFactory {
-      return [&simulator, op_rng, concurrency_hint, selector = cfg.selector,
-              clients = cfg.num_clients,
+    // `op_sim` is the operator's shard simulator: selectors keep clocks and
+    // rate-control state, so they must live on the shard that executes
+    // their switch's events (the global simulator at --shards 1).
+    auto make_factory = [concurrency_hint, logical_clients,
+                         &cfg](sim::Simulator& op_sim,
+                               sim::Rng op_rng) -> core::SelectorFactory {
+      return [&op_sim, op_rng, concurrency_hint, selector = cfg.selector,
+              clients = logical_clients,
               incarnation = std::uint64_t{0}]() mutable {
         rs::SelectorConfig sc = selector;
         sc.c3.concurrency = std::max(1.0, *concurrency_hint);
@@ -273,11 +314,10 @@ RunOutput run_once(Scheme scheme, const ExperimentConfig& cfg,
         // RSNode aggregates the traffic of clients/RSNodes many clients, so
         // its initial rate budget and token burst scale by that factor
         // (conserving the cluster-wide budget C3 assumes).
-        const double aggregation =
-            std::max(1.0, static_cast<double>(clients) / sc.c3.concurrency);
+        const double aggregation = std::max(1.0, clients / sc.c3.concurrency);
         sc.c3.cubic.initial_rate *= aggregation;
         sc.c3.cubic.burst_tokens *= aggregation;
-        return rs::make_selector(sc, simulator, op_rng.child(++incarnation));
+        return rs::make_selector(sc, op_sim, op_rng.child(++incarnation));
       };
     };
 
@@ -288,10 +328,12 @@ RunOutput run_once(Scheme scheme, const ExperimentConfig& cfg,
       for (int group = 0; group < half; ++group) {
         auto accel = std::make_unique<core::Accelerator>(
             fabric, topo.core_node(group, 0), cfg.accelerator);
+        sim::Simulator& group_sim =
+            fabric.simulator_for(topo.core_node(group, 0));
         auto factory = make_factory(
-            root.child(0x0A000000ULL + static_cast<unsigned>(group)));
+            group_sim, root.child(0x0A000000ULL + static_cast<unsigned>(group)));
         auto selector = std::make_unique<core::SelectorNode>(
-            simulator, ring.groups(), factory());
+            group_sim, ring.groups(), factory());
         accel->set_handler([sel = selector.get()](net::Packet pkt) {
           return sel->process(std::move(pkt));
         });
@@ -314,8 +356,9 @@ RunOutput run_once(Scheme scheme, const ExperimentConfig& cfg,
       operators.push_back(std::make_unique<core::NetRSOperator>(
           fabric, *switches[sw], static_cast<core::RsNodeId>(sw + 1),
           cfg.accelerator, directory, ring.groups(),
-          make_factory(root.child(0x09000000ULL + sw)), &groups,
-          bootstrap_table, shared));
+          make_factory(fabric.simulator_for(sw),
+                       root.child(0x09000000ULL + sw)),
+          &groups, bootstrap_table, shared));
     }
 
     core::ControllerConfig ctrl_cfg;
@@ -378,8 +421,7 @@ RunOutput run_once(Scheme scheme, const ExperimentConfig& cfg,
   client_cfg.redundancy.cancel_on_completion =
       scheme == Scheme::kCliRSR95Cancel;
   client_cfg.selector = cfg.selector;
-  client_cfg.selector.c3.concurrency =
-      std::max(1.0, static_cast<double>(cfg.num_clients));
+  client_cfg.selector.c3.concurrency = std::max(1.0, logical_clients);
   client_cfg.selector.c3.service_time_prior = cfg.mean_service_time;
 
   const sim::Duration t_end = cfg.nominal_duration();
@@ -419,6 +461,17 @@ RunOutput run_once(Scheme scheme, const ExperimentConfig& cfg,
   }
 
   RunOutput out;
+  // Completion-path accumulators, one per shard: the callback runs on the
+  // client's shard worker, so each thread writes only its own slot; the
+  // slots merge in shard order after the run. The recorded sample set is
+  // identical at any shard count (the digest sorts samples, and the
+  // integer counters are order-independent sums).
+  struct ShardAccum {
+    sim::LatencyRecorder latencies_ms;
+    double forwards_sum = 0.0;
+    std::uint64_t forwards_n = 0;
+  };
+  std::vector<ShardAccum> accums(static_cast<std::size_t>(shards));
   std::vector<std::unique_ptr<kv::Client>> clients;
   clients.reserve(client_hosts.size());
   for (int i = 0; i < cfg.num_clients; ++i) {
@@ -433,16 +486,18 @@ RunOutput run_once(Scheme scheme, const ExperimentConfig& cfg,
         root.child(0x0C000000ULL +
                    client_hosts[static_cast<std::size_t>(i)])));
     kv::Client* c = clients.back().get();
+    ShardAccum* acc =
+        &accums[static_cast<std::size_t>(fabric.shard_of(c->node_id()))];
     c->set_completion_callback(
-        [&out, &simulator, warmup_time,
+        [acc, warmup_time,
          latency_hist](const kv::Client::Completion& comp) {
-          if (simulator.now() - comp.latency < warmup_time) return;
-          out.latencies_ms.add(sim::to_millis(comp.latency));
+          if (comp.completed_at - comp.latency < warmup_time) return;
+          acc->latencies_ms.add(sim::to_millis(comp.latency));
           if (latency_hist != nullptr) {
             latency_hist->add(sim::to_millis(comp.latency));
           }
-          out.forwards_sum += comp.forwards;
-          ++out.forwards_n;
+          acc->forwards_sum += comp.forwards;
+          ++acc->forwards_n;
         });
     c->start();
   }
@@ -513,18 +568,25 @@ RunOutput run_once(Scheme scheme, const ExperimentConfig& cfg,
   }
 
   // --- Run -------------------------------------------------------------------
-  simulator.run_until(t_end);
+  shard_group.run_until(t_end);
   for (auto& c : clients) c->stop();
   // Drain in-flight requests (periodic tasks keep the queue alive, so poll
-  // the clients rather than waiting for quiescence).
+  // the clients rather than waiting for quiescence). Between run_until
+  // calls every shard is parked, so the cross-shard reads are safe.
   const sim::Time drain_deadline = t_end + sim::seconds(5);
-  while (simulator.now() < drain_deadline) {
+  while (shard_group.now() < drain_deadline) {
     std::size_t in_flight = 0;
     for (const auto& c : clients) in_flight += c->in_flight();
     if (in_flight == 0) break;
-    simulator.run_until(simulator.now() + sim::millis(1));
+    shard_group.run_until(shard_group.now() + sim::millis(1));
   }
 
+  // Merge the per-shard completion accumulators in shard order.
+  for (ShardAccum& acc : accums) {
+    out.latencies_ms.merge(acc.latencies_ms);
+    out.forwards_sum += acc.forwards_sum;
+    out.forwards_n += acc.forwards_n;
+  }
   for (const auto& c : clients) {
     out.issued += c->issued();
     out.completed += c->completed();
@@ -532,7 +594,10 @@ RunOutput run_once(Scheme scheme, const ExperimentConfig& cfg,
     out.cancels += c->cancels_sent();
   }
   out.wire_bytes = fabric.bytes_sent();
-  out.events_fired = simulator.events_fired();
+  // Summed over shards (and the global queue) in shard order, so the count
+  // is deterministic at any shards/jobs value (bench_gate's allocs-per-hop
+  // and events-per-core-sec stay meaningful under sharding).
+  out.events_fired = shard_group.events_fired();
   out.load_oscillation = herd_cv(moments);
   if (is_netrs(scheme)) {
     out.rsnodes = controller->active_rsnodes();
@@ -551,14 +616,15 @@ RunOutput run_once(Scheme scheme, const ExperimentConfig& cfg,
     // queue alive forever, so poll the fabric rather than wait for
     // quiescence; traffic still on the wire at the deadline is recorded as
     // in-flight, not as a leak.
-    const sim::Time audit_deadline = simulator.now() + sim::seconds(1);
-    while (simulator.now() < audit_deadline &&
+    const sim::Time audit_deadline = shard_group.now() + sim::seconds(1);
+    while (shard_group.now() < audit_deadline &&
            fabric.deliveries_in_flight() > 0) {
-      simulator.run_until(simulator.now() + sim::millis(1));
+      shard_group.run_until(shard_group.now() + sim::millis(1));
     }
     fabric.audit_finalize(
         /*expect_drained=*/fabric.deliveries_in_flight() == 0);
-    out.audit = simulator.auditor().summary();
+    // Per-shard ledgers merged in shard order (plus the global queue's).
+    out.audit = fabric.merged_audit_summary();
   }
   if (observer) {
     out.trace = observer->take_trace();

@@ -233,6 +233,7 @@ void Client::handle_response(net::Packet& pkt) {
       c.server = server;
       c.redundant_used = p.redundant_sent;
       c.forwards = pkt.meta.forwards;
+      c.completed_at = simulator().now();
       on_complete_(c);
     }
   }

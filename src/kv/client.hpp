@@ -70,6 +70,9 @@ class Client final : public net::Host {
     /// Switch forwarding operations over the whole request+response path
     /// (the paper's hop metric; extra hops to RSNodes show up here).
     std::uint32_t forwards = 0;
+    /// Completion time on the client's own shard clock (under sharding the
+    /// harness must not read another simulator's now() for warmup cuts).
+    sim::Time completed_at = 0;
   };
   /// Invoked once per completed request (first response).
   using CompletionCallback = std::function<void(const Completion&)>;

@@ -1,6 +1,9 @@
 #include "net/fabric.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "obs/metrics.hpp"
@@ -9,9 +12,108 @@ namespace netrs::net {
 
 Fabric::Fabric(sim::Simulator& simulator, const FatTree& topo,
                FabricConfig cfg)
-    : sim_(simulator), topo_(topo), cfg_(cfg) {
-  nodes_.resize(topo.node_count(), nullptr);
-  delivery_ledger_.set_name("fabric-delivery");
+    : topo_(topo), cfg_(cfg) {
+  init_serial(simulator);
+}
+
+Fabric::Fabric(sim::ShardGroup& group, const FatTree& topo, FabricConfig cfg)
+    : topo_(topo), cfg_(cfg) {
+  if (group.shards() <= 1) {
+    // One shard: no cross-shard traffic exists, so take the serial path
+    // (and skip the lookahead validation — no conservative sync runs).
+    init_serial(group.global_sim());
+    return;
+  }
+  init_sharded(group);
+}
+
+Fabric::~Fabric() {
+  if (lanes_ == nullptr) return;
+  const std::size_t n = sims_.size() * sims_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    Lane& ln = lanes_[i];
+    for (LaneNode* list :
+         {ln.head.load(std::memory_order_relaxed),
+          ln.free_head.load(std::memory_order_relaxed), ln.producer_cache}) {
+      while (list != nullptr) {
+        LaneNode* next = list->next;
+        delete list;
+        list = next;
+      }
+    }
+  }
+}
+
+void Fabric::init_serial(sim::Simulator& simulator) {
+  sims_ = {&simulator};
+  global_sim_ = &simulator;
+  node_shard_.assign(topo_.node_count(), 0);
+  state_ = std::make_unique<ShardState[]>(1);
+  state_[0].ledger.set_name("fabric-delivery");
+  nodes_.resize(topo_.node_count(), nullptr);
+}
+
+void Fabric::init_sharded(sim::ShardGroup& group) {
+  const int shards = group.shards();
+  // Satellite fix: a link shorter than the lookahead window would let a
+  // packet arrive inside a window a neighbor shard has already executed,
+  // silently corrupting conservative sync. Fail fast at construction.
+  // Accelerator links are exempt: the ownership map pins every accelerator
+  // to its switch's shard, so they can never cross a shard boundary.
+  const sim::Duration lookahead = group.lookahead();
+  if (lookahead <= 0) {
+    throw std::invalid_argument(
+        "Fabric: sharded mode needs a positive lookahead window, got " +
+        std::to_string(lookahead) + " ns");
+  }
+  if (cfg_.switch_link_latency < lookahead) {
+    throw std::invalid_argument(
+        "Fabric: switch link latency " +
+        std::to_string(cfg_.switch_link_latency) +
+        " ns is below the conservative lookahead window of " +
+        std::to_string(lookahead) +
+        " ns; cross-shard packets would arrive inside already-executed "
+        "windows (lower the ShardGroup lookahead or raise the latency)");
+  }
+  if (cfg_.host_link_latency < lookahead) {
+    throw std::invalid_argument(
+        "Fabric: host link latency " + std::to_string(cfg_.host_link_latency) +
+        " ns is below the conservative lookahead window of " +
+        std::to_string(lookahead) +
+        " ns; cross-shard packets would arrive inside already-executed "
+        "windows (lower the ShardGroup lookahead or raise the latency)");
+  }
+
+  group_ = &group;
+  sims_.reserve(std::size_t(shards));
+  for (int s = 0; s < shards; ++s) sims_.push_back(&group.shard_sim(s));
+  global_sim_ = &group.global_sim();
+  state_ = std::make_unique<ShardState[]>(std::size_t(shards));
+  for (int s = 0; s < shards; ++s) {
+    state_[s].ledger.set_name("fabric-delivery");
+  }
+  lanes_ = std::make_unique<Lane[]>(std::size_t(shards) * std::size_t(shards));
+
+  // Ownership map: pod p (ToRs, aggs, hosts) on shard p mod S; core group g
+  // (its k/2 switches, and by attach_auxiliary the accelerator they share)
+  // on shard g mod S. Only agg<->core links ever cross shards.
+  const int half = topo_.k() / 2;
+  node_shard_.resize(topo_.node_count());
+  for (std::size_t n = 0; n < topo_.node_count(); ++n) {
+    const NodeId id = static_cast<NodeId>(n);
+    int shard;
+    if (topo_.is_host(id)) {
+      shard = topo_.location(topo_.host_of(id)).pod % shards;
+    } else {
+      const SwitchCoord c = topo_.coord(id);
+      shard = c.tier == Tier::kCore ? (c.idx / half) % shards
+                                    : c.pod % shards;
+    }
+    node_shard_[n] = shard;
+  }
+  nodes_.resize(topo_.node_count(), nullptr);
+  group.set_drain_hook(
+      [this](int shard, sim::Time safe) { drain_shard(shard, safe); });
 }
 
 void Fabric::attach(NodeId id, Node* node) {
@@ -27,6 +129,7 @@ NodeId Fabric::attach_auxiliary(Node* node, NodeId sw) {
   const NodeId id =
       topo_.node_count() + static_cast<NodeId>(aux_nodes_.size());
   aux_nodes_.push_back(node);
+  aux_shard_.push_back(shard_of(sw));
   aux_link_[id] = sw;
   return id;
 }
@@ -54,53 +157,194 @@ bool Fabric::valid_link(NodeId from, NodeId to) const {
   return topo_.adjacent(from, to);
 }
 
+std::uint32_t Fabric::acquire_slot(ShardState& st) {
+  if (!st.free_deliveries.empty()) {
+    const std::uint32_t slot = st.free_deliveries.back();
+    st.free_deliveries.pop_back();
+    return slot;
+  }
+  const std::uint32_t slot = static_cast<std::uint32_t>(st.deliveries.size());
+  st.deliveries.emplace_back();
+  return slot;
+}
+
+void Fabric::send_local(int shard, NodeId from, NodeId to, Packet pkt) {
+  Node* dst = node(to);
+  assert(dst != nullptr && "destination NodeId has no attached object");
+  ShardState& st = state_[shard];
+  sim::Simulator& sim = *sims_[std::size_t(shard)];
+  ++st.packets_sent;
+  st.bytes_sent += pkt.wire_size();
+  const sim::Duration lat = link_latency(from, to);
+
+  // Park the packet in the pool; the event captures {this, shard, slot}
+  // only, so it stays within the Task's inline buffer. The pool grows to
+  // the high-water mark of concurrently in-flight packets and is reused.
+  const std::uint32_t slot = acquire_slot(st);
+  Delivery& d = st.deliveries[slot];
+  d.pkt = std::move(pkt);
+  d.dst = dst;
+  d.from = from;
+  sim.auditor().on_packet_injected();
+  st.ledger.on_park(sim.auditor(), slot, [&] {
+    return "packet src=" + std::to_string(d.pkt.src) +
+           " dst=" + std::to_string(d.pkt.dst) + " link " +
+           std::to_string(from) + "->" + std::to_string(to) +
+           " sent at t=" + std::to_string(sim.now()) + " ns";
+  });
+  sim.after(lat, [this, shard, slot] { deliver(shard, slot); });
+}
+
 void Fabric::send(NodeId from, NodeId to, Packet pkt) {
   // Cabling validation lives inside the assert so release builds pay
   // nothing (the old code evaluated two map lookups unconditionally).
   assert(valid_link(from, to));
 
-  Node* dst = node(to);
-  assert(dst != nullptr && "destination NodeId has no attached object");
-  ++packets_sent_;
-  bytes_sent_ += pkt.wire_size();
-  const sim::Duration lat = link_latency(from, to);
-
-  // Park the packet in the pool; the event captures {this, slot} only, so
-  // it stays within the Task's inline buffer. The pool grows to the
-  // high-water mark of concurrently in-flight packets and is then reused.
-  std::uint32_t slot;
-  if (!free_deliveries_.empty()) {
-    slot = free_deliveries_.back();
-    free_deliveries_.pop_back();
-  } else {
-    slot = static_cast<std::uint32_t>(deliveries_.size());
-    deliveries_.emplace_back();
+  const int dst_shard = shard_of(to);
+  if (lanes_ == nullptr) {
+    send_local(dst_shard, from, to, std::move(pkt));
+    return;
   }
-  Delivery& d = deliveries_[slot];
-  d.pkt = std::move(pkt);
-  d.dst = dst;
-  d.from = from;
-  sim_.auditor().on_packet_injected();
-  delivery_ledger_.on_park(sim_.auditor(), slot, [&] {
-    return "packet src=" + std::to_string(d.pkt.src) +
-           " dst=" + std::to_string(d.pkt.dst) + " link " +
-           std::to_string(from) + "->" + std::to_string(to) +
-           " sent at t=" + std::to_string(sim_.now()) + " ns";
-  });
-  sim_.after(lat, [this, slot] { deliver(slot); });
+  const int src_shard = shard_of(from);
+  if (src_shard == dst_shard) {
+    send_local(dst_shard, from, to, std::move(pkt));
+    return;
+  }
+
+  assert(node(to) != nullptr && "destination NodeId has no attached object");
+  const int ctx = sim::ShardGroup::current_shard();
+  assert((ctx == sim::ShardGroup::kCoordinator || ctx == src_shard) &&
+         "cross-shard send from a thread that owns neither endpoint");
+  ShardState& src = state_[src_shard];
+  ++src.packets_sent;
+  src.bytes_sent += pkt.wire_size();
+  sims_[std::size_t(src_shard)]->auditor().on_packet_injected();
+  // The send happens "now" on the sending context's clock: the source
+  // shard's simulator inside a window, the global simulator when the
+  // coordinator (a barrier-executed global event, or setup code) sends.
+  sim::Simulator& clock_sim = ctx == sim::ShardGroup::kCoordinator
+                                  ? *global_sim_
+                                  : *sims_[std::size_t(ctx)];
+  const sim::Time arrive = clock_sim.now() + link_latency(from, to);
+  state_[dst_shard].cross_pending.fetch_add(1, std::memory_order_relaxed);
+
+  if (ctx == sim::ShardGroup::kCoordinator) {
+    // Every shard is parked at a barrier: park straight into the
+    // destination pool, bypassing the lanes (which are single-producer).
+    park_cross(dst_shard,
+               CrossEntry{arrive, src_shard, 0, from, to, std::move(pkt)});
+    return;
+  }
+
+  Lane& ln = lane(dst_shard, src_shard);
+  // Refill the producer's node cache from the consumer's free stack;
+  // allocate only at the lane's high-water mark.
+  if (ln.producer_cache == nullptr) {
+    ln.producer_cache = ln.free_head.exchange(nullptr, std::memory_order_acquire);
+  }
+  LaneNode* n;
+  if (ln.producer_cache != nullptr) {
+    n = ln.producer_cache;
+    ln.producer_cache = n->next;
+  } else {
+    n = new LaneNode;
+  }
+  n->entry = CrossEntry{arrive, src_shard, ln.next_seq++, from, to,
+                        std::move(pkt)};
+  LaneNode* head = ln.head.load(std::memory_order_relaxed);
+  do {
+    n->next = head;
+  } while (!ln.head.compare_exchange_weak(head, n, std::memory_order_release,
+                                          std::memory_order_relaxed));
 }
 
-void Fabric::deliver(std::uint32_t slot) {
-  Delivery& d = deliveries_[slot];
+void Fabric::drain_shard(int dst, sim::Time safe) {
+  ShardState& st = state_[dst];
+  const int shards = shard_count();
+  for (int src = 0; src < shards; ++src) {
+    if (src == dst) continue;
+    Lane& ln = lane(dst, src);
+    LaneNode* n = ln.head.exchange(nullptr, std::memory_order_acquire);
+    while (n != nullptr) {
+      LaneNode* next = n->next;
+      st.pending.push_back(std::move(n->entry));
+      std::push_heap(st.pending.begin(), st.pending.end(), CrossLater{});
+      // Recycle through the consumer-side free stack (producer steals it).
+      LaneNode* free_head = ln.free_head.load(std::memory_order_relaxed);
+      do {
+        n->next = free_head;
+      } while (!ln.free_head.compare_exchange_weak(
+          free_head, n, std::memory_order_release, std::memory_order_relaxed));
+      n = next;
+    }
+  }
+  // Park every arrival strictly below the window bound, in deterministic
+  // (arrive, src_shard, seq) order; conservative sync guarantees no later
+  // push can land below `safe`, so the order is independent of thread
+  // timing. Later arrivals wait in the heap for a future window.
+  while (!st.pending.empty() && st.pending.front().arrive < safe) {
+    std::pop_heap(st.pending.begin(), st.pending.end(), CrossLater{});
+    CrossEntry e = std::move(st.pending.back());
+    st.pending.pop_back();
+    park_cross(dst, std::move(e));
+  }
+}
+
+void Fabric::park_cross(int dst, CrossEntry entry) {
+  ShardState& st = state_[dst];
+  sim::Simulator& sim = *sims_[std::size_t(dst)];
+  Node* dst_node = node(entry.to);
+  const std::uint32_t slot = acquire_slot(st);
+  Delivery& d = st.deliveries[slot];
+  d.pkt = std::move(entry.pkt);
+  d.dst = dst_node;
+  d.from = entry.from;
+  st.ledger.on_park(sim.auditor(), slot, [&] {
+    return "packet src=" + std::to_string(d.pkt.src) +
+           " dst=" + std::to_string(d.pkt.dst) + " link " +
+           std::to_string(entry.from) + "->" + std::to_string(entry.to) +
+           " crossing from shard " + std::to_string(entry.src_shard) +
+           ", arrives t=" + std::to_string(entry.arrive) + " ns";
+  });
+  st.cross_pending.fetch_sub(1, std::memory_order_relaxed);
+  sim.at(entry.arrive, [this, dst, slot] { deliver(dst, slot); });
+}
+
+void Fabric::deliver(int shard, std::uint32_t slot) {
+  ShardState& st = state_[shard];
+  sim::Simulator& sim = *sims_[std::size_t(shard)];
+  Delivery& d = st.deliveries[slot];
   Packet pkt = std::move(d.pkt);
   Node* const dst = d.dst;
   const NodeId from = d.from;
-  sim_.auditor().on_packet_delivered();
-  delivery_ledger_.on_release(sim_.auditor(), slot);
+  sim.auditor().on_packet_delivered();
+  st.ledger.on_release(sim.auditor(), slot);
   // Recycle before receive(): anything the receiver sends can reuse the
   // slot immediately, keeping the pool at its high-water mark.
-  free_deliveries_.push_back(slot);
+  st.free_deliveries.push_back(slot);
   dst->receive(std::move(pkt), from);
+}
+
+std::uint64_t Fabric::packets_sent() const {
+  std::uint64_t total = 0;
+  for (int s = 0; s < shard_count(); ++s) total += state_[s].packets_sent;
+  return total;
+}
+
+std::uint64_t Fabric::bytes_sent() const {
+  std::uint64_t total = 0;
+  for (int s = 0; s < shard_count(); ++s) total += state_[s].bytes_sent;
+  return total;
+}
+
+std::size_t Fabric::deliveries_in_flight() const {
+  std::size_t total = 0;
+  for (int s = 0; s < shard_count(); ++s) {
+    const ShardState& st = state_[s];
+    total += st.deliveries.size() - st.free_deliveries.size();
+    total += st.cross_pending.load(std::memory_order_relaxed);
+  }
+  return total;
 }
 
 void Fabric::register_metrics(obs::MetricsRegistry& reg) const {
@@ -111,28 +355,43 @@ void Fabric::register_metrics(obs::MetricsRegistry& reg) const {
             [this] { return static_cast<double>(deliveries_in_flight()); });
 }
 
+sim::AuditSummary Fabric::merged_audit_summary() const {
+  sim::AuditSummary out;
+  for (const sim::Simulator* s : sims_) out.merge(s->auditor().summary());
+  if (global_sim_ != sims_.front()) {
+    out.merge(global_sim_->auditor().summary());
+  }
+  return out;
+}
+
 void Fabric::audit_finalize(bool expect_drained) {
   if constexpr (!sim::kAuditEnabled) {
     (void)expect_drained;
     return;
   }
-  if (expect_drained) {
-    delivery_ledger_.finalize(sim_.auditor());
-  } else {
-    sim_.auditor().on_packets_in_flight_at_end(delivery_ledger_.parked_count());
+  for (int s = 0; s < shard_count(); ++s) {
+    ShardState& st = state_[s];
+    if (expect_drained) {
+      st.ledger.finalize(sims_[std::size_t(s)]->auditor());
+    } else {
+      sims_[std::size_t(s)]->auditor().on_packets_in_flight_at_end(
+          st.ledger.parked_count() +
+          st.cross_pending.load(std::memory_order_relaxed));
+    }
   }
-  // Conservation identity: the counters must balance regardless of drain
-  // state — a mismatch means a delivery fired without a send (duplication)
-  // or vice versa (loss the slot ledger missed).
-  sim_.auditor().check(
-      packets_sent_ ==
-          sim_.auditor().summary().packets_delivered + deliveries_in_flight(),
+  // Conservation identity over the merged per-shard ledgers: the counters
+  // must balance regardless of drain state — a mismatch means a delivery
+  // fired without a send (duplication) or vice versa (loss the slot
+  // ledgers missed), including packets lost crossing shards.
+  const sim::AuditSummary merged = merged_audit_summary();
+  const std::uint64_t sent = packets_sent();
+  global_sim_->auditor().check(
+      sent == merged.packets_delivered + deliveries_in_flight(),
       "conservation-identity", [&] {
-        return "fabric sent " + std::to_string(packets_sent_) +
+        return "fabric sent " + std::to_string(sent) +
                " packets but delivered " +
-               std::to_string(sim_.auditor().summary().packets_delivered) +
-               " with " + std::to_string(deliveries_in_flight()) +
-               " in flight";
+               std::to_string(merged.packets_delivered) + " with " +
+               std::to_string(deliveries_in_flight()) + " in flight";
       });
 }
 

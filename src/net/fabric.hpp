@@ -6,15 +6,29 @@
 // a switch and its attached network accelerator see a 2.5 us RTT, i.e.
 // 1.25 us one-way. No bandwidth contention is modeled (neither does the
 // paper); queueing happens at servers and accelerators.
+//
+// Sharded mode (DESIGN.md §4.10): constructed over a sim::ShardGroup the
+// fabric partitions the tree by pod — pod p (its ToRs, aggs, and hosts)
+// lives on shard p mod S, core group g (its k/2 switches plus the shared
+// accelerator cabled to them) on shard g mod S — so the only links that
+// cross shards are the 30 us agg<->core links, which bound the group's
+// conservative lookahead. send() delivers intra-shard packets exactly as
+// the serial fabric does and pushes cross-shard packets onto a lock-free
+// per-(dst,src) lane stamped with arrival time; each shard drains its
+// lanes at the start of every conservative window, scheduling arrivals in
+// deterministic (arrive, src-shard, seq) order.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "net/fat_tree.hpp"
 #include "net/node.hpp"
 #include "net/packet.hpp"
+#include "sim/shard.hpp"
 #include "sim/simulator.hpp"
 
 namespace netrs::obs {
@@ -39,14 +53,27 @@ struct FabricConfig {
 /// fixed-latency links through the simulator (see the file comment).
 class Fabric {
  public:
-  /// Builds a fabric over `topo`; `topo` must outlive the fabric.
+  /// Builds a serial (single-simulator) fabric over `topo`; `topo` must
+  /// outlive the fabric. Identical to the pre-shard fabric.
   Fabric(sim::Simulator& simulator, const FatTree& topo, FabricConfig cfg);
+
+  /// Builds a sharded fabric over `topo` partitioned across `group`'s
+  /// shards by pod / core group (see the file comment) and installs the
+  /// group's inbox drain hook. Throws std::invalid_argument when a
+  /// switch/host link latency is below the group's lookahead window (a
+  /// short link would let a packet arrive inside an already-executed
+  /// window and silently break conservative sync). `group` and `topo`
+  /// must outlive the fabric; one fabric per group.
+  Fabric(sim::ShardGroup& group, const FatTree& topo, FabricConfig cfg);
+
+  ~Fabric();
 
   /// Registers the live object for a topology NodeId. Must precede traffic.
   void attach(NodeId id, Node* node);
 
   /// Allocates a NodeId outside the tree for an auxiliary device (network
-  /// accelerator) cabled to switch `sw`, and registers it.
+  /// accelerator) cabled to switch `sw`, and registers it. The device
+  /// inherits `sw`'s shard, keeping the short accelerator link intra-shard.
   NodeId attach_auxiliary(Node* node, NodeId sw);
 
   /// Sends `pkt` from `from` to the adjacent node `to`; delivery fires after
@@ -55,28 +82,45 @@ class Fabric {
   ///
   /// Allocation-free in steady state: the packet is parked in a free-list
   /// delivery pool and the scheduled event captures only {fabric, slot}.
+  /// In sharded mode a cross-shard send instead pushes onto the
+  /// destination shard's lock-free lane (nodes pooled per lane).
   void send(NodeId from, NodeId to, Packet pkt);
 
-  /// The simulation clock/scheduler this fabric schedules deliveries on.
-  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  /// The global simulation clock/scheduler: the only simulator in serial
+  /// mode, the ShardGroup's barrier-executed global simulator in sharded
+  /// mode. Per-node scheduling must use simulator_for().
+  [[nodiscard]] sim::Simulator& simulator() { return *global_sim_; }
+  /// The simulator owning `id`'s shard: components cache this and schedule
+  /// all their local work on it.
+  [[nodiscard]] sim::Simulator& simulator_for(NodeId id) {
+    return *sims_[std::size_t(shard_of(id))];
+  }
+  /// Shard index owning NodeId `id` (always 0 in serial mode).
+  [[nodiscard]] int shard_of(NodeId id) const {
+    return id < node_shard_.size()
+               ? node_shard_[id]
+               : aux_shard_[id - node_shard_.size()];
+  }
+  /// Number of shards the fabric spans (1 in serial mode).
+  [[nodiscard]] int shard_count() const { return static_cast<int>(sims_.size()); }
   /// The static topology.
   [[nodiscard]] const FatTree& topology() const { return topo_; }
   /// The link-latency parameters.
   [[nodiscard]] const FabricConfig& config() const { return cfg_; }
 
-  /// Total packets handed to `send` (diagnostic).
-  [[nodiscard]] std::uint64_t packets_sent() const { return packets_sent_; }
+  /// Total packets handed to `send`, summed over shards in shard order
+  /// (diagnostic; call only between ShardGroup windows).
+  [[nodiscard]] std::uint64_t packets_sent() const;
   /// Total wire bytes carried across all links (bandwidth accounting —
   /// NetRS is required to "limit its bandwidth overheads", §II).
-  [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
+  [[nodiscard]] std::uint64_t bytes_sent() const;
 
   /// Stable per-flow hash used for ECMP decisions.
   static std::uint64_t flow_hash(const Packet& pkt);
 
-  /// Delivery-pool slots currently parked (in-flight packets; diagnostic).
-  [[nodiscard]] std::size_t deliveries_in_flight() const {
-    return deliveries_.size() - free_deliveries_.size();
-  }
+  /// Packets on the wire: parked delivery slots plus cross-shard packets
+  /// still in lanes or pending heaps (diagnostic; call between windows).
+  [[nodiscard]] std::size_t deliveries_in_flight() const;
 
   /// Registers the fabric's wire-level gauges (`net.packets`, `net.bytes`,
   /// `net.inflight`) with a metrics registry; sampled on the simulated-time
@@ -88,35 +132,111 @@ class Fabric {
   /// reported as a packet leak with its send provenance; without it (a run
   /// cut off at a simulated-time wall with traffic legitimately on the
   /// wire) the in-flight count is recorded in the audit summary instead.
+  /// In sharded mode the per-shard ledgers are closed in shard order and
+  /// the conservation identity is checked over the merged counters.
   void audit_finalize(bool expect_drained = true);
+
+  /// Merged audit counters across every shard auditor plus the global one
+  /// (shard order; empty-default in plain builds). Serial mode returns the
+  /// single simulator's summary.
+  [[nodiscard]] sim::AuditSummary merged_audit_summary() const;
 
  private:
   /// One in-flight link crossing. Pooled: slots are recycled through
-  /// free_deliveries_, so steady-state traffic allocates nothing.
+  /// the per-shard free list, so steady-state traffic allocates nothing.
   struct Delivery {
     Packet pkt;
     Node* dst = nullptr;
     NodeId from = kInvalidNode;
   };
 
+  /// A cross-shard packet after lane drain, ordered in the destination
+  /// shard's pending min-heap by (arrive, src_shard, seq).
+  struct CrossEntry {
+    sim::Time arrive = 0;
+    int src_shard = 0;
+    std::uint64_t seq = 0;
+    NodeId from = kInvalidNode;
+    NodeId to = kInvalidNode;
+    Packet pkt;
+  };
+
+  /// Min-heap comparator over CrossEntry: "a arrives later than b" in the
+  /// deterministic (arrive, src_shard, seq) drain order.
+  struct CrossLater {
+    bool operator()(const CrossEntry& a, const CrossEntry& b) const {
+      if (a.arrive != b.arrive) return a.arrive > b.arrive;
+      if (a.src_shard != b.src_shard) return a.src_shard > b.src_shard;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Intrusive node of a lane's lock-free stack; pooled per lane.
+  struct LaneNode {
+    LaneNode* next = nullptr;
+    CrossEntry entry;
+  };
+
+  /// Single-producer (src shard) / single-consumer (dst shard) lock-free
+  /// channel. `head` is a Treiber stack the producer pushes with CAS and
+  /// the consumer steals wholesale with exchange (no ABA: only whole-list
+  /// steals). Freed nodes flow back through `free_head` (consumer CAS-push,
+  /// producer exchange-steal into its private cache).
+  struct Lane {
+    std::atomic<LaneNode*> head{nullptr};
+    std::atomic<LaneNode*> free_head{nullptr};
+    LaneNode* producer_cache = nullptr;  // producer-only
+    std::uint64_t next_seq = 0;          // producer-only, monotone per lane
+  };
+
+  /// Everything one shard owns; cache-line isolated. Only the owning shard
+  /// thread (or the coordinator at a barrier) touches the non-atomic
+  /// fields.
+  struct alignas(64) ShardState {
+    std::vector<Delivery> deliveries;            // packet pool
+    std::vector<std::uint32_t> free_deliveries;  // free slot indices
+    std::uint64_t packets_sent = 0;
+    std::uint64_t bytes_sent = 0;
+    sim::SlotLedger ledger;           // conservation audit (checked builds)
+    std::vector<CrossEntry> pending;  // drained, not yet schedulable
+    /// Cross-shard packets bound here that are not yet parked in the
+    /// delivery pool (in a lane or in `pending`).
+    std::atomic<std::uint64_t> cross_pending{0};
+  };
+
+  void init_serial(sim::Simulator& simulator);
+  void init_sharded(sim::ShardGroup& group);
   [[nodiscard]] sim::Duration link_latency(NodeId a, NodeId b) const;
   [[nodiscard]] Node* node(NodeId id) const;
   /// Cabling check behind assert(): tree adjacency or an auxiliary link in
   /// either direction. Single map lookup per direction.
   [[nodiscard]] bool valid_link(NodeId from, NodeId to) const;
-  void deliver(std::uint32_t slot);
+  /// The serial fast path: park in `shard`'s pool and schedule delivery on
+  /// its own simulator. Bit-for-bit the pre-shard send.
+  void send_local(int shard, NodeId from, NodeId to, Packet pkt);
+  /// Drains every lane bound for `dst` and parks all arrivals strictly
+  /// below `safe` in (arrive, src_shard, seq) order; the rest wait in the
+  /// pending heap. Runs on `dst`'s worker at each window start.
+  void drain_shard(int dst, sim::Time safe);
+  void park_cross(int dst, CrossEntry entry);
+  void deliver(int shard, std::uint32_t slot);
+  [[nodiscard]] std::uint32_t acquire_slot(ShardState& st);
+  [[nodiscard]] Lane& lane(int dst, int src) {
+    return lanes_[std::size_t(dst) * sims_.size() + std::size_t(src)];
+  }
 
-  sim::Simulator& sim_;
   const FatTree& topo_;
   FabricConfig cfg_;
-  std::vector<Node*> nodes_;                   // topology nodes by NodeId
-  std::vector<Node*> aux_nodes_;               // auxiliary devices
+  sim::ShardGroup* group_ = nullptr;     // null in serial mode
+  std::vector<sim::Simulator*> sims_;    // by shard
+  sim::Simulator* global_sim_ = nullptr;
+  std::vector<int> node_shard_;          // topology NodeId -> shard
+  std::vector<int> aux_shard_;           // auxiliary index -> shard
+  std::unique_ptr<ShardState[]> state_;  // by shard
+  std::unique_ptr<Lane[]> lanes_;        // [dst * shards + src], sharded only
+  std::vector<Node*> nodes_;             // topology nodes by NodeId
+  std::vector<Node*> aux_nodes_;         // auxiliary devices
   std::unordered_map<NodeId, NodeId> aux_link_;  // aux id -> switch id
-  std::vector<Delivery> deliveries_;             // packet pool
-  std::vector<std::uint32_t> free_deliveries_;   // free slot indices
-  std::uint64_t packets_sent_ = 0;
-  std::uint64_t bytes_sent_ = 0;
-  sim::SlotLedger delivery_ledger_;  // conservation audit (checked builds)
 };
 
 }  // namespace netrs::net

@@ -19,7 +19,8 @@ class Host : public Node {
       : fabric_(fabric),
         host_id_(id),
         node_id_(fabric.topology().host_node(id)),
-        tor_(fabric.topology().host_tor(id)) {
+        tor_(fabric.topology().host_tor(id)),
+        sim_(fabric.simulator_for(node_id_)) {
     fabric.attach(node_id_, this);
   }
 
@@ -40,14 +41,16 @@ class Host : public Node {
 
   /// The fabric this host is attached to.
   [[nodiscard]] Fabric& fabric() { return fabric_; }
-  /// The simulation clock/scheduler.
-  [[nodiscard]] sim::Simulator& simulator() { return fabric_.simulator(); }
+  /// The simulation clock/scheduler of this host's shard (the only
+  /// simulator in serial mode).
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
 
  private:
   Fabric& fabric_;
   HostId host_id_;
   NodeId node_id_;
   NodeId tor_;
+  sim::Simulator& sim_;
 };
 
 }  // namespace netrs::net

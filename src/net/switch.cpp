@@ -7,7 +7,8 @@
 
 namespace netrs::net {
 
-Switch::Switch(Fabric& fabric, NodeId self) : fabric_(fabric), self_(self) {
+Switch::Switch(Fabric& fabric, NodeId self)
+    : fabric_(fabric), self_(self), sim_(fabric.simulator_for(self)) {
   assert(fabric.topology().is_switch(self));
 }
 
@@ -33,16 +34,16 @@ void Switch::run_pipeline(Packet pkt, NodeId from) {
   for (IngressStage* stage : ingress_) {
     Disposition d = stage->on_ingress(pkt, from, *this);
     if (std::holds_alternative<Consumed>(d)) {
-      if (obs::Observer* o = fabric_.simulator().observer()) {
+      if (obs::Observer* o = sim_.observer()) {
         o->instant("sw.consume", "sw", static_cast<std::int32_t>(self_),
-                   fabric_.simulator().now(), pkt.meta.request_id);
+                   sim_.now(), pkt.meta.request_id);
       }
       return;
     }
     if (auto* steer = std::get_if<Steer>(&d)) {
-      if (obs::Observer* o = fabric_.simulator().observer()) {
+      if (obs::Observer* o = sim_.observer()) {
         o->instant("sw.steer", "sw", static_cast<std::int32_t>(self_),
-                   fabric_.simulator().now(), pkt.meta.request_id, "target",
+                   sim_.now(), pkt.meta.request_id, "target",
                    static_cast<std::uint64_t>(steer->target_switch));
       }
       forward_toward_switch(std::move(pkt), steer->target_switch);
@@ -54,7 +55,7 @@ void Switch::run_pipeline(Packet pkt, NodeId from) {
 
 void Switch::forward_toward_host(Packet pkt) {
   if constexpr (sim::kAuditEnabled) {
-    fabric_.simulator().auditor().check(
+    sim_.auditor().check(
         pkt.dst != kInvalidHost, "invalid-forward", [&] {
           return "switch " + std::to_string(self_) +
                  " forwarding packet src=" + std::to_string(pkt.src) +
@@ -70,7 +71,7 @@ void Switch::forward_toward_host(Packet pkt) {
 
 void Switch::forward_toward_switch(Packet pkt, NodeId target) {
   if constexpr (sim::kAuditEnabled) {
-    fabric_.simulator().auditor().check(
+    sim_.auditor().check(
         target != self_, "invalid-forward", [&] {
           return "switch " + std::to_string(self_) +
                  " steered packet src=" + std::to_string(pkt.src) +

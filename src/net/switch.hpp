@@ -80,6 +80,8 @@ class Switch : public Node {
   [[nodiscard]] Tier tier() const { return fabric_.topology().tier(self_); }
   /// The fabric this switch forwards on.
   [[nodiscard]] Fabric& fabric() { return fabric_; }
+  /// The simulation clock/scheduler of this switch's shard.
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
 
   /// Switch forwarding operations performed (the paper's hop metric).
   [[nodiscard]] std::uint64_t forwards() const { return forwards_; }
@@ -90,6 +92,7 @@ class Switch : public Node {
 
   Fabric& fabric_;
   NodeId self_;
+  sim::Simulator& sim_;
   std::vector<IngressStage*> ingress_;
   std::vector<EgressStage*> egress_;
   std::uint64_t forwards_ = 0;

@@ -10,7 +10,8 @@ namespace netrs::core {
 
 Accelerator::Accelerator(net::Fabric& fabric, net::NodeId co_located_switch,
                          AcceleratorConfig cfg)
-    : fabric_(fabric), cfg_(cfg) {
+    : fabric_(fabric), sim_(fabric.simulator_for(co_located_switch)),
+      cfg_(cfg) {
   assert(cfg.cores >= 1);
   service_start_.resize(static_cast<std::size_t>(cfg.cores), 0);
   slot_busy_.resize(static_cast<std::size_t>(cfg.cores), false);
@@ -23,6 +24,11 @@ Accelerator::Accelerator(net::Fabric& fabric, net::NodeId co_located_switch,
 net::NodeId Accelerator::attach_switch(net::NodeId sw) {
   auto it = by_switch_.find(sw);
   if (it != by_switch_.end()) return it->second;
+  // A shared accelerator must stay on one shard: every switch it is cabled
+  // to has to live in the same core group / pod (the 1.25 us link is far
+  // below the cross-shard lookahead window).
+  assert(&fabric_.simulator_for(sw) == &sim_ &&
+         "accelerator shared across shards");
   const net::NodeId aux = fabric_.attach_auxiliary(this, sw);
   by_switch_.emplace(sw, aux);
   return aux;
@@ -41,7 +47,7 @@ bool Accelerator::is_request(const net::Packet& pkt) const {
 
 void Accelerator::receive(net::Packet pkt, net::NodeId from) {
   if constexpr (sim::kAuditEnabled) {
-    fabric_.simulator().auditor().check(
+    sim_.auditor().check(
         by_switch_.contains(from), "invalid-forward", [&] {
           return "accelerator received packet src=" +
                  std::to_string(pkt.src) + " from uncabled switch " +
@@ -51,18 +57,18 @@ void Accelerator::receive(net::Packet pkt, net::NodeId from) {
     assert(by_switch_.contains(from) &&
            "packet from a switch this accelerator is not cabled to");
   }
-  Job job{std::move(pkt), from, fabric_.simulator().now()};
+  Job job{std::move(pkt), from, sim_.now()};
   if (busy_cores_ < cfg_.cores) {
     start_service(std::move(job));
   } else {
     queue_.push_back(std::move(job));
-    station_ledger_.on_enqueue(fabric_.simulator().auditor(), queue_.size());
+    station_ledger_.on_enqueue(sim_.auditor(), queue_.size());
   }
 }
 
 void Accelerator::start_service(Job job) {
   ++busy_cores_;
-  station_ledger_.on_service_start(fabric_.simulator().auditor(), busy_cores_,
+  station_ledger_.on_service_start(sim_.auditor(), busy_cores_,
                                    cfg_.cores);
   std::size_t slot = slot_busy_.size();
   for (std::size_t s = 0; s < slot_busy_.size(); ++s) {
@@ -72,7 +78,7 @@ void Accelerator::start_service(Job job) {
     }
   }
   if constexpr (sim::kAuditEnabled) {
-    fabric_.simulator().auditor().check(
+    sim_.auditor().check(
         slot < slot_busy_.size(), "service-slot-overflow", [&] {
           return "accelerator admitted a job with all " +
                  std::to_string(cfg_.cores) + " core slots busy";
@@ -83,14 +89,14 @@ void Accelerator::start_service(Job job) {
            "busy_cores_ admitted more jobs than cores");
   }
   slot_busy_[slot] = true;
-  service_start_[slot] = fabric_.simulator().now();
+  service_start_[slot] = sim_.now();
   const sim::Duration service = is_request(job.pkt)
                                     ? cfg_.request_service_time
                                     : cfg_.response_service_time;
   // Both spans are known here: the wait ended now and the (deterministic)
   // service ends `service` from now.
-  if (obs::Observer* o = fabric_.simulator().observer()) {
-    const sim::Time now = fabric_.simulator().now();
+  if (obs::Observer* o = sim_.observer()) {
+    const sim::Time now = sim_.now();
     const auto tid = static_cast<std::int32_t>(primary_node_);
     if (now > job.enqueued) {
       o->span("accel.queue", "accel", tid, job.enqueued, now - job.enqueued,
@@ -106,13 +112,13 @@ void Accelerator::start_service(Job job) {
   // The job parks in its core slot; the completion event captures
   // {this, slot} only, so scheduling never heap-allocates.
   in_service_[slot] = std::move(job);
-  fabric_.simulator().after(service,
+  sim_.after(service,
                             [this, slot] { finish_service(slot); });
 }
 
 void Accelerator::finish_service(std::size_t slot) {
   if constexpr (sim::kAuditEnabled) {
-    fabric_.simulator().auditor().check(
+    sim_.auditor().check(
         busy_cores_ > 0 && slot_busy_[slot], "service-slot-underflow", [&] {
           return "accelerator completion fired for slot " +
                  std::to_string(slot) + " with busy_cores=" +
@@ -124,13 +130,13 @@ void Accelerator::finish_service(std::size_t slot) {
     assert(slot_busy_[slot]);
   }
   --busy_cores_;
-  station_ledger_.on_service_finish(fabric_.simulator().auditor(), busy_cores_,
+  station_ledger_.on_service_finish(sim_.auditor(), busy_cores_,
                                     cfg_.cores);
   Job job = std::move(in_service_[slot]);
   // service_start_ was clamped forward by any reset_utilization() that
   // happened mid-service, so this charges only the busy time that falls
   // inside the current window.
-  busy_accum_ += fabric_.simulator().now() - service_start_[slot];
+  busy_accum_ += sim_.now() - service_start_[slot];
   slot_busy_[slot] = false;
   ++processed_;
   if (handler_) {
@@ -143,7 +149,7 @@ void Accelerator::finish_service(std::size_t slot) {
   if (!queue_.empty()) {
     Job next = std::move(queue_.front());
     queue_.pop_front();
-    station_ledger_.on_dequeue(fabric_.simulator().auditor(), queue_.size());
+    station_ledger_.on_dequeue(sim_.auditor(), queue_.size());
     start_service(std::move(next));
   }
 }
@@ -175,7 +181,7 @@ void Accelerator::reset_utilization(sim::Time now) {
           busy += now - service_start_[s];
         }
       }
-      station_ledger_.check_busy_time(fabric_.simulator().auditor(), busy,
+      station_ledger_.check_busy_time(sim_.auditor(), busy,
                                       span, cfg_.cores);
     }
   }

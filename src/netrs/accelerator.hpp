@@ -99,6 +99,9 @@ class Accelerator final : public net::Node {
   void finish_service(std::size_t slot);
 
   net::Fabric& fabric_;
+  // This accelerator's shard simulator (its primary switch's — shared-mode
+  // switches are all in one core group, hence one shard).
+  sim::Simulator& sim_;
   AcceleratorConfig cfg_;
   Handler handler_;
   net::NodeId primary_switch_ = net::kInvalidNode;

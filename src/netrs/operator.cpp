@@ -27,7 +27,7 @@ NetRSOperator::NetRSOperator(
   } else {
     owned_accel_ = std::make_unique<Accelerator>(fabric, sw.id(), accel_cfg);
     owned_selector_ = std::make_unique<SelectorNode>(
-        fabric.simulator(), replica_db, selector_factory_());
+        fabric.simulator_for(sw.id()), replica_db, selector_factory_());
     accel_ = owned_accel_.get();
     selector_ = owned_selector_.get();
     // Dedicated selectors trace under their accelerator's node id, the

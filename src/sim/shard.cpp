@@ -1,0 +1,151 @@
+#include "sim/shard.hpp"
+
+#include <cassert>
+
+namespace netrs::sim {
+
+namespace {
+// Shard id of the executing thread; kCoordinator on every non-worker
+// thread, including the harness repeat pool.
+thread_local int tls_current_shard = ShardGroup::kCoordinator;
+}  // namespace
+
+int ShardGroup::current_shard() { return tls_current_shard; }
+
+ShardGroup::ShardGroup(int shards, Duration lookahead)
+    : lookahead_(lookahead) {
+  assert(shards >= 1);
+  sims_.reserve(std::size_t(shards));
+  for (int i = 0; i < shards; ++i) {
+    sims_.push_back(std::make_unique<Simulator>());
+  }
+  if (shards == 1) {
+    // Degenerate serial mode: one simulator is both the only shard and the
+    // global queue; run_until drives it directly on the calling thread, so
+    // execution is bit-for-bit the pre-shard serial core.
+    global_ = sims_[0].get();
+    return;
+  }
+  assert(lookahead_ > 0 && "conservative sync needs positive lookahead");
+  owned_global_ = std::make_unique<Simulator>();
+  global_ = owned_global_.get();
+  clocks_ = std::make_unique<PaddedClock[]>(std::size_t(shards));
+  workers_.reserve(std::size_t(shards));
+  for (int i = 0; i < shards; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ShardGroup::~ShardGroup() {
+  if (workers_.empty()) return;
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    stop_ = true;
+  }
+  cv_cmd_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ShardGroup::worker_loop(int shard) {
+  tls_current_shard = shard;
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    Time bound;
+    {
+      std::unique_lock<std::mutex> lk(m_);
+      cv_cmd_.wait(lk, [&] { return stop_ || epoch_ != seen_epoch; });
+      if (stop_) return;
+      seen_epoch = epoch_;
+      bound = target_;
+    }
+    run_windows(shard, bound);
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      ++done_;
+    }
+    cv_done_.notify_one();
+  }
+}
+
+void ShardGroup::run_windows(int shard, Time bound) {
+  const int n = shards();
+  Simulator& sim = shard_sim(shard);
+  std::atomic<Time>& my_clock = clocks_[std::size_t(shard)].v;
+  Time clock = my_clock.load(std::memory_order_relaxed);
+  while (clock < bound) {
+    // Conservative safe bound: every peer has executed all events below its
+    // published clock and made the resulting cross-shard sends visible
+    // (release/acquire pairing on the clock), and any *future* send from
+    // peer j arrives no earlier than clock_j + lookahead.
+    Time safe = bound;
+    for (int j = 0; j < n; ++j) {
+      if (j == shard) continue;
+      const Time peer = clocks_[std::size_t(j)].v.load(std::memory_order_acquire);
+      const Time horizon = peer >= bound ? bound : peer + lookahead_;
+      if (horizon < safe) safe = horizon;
+    }
+    if (safe <= clock) {
+      // A peer lags; let it run. With equal clocks the horizon is
+      // clock + lookahead > clock, so at least one shard always advances.
+      std::this_thread::yield();
+      continue;
+    }
+    if (drain_hook_) drain_hook_(shard, safe);
+    // Execute every local event strictly below `safe` (integer times make
+    // run_until(safe - 1) exactly that), then publish.
+    sim.run_until(safe - 1);
+    clock = safe;
+    my_clock.store(clock, std::memory_order_release);
+  }
+}
+
+void ShardGroup::advance_shards(Time bound) {
+  if (workers_.empty()) return;
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    ++epoch_;
+    target_ = bound;
+    done_ = 0;
+  }
+  cv_cmd_.notify_all();
+  {
+    std::unique_lock<std::mutex> lk(m_);
+    cv_done_.wait(lk, [&] { return done_ == shards(); });
+  }
+}
+
+void ShardGroup::run_until(Time deadline) {
+  assert(deadline >= now_);
+  assert(deadline < kNever);
+  if (workers_.empty()) {
+    // Serial mode: the single simulator holds both shard and global events.
+    global_->run_until(deadline);
+    now_ = deadline;
+    return;
+  }
+  // Alternate conservative shard windows with full barriers at every global
+  // event: shards park exactly at the event's timestamp, the coordinator
+  // runs it single-threaded (free to touch any shard's state), and shard
+  // events at that same timestamp run in the next parallel window.
+  for (;;) {
+    const Time g = global_->next_event_time();
+    if (g > deadline) break;
+    advance_shards(g);
+    global_->run_until(g);
+  }
+  // No global event remains at or before the deadline: finish the shards
+  // through `deadline` inclusive (hence the +1 exclusive bound) and move
+  // the global clock up for the next call.
+  advance_shards(deadline + 1);
+  global_->run_until(deadline);
+  now_ = deadline;
+}
+
+std::uint64_t ShardGroup::events_fired() const {
+  std::uint64_t total = 0;
+  for (const auto& s : sims_) total += s->events_fired();
+  if (owned_global_) total += owned_global_->events_fired();
+  return total;
+}
+
+}  // namespace netrs::sim

@@ -1,0 +1,135 @@
+// Partitioned parallel DES core (DESIGN.md §4.10).
+//
+// A ShardGroup owns S independent `Simulator` instances ("shards") plus one
+// coordinator-driven "global" simulator, and advances the shards in parallel
+// under classic conservative (null-message / Chandy-Misra-Bryant style)
+// synchronization: every cross-shard interaction crosses a fabric link of
+// latency >= the configured lookahead L, so a shard may safely execute all
+// events strictly below
+//
+//     safe = min(bound, min_{j != i} published_clock_j + L)
+//
+// where published_clock_j means "shard j has executed every event < clock_j
+// and all its cross-shard sends from those events are visible". Shards
+// publish clocks with release stores after pushing their sends and read
+// peers' clocks with acquire loads, so any message that could land below a
+// shard's safe bound is visible before the shard drains its inboxes.
+//
+// Events living on the global simulator (controller replans, harness
+// samplers — anything that reads or mutates state across shards) execute at
+// full barriers: the coordinator parks every shard exactly at the global
+// event's timestamp, runs the event single-threaded, and resumes the
+// shards. With shards == 1 the group degenerates to one Simulator driven
+// directly — bit-for-bit today's serial execution.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace netrs::sim {
+
+/// Coordinates S per-pod simulator shards plus a global simulator under
+/// conservative lookahead synchronization (see the file comment).
+class ShardGroup {
+ public:
+  /// current_shard() value outside any shard worker thread (construction,
+  /// global-event execution, post-run reads).
+  static constexpr int kCoordinator = -1;
+
+  /// Creates `shards` simulator shards synchronized with lookahead
+  /// `lookahead` (must be > 0 when shards > 1; it is the minimum latency of
+  /// any link that may cross a shard boundary). With shards == 1 no worker
+  /// threads are created and the single shard doubles as the global
+  /// simulator.
+  explicit ShardGroup(int shards, Duration lookahead = micros(30));
+  ShardGroup(const ShardGroup&) = delete;
+  ShardGroup& operator=(const ShardGroup&) = delete;
+  ~ShardGroup();
+
+  /// Number of shards (>= 1).
+  [[nodiscard]] int shards() const { return static_cast<int>(sims_.size()); }
+  /// The conservative lookahead window.
+  [[nodiscard]] Duration lookahead() const { return lookahead_; }
+
+  /// Shard `i`'s simulator. Components owned by shard `i` schedule only
+  /// here; touching another shard's simulator from a worker thread is a
+  /// race (netrs_lint's cross-shard-sim rule flags call sites outside the
+  /// sim/fabric/harness layers).
+  [[nodiscard]] Simulator& shard_sim(int i) { return *sims_[std::size_t(i)]; }
+  /// Read-only shard simulator access (post-run stats/audit extraction).
+  [[nodiscard]] const Simulator& shard_sim(int i) const {
+    return *sims_[std::size_t(i)];
+  }
+  /// The global simulator: barrier-executed cross-shard events (controller
+  /// replan ticks, harness samplers). Same object as shard_sim(0) when
+  /// shards() == 1.
+  [[nodiscard]] Simulator& global_sim() { return *global_; }
+  /// Read-only global simulator access.
+  [[nodiscard]] const Simulator& global_sim() const { return *global_; }
+
+  /// The shard index of the calling thread: a shard id inside a worker,
+  /// kCoordinator everywhere else (the fabric uses this to classify a send
+  /// as intra-shard, cross-shard, or barrier-context).
+  [[nodiscard]] static int current_shard();
+
+  /// Called on a shard's worker thread at the start of every window with
+  /// the window's exclusive safe bound; the fabric drains that shard's
+  /// cross-shard inboxes here, scheduling every arrival below the bound.
+  using DrainHook = std::function<void(int shard, Time safe_bound)>;
+  /// Installs the inbox drain hook (the fabric's). Must precede run_until.
+  void set_drain_hook(DrainHook hook) { drain_hook_ = std::move(hook); }
+
+  /// Advances every shard (and the global simulator) through `deadline`:
+  /// events at exactly `deadline` still fire and every clock ends at
+  /// `deadline`, matching Simulator::run_until. Callable repeatedly with
+  /// non-decreasing deadlines; between calls all shards are parked and any
+  /// thread may safely inspect cross-shard state.
+  void run_until(Time deadline);
+
+  /// Group clock: the last run_until deadline (0 before the first run).
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Events fired across all shards plus the global simulator, summed in
+  /// shard order (deterministic for any jobs/shards value).
+  [[nodiscard]] std::uint64_t events_fired() const;
+
+ private:
+  /// Cache-line-isolated published clock of one shard.
+  struct alignas(64) PaddedClock {
+    std::atomic<Time> v{0};
+  };
+
+  void worker_loop(int shard);
+  void run_windows(int shard, Time bound);
+  /// Parks every shard at `bound`: on return each shard has executed all
+  /// events strictly below `bound` and published clock == bound.
+  void advance_shards(Time bound);
+
+  std::vector<std::unique_ptr<Simulator>> sims_;
+  std::unique_ptr<Simulator> owned_global_;  // shards > 1 only
+  Simulator* global_ = nullptr;
+  Duration lookahead_;
+  Time now_ = 0;
+  DrainHook drain_hook_;
+
+  std::unique_ptr<PaddedClock[]> clocks_;
+  std::vector<std::thread> workers_;
+  std::mutex m_;
+  std::condition_variable cv_cmd_;
+  std::condition_variable cv_done_;
+  std::uint64_t epoch_ = 0;
+  Time target_ = 0;
+  int done_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace netrs::sim

@@ -77,6 +77,13 @@ class Simulator {
   /// Live events still queued (diagnostic).
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
 
+  /// Timestamp of the earliest queued event, or kNever when the queue is
+  /// empty (the ShardGroup coordinator peeks at global-event deadlines).
+  /// Non-const: peeking may purge cancelled calendar-queue entries.
+  [[nodiscard]] Time next_event_time() {
+    return queue_.empty() ? kNever : queue_.next_time();
+  }
+
   /// Invariant auditor (checked builds; inline no-op otherwise). Components
   /// reach it through here to report conservation and causality violations.
   [[nodiscard]] Auditor& auditor() { return auditor_; }

@@ -7,11 +7,15 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 
 namespace netrs::sim {
 
 /// A point in simulated time, in nanoseconds since simulation start.
 using Time = std::int64_t;
+
+/// Sentinel "no event pending" timestamp (Simulator::next_event_time).
+inline constexpr Time kNever = std::numeric_limits<std::int64_t>::max();
 
 /// A span of simulated time, in nanoseconds. May be negative in arithmetic
 /// but all scheduling APIs require non-negative durations.

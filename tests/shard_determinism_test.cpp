@@ -1,0 +1,185 @@
+// Sharded-core determinism guard (DESIGN.md §4.10): the partitioned PDES
+// core must be *behaviorally invisible*. For every scheme the golden
+// digest — covering the bit pattern of every measured latency plus all
+// summary statistics — must be identical across --shards {1, 2, 4} and
+// --jobs {1, 4}, and equal to the recorded serial-core values (the same
+// constants golden_digest_test pins). A divergence means a cross-shard
+// packet was reordered, a window boundary leaked, or an RNG stream moved.
+//
+// Also covered here:
+//   - cross-pod packet conservation under -DNETRS_AUDIT=ON with the
+//     per-shard slot ledgers merged (skipped in plain builds), and
+//   - the fabric's fail-fast lookahead validation (satellite: every
+//     switch/host link must be at least the lookahead window long).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "harness/experiment.hpp"
+#include "net/fabric.hpp"
+#include "net/fat_tree.hpp"
+#include "sim/audit.hpp"
+#include "sim/shard.hpp"
+
+namespace netrs::harness {
+namespace {
+
+// FNV-1a over raw bytes (same digest as golden_digest_test so the pinned
+// constants are directly comparable).
+class Digest {
+ public:
+  void add_bytes(const void* p, std::size_t n) {
+    const auto* b = static_cast<const unsigned char*>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      h_ ^= b[i];
+      h_ *= 0x100000001B3ULL;
+    }
+  }
+  void add_u64(std::uint64_t v) { add_bytes(&v, sizeof(v)); }
+  void add_double(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    add_u64(bits);
+  }
+  [[nodiscard]] std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 0xCBF29CE484222325ULL;
+};
+
+ExperimentConfig digest_config() {
+  ExperimentConfig cfg;
+  cfg.fat_tree_k = 4;  // 16 hosts, 4 pods => up to 4 shards
+  cfg.num_servers = 5;
+  cfg.num_clients = 8;
+  cfg.total_requests = 2000;
+  cfg.repeats = 2;
+  cfg.seed = 17;
+  cfg.jobs = 1;
+  return cfg;
+}
+
+std::uint64_t result_digest(const ExperimentResult& res) {
+  Digest d;
+  d.add_u64(res.latencies_ms.count());
+  for (double s : res.latencies_ms.samples()) d.add_double(s);
+  d.add_u64(res.issued);
+  d.add_u64(res.completed);
+  d.add_u64(res.redundant);
+  d.add_u64(res.cancels);
+  d.add_double(res.avg_forwards);
+  d.add_double(res.wire_bytes_per_request);
+  d.add_double(res.load_oscillation);
+  d.add_u64(static_cast<std::uint64_t>(res.rsnodes));
+  d.add_bytes(res.plan_method.data(), res.plan_method.size());
+  d.add_u64(static_cast<std::uint64_t>(res.plans_deployed));
+  d.add_u64(res.drs_groups);
+  return d.value();
+}
+
+struct ShardCase {
+  Scheme scheme;
+  std::uint64_t expected;  // serial-core golden digest
+};
+
+// Identical to golden_digest_test's recorded values: the sharded core is
+// required to reproduce the serial core bit-for-bit at every shard count.
+constexpr ShardCase kCases[] = {
+    {Scheme::kCliRS, 0x22129A79E79D7970ULL},
+    {Scheme::kCliRSR95Cancel, 0x0891AE823F6B4F89ULL},
+    {Scheme::kNetRSToR, 0x3A2BD8D30D7BB217ULL},
+    {Scheme::kNetRSIlp, 0xE5DF15E64FB0AFFBULL},
+};
+
+class ShardDeterminismTest : public ::testing::TestWithParam<ShardCase> {};
+
+TEST_P(ShardDeterminismTest, DigestIdenticalAcrossShardAndJobCounts) {
+  const ShardCase sc = GetParam();
+  for (const int shards : {1, 2, 4}) {
+    for (const int jobs : {1, 4}) {
+      ExperimentConfig cfg = digest_config();
+      cfg.shards = shards;
+      cfg.jobs = jobs;
+      const ExperimentResult res = run_experiment(sc.scheme, cfg);
+      EXPECT_EQ(result_digest(res), sc.expected)
+          << scheme_name(sc.scheme) << " diverged at shards=" << shards
+          << " jobs=" << jobs;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MixedSchemes, ShardDeterminismTest, ::testing::ValuesIn(kCases),
+    [](const auto& info) {
+      std::string n = scheme_name(info.param.scheme);
+      for (char& c : n) {
+        if (c == '-') c = '_';
+      }
+      return n;
+    });
+
+// Every aggregation-to-core hop crosses a shard boundary when shards ==
+// pods, so a healthy audited run exercises the cross-shard inbox path end
+// to end; the merged per-shard ledgers must balance with zero violations.
+TEST(ShardAuditTest, CrossPodConservationHoldsWithMergedLedgers) {
+  if constexpr (!sim::kAuditEnabled) {
+    GTEST_SKIP() << "auditor compiled out; configure -DNETRS_AUDIT=ON";
+  }
+  ExperimentConfig cfg = digest_config();
+  cfg.shards = 4;
+  const ExperimentResult res = run_experiment(Scheme::kNetRSToR, cfg);
+  EXPECT_TRUE(res.audit.enabled);
+  EXPECT_EQ(res.audit.violations_total, 0u)
+      << (res.audit.violations.empty()
+              ? std::string()
+              : res.audit.violations.front().detail);
+  EXPECT_GT(res.audit.checks, 0u);
+  EXPECT_GT(res.audit.packets_injected, 0u);
+  // Conservation over the merged shard ledgers: everything injected was
+  // delivered or explicitly tallied as still parked at the end.
+  EXPECT_EQ(res.audit.packets_injected,
+            res.audit.packets_delivered + res.audit.packets_in_flight_at_end);
+}
+
+// Satellite: a link shorter than the lookahead window would let a packet
+// arrive inside an already-executed window, so the fabric refuses to build.
+TEST(ShardLookaheadTest, FabricRejectsLinksShorterThanLookahead) {
+  const net::FatTree topo(4);
+  net::FabricConfig cfg;
+
+  {
+    sim::ShardGroup group(2, sim::micros(30));
+    cfg.switch_link_latency = sim::micros(10);  // < 30 us lookahead
+    cfg.host_link_latency = sim::micros(30);
+    EXPECT_THROW(net::Fabric(group, topo, cfg), std::invalid_argument);
+  }
+  {
+    sim::ShardGroup group(2, sim::micros(30));
+    cfg.switch_link_latency = sim::micros(30);
+    cfg.host_link_latency = sim::micros(5);  // < 30 us lookahead
+    EXPECT_THROW(net::Fabric(group, topo, cfg), std::invalid_argument);
+  }
+  {
+    // Serial degenerate mode never runs conservative sync, so short links
+    // are fine there — exactly today's single-queue fabric.
+    sim::ShardGroup group(1, sim::micros(30));
+    cfg.switch_link_latency = sim::micros(10);
+    cfg.host_link_latency = sim::micros(5);
+    EXPECT_NO_THROW(net::Fabric(group, topo, cfg));
+  }
+  {
+    // Boundary: latency == lookahead is allowed (arrival lands exactly on
+    // the next window's horizon, which run_windows executes strictly
+    // after publishing).
+    sim::ShardGroup group(4, sim::micros(30));
+    cfg.switch_link_latency = sim::micros(30);
+    cfg.host_link_latency = sim::micros(30);
+    EXPECT_NO_THROW(net::Fabric(group, topo, cfg));
+  }
+}
+
+}  // namespace
+}  // namespace netrs::harness

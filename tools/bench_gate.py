@@ -11,6 +11,13 @@ regresses by more than the threshold (default 10%):
 * ``allocs_per_hop``     — lower is better (absolute slack of 0.01 so a
   0-alloc baseline does not turn any speck of dust into -inf%)
 
+Records may also carry a ``scale`` section (the sharded-core cell, its own
+``fingerprint`` plus per-``shards`` cells). When both records have one and
+the scale fingerprints match, each shard count's ``requests_per_sec`` is
+gated with the same threshold; otherwise the section is skipped with a
+note (a record predating the section, or a re-based scale cell, is not a
+regression).
+
 Records with different ``fingerprint`` fields describe different canonical
 cells (scale, seed, topology) and are never compared — the gate reports
 the mismatch and passes, because a changed cell is a deliberate re-basing,
@@ -97,6 +104,47 @@ def compare(prev: dict, cur: dict, threshold: float) -> list[str]:
         print(
             f"bench_gate: {ALLOCS_METRIC}: {old:.4f} -> {new:.4f} [{status}]"
         )
+    failures.extend(compare_scale(prev, cur, threshold))
+    return failures
+
+
+def compare_scale(prev: dict, cur: dict, threshold: float) -> list[str]:
+    """Gates the sharded-core ``scale`` section (empty = ok / skipped)."""
+    failures = []
+    sprev, scur = prev.get("scale"), cur.get("scale")
+    if not isinstance(sprev, dict) or not isinstance(scur, dict):
+        if isinstance(scur, dict):
+            print("bench_gate: scale: no previous scale section, skipping")
+        return failures
+    if sprev.get("fingerprint") != scur.get("fingerprint"):
+        print(
+            "bench_gate: scale fingerprint changed "
+            f"({sprev.get('fingerprint')!r} -> {scur.get('fingerprint')!r}); "
+            "skipping"
+        )
+        return failures
+    prev_cells = {c.get("shards"): c for c in sprev.get("cells", [])}
+    for cell in scur.get("cells", []):
+        shards = cell.get("shards")
+        if shards not in prev_cells:
+            continue
+        old = float(prev_cells[shards].get("requests_per_sec", 0.0))
+        new = float(cell.get("requests_per_sec", 0.0))
+        if old <= 0.0:
+            continue
+        change = (new - old) / old
+        status = "ok"
+        if change < -threshold:
+            status = "REGRESSION"
+            failures.append(
+                f"scale[shards={shards}].requests_per_sec: "
+                f"{old:.1f} -> {new:.1f} ({change * 100.0:+.1f}%, "
+                f"threshold -{threshold * 100.0:.0f}%)"
+            )
+        print(
+            f"bench_gate: scale[shards={shards}].requests_per_sec: "
+            f"{old:.1f} -> {new:.1f} ({change * 100.0:+.1f}%) [{status}]"
+        )
     return failures
 
 
@@ -164,6 +212,33 @@ def self_test(threshold: float) -> int:
         (root / "BENCH_2.json").write_text(json.dumps(rebased))
         if run_gate(root, threshold) != 0:
             print("bench_gate: SELF-TEST FAIL: fingerprint mismatch gated",
+                  file=sys.stderr)
+            return 1
+        # Scale section: a matching-fingerprint shard cell that slowed down
+        # past the threshold must trip; a record without one must not.
+        scale = {
+            "fingerprint": "scale-selftest",
+            "host_cores": 4,
+            "speedup": 2.0,
+            "cells": [
+                {"shards": 1, "requests_per_sec": 1000.0},
+                {"shards": 4, "requests_per_sec": 2000.0},
+            ],
+        }
+        with_scale = dict(base)
+        with_scale["scale"] = scale
+        scale_regressed = json.loads(json.dumps(with_scale))
+        scale_regressed["scale"]["cells"][1]["requests_per_sec"] = 1700.0
+        (root / "BENCH_1.json").write_text(json.dumps(with_scale))
+        (root / "BENCH_2.json").write_text(json.dumps(scale_regressed))
+        if run_gate(root, threshold) == 0:
+            print("bench_gate: SELF-TEST FAIL: scale regression passed",
+                  file=sys.stderr)
+            return 1
+        (root / "BENCH_1.json").write_text(json.dumps(base))  # no scale yet
+        (root / "BENCH_2.json").write_text(json.dumps(with_scale))
+        if run_gate(root, threshold) != 0:
+            print("bench_gate: SELF-TEST FAIL: first scale record gated",
                   file=sys.stderr)
             return 1
     print("bench_gate: self-test pass")

@@ -1,0 +1,19 @@
+// Fixture: a component (masquerading as src/kv via the path directive)
+// reaching into ShardGroup internals. Grabbing another shard's Simulator
+// or the thread-local shard id bypasses the cross-shard inbox protocol —
+// events pushed onto a foreign queue race its worker thread and break the
+// conservative-sync determinism proof.
+// lint-fixture-path: src/kv/eager_cache.cpp
+// lint-fixture-expect: cross-shard-sim 6
+
+struct FakeGroup {
+  void* shard_sim(int i);
+  void* global_sim();
+  static int current_shard();
+};
+
+void warm_neighbor_cache(FakeGroup& group) {
+  void* neighbor = group.shard_sim(FakeGroup::current_shard() + 1);
+  (void)neighbor;
+  (void)group.global_sim();
+}

@@ -1,0 +1,21 @@
+// Fixture: the fabric layer (masquerading as src/net/fabric.cpp) is one of
+// the three sanctioned homes of ShardGroup internals — it implements the
+// cross-shard inbox protocol on top of them — so the same tokens are clean
+// here. Components elsewhere use Fabric::simulator_for(node), which the
+// rule never flags.
+// lint-fixture-path: src/net/fabric.cpp
+// lint-fixture-expect: cross-shard-sim 0
+
+struct FakeGroup {
+  void* shard_sim(int i);
+  void* global_sim();
+  static int current_shard();
+};
+
+void drain_shard(FakeGroup& group, int shard) {
+  void* sim = group.shard_sim(shard);
+  (void)sim;
+  (void)FakeGroup::current_shard();
+}
+
+void* simulator_for(FakeGroup& group) { return group.global_sim(); }

@@ -30,6 +30,13 @@
 //                         across --jobs values, so even a lookup-only
 //                         unordered map there is one refactor away from
 //                         hash-ordered output. Ordered containers only.
+//   cross-shard-sim       ShardGroup internals (shard_sim / global_sim /
+//                         drain_shard / current_shard) outside the three
+//                         layers allowed to touch them (sim/, harness/,
+//                         net/fabric). A component that grabs another
+//                         shard's Simulator bypasses the cross-shard inbox
+//                         protocol and races its event queue; components
+//                         use Fabric::simulator_for(node) instead.
 //
 // Escape hatch — a justified suppression directly above (or on) the line:
 //   // netrs-lint: allow(<rule>): <reason>
@@ -746,6 +753,39 @@ void rule_unordered_in_obs(const FileText& f, Sink* violations, Sink* errors) {
   }
 }
 
+/// The only layers allowed to hold ShardGroup internals: the shard runtime
+/// itself, the harness (which owns the group and drives run_until), and
+/// the fabric (which implements the cross-shard inbox protocol on top of
+/// them). Everything else gets its own shard's Simulator via
+/// Fabric::simulator_for(node) and must stay inside it.
+const char* kShardLayerFiles[] = {
+    "sim/",
+    "harness/",
+    "net/fabric.",
+};
+
+void rule_cross_shard_sim(const FileText& f, Sink* violations, Sink* errors) {
+  std::string norm = f.effective_path;
+  std::replace(norm.begin(), norm.end(), '\\', '/');
+  for (const char* frag : kShardLayerFiles) {
+    if (norm.find(frag) != std::string::npos) return;
+  }
+  const std::string& code = f.code;
+  for (const char* token :
+       {"shard_sim", "global_sim", "drain_shard", "current_shard"}) {
+    for (std::size_t p = find_word(code, token, 0); p != std::string::npos;
+         p = find_word(code, token, p + 1)) {
+      report(f, line_of_offset(f, p), "cross-shard-sim",
+             std::string("`") + token +
+                 "` outside the shard runtime / harness / fabric: grabbing "
+                 "another shard's Simulator bypasses the cross-shard inbox "
+                 "protocol and races its event queue; use "
+                 "Fabric::simulator_for(node) and stay on your own shard",
+             violations, errors);
+    }
+  }
+}
+
 void run_rules(const FileText& f, const SymbolTable& table, Sink* violations,
                Sink* errors) {
   rule_unordered_iteration(f, table, violations, errors);
@@ -754,6 +794,7 @@ void run_rules(const FileText& f, const SymbolTable& table, Sink* violations,
   rule_pointer_order(f, violations, errors);
   rule_std_function_hot_path(f, violations, errors);
   rule_unordered_in_obs(f, violations, errors);
+  rule_cross_shard_sim(f, violations, errors);
 }
 
 // --------------------------------------------------------------------------
