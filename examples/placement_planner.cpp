@@ -106,9 +106,11 @@ int main(int argc, char** argv) {
   for (const auto& m : methods) {
     core::PlacementOptions opts;
     opts.method = m.method;
+    // netrs-lint: allow(wall-clock): the example reports solver wall time to the user; it never feeds back into simulated results.
     const auto t0 = std::chrono::steady_clock::now();
     const core::PlacementResult res = core::solve_placement(p, opts);
     const double dt = std::chrono::duration<double>(
+                          // netrs-lint: allow(wall-clock): the example reports solver wall time to the user; it never feeds back into simulated results.
                           std::chrono::steady_clock::now() - t0)
                           .count();
     if (!core::validate_placement(p, res)) {

@@ -220,6 +220,7 @@ RunOutput run_once(Scheme scheme, const ExperimentConfig& cfg,
   // (golden digests are shard-count-invariant).
   int shards = std::min(std::max(1, cfg.shards), cfg.fat_tree_k);
   if (shards > 1 && cfg.obs.any()) {
+    // netrs-lint: allow(mutable-static): warn-once diagnostic latch; the atomic exchange is race-free and never influences simulated results.
     static std::atomic<bool> warned{false};
     if (!warned.exchange(true)) {
       std::fprintf(stderr,

@@ -14,6 +14,7 @@
 #include <cstring>
 #include <optional>
 #include <span>
+#include "sim/affinity.hpp"
 
 namespace netrs::kv {
 
@@ -30,14 +31,14 @@ enum class AppOp : std::uint8_t {
 };
 
 /// A client's read (or cancel) request.
-struct AppRequest {
+struct NETRS_SHARED_IMMUTABLE AppRequest {
   std::uint64_t client_request_id = 0;  ///< client-scoped correlation id
   std::uint64_t key = 0;                ///< Key being read.
   AppOp op = AppOp::kGet;               ///< Operation.
 };
 
 /// A server's reply to an AppRequest.
-struct AppResponse {
+struct NETRS_SHARED_IMMUTABLE AppResponse {
   std::uint64_t client_request_id = 0;  ///< Echoed correlation id.
   std::uint64_t key = 0;                ///< Echoed key.
   std::uint32_t value_bytes = 0;  ///< size of the (phantom) value

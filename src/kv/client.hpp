@@ -25,6 +25,7 @@
 #include "kv/consistent_hash.hpp"
 #include "net/host.hpp"
 #include "rs/factory.hpp"
+#include "sim/affinity.hpp"
 #include "sim/rng.hpp"
 #include "sim/stats.hpp"
 
@@ -37,7 +38,7 @@ enum class ClientMode {
 };
 
 /// CliRS-R95 duplicate-request policy knobs.
-struct RedundancyConfig {
+struct NETRS_SHARED_IMMUTABLE RedundancyConfig {
   bool enabled = false;  ///< CliRS-R95 when true (kClientSelect mode only)
   double quantile = 0.95;
   /// Minimum completed requests before duplicates may fire (estimator
@@ -50,7 +51,7 @@ struct RedundancyConfig {
 };
 
 /// Per-client workload and selection parameters.
-struct ClientConfig {
+struct NETRS_SHARED_IMMUTABLE ClientConfig {
   ClientMode mode = ClientMode::kClientSelect;  ///< Selection scheme.
   double arrival_rate = 100.0;  ///< requests per second (open loop)
   RedundancyConfig redundancy;
@@ -59,7 +60,7 @@ struct ClientConfig {
 
 /// Key-value client: open-loop workload generator and latency observer
 /// (see the file comment for the two operating modes).
-class Client final : public net::Host {
+class NETRS_SHARD_LOCAL Client final : public net::Host {
  public:
   /// Everything recorded about one finished request.
   struct Completion {

@@ -14,13 +14,14 @@
 
 #include "net/address.hpp"
 #include "netrs/packet_format.hpp"
+#include "sim/affinity.hpp"
 #include "sim/rng.hpp"
 
 namespace netrs::kv {
 
 /// Consistent-hashing ring with virtual nodes; doubles as the RGID
 /// database installed into NetRS selectors (see the file comment).
-class ConsistentHashRing {
+class NETRS_SHARED_IMMUTABLE ConsistentHashRing {
  public:
   /// `servers`: host ids of the KV servers. `replication_factor` servers
   /// per key (paper: 3). `virtual_nodes` ring points per server.

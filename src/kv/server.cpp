@@ -41,6 +41,7 @@ void Server::fluctuate() {
 }
 
 void Server::receive(net::Packet pkt, net::NodeId from) {
+  shard_affinity().check("receive");
   (void)from;
   assert(pkt.dst == host_id());
   // A real server drops traffic it cannot parse instead of crashing.

@@ -18,6 +18,7 @@
 
 #include "kv/app_message.hpp"
 #include "net/host.hpp"
+#include "sim/affinity.hpp"
 #include "sim/audit.hpp"
 #include "sim/rng.hpp"
 #include "sim/stats.hpp"
@@ -26,7 +27,7 @@ namespace netrs::kv {
 
 /// Service-process parameters (defaults follow the paper, see the file
 /// comment).
-struct ServerConfig {
+struct NETRS_SHARED_IMMUTABLE ServerConfig {
   int parallelism = 4;                              ///< Np
   sim::Duration mean_service_time = sim::millis(4); ///< tkv
   /// When true, every request takes exactly the current mean (no
@@ -42,7 +43,7 @@ struct ServerConfig {
 
 /// Key-value server: an Np-way parallel queueing station with bimodal
 /// service-time fluctuation (see the file comment).
-class Server final : public net::Host {
+class NETRS_SHARD_LOCAL Server final : public net::Host {
  public:
   /// Attaches the server to `fabric` as host `id`.
   Server(net::Fabric& fabric, net::HostId id, ServerConfig cfg, sim::Rng rng);
@@ -50,8 +51,11 @@ class Server final : public net::Host {
   /// Handles a delivered request (or cancel) packet.
   void receive(net::Packet pkt, net::NodeId from) override;
 
-  /// Waiting + in-service requests (the SS queue-size field).
+  /// Waiting + in-service requests (the SS queue-size field). Legitimate
+  /// off-shard readers (herd sampler, decision oracle) run at barriers or
+  /// in serial mode, where the affinity check passes by construction.
   [[nodiscard]] std::uint32_t queue_size() const {
+    shard_affinity().check("queue_size");
     return static_cast<std::uint32_t>(queue_.size()) +
            static_cast<std::uint32_t>(in_service_);
   }

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <functional>
+#include "sim/affinity.hpp"
 
 namespace netrs::net {
 
@@ -27,7 +28,7 @@ enum class Tier : std::uint8_t { kCore = 0, kAgg = 1, kTor = 2 };
 constexpr int tier_id(Tier t) { return static_cast<int>(t); }
 
 /// Physical location of a host: pod / rack-within-pod / slot-within-rack.
-struct HostLocation {
+struct NETRS_SHARED_IMMUTABLE HostLocation {
   std::uint16_t pod = 0;   ///< Pod index.
   std::uint16_t rack = 0;  ///< Rack index within the pod.
   std::uint16_t slot = 0;  ///< Host slot within the rack.
@@ -39,7 +40,7 @@ struct HostLocation {
 /// The 4-byte source marker carried in NetRS responses (§IV-A): pod ID in
 /// the high half, rack ID in the low half. A ToR switch compares a packet's
 /// marker against its own to classify traffic into tiers.
-struct SourceMarker {
+struct NETRS_SHARED_IMMUTABLE SourceMarker {
   std::uint16_t pod = 0;   ///< Origin pod id.
   std::uint16_t rack = 0;  ///< Origin rack id within the pod.
 

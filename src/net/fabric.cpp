@@ -121,6 +121,12 @@ void Fabric::attach(NodeId id, Node* node) {
   assert(nodes_[id] == nullptr && "NodeId already attached");
   assert(node != nullptr);
   nodes_[id] = node;
+  // Record the owner shard on the node's affinity sentinel (audit builds;
+  // group_ is null in serial mode, leaving the guard inert).
+  const int shard = shard_of(id);
+  node->shard_affinity().bind(group_, shard, "node",
+                              static_cast<long long>(id),
+                              &sims_[std::size_t(shard)]->auditor());
 }
 
 NodeId Fabric::attach_auxiliary(Node* node, NodeId sw) {
@@ -129,9 +135,37 @@ NodeId Fabric::attach_auxiliary(Node* node, NodeId sw) {
   const NodeId id =
       topo_.node_count() + static_cast<NodeId>(aux_nodes_.size());
   aux_nodes_.push_back(node);
-  aux_shard_.push_back(shard_of(sw));
+  const int shard = shard_of(sw);
+  aux_shard_.push_back(shard);
   aux_link_[id] = sw;
+  node->shard_affinity().bind(group_, shard, "aux-node",
+                              static_cast<long long>(id),
+                              &sims_[std::size_t(shard)]->auditor());
   return id;
+}
+
+void Fabric::audit_simulator_for(NodeId id) {
+  // Satellite fix: the old simulator_for happily returned a usable handle
+  // to a foreign shard's simulator, and the misuse only surfaced later as a
+  // data race on that shard's event queue. Catch it at the hand-out point,
+  // naming the owning shard.
+  if (group_ == nullptr) return;  // serial mode: one simulator, no foreigners
+  const int owner = shard_of(id);
+  const int ctx = sim::ShardGroup::current_shard();
+  const bool foreign_worker =
+      ctx != sim::ShardGroup::kCoordinator && ctx != owner;
+  const bool coordinator_in_window =
+      ctx == sim::ShardGroup::kCoordinator && group_->window_active();
+  if (!foreign_worker && !coordinator_in_window) return;
+  const std::string actor = ctx == sim::ShardGroup::kCoordinator
+                                ? "the coordinator (shard window active)"
+                                : "shard " + std::to_string(ctx);
+  sims_[std::size_t(owner)]->auditor().record(
+      "foreign-simulator-handle",
+      "simulator_for(node " + std::to_string(id) + ") requested by " + actor +
+          " but the node lives on shard " + std::to_string(owner) +
+          "; scheduling through this handle races the owning worker's "
+          "event queue (cache your own shard's simulator instead)");
 }
 
 Node* Fabric::node(NodeId id) const {

@@ -28,6 +28,7 @@
 #include "net/fat_tree.hpp"
 #include "net/node.hpp"
 #include "net/packet.hpp"
+#include "sim/affinity.hpp"
 #include "sim/shard.hpp"
 #include "sim/simulator.hpp"
 
@@ -40,7 +41,7 @@ class MetricsRegistry;
 namespace netrs::net {
 
 /// Link-latency parameters (defaults follow the paper, see file comment).
-struct FabricConfig {
+struct NETRS_SHARED_IMMUTABLE FabricConfig {
   /// One-way latency between directly connected switches.
   sim::Duration switch_link_latency = sim::micros(30);
   /// One-way latency of a host's access link.
@@ -51,7 +52,7 @@ struct FabricConfig {
 
 /// Binds NodeIds to live Node objects and delivers packets over
 /// fixed-latency links through the simulator (see the file comment).
-class Fabric {
+class NETRS_COORD_GLOBAL Fabric {
  public:
   /// Builds a serial (single-simulator) fabric over `topo`; `topo` must
   /// outlive the fabric. Identical to the pre-shard fabric.
@@ -91,8 +92,14 @@ class Fabric {
   /// mode. Per-node scheduling must use simulator_for().
   [[nodiscard]] sim::Simulator& simulator() { return *global_sim_; }
   /// The simulator owning `id`'s shard: components cache this and schedule
-  /// all their local work on it.
+  /// all their local work on it. Audit builds record a
+  /// `foreign-simulator-handle` violation (with the owning shard id) when a
+  /// worker asks for another shard's simulator, or the coordinator asks for
+  /// any shard simulator while a shard window is running — the returned
+  /// handle would let the caller push events onto a queue another thread is
+  /// draining. Plain builds compile to the bare lookup.
   [[nodiscard]] sim::Simulator& simulator_for(NodeId id) {
+    if constexpr (sim::kAuditEnabled) audit_simulator_for(id);
     return *sims_[std::size_t(shard_of(id))];
   }
   /// Shard index owning NodeId `id` (always 0 in serial mode).
@@ -206,6 +213,10 @@ class Fabric {
 
   void init_serial(sim::Simulator& simulator);
   void init_sharded(sim::ShardGroup& group);
+  /// Audit-build half of simulator_for (see its doc comment): records the
+  /// foreign-handle violation with owner/actor provenance. Out of line so
+  /// the hot inline path stays a single vector index in plain builds.
+  void audit_simulator_for(NodeId id);
   [[nodiscard]] sim::Duration link_latency(NodeId a, NodeId b) const;
   [[nodiscard]] Node* node(NodeId id) const;
   /// Cabling check behind assert(): tree adjacency or an auxiliary link in

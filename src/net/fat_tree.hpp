@@ -15,12 +15,13 @@
 #include <vector>
 
 #include "net/address.hpp"
+#include "sim/affinity.hpp"
 
 namespace netrs::net {
 
 /// Coordinates of a switch. For core switches `pod` is unused (0) and `idx`
 /// is the flat core index i*(k/2)+j where i is the core group.
-struct SwitchCoord {
+struct NETRS_SHARED_IMMUTABLE SwitchCoord {
   Tier tier = Tier::kCore;  ///< Which tier the switch sits in.
   std::uint16_t pod = 0;    ///< Pod index (0 for core switches).
   std::uint16_t idx = 0;    ///< Index within the pod/tier (see above).
@@ -31,7 +32,7 @@ struct SwitchCoord {
 
 /// Pure structure + routing math for the k-ary fat-tree (see the file
 /// comment); Fabric binds the NodeIds to live objects.
-class FatTree {
+class NETRS_SHARED_IMMUTABLE FatTree {
  public:
   /// Builds a k-ary fat-tree; k must be even and >= 2.
   explicit FatTree(int k);

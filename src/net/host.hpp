@@ -6,13 +6,14 @@
 
 #include "net/fabric.hpp"
 #include "net/node.hpp"
+#include "sim/affinity.hpp"
 
 namespace netrs::net {
 
 /// End-host base class: registers itself with the fabric and exposes the
 /// access-link send path to derived application nodes (KV servers,
 /// clients).
-class Host : public Node {
+class NETRS_SHARD_LOCAL Host : public Node {
  public:
   /// Attaches the host to `fabric` at host `id`'s topology position.
   Host(Fabric& fabric, HostId id)
@@ -34,6 +35,9 @@ class Host : public Node {
  protected:
   /// Stamps the source address and pushes the packet onto the access link.
   void send(Packet pkt) {
+    // Shard affinity: only this host's owning worker (or the coordinator
+    // between windows) may push onto its access link.
+    shard_affinity().check("send");
     pkt.src = host_id_;
     assert(pkt.dst != kInvalidHost);
     fabric_.send(node_id_, tor_, std::move(pkt));

@@ -3,17 +3,33 @@
 
 #include "net/address.hpp"
 #include "net/packet.hpp"
+#include "sim/affinity.hpp"
 
 namespace netrs::net {
 
 /// Interface for anything attachable to the Fabric: receives packets
 /// delivered over links.
-class Node {
+class NETRS_SHARD_LOCAL Node {
  public:
   virtual ~Node() = default;  ///< Polymorphic base.
 
   /// Delivery of a packet that traversed a link from `from`.
   virtual void receive(Packet pkt, NodeId from) = 0;
+
+  /// Shard-ownership sentinel (checked builds; inline no-op otherwise):
+  /// Fabric::attach / attach_auxiliary binds it to the node's owning
+  /// shard, and hot entry points (receive, Host::send) call check() so a
+  /// cross-shard touch is recorded with owner/actor provenance.
+  [[nodiscard]] sim::ShardAffinityGuard& shard_affinity() {
+    return affinity_;
+  }
+  /// Read-only guard access (tests inspect the bound owner).
+  [[nodiscard]] const sim::ShardAffinityGuard& shard_affinity() const {
+    return affinity_;
+  }
+
+ private:
+  sim::ShardAffinityGuard affinity_;
 };
 
 }  // namespace netrs::net

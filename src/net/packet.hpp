@@ -12,13 +12,14 @@
 
 #include "net/address.hpp"
 #include "net/payload.hpp"
+#include "sim/affinity.hpp"
 #include "sim/time.hpp"
 
 namespace netrs::net {
 
 /// Simulation-side bookkeeping. Devices must not branch on these fields;
 /// they exist so the harness can attribute latencies and count hops.
-struct PacketMeta {
+struct NETRS_SHARED_IMMUTABLE PacketMeta {
   std::uint64_t request_id = 0;   ///< end-to-end request correlation
   sim::Time client_send_time = 0; ///< when the originating client sent it
   std::uint32_t forwards = 0;     ///< switch forwarding operations so far
@@ -26,7 +27,7 @@ struct PacketMeta {
 };
 
 /// A simulated UDP datagram (see the file comment).
-struct Packet {
+struct NETRS_SHARED_IMMUTABLE Packet {
   HostId src = kInvalidHost;   ///< Sending host.
   HostId dst = kInvalidHost;   ///< Destination host (switches may rewrite).
   std::uint16_t src_port = 0;  ///< UDP source port.

@@ -18,12 +18,13 @@
 #include <cstdint>
 #include <cstring>
 #include <span>
+#include "sim/affinity.hpp"
 
 namespace netrs::net {
 
 /// Small-buffer byte buffer: the std::vector subset the packet path needs,
 /// allocation-free up to kInlineCapacity bytes (see the file comment).
-class PayloadBuffer {
+class NETRS_SHARED_IMMUTABLE PayloadBuffer {
  public:
   /// Covers every NetRS header + app payload combination with headroom.
   static constexpr std::size_t kInlineCapacity = 64;

@@ -23,10 +23,14 @@ void Switch::add_egress_stage(EgressStage* stage) {
 }
 
 void Switch::receive(Packet pkt, NodeId from) {
+  shard_affinity().check("receive");
   run_pipeline(std::move(pkt), from);
 }
 
 void Switch::inject(Packet pkt, NodeId from) {
+  // Injection (accelerator re-emitting a steered packet) must come from the
+  // same shard context as a wire delivery would.
+  shard_affinity().check("inject");
   run_pipeline(std::move(pkt), from);
 }
 

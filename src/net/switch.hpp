@@ -16,12 +16,13 @@
 #include "net/fabric.hpp"
 #include "net/node.hpp"
 #include "net/packet.hpp"
+#include "sim/affinity.hpp"
 
 namespace netrs::net {
 
 /// Programmable switch: default up/down L3 forwarding plus installable
 /// ingress/egress match-action stages (see the file comment).
-class Switch : public Node {
+class NETRS_SHARD_LOCAL Switch : public Node {
  public:
   /// Pipeline continues to the next stage / default forwarding.
   struct Continue {};

@@ -46,6 +46,7 @@ bool Accelerator::is_request(const net::Packet& pkt) const {
 }
 
 void Accelerator::receive(net::Packet pkt, net::NodeId from) {
+  shard_affinity().check("receive");
   if constexpr (sim::kAuditEnabled) {
     sim_.auditor().check(
         by_switch_.contains(from), "invalid-forward", [&] {

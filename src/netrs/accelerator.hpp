@@ -25,11 +25,12 @@
 
 #include "net/fabric.hpp"
 #include "net/node.hpp"
+#include "sim/affinity.hpp"
 
 namespace netrs::core {
 
 /// Accelerator service parameters (defaults follow the paper, §V-A).
-struct AcceleratorConfig {
+struct NETRS_SHARED_IMMUTABLE AcceleratorConfig {
   int cores = 1;  ///< c parallel packet-processing cores.
   /// Deterministic per-request selection time (IncBricks-measured 5 us).
   sim::Duration request_service_time = sim::micros(5);
@@ -39,7 +40,7 @@ struct AcceleratorConfig {
 
 /// The c-core FIFO queueing station modeling a network accelerator (see
 /// the file comment).
-class Accelerator final : public net::Node {
+class NETRS_SHARD_LOCAL Accelerator final : public net::Node {
  public:
   /// The handler implements the NetRS selector (§IV-C): it receives each
   /// packet after its queueing + service delay and may return a rebuilt

@@ -15,6 +15,7 @@
 
 #include "netrs/operator.hpp"
 #include "netrs/placement.hpp"
+#include "sim/affinity.hpp"
 #include "sim/simulator.hpp"
 
 namespace netrs::core {
@@ -26,7 +27,7 @@ enum class PlanMode {
 };
 
 /// Controller timing, sizing, and exception-handling knobs.
-struct ControllerConfig {
+struct NETRS_SHARED_IMMUTABLE ControllerConfig {
   PlanMode mode = PlanMode::kIlp;  ///< Plan source.
   /// How often monitors are polled (and overload checks run).
   sim::Duration replan_interval = sim::millis(250);
@@ -52,7 +53,7 @@ struct ControllerConfig {
 
 /// The centralized NetRS controller: statistics collection, periodic
 /// replanning, plan deployment, exception handling (see the file comment).
-class Controller {
+class NETRS_COORD_GLOBAL Controller {
  public:
   /// `operators` must outlive the controller. The TrafficGroups instance is
   /// the same one installed in the ToR rules.

@@ -17,11 +17,12 @@
 #include "net/switch.hpp"
 #include "netrs/packet_format.hpp"
 #include "netrs/traffic_group.hpp"
+#include "sim/affinity.hpp"
 
 namespace netrs::core {
 
 /// Egress-pipeline response counters on one ToR (see the file comment).
-class Monitor final : public net::Switch::EgressStage {
+class NETRS_SHARD_LOCAL Monitor final : public net::Switch::EgressStage {
  public:
   /// `tor` is the switch this monitor is installed on.
   Monitor(const net::FatTree& topo, const TrafficGroups& groups,

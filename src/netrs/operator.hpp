@@ -16,6 +16,7 @@
 #include "netrs/monitor.hpp"
 #include "netrs/rules.hpp"
 #include "netrs/selector_node.hpp"
+#include "sim/affinity.hpp"
 
 namespace netrs::core {
 
@@ -24,7 +25,7 @@ using SelectorFactory = std::function<std::unique_ptr<rs::ReplicaSelector>()>;
 
 /// Externally owned accelerator + selector for the shared configuration of
 /// §III-B; both null for a dedicated operator.
-struct SharedParts {
+struct NETRS_SHARED_IMMUTABLE SharedParts {
   Accelerator* accelerator = nullptr;  ///< Pool accelerator (or null).
   SelectorNode* selector = nullptr;    ///< Pool selector (or null).
   int share_id = -1;                   ///< Pool id (-1 = dedicated).
@@ -32,7 +33,7 @@ struct SharedParts {
 
 /// One NetRS operator: switch rules + accelerator + selector (+ ToR
 /// monitor); see the file comment for the shared configuration.
-class NetRSOperator {
+class NETRS_SHARD_LOCAL NetRSOperator {
  public:
   /// Wires the full operator onto `sw`: attaches (or reuses) an
   /// accelerator, installs the NetRS rules ingress stage, and — on ToR

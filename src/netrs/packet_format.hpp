@@ -28,6 +28,7 @@
 #include "net/address.hpp"
 #include "net/packet.hpp"
 #include "net/payload.hpp"
+#include "sim/affinity.hpp"
 #include "sim/time.hpp"
 
 namespace netrs::core {
@@ -85,7 +86,7 @@ using ReplicaGroupId = std::uint32_t;
 inline constexpr ReplicaGroupId kMaxReplicaGroupId = 0xFFFFFF;  ///< 2^24-1.
 
 /// Decoded NetRS request header (Fig. 2 top row; see the file comment).
-struct RequestHeader {
+struct NETRS_SHARED_IMMUTABLE RequestHeader {
   RsNodeId rid = kRidUnset;     ///< Assigned RSNode (or unset/illegal).
   Magic mf = kMagicRequest;     ///< Packet-type label.
   std::uint16_t rv = 0;         ///< Retaining value echoed by the server.
@@ -93,13 +94,13 @@ struct RequestHeader {
 };
 
 /// Piggybacked server status (SS segment) — exactly what C3 consumes.
-struct ServerStatus {
+struct NETRS_SHARED_IMMUTABLE ServerStatus {
   std::uint32_t queue_size = 0;        ///< waiting + in-service requests
   std::uint32_t service_time_ns = 0;   ///< server's mean service time
 };
 
 /// Decoded NetRS response header (Fig. 2 bottom row; see the file comment).
-struct ResponseHeader {
+struct NETRS_SHARED_IMMUTABLE ResponseHeader {
   RsNodeId rid = kRidUnset;   ///< Echoed from the request.
   Magic mf = kMagicResponse;  ///< f^-1 of the request's magic field.
   std::uint16_t rv = 0;       ///< Echoed retaining value.

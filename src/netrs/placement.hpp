@@ -37,11 +37,12 @@
 #include "net/address.hpp"
 #include "netrs/packet_format.hpp"
 #include "netrs/traffic_group.hpp"
+#include "sim/affinity.hpp"
 
 namespace netrs::core {
 
 /// One traffic group's location and measured demand (a row of the ILP).
-struct GroupDemand {
+struct NETRS_SHARED_IMMUTABLE GroupDemand {
   GroupId id = 0;  ///< Traffic-group id.
   int pod = 0;     ///< Pod the group sits in.
   int rack = 0;  ///< rack index within the pod
@@ -56,7 +57,7 @@ struct GroupDemand {
 };
 
 /// One candidate RSNode location (a column of the ILP).
-struct OperatorSpec {
+struct NETRS_SHARED_IMMUTABLE OperatorSpec {
   RsNodeId id = kRidUnset;             ///< The operator's RSNode id.
   net::NodeId sw = net::kInvalidNode;  ///< Switch it is installed on.
   net::Tier tier = net::Tier::kCore;   ///< Tier of that switch.
@@ -70,7 +71,7 @@ struct OperatorSpec {
 };
 
 /// A complete placement instance (Eqs. 1-7 data).
-struct PlacementProblem {
+struct NETRS_SHARED_IMMUTABLE PlacementProblem {
   std::vector<GroupDemand> groups;      ///< Rows: traffic groups.
   std::vector<OperatorSpec> operators;  ///< Columns: candidate RSNodes.
   double extra_hop_budget = 0.0;  ///< E, in forwarding operations/s
@@ -85,7 +86,7 @@ enum class PlacementMethod {
 };
 
 /// Solver knobs.
-struct PlacementOptions {
+struct NETRS_SHARED_IMMUTABLE PlacementOptions {
   PlacementMethod method = PlacementMethod::kAuto;  ///< Solve path.
   /// Branch-and-bound node budget (the paper's early-termination knob).
   int max_bnb_nodes = 5000;
@@ -100,7 +101,7 @@ struct PlacementOptions {
 };
 
 /// A solved Replica Selection Plan.
-struct PlacementResult {
+struct NETRS_SHARED_IMMUTABLE PlacementResult {
   /// Group -> RSNode assignment; groups absent here are in drs_groups.
   /// Ordered map: plans are iterated when installed (ToR tables, active-set
   /// computation), so the walk order must not depend on hash layout.

@@ -25,6 +25,7 @@
 #include "net/switch.hpp"
 #include "netrs/packet_format.hpp"
 #include "netrs/traffic_group.hpp"
+#include "sim/affinity.hpp"
 
 namespace netrs::core {
 
@@ -37,7 +38,7 @@ using RsNodeDirectory = std::unordered_map<RsNodeId, net::NodeId>;
 using GroupRidTable = std::vector<RsNodeId>;
 
 /// The Fig. 3 ingress pipeline as a switch stage (see the file comment).
-class NetRSRules final : public net::Switch::IngressStage {
+class NETRS_SHARD_LOCAL NetRSRules final : public net::Switch::IngressStage {
  public:
   /// `accelerator_node` is the co-located accelerator to hand packets to.
   /// `directory` is shared across all operators.

@@ -17,6 +17,7 @@
 #include "net/packet.hpp"
 #include "netrs/packet_format.hpp"
 #include "rs/selector.hpp"
+#include "sim/affinity.hpp"
 #include "sim/simulator.hpp"
 
 namespace netrs::core {
@@ -27,7 +28,7 @@ using ReplicaDatabase = std::vector<std::vector<net::HostId>>;
 
 /// The NetRS selector logic behind an accelerator's handler (see the
 /// file comment).
-class SelectorNode {
+class NETRS_SHARD_LOCAL SelectorNode {
  public:
   /// `db` is shared immutable state owned by the harness; `selector` is
   /// this node's private algorithm instance.

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "net/fat_tree.hpp"
+#include "sim/affinity.hpp"
 
 namespace netrs::core {
 
@@ -31,7 +32,7 @@ using GroupId = std::uint32_t;
 
 /// Pure index math mapping hosts to traffic groups and groups to their
 /// rack/ToR (no per-host storage).
-class TrafficGroups {
+class NETRS_SHARED_IMMUTABLE TrafficGroups {
  public:
   /// `hosts_per_group` is only used for kSubRack and must divide the rack
   /// size.

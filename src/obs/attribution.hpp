@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "net/address.hpp"
+#include "sim/affinity.hpp"
 #include "sim/stats.hpp"
 #include "sim/time.hpp"
 
@@ -51,7 +52,7 @@ inline constexpr std::array<const char*, kFlightComponents>
                              "srv_serv",    "wire_return"};
 
 /// One completed request's latency decomposition.
-struct FlightRecord {
+struct NETRS_SHARED_IMMUTABLE FlightRecord {
   /// End-to-end correlation id (PacketMeta::request_id).
   std::uint64_t request_id = 0;
   /// Simulated completion time (first response at the client), ns.
@@ -69,7 +70,7 @@ struct FlightRecord {
 };
 
 /// One repeat's worth of completed-flight records plus bookkeeping counts.
-struct FlightSnapshot {
+struct NETRS_SHARED_IMMUTABLE FlightSnapshot {
   /// True when the repeat recorded attribution at all.
   bool enabled = false;
   /// Completed records in completion order.
@@ -86,7 +87,7 @@ struct FlightSnapshot {
 /// Per-request flight recorder; one per repeat, owned by the Observer.
 /// Components call the on_*() hooks under the existing observer null
 /// guard; every hook is a cheap early-out when the recorder is disabled.
-class FlightRecorder {
+class NETRS_COORD_GLOBAL FlightRecorder {
  public:
   /// A disabled recorder ignores every hook.
   explicit FlightRecorder(bool enabled) : enabled_(enabled) {}
@@ -147,7 +148,7 @@ class FlightRecorder {
 
 /// Per-component latency aggregates over every record of every repeat,
 /// shown as the "Latency attribution" report table.
-struct AttributionSummary {
+struct NETRS_SHARED_IMMUTABLE AttributionSummary {
   /// True once an enabled snapshot has been merged.
   bool enabled = false;
   /// Records merged (completed, post-warmup requests).

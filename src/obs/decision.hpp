@@ -35,13 +35,14 @@
 #include <vector>
 
 #include "net/address.hpp"
+#include "sim/affinity.hpp"
 #include "sim/stats.hpp"
 #include "sim/time.hpp"
 
 namespace netrs::obs {
 
 /// True instantaneous state of one server, read by the oracle callback.
-struct OracleServerState {
+struct NETRS_SHARED_IMMUTABLE OracleServerState {
   /// False when the host is unknown to the oracle (no regret computed).
   bool valid = false;
   /// Waiting + in-service requests right now.
@@ -61,7 +62,7 @@ using OracleFn = std::function<OracleServerState(net::HostId)>;
 [[nodiscard]] double oracle_cost_ns(const OracleServerState& s);
 
 /// One audited selection decision.
-struct DecisionRecord {
+struct NETRS_SHARED_IMMUTABLE DecisionRecord {
   /// Simulated decision time, ns.
   sim::Time t = 0;
   /// Deciding RSNode's trace tid (client node id or accelerator node id).
@@ -89,7 +90,7 @@ struct DecisionRecord {
 };
 
 /// One repeat's audited decisions plus bookkeeping counts.
-struct DecisionSnapshot {
+struct NETRS_SHARED_IMMUTABLE DecisionSnapshot {
   /// True when the repeat audited decisions at all.
   bool enabled = false;
   /// Post-warmup decisions in decision order.
@@ -100,7 +101,7 @@ struct DecisionSnapshot {
 
 /// Per-repeat decision auditor, owned by the Observer. The harness
 /// installs the oracle and routes every selector's decision hook here.
-class DecisionRecorder {
+class NETRS_COORD_GLOBAL DecisionRecorder {
  public:
   /// A disabled recorder ignores every call. `herd_window` is the
   /// trailing window of the herd index.
@@ -145,7 +146,7 @@ class DecisionRecorder {
 
 /// Selection-quality aggregates over every decision of every repeat,
 /// shown as the "Selection quality" report table.
-struct DecisionSummary {
+struct NETRS_SHARED_IMMUTABLE DecisionSummary {
   /// True once an enabled snapshot has been merged.
   bool enabled = false;
   /// Post-warmup decisions merged.

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/affinity.hpp"
 #include "sim/time.hpp"
 
 namespace netrs::obs {
@@ -27,7 +28,7 @@ namespace netrs::obs {
 /// Fixed-bucket histogram in the Prometheus "le" style: a value lands in
 /// the first bucket whose upper bound is >= the value; values above the
 /// last bound land in the overflow bucket.
-class Histogram {
+class NETRS_COORD_GLOBAL Histogram {
  public:
   /// Creates a histogram with the given strictly increasing upper bounds
   /// (one overflow bucket is added implicitly).
@@ -63,7 +64,7 @@ class Histogram {
 
 /// One sampled time series extracted from a repeat: the expanded column
 /// names, which columns feed the report summary, and one row per tick.
-struct MetricsSnapshot {
+struct NETRS_SHARED_IMMUTABLE MetricsSnapshot {
   /// A single sample row: the tick's simulated time plus one value per
   /// column (same order as MetricsSnapshot::columns).
   struct Row {
@@ -84,7 +85,7 @@ struct MetricsSnapshot {
 
 /// Per-column aggregate over every tick of every repeat, shown as the
 /// "Metrics summary" table in the harness report.
-struct MetricSummaryEntry {
+struct NETRS_SHARED_IMMUTABLE MetricSummaryEntry {
   /// Expanded column name.
   std::string name;
   /// Number of contributing samples (ticks x repeats).
@@ -101,7 +102,7 @@ struct MetricSummaryEntry {
 
 /// Summary rows for every summarized column; merged across repeats in
 /// repeat order.
-struct MetricsSummary {
+struct NETRS_SHARED_IMMUTABLE MetricsSummary {
   /// One entry per summarized column, registration order.
   std::vector<MetricSummaryEntry> entries;
 
@@ -116,7 +117,7 @@ struct MetricsSummary {
 
 /// Registry of counters / gauges / histograms with a deterministic,
 /// registration-ordered column layout. One instance per repeat.
-class MetricsRegistry {
+class NETRS_COORD_GLOBAL MetricsRegistry {
  public:
   /// Pull-style gauge callback; must only read const simulation state.
   using GaugeFn = std::function<double()>;

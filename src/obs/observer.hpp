@@ -21,6 +21,7 @@
 #include "obs/decision.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "sim/affinity.hpp"
 #include "sim/time.hpp"
 
 namespace netrs::sim {
@@ -31,7 +32,7 @@ namespace netrs::obs {
 
 /// What to observe and where to write it. Carried by the harness config;
 /// empty paths disable the corresponding subsystem entirely.
-struct ObsConfig {
+struct NETRS_SHARED_IMMUTABLE ObsConfig {
   /// Chrome trace-event JSON output path ("" = tracing off).
   std::string trace_path;
   /// Metrics CSV output path ("" = metrics off).
@@ -77,7 +78,7 @@ struct ObsConfig {
 /// Created by the harness (one per repeat), attached to that repeat's
 /// Simulator, and harvested via take_trace()/take_metrics() after the
 /// run.
-class Observer {
+class NETRS_COORD_GLOBAL Observer {
  public:
   /// Sizes the trace ring (0 when tracing is off) per `cfg`.
   explicit Observer(const ObsConfig& cfg);

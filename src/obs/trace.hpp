@@ -22,6 +22,7 @@
 #include <string_view>
 #include <vector>
 
+#include "sim/affinity.hpp"
 #include "sim/time.hpp"
 
 namespace netrs::obs {
@@ -29,7 +30,7 @@ namespace netrs::obs {
 /// One recorded trace entry. Fixed size and allocation-free on record:
 /// `name`/`cat`/argument names must point at string literals (or other
 /// storage outliving the recorder) — the ring never copies them.
-struct TraceEvent {
+struct NETRS_SHARED_IMMUTABLE TraceEvent {
   /// Span/instant name (Chrome "name"); a string literal.
   const char* name = nullptr;
   /// Category (Chrome "cat"), e.g. "cli", "sw", "rs", "accel", "kv".
@@ -57,7 +58,7 @@ struct TraceEvent {
 
 /// Bounded ring buffer of TraceEvents. Capacity 0 disables recording
 /// entirely (record() is a cheap early-out branch).
-class TraceRing {
+class NETRS_COORD_GLOBAL TraceRing {
  public:
   /// Creates a ring retaining at most `capacity` events (0 = disabled).
   /// All storage is allocated up front; record() never allocates.
@@ -105,7 +106,7 @@ class TraceRing {
 
 /// Everything one repeat contributes to the merged trace file: the
 /// retained events, the tid naming, and the loss counters.
-struct TraceSnapshot {
+struct NETRS_SHARED_IMMUTABLE TraceSnapshot {
   /// Retained events, oldest-first.
   std::vector<TraceEvent> events;
   /// tid -> display name (ordered for deterministic emission).

@@ -16,6 +16,7 @@
 
 #include "rs/selector.hpp"
 #include "rs/server_table.hpp"
+#include "sim/affinity.hpp"
 #include "sim/rng.hpp"
 #include "sim/stats.hpp"
 
@@ -26,7 +27,7 @@ class Simulator;
 namespace netrs::rs {
 
 /// Uniform random choice among the candidates (stateless baseline).
-class RandomSelector final : public ReplicaSelector {
+class NETRS_SHARD_LOCAL RandomSelector final : public ReplicaSelector {
  public:
   /// `rng` is this selector's private stream.
   explicit RandomSelector(sim::Rng rng) : rng_(rng) {}
@@ -45,7 +46,7 @@ class RandomSelector final : public ReplicaSelector {
 };
 
 /// Rotates through the candidate list (stateful, feedback-free baseline).
-class RoundRobinSelector final : public ReplicaSelector {
+class NETRS_SHARD_LOCAL RoundRobinSelector final : public ReplicaSelector {
  public:
   /// Picks candidates[counter++ % size].
   net::HostId select(std::span<const net::HostId> candidates) override;
@@ -61,7 +62,7 @@ class RoundRobinSelector final : public ReplicaSelector {
 };
 
 /// Fewest requests outstanding from this RSNode; random tie-break.
-class LeastOutstandingSelector final : public ReplicaSelector {
+class NETRS_SHARD_LOCAL LeastOutstandingSelector final : public ReplicaSelector {
  public:
   /// `rng` breaks ties among equally loaded candidates; `sim` (optional)
   /// supplies the clock for decision-hook feedback ages.
@@ -96,7 +97,7 @@ class LeastOutstandingSelector final : public ReplicaSelector {
 
 /// Power-of-two-choices (Mitzenmacher): sample two random candidates,
 /// keep the one with the lower load estimate.
-class TwoChoicesSelector final : public ReplicaSelector {
+class NETRS_SHARD_LOCAL TwoChoicesSelector final : public ReplicaSelector {
  public:
   /// `rng` draws the two candidates; `sim` (optional) supplies the clock
   /// for decision-hook feedback ages.
@@ -130,7 +131,7 @@ class TwoChoicesSelector final : public ReplicaSelector {
 };
 
 /// Lowest EWMA response time (Cassandra Dynamic Snitch-style ranking).
-class EwmaLatencySelector final : public ReplicaSelector {
+class NETRS_SHARD_LOCAL EwmaLatencySelector final : public ReplicaSelector {
  public:
   /// `alpha` is the EWMA history weight; `rng` breaks ties and picks
   /// among never-seen servers; `sim` (optional) supplies the clock for

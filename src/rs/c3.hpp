@@ -25,6 +25,7 @@
 #include "rs/rate_control.hpp"
 #include "rs/selector.hpp"
 #include "rs/server_table.hpp"
+#include "sim/affinity.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stats.hpp"
@@ -32,7 +33,7 @@
 namespace netrs::rs {
 
 /// C3 tuning knobs (defaults follow the NSDI'15 paper).
-struct C3Options {
+struct NETRS_SHARED_IMMUTABLE C3Options {
   double ewma_alpha = 0.9;  ///< history weight of the EWMAs
   int cubic_exponent = 3;   ///< b in q̂^b
   /// Concurrency-compensation factor n: how many RSNodes share the servers.
@@ -45,7 +46,7 @@ struct C3Options {
 
 /// C3 replica selection: cubic replica ranking plus CUBIC rate control
 /// (see the file comment for the scoring function).
-class C3Selector final : public ReplicaSelector {
+class NETRS_SHARD_LOCAL C3Selector final : public ReplicaSelector {
  public:
   /// `sim` supplies the clock for rate control; `rng` breaks score ties.
   C3Selector(sim::Simulator& sim, sim::Rng rng, C3Options opts);

@@ -8,11 +8,12 @@
 
 #include "rs/c3.hpp"
 #include "rs/selector.hpp"
+#include "sim/affinity.hpp"
 
 namespace netrs::rs {
 
 /// Selector choice by name plus the algorithm-specific options.
-struct SelectorConfig {
+struct NETRS_SHARED_IMMUTABLE SelectorConfig {
   /// One of: "c3", "c3-norate", "least-outstanding", "random",
   /// "round-robin", "two-choices", "ewma-latency".
   std::string algorithm = "c3";

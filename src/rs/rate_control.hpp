@@ -10,12 +10,13 @@
 
 #include <cstdint>
 
+#include "sim/affinity.hpp"
 #include "sim/time.hpp"
 
 namespace netrs::rs {
 
 /// CUBIC rate-controller parameters (defaults follow C3's evaluation).
-struct CubicOptions {
+struct NETRS_SHARED_IMMUTABLE CubicOptions {
   double initial_rate = 10.0;      ///< requests/s starting budget
   double min_rate = 0.1;           ///< floor to keep probing
   double beta = 0.2;               ///< multiplicative decrease factor
@@ -27,7 +28,7 @@ struct CubicOptions {
 
 /// Token-bucket send limiter whose rate follows a cubic growth /
 /// multiplicative decrease law (see the file comment).
-class CubicRateController {
+class NETRS_SHARD_LOCAL CubicRateController {
  public:
   /// Starts at opts.initial_rate with a full token bucket.
   explicit CubicRateController(CubicOptions opts = {});

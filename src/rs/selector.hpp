@@ -19,12 +19,13 @@
 #include <utility>
 
 #include "net/address.hpp"
+#include "sim/affinity.hpp"
 #include "sim/time.hpp"
 
 namespace netrs::rs {
 
 /// Piggybacked server status plus RSNode-side measurement for one response.
-struct Feedback {
+struct NETRS_SHARED_IMMUTABLE Feedback {
   net::HostId server = net::kInvalidHost;
   sim::Duration response_time = 0;  ///< request->response as seen by RSNode
   /// False when the RSNode could not match the response to a send time
@@ -40,7 +41,7 @@ struct Feedback {
 /// an age < 0 means the selector never heard from that server. The spans
 /// alias selector-internal scratch buffers and are only valid inside the
 /// hook invocation.
-struct DecisionContext {
+struct NETRS_SHARED_IMMUTABLE DecisionContext {
   /// The replica group the decision chose among.
   std::span<const net::HostId> candidates;
   /// The replica the selector picked.
@@ -60,7 +61,7 @@ using DecisionHook = std::function<void(const DecisionContext&)>;
 
 /// Replica-selection algorithm interface; the same implementations run on
 /// clients and on NetRS selector nodes (see the file comment).
-class ReplicaSelector {
+class NETRS_SHARD_LOCAL ReplicaSelector {
  public:
   virtual ~ReplicaSelector() = default;  ///< Polymorphic base.
 

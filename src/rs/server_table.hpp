@@ -16,13 +16,14 @@
 #include <vector>
 
 #include "net/address.hpp"
+#include "sim/affinity.hpp"
 
 namespace netrs::rs {
 
 /// Dense HostId -> slot map: O(1) find with no hashing, slots handed out
 /// in first-touch order. Selectors index their per-server field arrays
 /// (SoA) with the returned slot.
-class HostSlotIndex {
+class NETRS_SHARD_LOCAL HostSlotIndex {
  public:
   /// Sentinel slot meaning "host never touched".
   static constexpr std::uint32_t kNone = 0xFFFFFFFFu;

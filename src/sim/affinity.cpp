@@ -1,0 +1,37 @@
+#include "sim/affinity.hpp"
+
+#include <string>
+
+#include "sim/shard.hpp"
+
+namespace netrs::sim {
+
+namespace {
+
+std::string context_name(int shard) {
+  return shard == ShardGroup::kCoordinator ? std::string("the coordinator")
+                                           : "shard " + std::to_string(shard);
+}
+
+}  // namespace
+
+void ShardAffinityGuard::check_impl(const char* op) const {
+  if (group_ == nullptr) return;  // serial mode / standalone component
+  const int ctx = ShardGroup::current_shard();
+  if (ctx == shard_) return;  // the owner itself
+  const bool window = group_->window_active();
+  if (ctx == ShardGroup::kCoordinator && !window) {
+    return;  // barrier / setup context: every shard is parked
+  }
+  if (auditor_ == nullptr) return;
+  auditor_->record(
+      "shard-affinity",
+      std::string(what_) + " " + std::to_string(id_) + ": " + op + " by " +
+          context_name(ctx) + " but owned by " + context_name(shard_) +
+          (ctx == ShardGroup::kCoordinator
+               ? " (coordinator access during an active shard window)"
+               : (window ? " (cross-shard access during an active window)"
+                         : " (cross-shard access between windows)")));
+}
+
+}  // namespace netrs::sim

@@ -7,10 +7,20 @@ namespace netrs::sim {
 namespace {
 // Shard id of the executing thread; kCoordinator on every non-worker
 // thread, including the harness repeat pool.
+// netrs-lint: allow(mutable-static): this thread-local IS the shard-context
+// mechanism the mutable-static rule protects — each worker writes only its
+// own copy, and the affinity guard reads it to attribute accesses.
 thread_local int tls_current_shard = ShardGroup::kCoordinator;
 }  // namespace
 
 int ShardGroup::current_shard() { return tls_current_shard; }
+
+ScopedShardContext::ScopedShardContext(int shard)
+    : prev_(tls_current_shard) {
+  tls_current_shard = shard;
+}
+
+ScopedShardContext::~ScopedShardContext() { tls_current_shard = prev_; }
 
 ShardGroup::ShardGroup(int shards, Duration lookahead)
     : lookahead_(lookahead) {
@@ -29,6 +39,15 @@ ShardGroup::ShardGroup(int shards, Duration lookahead)
   assert(lookahead_ > 0 && "conservative sync needs positive lookahead");
   owned_global_ = std::make_unique<Simulator>();
   global_ = owned_global_.get();
+  // Affinity sentinel (audit builds): each shard simulator is owned by its
+  // worker, the global simulator by the coordinator. Serial mode (above)
+  // leaves the guards unbound — one thread owns everything.
+  for (int i = 0; i < shards; ++i) {
+    Simulator& s = *sims_[std::size_t(i)];
+    s.shard_affinity().bind(this, i, "simulator", i, &s.auditor());
+  }
+  global_->shard_affinity().bind(this, kCoordinator, "global-simulator", -1,
+                                 &global_->auditor());
   clocks_ = std::make_unique<PaddedClock[]>(std::size_t(shards));
   workers_.reserve(std::size_t(shards));
   for (int i = 0; i < shards; ++i) {
@@ -101,6 +120,7 @@ void ShardGroup::run_windows(int shard, Time bound) {
 
 void ShardGroup::advance_shards(Time bound) {
   if (workers_.empty()) return;
+  window_active_.store(true, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lk(m_);
     ++epoch_;
@@ -112,6 +132,7 @@ void ShardGroup::advance_shards(Time bound) {
     std::unique_lock<std::mutex> lk(m_);
     cv_done_.wait(lk, [&] { return done_ == shards(); });
   }
+  window_active_.store(false, std::memory_order_relaxed);
 }
 
 void ShardGroup::run_until(Time deadline) {

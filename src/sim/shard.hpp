@@ -81,6 +81,23 @@ class ShardGroup {
   /// as intra-shard, cross-shard, or barrier-context).
   [[nodiscard]] static int current_shard();
 
+  /// True while the workers are inside a parallel window (between the
+  /// coordinator releasing them and the last worker parking again).
+  /// Coordinator-context access to shard-local state is only legal while
+  /// this is false — between run_until calls and at global-event barriers
+  /// (the ShardAffinityGuard's rule). Always false with shards() == 1.
+  [[nodiscard]] bool window_active() const {
+    return window_active_.load(std::memory_order_relaxed);
+  }
+
+  /// Audit/test hook: forces the window-active flag so affinity fault
+  /// injections can model "coordinator touches shard state off-window"
+  /// without staging a real concurrent window. Never call while run_until
+  /// is executing.
+  void testing_set_window_active(bool active) {
+    window_active_.store(active, std::memory_order_relaxed);
+  }
+
   /// Called on a shard's worker thread at the start of every window with
   /// the window's exclusive safe bound; the fabric drains that shard's
   /// cross-shard inboxes here, scheduling every arrival below the bound.
@@ -130,6 +147,24 @@ class ShardGroup {
   Time target_ = 0;
   int done_ = 0;
   bool stop_ = false;
+  std::atomic<bool> window_active_{false};
+};
+
+/// RAII override of ShardGroup::current_shard() for the calling thread:
+/// construction masquerades the thread as `shard`, destruction restores the
+/// previous value. Used by affinity fault-injection tests to model a
+/// foreign-shard actor deterministically (no worker thread needed); the
+/// shard workers themselves set the id directly for their whole lifetime.
+class ScopedShardContext {
+ public:
+  /// Makes current_shard() return `shard` on this thread until destruction.
+  explicit ScopedShardContext(int shard);
+  ~ScopedShardContext();
+  ScopedShardContext(const ScopedShardContext&) = delete;
+  ScopedShardContext& operator=(const ScopedShardContext&) = delete;
+
+ private:
+  int prev_;
 };
 
 }  // namespace netrs::sim

@@ -8,6 +8,9 @@
 namespace netrs::sim {
 
 EventId Simulator::at(Time t, Callback cb) {
+  // Shard affinity: only the owning worker (or the coordinator between
+  // windows) may push events onto a sharded simulator's queue.
+  affinity_.check("schedule");
   // Causality: scheduling into the past would fire the callback at now()
   // anyway (the clamp below), silently reordering it after events it should
   // have preceded. Checked builds record the violation with provenance;

@@ -9,6 +9,7 @@
 #include <functional>
 #include <memory>
 
+#include "sim/affinity.hpp"
 #include "sim/audit.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/time.hpp"
@@ -84,6 +85,17 @@ class Simulator {
     return queue_.empty() ? kNever : queue_.next_time();
   }
 
+  /// Shard-ownership sentinel (checked builds; inline no-op otherwise).
+  /// ShardGroup binds it for every shard simulator so at()/after() record
+  /// foreign-simulator scheduling — an event pushed onto another shard's
+  /// queue from the wrong thread — with owner/actor provenance. Unbound
+  /// (serial mode, standalone simulators) it accepts every context.
+  [[nodiscard]] ShardAffinityGuard& shard_affinity() { return affinity_; }
+  /// Read-only guard access (tests inspect the bound owner).
+  [[nodiscard]] const ShardAffinityGuard& shard_affinity() const {
+    return affinity_;
+  }
+
   /// Invariant auditor (checked builds; inline no-op otherwise). Components
   /// reach it through here to report conservation and causality violations.
   [[nodiscard]] Auditor& auditor() { return auditor_; }
@@ -110,6 +122,7 @@ class Simulator {
   std::uint64_t fired_ = 0;
   bool stopped_ = false;
   Auditor auditor_;
+  ShardAffinityGuard affinity_;
   obs::Observer* observer_ = nullptr;
 };
 

@@ -1,0 +1,22 @@
+// Fixture: top-level classes in a component-layer header without a shard
+// ownership marker (masquerades as a netrs header via the path directive).
+// Every top-level class/struct defined under src/{net,kv,netrs,rs,obs}
+// must carry NETRS_SHARD_LOCAL / NETRS_COORD_GLOBAL /
+// NETRS_SHARED_IMMUTABLE so the cross-TU affinity table stays complete.
+// lint-fixture-path: src/netrs/widget.hpp
+// lint-fixture-expect: shard-annotation 2
+
+namespace netrs::core {
+
+struct WidgetConfig {  // missing marker
+  int knobs = 0;
+};
+
+class Widget {  // missing marker
+ public:
+  void poke();
+};
+
+class Helper;  // forward declaration: no marker required
+
+}  // namespace netrs::core

@@ -1,0 +1,18 @@
+// Fixture: mutable static / thread_local state in simulation code. Both
+// declarations are shared across shard workers and --jobs repeat threads:
+// the counter races, and the thread_local silently gives each worker its
+// own diverging copy — either way results stop being a function of the
+// seed.
+// lint-fixture-path: src/netrs/counter.cpp
+// lint-fixture-expect: mutable-static 2
+
+namespace netrs::core {
+
+thread_local int tls_scratch = 0;  // per-worker divergence
+
+int next_id() {
+  static int counter = 0;  // cross-run shared state
+  return ++counter;
+}
+
+}  // namespace netrs::core

@@ -1,0 +1,31 @@
+// Fixture: scheduled lambdas that smuggle foreign shard-local state onto
+// this shard's event queue (masquerades as an obs-layer file). The obs
+// layer never owns kv state, so capturing a kv::Server — explicitly or via
+// a default capture — inside an at()/after()/every() lambda is a
+// cross-shard access waiting for the right interleaving. Scheduling
+// directly on simulator_for(...)'s temporary handle is the same hazard in
+// one expression.
+// lint-fixture-path: src/obs/herd_sampler.cpp
+// lint-fixture-expect: shard-affinity-capture 3
+
+namespace netrs::kv {
+class NETRS_SHARD_LOCAL Server {
+ public:
+  void enqueue(int value);
+  [[nodiscard]] unsigned queue_size() const;
+};
+}  // namespace netrs::kv
+
+namespace netrs::obs {
+
+void sample(sim::Simulator& sim, net::Fabric& fabric, kv::Server& victim,
+            unsigned* out) {
+  // Explicit capture of a foreign shard-local object.
+  sim.after(10, [&victim, out] { *out = victim.queue_size(); });
+  // Default capture reaching the same object through the enclosing scope.
+  sim.after(20, [&] { *out += victim.queue_size(); });
+  // Scheduling on the temporary handle instead of a cached own-shard one.
+  fabric.simulator_for(3).after(30, [out] { *out += 1; });
+}
+
+}  // namespace netrs::obs

@@ -1,0 +1,24 @@
+// Fixture: a non-const method call on foreign shard-local state
+// (masquerades as an rs-layer file). Selectors receive server feedback
+// through DecisionContext and Feedback values; reaching into a kv::Server
+// and mutating it directly couples the rs layer to another shard's
+// mutable state. Const lookups stay legal.
+// lint-fixture-path: src/rs/feedback_probe.cpp
+// lint-fixture-expect: shard-foreign-mutation 1
+
+namespace netrs::kv {
+class NETRS_SHARD_LOCAL Server {
+ public:
+  void enqueue(int value);
+  [[nodiscard]] unsigned queue_size() const;
+};
+}  // namespace netrs::kv
+
+namespace netrs::rs {
+
+unsigned probe(kv::Server& server) {
+  server.enqueue(7);           // foreign mutation
+  return server.queue_size();  // const read: fine
+}
+
+}  // namespace netrs::rs

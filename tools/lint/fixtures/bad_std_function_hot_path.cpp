@@ -2,9 +2,10 @@
 // scrubbed it from (masquerades as net/fabric via the path directive).
 // lint-fixture-path: src/net/fabric.hpp
 // lint-fixture-expect: std-function-hot-path 1
+// lint-fixture-expect: shard-annotation 0
 
 #include <functional>
 
-struct Delivery {
+struct NETRS_SHARED_IMMUTABLE Delivery {
   std::function<void()> on_deliver;  // heap-allocates per packet
 };

@@ -1,0 +1,25 @@
+// Fixture: the sanctioned scheduling patterns. A component captures its
+// own layer's shard-local state (same shard by construction), and the
+// simulator handle is cached once at setup instead of chained through
+// simulator_for(...) at schedule time.
+// lint-fixture-path: src/kv/feeder.cpp
+// lint-fixture-expect: shard-affinity-capture 0
+// lint-fixture-expect: shard-foreign-mutation 0
+
+namespace netrs::kv {
+
+class NETRS_SHARD_LOCAL Server {
+ public:
+  void enqueue(int value);
+  [[nodiscard]] unsigned queue_size() const;
+};
+
+void feed(net::Fabric& fabric, Server& server, int node) {
+  // Cache-then-schedule: the handle is resolved once, at setup, on the
+  // caller's own node.
+  sim::Simulator& sim = fabric.simulator_for(node);
+  sim.after(10, [&server] { server.enqueue(1); });   // same layer: fine
+  sim.every(20, [&] { return server.queue_size() < 8; });
+}
+
+}  // namespace netrs::kv

@@ -1,0 +1,23 @@
+// Fixture: correctly annotated header classes. Nested types inherit their
+// enclosing class's ownership and need no marker of their own; local
+// structs inside functions are likewise exempt.
+// lint-fixture-path: src/kv/cache.hpp
+// lint-fixture-expect: shard-annotation 0
+
+namespace netrs::kv {
+
+/// Immutable-after-setup parameters.
+struct NETRS_SHARED_IMMUTABLE CacheConfig {
+  int capacity = 8;
+};
+
+class NETRS_SHARD_LOCAL Cache {
+ public:
+  struct Entry {  // nested: covered by the enclosing class's marker
+    int value = 0;
+  };
+  void put(int value);
+  [[nodiscard]] int size() const;
+};
+
+}  // namespace netrs::kv

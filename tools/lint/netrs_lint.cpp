@@ -37,6 +37,31 @@
 //                         shard's Simulator bypasses the cross-shard inbox
 //                         protocol and races its event queue; components
 //                         use Fabric::simulator_for(node) instead.
+//   shard-annotation      every top-level class/struct defined in a header
+//                         under src/{net,kv,netrs,rs,obs} must carry one of
+//                         the sim/affinity.hpp ownership markers
+//                         (NETRS_SHARD_LOCAL / NETRS_COORD_GLOBAL /
+//                         NETRS_SHARED_IMMUTABLE) on its class token. The
+//                         markers feed the cross-TU affinity table the two
+//                         rules below consume (DESIGN.md §7.3).
+//   shard-affinity-capture a sim::Task lambda passed to at()/after()/
+//                         every() that captures a variable of a
+//                         NETRS_SHARD_LOCAL class owned by a different
+//                         component layer, or scheduling directly on the
+//                         result of Fabric::simulator_for(...). Either way
+//                         an event on one shard's queue holds a live
+//                         reference into another shard's state.
+//   shard-foreign-mutation a non-const method call on a variable of a
+//                         NETRS_SHARD_LOCAL class from a layer that does
+//                         not own (or co-locate with) that class; mutable
+//                         shard state must only be driven by its owning
+//                         layer or the coordinator-side harness.
+//   mutable-static        mutable `static` / `thread_local` declarations
+//                         anywhere in the tree: function-local or global
+//                         mutable statics are shared across shard workers
+//                         and --jobs repeat threads, so they race and leak
+//                         state between runs. const/constexpr and function
+//                         declarations are fine.
 //
 // Escape hatch — a justified suppression directly above (or on) the line:
 //   // netrs-lint: allow(<rule>): <reason>
@@ -51,7 +76,9 @@
 // tools/lint/fixtures/).
 //
 // Usage:
-//   netrs_lint <file-or-dir>...          lint; exit 1 on any violation
+//   netrs_lint [--github] <file-or-dir>...  lint; exit 1 on any violation.
+//                                        --github additionally emits GitHub
+//                                        Actions ::error annotations.
 //   netrs_lint --self-test <fixture-dir> check fixtures against their
 //                                        embedded lint-fixture-expect
 //                                        directives; exit 1 on mismatch
@@ -279,6 +306,20 @@ bool is_declaration_context(const std::string& s, std::size_t p) {
   const std::string prev = s.substr(begin, q - begin + 1);
   return prev != "return" && prev != "co_return" && prev != "case" &&
          prev != "throw" && prev != "co_yield";
+}
+
+/// Matches the `(...)` starting at `open` (s[open] == '('); returns the
+/// offset of the closing ')' or npos.
+std::size_t match_paren(const std::string& s, std::size_t open) {
+  int depth = 0;
+  for (std::size_t p = open; p < s.size(); ++p) {
+    if (s[p] == '(') ++depth;
+    if (s[p] == ')') {
+      --depth;
+      if (depth == 0) return p;
+    }
+  }
+  return std::string::npos;
 }
 
 /// Matches the `<...>` starting at `open` (s[open] == '<'); returns the
@@ -786,8 +827,633 @@ void rule_cross_shard_sim(const FileText& f, Sink* violations, Sink* errors) {
   }
 }
 
-void run_rules(const FileText& f, const SymbolTable& table, Sink* violations,
-               Sink* errors) {
+// --------------------------------------------------------------------------
+// Shard-ownership checking (DESIGN.md §7.3): a cross-TU class -> affinity
+// table built from the sim/affinity.hpp markers, consumed by the
+// shard-annotation / shard-affinity-capture / shard-foreign-mutation rules.
+// --------------------------------------------------------------------------
+
+/// Component layer of a path: the first known directory component
+/// ("src/netrs/rules.cpp" -> "netrs", "bench/macro.cpp" -> "bench").
+/// Longer names are checked first so "netrs" never matches as "net".
+std::string path_layer(const std::string& effective_path) {
+  std::string norm = effective_path;
+  std::replace(norm.begin(), norm.end(), '\\', '/');
+  static const char* kLayers[] = {"harness", "examples", "netrs", "bench",
+                                  "tests",   "tools",    "net",   "ilp",
+                                  "sim",     "obs",      "kv",    "rs"};
+  for (const char* layer : kLayers) {
+    const std::string frag = std::string(layer) + "/";
+    if (norm.find("/" + frag) != std::string::npos || norm.rfind(frag, 0) == 0) {
+      return layer;
+    }
+  }
+  return "";
+}
+
+/// One class in the affinity table. `affinity` is 'L' (NETRS_SHARD_LOCAL),
+/// 'G' (NETRS_COORD_GLOBAL), 'I' (NETRS_SHARED_IMMUTABLE), or '?' for an
+/// unannotated class (tracked so name lookups don't misfire, ignored by
+/// the affinity rules).
+struct ClassInfo {
+  std::string name;
+  char affinity = '?';
+  std::string layer;  ///< owning layer, from the innermost namespace
+  std::set<std::string> mutators;       ///< non-const member functions
+  std::set<std::string> const_methods;  ///< const member functions
+};
+
+using AffinityTable = std::map<std::string, ClassInfo>;
+
+/// A top-level class/struct *definition* found by the scope-stack walker.
+struct ClassDecl {
+  std::string name;
+  std::string marker;  ///< the NETRS_* marker token, or empty
+  std::string layer;   ///< innermost enclosing namespace, core -> netrs
+  std::size_t line = 0;
+  std::size_t body_begin = 0;  ///< offset of the '{' opening the body
+  bool top_level = false;      ///< every enclosing scope is a namespace
+};
+
+char marker_affinity(const std::string& marker) {
+  if (marker == "NETRS_SHARD_LOCAL") return 'L';
+  if (marker == "NETRS_COORD_GLOBAL") return 'G';
+  if (marker == "NETRS_SHARED_IMMUTABLE") return 'I';
+  return '?';
+}
+
+/// Walks the blanked code with a namespace/class/other scope stack and
+/// returns every class/struct definition (forward declarations skipped).
+/// The owning layer is the innermost enclosing namespace at the definition
+/// — not the file path — so `namespace netrs::core` classes belong to
+/// "netrs" wherever the file lives.
+std::vector<ClassDecl> scan_classes(const FileText& f) {
+  const std::string& code = f.code;
+  struct Scope {
+    enum Kind { kNamespace, kClass, kOther } kind = kOther;
+    std::string name;
+  };
+  std::vector<Scope> stack;
+  Scope pending;  // what the next '{' opens
+  std::vector<ClassDecl> out;
+
+  std::size_t p = 0;
+  while (p < code.size()) {
+    const char c = code[p];
+    if (c == '{') {
+      stack.push_back(pending);
+      pending = Scope{};
+      ++p;
+      continue;
+    }
+    if (c == '}') {
+      if (!stack.empty()) stack.pop_back();
+      ++p;
+      continue;
+    }
+    if (!ident_char(c) || (p > 0 && ident_char(code[p - 1]))) {
+      ++p;
+      continue;
+    }
+    std::size_t e = 0;
+    const std::string w = read_ident(code, p, &e);
+    if (w == "template") {
+      const std::size_t open = skip_ws(code, e);
+      if (open < code.size() && code[open] == '<') {
+        const std::size_t close = match_angle(code, open);
+        if (close != std::string::npos) {
+          p = close + 1;
+          continue;
+        }
+      }
+      p = e;
+      continue;
+    }
+    if (w == "namespace") {
+      // `namespace a::b {` / `namespace {` / `namespace x = y;` (alias).
+      std::size_t q = skip_ws(code, e);
+      std::string last;
+      while (q < code.size()) {
+        if (ident_char(code[q])) {
+          last = read_ident(code, q, &q);
+        } else if (code[q] == ':' && q + 1 < code.size() &&
+                   code[q + 1] == ':') {
+          q += 2;
+        } else {
+          break;
+        }
+        q = skip_ws(code, q);
+      }
+      if (q < code.size() && code[q] == '{') {
+        pending = Scope{Scope::kNamespace, last};
+        p = q;  // let the '{' branch push it
+      } else {
+        p = q;  // alias or using-directive: no scope opens here
+      }
+      continue;
+    }
+    if (w == "enum") {
+      // `enum class X { ... }` must not register as a class; skip an
+      // immediately following class/struct keyword.
+      std::size_t q = skip_ws(code, e);
+      const std::string next = read_ident(code, q, &q);
+      if (next == "class" || next == "struct") {
+        p = q;
+      } else {
+        p = e;
+      }
+      continue;
+    }
+    if (w == "class" || w == "struct") {
+      std::size_t q = skip_ws(code, e);
+      // Skip attributes / alignas between the keyword and the name.
+      for (;;) {
+        if (q + 1 < code.size() && code[q] == '[' && code[q + 1] == '[') {
+          const std::size_t close = code.find("]]", q);
+          if (close == std::string::npos) break;
+          q = skip_ws(code, close + 2);
+          continue;
+        }
+        if (code.compare(q, 8, "alignas(") == 0) {
+          const std::size_t close = match_paren(code, q + 7);
+          if (close == std::string::npos) break;
+          q = skip_ws(code, close + 1);
+          continue;
+        }
+        break;
+      }
+      ClassDecl decl;
+      std::string first = read_ident(code, q, &q);
+      if (marker_affinity(first) != '?') {
+        decl.marker = first;
+        q = skip_ws(code, q);
+        first = read_ident(code, q, &q);
+      }
+      decl.name = first;
+      if (decl.name.empty()) {  // anonymous struct
+        p = e;
+        continue;
+      }
+      // Definition (`{`) vs forward declaration (`;`): scan past the
+      // base clause, skipping template-argument angles.
+      std::size_t r = q;
+      std::size_t brace = std::string::npos;
+      while (r < code.size()) {
+        const char rc = code[r];
+        if (rc == '<') {
+          const std::size_t close = match_angle(code, r);
+          if (close != std::string::npos) {
+            r = close + 1;
+            continue;
+          }
+        }
+        if (rc == '{') {
+          brace = r;
+          break;
+        }
+        if (rc == ';' || rc == '=' || rc == ')') break;  // fwd decl / param
+        ++r;
+      }
+      if (brace == std::string::npos) {
+        p = r < code.size() ? r + 1 : r;
+        continue;
+      }
+      decl.line = line_of_offset(f, p);
+      decl.body_begin = brace;
+      decl.top_level = std::all_of(
+          stack.begin(), stack.end(),
+          [](const Scope& s) { return s.kind == Scope::kNamespace; });
+      for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+        if (it->kind == Scope::kNamespace) {
+          decl.layer = it->name;
+          break;
+        }
+      }
+      if (decl.layer == "core") decl.layer = "netrs";  // netrs::core
+      out.push_back(decl);
+      pending = Scope{Scope::kClass, decl.name};
+      p = brace;  // let the '{' branch push it
+      continue;
+    }
+    p = e;
+  }
+  return out;
+}
+
+/// Records a definition's member functions into `info`, split by constness.
+/// Depth-1 scan of the class body: an identifier directly applied to `(...)`
+/// is a member function; `const` as the first token after the closing paren
+/// marks it const. Heuristic by design — nested classes (depth > 1) and
+/// statement keywords are skipped.
+void collect_methods(const std::string& code, const ClassDecl& decl,
+                     ClassInfo* info) {
+  static const std::set<std::string> kKeywords = {
+      "if",       "for",      "while",    "switch",   "return",
+      "sizeof",   "catch",    "operator", "assert",   "static_assert",
+      "decltype", "noexcept", "alignas",  "alignof",  "explicit",
+      "new",      "delete",   "throw",    "co_return", "co_await",
+      "co_yield", "requires", "template"};
+  int depth = 0;
+  std::size_t p = decl.body_begin;
+  while (p < code.size()) {
+    const char c = code[p];
+    if (c == '{') {
+      ++depth;
+      ++p;
+      continue;
+    }
+    if (c == '}') {
+      --depth;
+      if (depth == 0) return;
+      ++p;
+      continue;
+    }
+    if (depth != 1 || !ident_char(c) || (p > 0 && ident_char(code[p - 1]))) {
+      ++p;
+      continue;
+    }
+    std::size_t e = 0;
+    const std::string w = read_ident(code, p, &e);
+    p = e;
+    if (kKeywords.count(w) != 0 || w == decl.name) continue;
+    const std::size_t open = skip_ws(code, e);
+    if (open >= code.size() || code[open] != '(') continue;
+    const std::size_t close = match_paren(code, open);
+    if (close == std::string::npos) continue;
+    const std::size_t after = skip_ws(code, close + 1);
+    if (code.compare(after, 5, "const") == 0 &&
+        (after + 5 >= code.size() || !ident_char(code[after + 5]))) {
+      info->const_methods.insert(w);
+    } else {
+      info->mutators.insert(w);
+    }
+  }
+}
+
+/// Folds a file's class definitions into the affinity table (first
+/// definition wins — headers are collected before .cpp locals).
+void collect_classes(const FileText& f, AffinityTable* table) {
+  for (const ClassDecl& decl : scan_classes(f)) {
+    ClassInfo info;
+    info.name = decl.name;
+    info.affinity = marker_affinity(decl.marker);
+    info.layer = decl.layer;
+    collect_methods(f.code, decl, &info);
+    table->emplace(decl.name, std::move(info));
+  }
+}
+
+/// Variables (locals, members, parameters) of NETRS_SHARD_LOCAL classes
+/// declared in this file, by name. Deliberate heuristic: only direct
+/// `Type[*&] name` declarations are tracked — container- or
+/// smart-pointer-held instances are not, which keeps false positives near
+/// zero at the cost of missing indirected captures.
+std::map<std::string, const ClassInfo*> collect_class_vars(
+    const FileText& f, const AffinityTable& table) {
+  std::map<std::string, const ClassInfo*> vars;
+  const std::string& code = f.code;
+  for (const auto& [name, info] : table) {
+    if (info.affinity != 'L') continue;
+    for (std::size_t p = find_word(code, name, 0); p != std::string::npos;
+         p = find_word(code, name, p + 1)) {
+      std::size_t q = skip_ws(code, p + name.size());
+      // Skip refs/pointers/cv between type and name.
+      while (q < code.size()) {
+        if (code[q] == '*' || code[q] == '&') {
+          q = skip_ws(code, q + 1);
+          continue;
+        }
+        if (code.compare(q, 5, "const") == 0 && !ident_char(code[q + 5])) {
+          q = skip_ws(code, q + 5);
+          continue;
+        }
+        break;
+      }
+      if (q >= code.size() || !ident_char(code[q])) continue;
+      std::size_t e = 0;
+      const std::string var = read_ident(code, q, &e);
+      if (var == "final" || var == "override" || var == "noexcept") continue;
+      const std::size_t r = skip_ws(code, e);
+      if (r >= code.size()) continue;
+      const char rc = code[r];
+      const bool decl_end =
+          rc == ';' || rc == '=' || rc == ',' || rc == ')' || rc == '{' ||
+          (rc == ':' && (r + 1 >= code.size() || code[r + 1] != ':'));
+      if (decl_end) vars[var] = &info;
+    }
+  }
+  return vars;
+}
+
+/// True when `file_layer` may mutate (or capture) state of a shard-local
+/// class owned by `class_layer`. Same-layer access is free; the harness /
+/// bench / example / test drivers own whole topologies and run serially or
+/// at barriers; net and rs objects are embedded co-located inside the kv
+/// and netrs components that wrap them (operators attach to their own
+/// switch, clients own their selectors), so those pairs are sanctioned.
+bool layer_allowed(const std::string& class_layer,
+                   const std::string& file_layer) {
+  if (class_layer == file_layer) return true;
+  if (file_layer == "harness" || file_layer == "bench" ||
+      file_layer == "examples" || file_layer == "tests" ||
+      file_layer == "tools") {
+    return true;
+  }
+  if (class_layer == "net" && (file_layer == "netrs" || file_layer == "kv")) {
+    return true;
+  }
+  if (class_layer == "rs" && (file_layer == "netrs" || file_layer == "kv")) {
+    return true;
+  }
+  return false;
+}
+
+/// Rule shard-annotation: every top-level class/struct defined in a header
+/// under src/{net,kv,netrs,rs,obs} carries an ownership marker.
+void rule_shard_annotation(const FileText& f,
+                           const std::vector<ClassDecl>& decls,
+                           Sink* violations, Sink* errors) {
+  std::string norm = f.effective_path;
+  std::replace(norm.begin(), norm.end(), '\\', '/');
+  if (!norm.ends_with(".hpp") && !norm.ends_with(".h")) return;
+  const std::string layer = path_layer(norm);
+  if (layer != "net" && layer != "kv" && layer != "netrs" && layer != "rs" &&
+      layer != "obs") {
+    return;
+  }
+  for (const ClassDecl& decl : decls) {
+    if (!decl.top_level || !decl.marker.empty()) continue;
+    report(f, decl.line, "shard-annotation",
+           "`" + decl.name + "` in src/" + layer +
+               " must declare its shard ownership: put NETRS_SHARD_LOCAL, "
+               "NETRS_COORD_GLOBAL, or NETRS_SHARED_IMMUTABLE on the class "
+               "token (see sim/affinity.hpp and DESIGN.md §7.3)",
+           violations, errors);
+  }
+}
+
+/// Rule shard-affinity-capture (see file comment): scheduling lambdas that
+/// capture foreign shard-local state, and inline scheduling on
+/// simulator_for(...)'s result.
+void rule_shard_affinity_capture(
+    const FileText& f, const std::map<std::string, const ClassInfo*>& vars,
+    Sink* violations, Sink* errors) {
+  std::string norm = f.effective_path;
+  std::replace(norm.begin(), norm.end(), '\\', '/');
+  for (const char* frag : kShardLayerFiles) {
+    if (norm.find(frag) != std::string::npos) return;
+  }
+  const std::string file_layer = path_layer(norm);
+  const std::string& code = f.code;
+
+  // (a1) `simulator_for(...).at/after/every(...)`: the temporary handle may
+  // belong to a foreign shard; components must cache their own simulator.
+  for (std::size_t p = find_word(code, "simulator_for", 0);
+       p != std::string::npos; p = find_word(code, "simulator_for", p + 1)) {
+    const std::size_t open = skip_ws(code, p + 13);
+    if (open >= code.size() || code[open] != '(') continue;
+    const std::size_t close = match_paren(code, open);
+    if (close == std::string::npos) continue;
+    std::size_t q = skip_ws(code, close + 1);
+    if (q >= code.size() || code[q] != '.') continue;
+    q = skip_ws(code, q + 1);
+    std::size_t e = 0;
+    const std::string m = read_ident(code, q, &e);
+    if (m != "at" && m != "after" && m != "every") continue;
+    if (skip_ws(code, e) >= code.size() || code[skip_ws(code, e)] != '(') {
+      continue;
+    }
+    report(f, line_of_offset(f, p), "shard-affinity-capture",
+           "scheduling directly on simulator_for(...)'s result: the handle "
+           "may belong to a foreign shard, and pushing onto its queue races "
+           "the owning worker. Cache your own node's simulator at "
+           "construction and schedule on that",
+           violations, errors);
+  }
+
+  // (a2) lambdas handed to at()/after()/every() capturing a variable of a
+  // foreign shard-local class.
+  for (const char* sched : {"at", "after", "every"}) {
+    for (std::size_t p = find_word(code, sched, 0); p != std::string::npos;
+         p = find_word(code, sched, p + 1)) {
+      // Member call only: `.after(` / `->after(`.
+      if (p == 0 || (code[p - 1] != '.' && code[p - 1] != '>')) continue;
+      const std::size_t open = skip_ws(code, p + std::string(sched).size());
+      if (open >= code.size() || code[open] != '(') continue;
+      const std::size_t close = match_paren(code, open);
+      if (close == std::string::npos) continue;
+      // Lambdas inside the call: a '[' not preceded by an identifier,
+      // ')' or ']' (which would make it a subscript).
+      for (std::size_t b = open + 1; b < close; ++b) {
+        if (code[b] != '[') continue;
+        const std::size_t prev = skip_ws_back(code, b - 1);
+        if (prev != std::string::npos &&
+            (ident_char(code[prev]) || code[prev] == ')' ||
+             code[prev] == ']')) {
+          continue;
+        }
+        // Capture list ends at the matching ']'.
+        int bdepth = 0;
+        std::size_t cl_end = std::string::npos;
+        for (std::size_t q = b; q < close; ++q) {
+          if (code[q] == '[') ++bdepth;
+          if (code[q] == ']') {
+            --bdepth;
+            if (bdepth == 0) {
+              cl_end = q;
+              break;
+            }
+          }
+        }
+        if (cl_end == std::string::npos) continue;
+        const std::string list = code.substr(b + 1, cl_end - b - 1);
+        bool default_capture = false;
+        std::vector<std::string> names;
+        {
+          int depth = 0;
+          std::string item;
+          auto flush = [&] {
+            std::string t = item;
+            item.clear();
+            // Trim.
+            while (!t.empty() && std::isspace(static_cast<unsigned char>(
+                                     t.front())) != 0) {
+              t.erase(t.begin());
+            }
+            while (!t.empty() &&
+                   std::isspace(static_cast<unsigned char>(t.back())) != 0) {
+              t.pop_back();
+            }
+            if (t.empty()) return;
+            if (t == "&" || t == "=") {
+              default_capture = true;
+              return;
+            }
+            if (!t.empty() && (t[0] == '&' || t[0] == '*')) t.erase(t.begin());
+            // Init-capture `x = expr` keeps the introduced name.
+            const std::size_t eq = t.find('=');
+            if (eq != std::string::npos) t.erase(eq);
+            const std::string name = read_ident(t, 0);
+            if (!name.empty() && name != "this") names.push_back(name);
+          };
+          for (char lc : list) {
+            if (lc == '(' || lc == '<' || lc == '{') ++depth;
+            if (lc == ')' || lc == '>' || lc == '}') --depth;
+            if (lc == ',' && depth == 0) {
+              flush();
+            } else {
+              item.push_back(lc);
+            }
+          }
+          flush();
+        }
+        const std::size_t line = line_of_offset(f, b);
+        std::set<std::string> reported;
+        auto flag = [&](const std::string& name, const ClassInfo& info,
+                        const char* how) {
+          if (!reported.insert(name).second) return;
+          report(f, line, "shard-affinity-capture",
+                 "scheduled lambda " + std::string(how) + " `" + name +
+                     "`, a NETRS_SHARD_LOCAL " + info.name + " owned by the " +
+                     info.layer +
+                     " layer: the event would touch another shard's state "
+                     "from this shard's worker. Route the interaction "
+                     "through Fabric::send / the coordinator instead",
+                 violations, errors);
+        };
+        for (const std::string& name : names) {
+          const auto it = vars.find(name);
+          if (it == vars.end()) continue;
+          if (layer_allowed(it->second->layer, file_layer)) continue;
+          flag(name, *it->second, "captures");
+        }
+        if (default_capture) {
+          // `[&]` / `[=]`: scan the lambda body for tracked variables.
+          std::size_t body = code.find('{', cl_end);
+          if (body == std::string::npos || body >= close) continue;
+          int depth = 0;
+          std::size_t body_end = body;
+          for (std::size_t q = body; q < code.size(); ++q) {
+            if (code[q] == '{') ++depth;
+            if (code[q] == '}') {
+              --depth;
+              if (depth == 0) {
+                body_end = q;
+                break;
+              }
+            }
+          }
+          const std::string body_text =
+              code.substr(body, body_end - body + 1);
+          for (const auto& [name, info] : vars) {
+            if (layer_allowed(info->layer, file_layer)) continue;
+            if (find_word(body_text, name, 0) != std::string::npos) {
+              flag(name, *info, "default-captures");
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+/// Rule shard-foreign-mutation (see file comment): `var.method(...)` /
+/// `var->method(...)` where `var` is a shard-local class instance, `method`
+/// is non-const, and this file's layer has no business mutating it.
+void rule_shard_foreign_mutation(
+    const FileText& f, const std::map<std::string, const ClassInfo*>& vars,
+    Sink* violations, Sink* errors) {
+  const std::string file_layer = path_layer(f.effective_path);
+  const std::string& code = f.code;
+  for (const auto& [name, info] : vars) {
+    if (layer_allowed(info->layer, file_layer)) continue;
+    for (std::size_t p = find_word(code, name, 0); p != std::string::npos;
+         p = find_word(code, name, p + 1)) {
+      std::size_t q = p + name.size();
+      if (code.compare(q, 1, ".") == 0) {
+        q = skip_ws(code, q + 1);
+      } else if (code.compare(q, 2, "->") == 0) {
+        q = skip_ws(code, q + 2);
+      } else {
+        continue;
+      }
+      std::size_t e = 0;
+      const std::string method = read_ident(code, q, &e);
+      if (method.empty()) continue;
+      const std::size_t open = skip_ws(code, e);
+      if (open >= code.size() || code[open] != '(') continue;
+      if (info->mutators.count(method) == 0 ||
+          info->const_methods.count(method) != 0) {
+        continue;
+      }
+      report(f, line_of_offset(f, p), "shard-foreign-mutation",
+             "`" + name + "." + method + "(...)` mutates a NETRS_SHARD_LOCAL " +
+                 info->name + " owned by the " + info->layer +
+                 " layer from " +
+                 (file_layer.empty() ? std::string("an unowned file")
+                                     : "the " + file_layer + " layer") +
+                 ": shard-local state must only be driven by its owning "
+                 "layer (or the coordinator-side harness)",
+             violations, errors);
+    }
+  }
+}
+
+/// Rule mutable-static (see file comment): mutable `static` / `thread_local`
+/// declarations. Function declarations and const/constexpr/constinit
+/// qualified declarations are fine; everything else is cross-shard,
+/// cross-repeat shared state.
+void rule_mutable_static(const FileText& f, Sink* violations, Sink* errors) {
+  const std::string& code = f.code;
+  std::set<std::size_t> flagged;  // dedupe `static thread_local` pairs
+  for (const char* kw : {"static", "thread_local"}) {
+    for (std::size_t p = find_word(code, kw, 0); p != std::string::npos;
+         p = find_word(code, kw, p + 1)) {
+      std::size_t q = p;
+      bool is_const = false;
+      bool is_function = false;
+      while (q < code.size()) {
+        const char c = code[q];
+        if (c == '<') {
+          const std::size_t close = match_angle(code, q);
+          if (close != std::string::npos) {
+            q = close + 1;
+            continue;
+          }
+        }
+        if (c == '(') {
+          is_function = true;
+          break;
+        }
+        if (c == ';' || c == '=' || c == '{') break;
+        if (ident_char(c) && (q == 0 || !ident_char(code[q - 1]))) {
+          std::size_t e = 0;
+          const std::string w = read_ident(code, q, &e);
+          if (w == "const" || w == "constexpr" || w == "constinit" ||
+              w == "consteval") {
+            is_const = true;
+          }
+          q = e;
+          continue;
+        }
+        ++q;
+      }
+      if (is_function || is_const) continue;
+      const std::size_t line = line_of_offset(f, p);
+      if (!flagged.insert(line).second) continue;
+      report(f, line, "mutable-static",
+             std::string("mutable `") + kw +
+                 "` state is shared across shard workers and --jobs repeat "
+                 "threads: it races under the parallel core and leaks state "
+                 "between runs. Make it const/constexpr, thread it through "
+                 "the component, or justify it with an allow()",
+             violations, errors);
+    }
+  }
+}
+
+void run_rules(const FileText& f, const SymbolTable& table,
+               const AffinityTable& classes, Sink* violations, Sink* errors) {
   rule_unordered_iteration(f, table, violations, errors);
   rule_wall_clock(f, violations, errors);
   rule_unseeded_random(f, violations, errors);
@@ -795,6 +1461,13 @@ void run_rules(const FileText& f, const SymbolTable& table, Sink* violations,
   rule_std_function_hot_path(f, violations, errors);
   rule_unordered_in_obs(f, violations, errors);
   rule_cross_shard_sim(f, violations, errors);
+  const std::vector<ClassDecl> decls = scan_classes(f);
+  rule_shard_annotation(f, decls, violations, errors);
+  const std::map<std::string, const ClassInfo*> vars =
+      collect_class_vars(f, classes);
+  rule_shard_affinity_capture(f, vars, violations, errors);
+  rule_shard_foreign_mutation(f, vars, violations, errors);
+  rule_mutable_static(f, violations, errors);
 }
 
 // --------------------------------------------------------------------------
@@ -855,7 +1528,7 @@ void apply_fixture_path(FileText* f) {
 // Modes.
 // --------------------------------------------------------------------------
 
-int lint_mode(const std::vector<std::string>& paths) {
+int lint_mode(const std::vector<std::string>& paths, bool github) {
   const std::vector<std::string> files = gather_inputs(paths);
   if (files.empty()) {
     std::fprintf(stderr, "netrs_lint: no input files\n");
@@ -880,8 +1553,12 @@ int lint_mode(const std::vector<std::string>& paths) {
     return path.size() >= 2 && (path.ends_with(".hpp") || path.ends_with(".h"));
   };
   SymbolTable headers;
+  AffinityTable header_classes;
   for (const FileText& f : texts) {
-    if (is_header(f.path)) collect_symbols(f, &headers);
+    if (is_header(f.path)) {
+      collect_symbols(f, &headers);
+      collect_classes(f, &header_classes);
+    }
   }
   for (const FileText& f : texts) {
     if (is_header(f.path)) collect_alias_uses(f, &headers);
@@ -891,11 +1568,13 @@ int lint_mode(const std::vector<std::string>& paths) {
   Sink errors;
   for (const FileText& f : texts) {
     SymbolTable table = headers;
+    AffinityTable classes = header_classes;
     if (!is_header(f.path)) {
       collect_symbols(f, &table);
       collect_alias_uses(f, &table);
+      collect_classes(f, &classes);
     }
-    run_rules(f, table, &violations, &errors);
+    run_rules(f, table, classes, &violations, &errors);
   }
 
   for (const Violation& v : errors) {
@@ -905,6 +1584,18 @@ int lint_mode(const std::vector<std::string>& paths) {
   for (const Violation& v : violations) {
     std::printf("%s:%zu: [%s] %s\n", v.file.c_str(), v.line, v.rule.c_str(),
                 v.message.c_str());
+  }
+  if (github) {
+    // GitHub Actions workflow-command annotations, in addition to (never
+    // instead of) the plain report above.
+    for (const Violation& v : errors) {
+      std::printf("::error file=%s,line=%zu,title=netrs_lint[%s]::%s\n",
+                  v.file.c_str(), v.line, v.rule.c_str(), v.message.c_str());
+    }
+    for (const Violation& v : violations) {
+      std::printf("::error file=%s,line=%zu,title=netrs_lint[%s]::%s\n",
+                  v.file.c_str(), v.line, v.rule.c_str(), v.message.c_str());
+    }
   }
   if (violations.empty() && errors.empty()) {
     std::printf("netrs_lint: %zu files clean\n", texts.size());
@@ -935,9 +1626,11 @@ int self_test_mode(const std::vector<std::string>& paths) {
     SymbolTable table;
     collect_symbols(f, &table);
     collect_alias_uses(f, &table);
+    AffinityTable classes;
+    collect_classes(f, &classes);
     Sink violations;
     Sink errors;
-    run_rules(f, table, &violations, &errors);
+    run_rules(f, table, classes, &violations, &errors);
 
     // Expected counts from `// lint-fixture-expect: <rule> <count>`.
     std::map<std::string, int> expected;
@@ -990,11 +1683,19 @@ int main(int argc, char** argv) {
   if (!args.empty() && args[0] == "--self-test") {
     return self_test_mode({args.begin() + 1, args.end()});
   }
+  bool github = false;
+  std::erase_if(args, [&](const std::string& a) {
+    if (a == "--github") {
+      github = true;
+      return true;
+    }
+    return false;
+  });
   if (args.empty() || args[0] == "--help") {
     std::fprintf(stderr,
-                 "usage: netrs_lint <file-or-dir>...\n"
+                 "usage: netrs_lint [--github] <file-or-dir>...\n"
                  "       netrs_lint --self-test <fixture-dir>\n");
     return args.empty() ? 2 : 0;
   }
-  return lint_mode(args);
+  return lint_mode(args, github);
 }
