@@ -1,145 +1,78 @@
-// Example: exception handling with Degraded Replica Selection (§III-C).
+// Example: exception handling with Degraded Replica Selection (§III-C),
+// driven by the declarative fault-injection engine (DESIGN.md §9,
+// docs/SCENARIOS.md).
 //
-// Runs a NetRS-ILP cluster, then fails the busiest RSNode mid-run. The
-// controller immediately degrades the affected traffic groups (requests
-// ride to the client-chosen backup replica) and, at the next replan,
-// re-consolidates onto the surviving operators. The example prints a
-// latency timeline so the degradation + recovery episode is visible.
-#include <algorithm>
+// Runs the NetRS-ToR cluster through a committed sim::FaultPlan that
+// crashes every ToR RSNode of pods 0 and 1 at t=1.2s and restores them
+// at t=2.0s. While the nodes are down the controller immediately
+// degrades their traffic groups — requests from the affected racks ride
+// to the client-chosen backup replica (DRS) — and on restore the next
+// replan folds the nodes back in. The harness does all the wiring: the
+// plan string in cfg.fault_plan is the whole fault model, and the
+// pre/during/post-fault report windows plus the 100 ms latency timeline
+// come back on the ExperimentResult (no hand-rolled callbacks).
+//
+// Swap the scheme for kNetRSIlp to watch the same plan hit a
+// consolidated placement instead: events naming RSNodes outside the
+// active plan are bound but have no groups to degrade, which is the
+// point — one plan string is portable across schemes, and the report's
+// "events fired" line tells you what actually landed.
 #include <cstdio>
-#include <memory>
-#include <numeric>
-#include <vector>
 
-#include "kv/client.hpp"
-#include "kv/consistent_hash.hpp"
-#include "kv/server.hpp"
-#include "net/switch.hpp"
-#include "netrs/controller.hpp"
-#include "netrs/operator.hpp"
-#include "rs/factory.hpp"
+#include "harness/experiment.hpp"
+#include "harness/report.hpp"
 
 using namespace netrs;
 
 int main() {
-  sim::Simulator sim;
-  net::FatTree topo(8);
-  net::Fabric fabric(sim, topo, net::FabricConfig{});
-  std::vector<std::unique_ptr<net::Switch>> switches;
-  for (net::NodeId sw = 0; sw < topo.switch_count(); ++sw) {
-    switches.push_back(std::make_unique<net::Switch>(fabric, sw));
-    fabric.attach(sw, switches.back().get());
+  harness::ExperimentConfig cfg;
+  cfg.fat_tree_k = 8;
+  cfg.num_servers = 20;
+  cfg.num_clients = 60;
+  cfg.utilization = 0.70;       // ~14 000 req/s aggregate
+  cfg.total_requests = 50'000;  // ~3.6 s nominal: fault sits mid-run
+  cfg.repeats = 1;
+  cfg.jobs = 1;
+  cfg.seed = 11;
+  cfg.timeline_bucket = sim::millis(100);
+  cfg.obs.record_decisions = true;  // regret/staleness phase columns
+
+  // ToR RSNode ids are switch NodeId + 1; for k=8 the ToR tier starts at
+  // NodeId 48 (16 cores + 32 aggs), four ToRs per pod. Crashing the
+  // eight ToR nodes of pods 0-1 degrades every traffic group behind
+  // them; the paired recover events bring them back 800 ms later.
+  cfg.fault_plan =
+      "at 1.2s crash rsnode 49; at 1.2s crash rsnode 50; "
+      "at 1.2s crash rsnode 51; at 1.2s crash rsnode 52; "
+      "at 1.2s crash rsnode 53; at 1.2s crash rsnode 54; "
+      "at 1.2s crash rsnode 55; at 1.2s crash rsnode 56; "
+      "at 2.0s recover rsnode 49; at 2.0s recover rsnode 50; "
+      "at 2.0s recover rsnode 51; at 2.0s recover rsnode 52; "
+      "at 2.0s recover rsnode 53; at 2.0s recover rsnode 54; "
+      "at 2.0s recover rsnode 55; at 2.0s recover rsnode 56";
+
+  std::printf("failover_drs: NetRS-ToR, plan:\n  %s\n\n",
+              cfg.fault_plan.c_str());
+  const harness::ExperimentResult res =
+      harness::run_experiment(harness::Scheme::kNetRSToR, cfg);
+
+  harness::print_fault_phases("netrs-tor", res);
+
+  std::printf("\n%-12s %10s %10s %10s\n", "window", "mean(ms)", "p99(ms)",
+              "samples");
+  for (std::size_t b = 0; b < res.timeline.size(); ++b) {
+    if (res.timeline[b].empty()) continue;
+    const double t0 = static_cast<double>(b) * res.timeline_bucket_ms;
+    std::printf("%5.1f-%5.1fs %10.3f %10.3f %10zu\n", t0 / 1000.0,
+                (t0 + res.timeline_bucket_ms) / 1000.0, res.timeline[b].mean(),
+                res.timeline[b].percentile(0.99), res.timeline[b].count());
   }
 
-  sim::Rng root(11);
-  std::vector<net::HostId> hosts(topo.host_count());
-  std::iota(hosts.begin(), hosts.end(), net::HostId{0});
-  root.shuffle(hosts);
-  const std::vector<net::HostId> server_hosts(hosts.begin(),
-                                              hosts.begin() + 20);
-  const std::vector<net::HostId> client_hosts(hosts.begin() + 20,
-                                              hosts.begin() + 80);
-
-  kv::ConsistentHashRing ring(server_hosts, 3, 16);
-  sim::ZipfDistribution zipf(1'000'000, 0.99);
-  core::TrafficGroups groups(topo, core::GroupGranularity::kRack);
-
-  auto directory = std::make_shared<core::RsNodeDirectory>();
-  for (net::NodeId sw = 0; sw < topo.switch_count(); ++sw) {
-    (*directory)[static_cast<core::RsNodeId>(sw + 1)] = sw;
-  }
-  auto bootstrap = std::make_shared<const core::GroupRidTable>(
-      groups.group_count(), core::kRidIllegal);
-  std::vector<std::unique_ptr<core::NetRSOperator>> operators;
-  for (net::NodeId sw = 0; sw < topo.switch_count(); ++sw) {
-    sim::Rng op_rng = root.child(0x900 + sw);
-    operators.push_back(std::make_unique<core::NetRSOperator>(
-        fabric, *switches[sw], static_cast<core::RsNodeId>(sw + 1),
-        core::AcceleratorConfig{}, directory, ring.groups(),
-        [&sim, op_rng]() mutable {
-          rs::SelectorConfig cfg;  // C3, the paper's default
-          return rs::make_selector(cfg, sim, op_rng.child("sel"));
-        },
-        &groups, bootstrap));
-  }
-
-  core::ControllerConfig ctrl_cfg;
-  ctrl_cfg.mode = core::PlanMode::kIlp;
-  ctrl_cfg.replan_interval = sim::millis(100);
-  ctrl_cfg.rsp_update_interval = sim::millis(400);
-  std::vector<core::NetRSOperator*> ptrs;
-  for (auto& op : operators) ptrs.push_back(op.get());
-  core::Controller controller(sim, topo, groups, std::move(ptrs), ctrl_cfg);
-  controller.start();
-
-  kv::ServerConfig scfg;  // paper defaults: 4ms exponential, fluctuating
-  std::vector<std::unique_ptr<kv::Server>> servers;
-  for (net::HostId h : server_hosts) {
-    servers.push_back(
-        std::make_unique<kv::Server>(fabric, h, scfg, root.child(h)));
-  }
-
-  kv::ClientConfig ccfg;
-  ccfg.mode = kv::ClientMode::kNetRS;
-  ccfg.arrival_rate = 18000.0 / client_hosts.size();  // ~90% utilization
-
-  // Latency timeline: 100ms buckets.
-  constexpr int kBuckets = 30;
-  std::vector<sim::LatencyRecorder> timeline(kBuckets);
-  std::vector<std::unique_ptr<kv::Client>> clients;
-  for (net::HostId h : client_hosts) {
-    clients.push_back(std::make_unique<kv::Client>(
-        fabric, h, ccfg, ring, zipf, root.child(0x2000 + h)));
-    clients.back()->set_completion_callback(
-        [&](const kv::Client::Completion& c) {
-          const auto bucket =
-              static_cast<std::size_t>(sim.now() / sim::millis(100));
-          if (bucket < timeline.size()) {
-            timeline[bucket].add(sim::to_millis(c.latency));
-          }
-        });
-    clients.back()->start();
-  }
-
-  // Fail the busiest RSNode at t = 1.2s; it comes back at t = 2.0s.
-  core::RsNodeId victim = 0;
-  sim.at(sim::seconds(1.2), [&] {
-    std::uint64_t best = 0;
-    for (auto& op : operators) {
-      const std::uint64_t n = op->selector_node().requests_selected();
-      if (n > best) {
-        best = n;
-        victim = op->id();
-      }
-    }
-    std::printf("t=1.2s  FAILING RSNode %u (had selected %llu requests); "
-                "its groups degrade to DRS\n",
-                victim, static_cast<unsigned long long>(best));
-    controller.fail_operator(victim);
-  });
-  sim.at(sim::seconds(2.0), [&] {
-    std::printf("t=2.0s  restoring RSNode %u\n", victim);
-    controller.restore_operator(victim);
-  });
-
-  sim.run_until(sim::seconds(3.0));
-  for (auto& c : clients) c->stop();
-  sim.run_until(sim.now() + sim::millis(100));
-
-  std::printf("\n%-8s %10s %10s %10s %9s\n", "window", "mean(ms)", "p99(ms)",
-              "samples", "RSNodes");
-  for (auto& bucket : timeline) bucket.finalize();
-  for (int b = 0; b < kBuckets; ++b) {
-    if (timeline[b].empty()) continue;
-    std::printf("%.1f-%.1fs %10.3f %10.3f %10zu\n", b / 10.0,
-                (b + 1) / 10.0, timeline[b].mean(),
-                timeline[b].percentile(0.99), timeline[b].count());
-  }
-  std::printf("\nfinal plan: %d RSNodes (%s), %zu DRS groups, %u plans "
-              "deployed\n",
-              controller.active_rsnodes(),
-              controller.current_plan().method.c_str(),
-              controller.current_plan().drs_groups.size(),
-              controller.plans_deployed());
+  std::printf("\nfinal plan: %d RSNodes (%s), %zu DRS groups, %d plans "
+              "deployed; %llu/%llu requests completed\n",
+              res.rsnodes, res.plan_method.c_str(), res.drs_groups,
+              res.plans_deployed,
+              static_cast<unsigned long long>(res.completed),
+              static_cast<unsigned long long>(res.issued));
   return 0;
 }

@@ -13,6 +13,7 @@
 
 #include "harness/experiment.hpp"
 #include "harness/parallel.hpp"
+#include "harness/report.hpp"
 
 using namespace netrs;
 
@@ -57,7 +58,12 @@ void usage(const char* argv0) {
       "                    feedback staleness, herd index); also\n"
       "                    --decisions=FILE or NETRS_DECISIONS\n"
       "  --trace-capacity N  trace ring size per repeat (default 65536);\n"
-      "                    also NETRS_TRACE_CAPACITY\n",
+      "                    also NETRS_TRACE_CAPACITY\n"
+      "  --faults PLAN     fault-injection plan (docs/SCENARIOS.md), e.g.\n"
+      "                    \"at 5s crash server 0; at 10s recover server 0\"\n"
+      "                    or @file; also --faults=PLAN or NETRS_FAULTS\n"
+      "  --timeline-bucket MS  record a latency timeline with this bucket\n"
+      "                    width in sim ms (default off)\n",
       argv0);
 }
 
@@ -151,6 +157,12 @@ int main(int argc, char** argv) {
       cfg.obs.decision_path = next();
     } else if (arg.rfind("--decisions=", 0) == 0) {
       cfg.obs.decision_path = arg.substr(std::strlen("--decisions="));
+    } else if (arg == "--faults") {
+      cfg.fault_plan = next();
+    } else if (arg.rfind("--faults=", 0) == 0) {
+      cfg.fault_plan = arg.substr(std::strlen("--faults="));
+    } else if (arg == "--timeline-bucket") {
+      cfg.timeline_bucket = sim::millis(std::atof(next()));
     } else if (arg == "--trace-capacity") {
       cfg.obs.trace_capacity =
           static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
@@ -254,6 +266,9 @@ int main(int argc, char** argv) {
                     ? 0.0
                     : r.decisions.staleness_ms.mean(),
                 r.decisions.herd.empty() ? 0.0 : r.decisions.herd.mean());
+  }
+  if (r.fault.enabled) {
+    harness::print_fault_phases(harness::scheme_name(scheme), r);
   }
   return 0;
 }

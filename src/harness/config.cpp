@@ -63,6 +63,7 @@ ExperimentConfig default_config() {
       env_u64("NETRS_JOBS", static_cast<std::uint64_t>(cfg.jobs)));
   cfg.shards = static_cast<int>(
       env_u64("NETRS_SHARDS", static_cast<std::uint64_t>(cfg.shards)));
+  cfg.fault_plan = env_str("NETRS_FAULTS", cfg.fault_plan);
   cfg.obs.trace_path = env_str("NETRS_TRACE", cfg.obs.trace_path);
   cfg.obs.metrics_path = env_str("NETRS_METRICS", cfg.obs.metrics_path);
   cfg.obs.attribution_path =

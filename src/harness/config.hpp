@@ -112,6 +112,19 @@ struct ExperimentConfig {
   /// 1 = the serial core. Golden digests are bit-identical at any value.
   int shards = 1;
 
+  // --- Fault injection (DESIGN.md §9, docs/SCENARIOS.md) ---
+  /// Declarative fault schedule in sim::FaultPlan::parse() grammar
+  /// ("at 5s crash server 0; at 10s recover server 0"); an "@path" value
+  /// loads the plan from a file. Empty (the default) disables fault
+  /// injection entirely — zero-fault runs reproduce the pre-fault golden
+  /// digests bit-for-bit.
+  std::string fault_plan;
+  /// Latency-timeline bucket width: > 0 records one latency recorder per
+  /// bucket of absolute simulated time (warmup included — the ramp is
+  /// part of the picture), which fig_failover and plot_results.py turn
+  /// into the latency-through-failure panel. 0 (default) disables.
+  sim::Duration timeline_bucket = 0;
+
   // --- Observability (DESIGN.md §8) ---
   /// Trace / metrics / attribution / decision outputs; empty paths (the
   /// default) disable the observability layer entirely. Observation-only:
@@ -125,7 +138,7 @@ struct ExperimentConfig {
 };
 
 /// Paper defaults with NETRS_REQUESTS / NETRS_REPEATS / NETRS_SEED /
-/// NETRS_JOBS / NETRS_SHARDS / NETRS_TRACE / NETRS_METRICS /
+/// NETRS_JOBS / NETRS_SHARDS / NETRS_FAULTS / NETRS_TRACE / NETRS_METRICS /
 /// NETRS_ATTRIBUTION / NETRS_DECISIONS / NETRS_TRACE_CAPACITY environment
 /// overrides applied (the benches use this).
 [[nodiscard]] ExperimentConfig default_config();

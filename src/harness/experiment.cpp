@@ -7,6 +7,7 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <map>
 #include <memory>
 #include <numeric>
@@ -23,6 +24,7 @@
 #include "net/switch.hpp"
 #include "netrs/controller.hpp"
 #include "netrs/operator.hpp"
+#include "sim/fault.hpp"
 #include "sim/rng.hpp"
 #include "sim/shard.hpp"
 #include "sim/simulator.hpp"
@@ -46,11 +48,70 @@ struct RunOutput {
   int plans_deployed = 0;
   std::size_t drs_groups = 0;
   sim::AuditSummary audit;
+  // Fault-phase accumulators (empty in zero-fault runs).
+  sim::LatencyRecorder phase_lat[3];
+  std::uint64_t fault_fired = 0;
+  std::uint64_t fault_unbound = 0;
+  // Absolute-time latency timeline (empty unless cfg.timeline_bucket > 0).
+  std::vector<sim::LatencyRecorder> timeline;
+  // Doomed picks per timeline bucket: audited decisions that chose a
+  // replica while it was crash-dark (needs decisions + timeline + plan).
+  std::vector<std::uint64_t> doomed_timeline;
+  std::uint64_t doomed_picks = 0;
   obs::TraceSnapshot trace;
   obs::MetricsSnapshot metrics;
   obs::FlightSnapshot flight;
   obs::DecisionSnapshot decisions;
 };
+
+// Selections of a crash-dark replica ("doomed picks"): for each server
+// crash/recover pair in the plan, count the audited decisions that chose
+// that server's host inside its dark interval, bucketed on the latency
+// timeline. The tail of nonzero buckets after a crash is how long the
+// scheme kept routing to the dead replica — its failure reaction time as
+// a directly comparable number (fig_failover plots it per scheme).
+void tally_doomed_picks(const sim::FaultPlan& plan,
+                        const std::vector<net::HostId>& server_hosts,
+                        sim::Duration bucket, RunOutput& out) {
+  if (plan.empty() || bucket <= 0 || out.decisions.records.empty()) return;
+  // Dark intervals as (host, [crash, recover)); an unmatched crash stays
+  // dark to the end of the run.
+  std::vector<std::pair<net::HostId, std::pair<sim::Time, sim::Time>>> dark;
+  std::map<int, sim::Time> open;
+  for (const sim::FaultEvent& e : plan.events()) {
+    if (e.unit != sim::FaultUnit::kServer) continue;
+    const bool in_range =
+        e.index >= 0 && static_cast<std::size_t>(e.index) < server_hosts.size();
+    if (e.op == sim::FaultOp::kFail) {
+      open.emplace(e.index, e.at);
+    } else if (e.op == sim::FaultOp::kRecover && in_range) {
+      const auto it = open.find(e.index);
+      if (it == open.end()) continue;
+      dark.push_back({server_hosts[e.index], {it->second, e.at}});
+      open.erase(it);
+    }
+  }
+  for (const auto& [idx, t0] : open) {
+    if (idx >= 0 && static_cast<std::size_t>(idx) < server_hosts.size()) {
+      dark.push_back(
+          {server_hosts[idx], {t0, std::numeric_limits<sim::Time>::max()}});
+    }
+  }
+  if (dark.empty()) return;
+  for (const obs::DecisionRecord& r : out.decisions.records) {
+    for (const auto& [host, window] : dark) {
+      if (r.chosen == host && r.t >= window.first && r.t < window.second) {
+        const auto b = static_cast<std::size_t>(r.t / bucket);
+        if (b >= out.doomed_timeline.size()) {
+          out.doomed_timeline.resize(b + 1, 0);
+        }
+        ++out.doomed_timeline[b];
+        ++out.doomed_picks;
+        break;
+      }
+    }
+  }
+}
 
 /// Running queue-length moments of one server, fed by the periodic herd
 /// sampler during the measured phase.
@@ -399,6 +460,55 @@ RunOutput run_once(Scheme scheme, const ExperimentConfig& cfg,
         fabric, h, server_cfg, root.child(0x05000000ULL + h)));
   }
 
+  // --- Fault injection (DESIGN.md §9) --------------------------------------
+  // The plan is parsed per repeat (cheap) and every event is scheduled on
+  // the *global* simulator, so faults execute at full shard barriers —
+  // bit-identical timing at any --shards/--jobs. All hook bundles are
+  // bound here: the harness is the one layer allowed to touch component
+  // fail()/recover() hooks directly (fault-hook-discipline lint rule).
+  const sim::FaultPlan fault_plan = sim::FaultPlan::parse(cfg.fault_plan);
+  sim::FaultInjector injector(simulator);
+  if (!fault_plan.empty()) {
+    for (std::size_t i = 0; i < servers.size(); ++i) {
+      kv::Server* srv = servers[i].get();
+      injector.bind_server(
+          static_cast<int>(i),
+          {[srv] { srv->fail(); }, [srv] { srv->recover(); },
+           [srv](double f) { srv->set_service_inflation(f); }});
+    }
+    injector.set_link_hook([&fabric](int a, int b, bool up) {
+      fabric.set_link_state(static_cast<net::NodeId>(a),
+                            static_cast<net::NodeId>(b), up);
+    });
+    if (is_netrs(scheme)) {
+      core::Controller* ctrl = controller.get();
+      for (auto& op : operators) {
+        core::NetRSOperator* o = op.get();
+        const auto id = static_cast<int>(o->id());
+        // RSNode failover (§III-C case i): the node loses its selection
+        // state, the controller degrades its groups to DRS and re-solves
+        // immediately; restore re-solves again so the node can rejoin.
+        injector.bind_rsnode(id, {[ctrl, o] {
+                                    o->selector_node().fail();
+                                    ctrl->fail_operator(o->id());
+                                    ctrl->replan_now();
+                                  },
+                                  [ctrl, o] {
+                                    ctrl->restore_operator(o->id());
+                                    ctrl->replan_now();
+                                  },
+                                  nullptr});
+        // Accelerator failure: the packet processor itself goes dark
+        // (shared-pool accelerators take their whole core group down).
+        injector.bind_accelerator(id,
+                                  {[o] { o->accelerator().fail(); },
+                                   [o] { o->accelerator().recover(); },
+                                   nullptr});
+      }
+    }
+    injector.arm(fault_plan);
+  }
+
   // --- Clients ----------------------------------------------------------------
   const double aggregate = cfg.aggregate_rate();
   const int hot_count = cfg.demand_skew > 0.0
@@ -469,9 +579,15 @@ RunOutput run_once(Scheme scheme, const ExperimentConfig& cfg,
   // integer counters are order-independent sums).
   struct ShardAccum {
     sim::LatencyRecorder latencies_ms;
+    sim::LatencyRecorder phase[3];  // pre/during/post-fault completions
+    std::vector<sim::LatencyRecorder> timeline;  // absolute-time buckets
     double forwards_sum = 0.0;
     std::uint64_t forwards_n = 0;
   };
+  const bool have_fault = !fault_plan.empty();
+  const sim::Time fault_start = fault_plan.window_start();
+  const sim::Time fault_end = fault_plan.window_end();
+  const sim::Duration tl_bucket = cfg.timeline_bucket;
   std::vector<ShardAccum> accums(static_cast<std::size_t>(shards));
   std::vector<std::unique_ptr<kv::Client>> clients;
   clients.reserve(client_hosts.size());
@@ -490,8 +606,16 @@ RunOutput run_once(Scheme scheme, const ExperimentConfig& cfg,
     ShardAccum* acc =
         &accums[static_cast<std::size_t>(fabric.shard_of(c->node_id()))];
     c->set_completion_callback(
-        [acc, warmup_time,
-         latency_hist](const kv::Client::Completion& comp) {
+        [acc, warmup_time, latency_hist, have_fault, fault_start, fault_end,
+         tl_bucket](const kv::Client::Completion& comp) {
+          if (tl_bucket > 0) {
+            // Timeline buckets cover the whole run (warmup included), so
+            // the failover panel shows the ramp as well as the event.
+            const auto idx =
+                static_cast<std::size_t>(comp.completed_at / tl_bucket);
+            if (idx >= acc->timeline.size()) acc->timeline.resize(idx + 1);
+            acc->timeline[idx].add(sim::to_millis(comp.latency));
+          }
           if (comp.completed_at - comp.latency < warmup_time) return;
           acc->latencies_ms.add(sim::to_millis(comp.latency));
           if (latency_hist != nullptr) {
@@ -499,6 +623,13 @@ RunOutput run_once(Scheme scheme, const ExperimentConfig& cfg,
           }
           acc->forwards_sum += comp.forwards;
           ++acc->forwards_n;
+          if (have_fault) {
+            // Phase by completion time against the plan's fault window.
+            const int p = comp.completed_at < fault_start  ? 0
+                          : comp.completed_at < fault_end ? 1
+                                                          : 2;
+            acc->phase[p].add(sim::to_millis(comp.latency));
+          }
         });
     c->start();
   }
@@ -585,9 +716,18 @@ RunOutput run_once(Scheme scheme, const ExperimentConfig& cfg,
   // Merge the per-shard completion accumulators in shard order.
   for (ShardAccum& acc : accums) {
     out.latencies_ms.merge(acc.latencies_ms);
+    for (int p = 0; p < 3; ++p) out.phase_lat[p].merge(acc.phase[p]);
+    if (acc.timeline.size() > out.timeline.size()) {
+      out.timeline.resize(acc.timeline.size());
+    }
+    for (std::size_t i = 0; i < acc.timeline.size(); ++i) {
+      out.timeline[i].merge(acc.timeline[i]);
+    }
     out.forwards_sum += acc.forwards_sum;
     out.forwards_n += acc.forwards_n;
   }
+  out.fault_fired = injector.fired();
+  out.fault_unbound = injector.unbound();
   for (const auto& c : clients) {
     out.issued += c->issued();
     out.completed += c->completed();
@@ -633,11 +773,23 @@ RunOutput run_once(Scheme scheme, const ExperimentConfig& cfg,
     out.flight = observer->take_flight();
     out.decisions = observer->take_decisions();
     simulator.set_observer(nullptr);
+    tally_doomed_picks(fault_plan, server_hosts, cfg.timeline_bucket, out);
   }
   return out;
 }
 
 }  // namespace
+
+const char* fault_phase_name(int phase) {
+  switch (phase) {
+    case 0:
+      return "pre";
+    case 1:
+      return "during";
+    default:
+      return "post";
+  }
+}
 
 ExperimentResult run_experiment(Scheme scheme, const ExperimentConfig& cfg) {
   // netrs-lint: allow(wall-clock): wall_seconds is a harness diagnostic
@@ -645,6 +797,13 @@ ExperimentResult run_experiment(Scheme scheme, const ExperimentConfig& cfg) {
   const auto wall_start = std::chrono::steady_clock::now();
   ExperimentResult res;
   res.scheme = scheme;
+  // Parse the fault plan once up front: a malformed spec throws here, on
+  // the caller's thread, before any repeat fans out.
+  const sim::FaultPlan fault_plan = sim::FaultPlan::parse(cfg.fault_plan);
+  res.fault.enabled = !fault_plan.empty();
+  res.fault.window_start_ms = sim::to_millis(fault_plan.window_start());
+  res.fault.window_end_ms = sim::to_millis(fault_plan.window_end());
+  res.timeline_bucket_ms = sim::to_millis(cfg.timeline_bucket);
 
   // Repeats are independent simulations (each owns its Simulator and
   // derives its Rng from cfg.seed + rep), so they fan out across the
@@ -686,6 +845,48 @@ ExperimentResult run_experiment(Scheme scheme, const ExperimentConfig& cfg) {
     }
     res.attribution.merge(out.flight);
     res.decisions.merge(out.decisions);
+    if (res.fault.enabled) {
+      for (int p = 0; p < 3; ++p) {
+        res.fault.latency_ms[p].merge(out.phase_lat[p]);
+      }
+      res.fault.events_fired += out.fault_fired;
+      res.fault.events_unbound += out.fault_unbound;
+      // Decision records carry their timestamps, so the per-phase regret
+      // and staleness windows fall out of the same bucketing the latency
+      // phases use (records exist only with --decisions).
+      const sim::Time fault_start = fault_plan.window_start();
+      const sim::Time fault_end = fault_plan.window_end();
+      for (const obs::DecisionRecord& r : out.decisions.records) {
+        const int p = r.t < fault_start ? 0 : r.t < fault_end ? 1 : 2;
+        if (r.has_regret) res.fault.regret_ms[p].add(r.regret_ns / 1e6);
+        if (r.has_staleness) {
+          res.fault.staleness_ms[p].add(sim::to_millis(r.staleness));
+        }
+      }
+    }
+    if (out.timeline.size() > res.timeline.size()) {
+      res.timeline.resize(out.timeline.size());
+    }
+    for (std::size_t i = 0; i < out.timeline.size(); ++i) {
+      res.timeline[i].merge(out.timeline[i]);
+    }
+    if (cfg.timeline_bucket > 0) {
+      // Staleness timeline: decision records carry timestamps, so they
+      // bucket onto the same absolute-time grid as the latencies.
+      for (const obs::DecisionRecord& r : out.decisions.records) {
+        if (!r.has_staleness) continue;
+        const auto i = static_cast<std::size_t>(r.t / cfg.timeline_bucket);
+        if (i >= res.stale_timeline.size()) res.stale_timeline.resize(i + 1);
+        res.stale_timeline[i].add(sim::to_millis(r.staleness));
+      }
+    }
+    if (out.doomed_timeline.size() > res.doomed_timeline.size()) {
+      res.doomed_timeline.resize(out.doomed_timeline.size(), 0);
+    }
+    for (std::size_t i = 0; i < out.doomed_timeline.size(); ++i) {
+      res.doomed_timeline[i] += out.doomed_timeline[i];
+    }
+    res.doomed_picks += out.doomed_picks;
   }
   res.attribution.finalize();
   res.decisions.finalize();
@@ -731,6 +932,13 @@ ExperimentResult run_experiment(Scheme scheme, const ExperimentConfig& cfg) {
   // Sort once so later percentile queries (report tables, CSV) are plain
   // lookups and never touch recorder state.
   res.latencies_ms.finalize();
+  for (int p = 0; p < 3; ++p) {
+    res.fault.latency_ms[p].finalize();
+    res.fault.regret_ms[p].finalize();
+    res.fault.staleness_ms[p].finalize();
+  }
+  for (sim::LatencyRecorder& bucket : res.timeline) bucket.finalize();
+  for (sim::LatencyRecorder& bucket : res.stale_timeline) bucket.finalize();
   // netrs-lint: allow(wall-clock): see wall_start above.
   const auto wall_end = std::chrono::steady_clock::now();
   res.wall_seconds = std::chrono::duration<double>(wall_end - wall_start).count();

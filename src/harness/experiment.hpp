@@ -16,6 +16,34 @@
 
 namespace netrs::harness {
 
+/// Per-phase report windows of a fault-injection run (DESIGN.md §9):
+/// completions and decisions are bucketed against the plan's fault window
+/// [earliest event, latest event) into pre (phase 0), during (phase 1),
+/// and post (phase 2). Disabled (all-empty) when cfg.fault_plan is empty.
+struct FaultPhaseStats {
+  /// True when the run had a non-empty fault plan.
+  bool enabled = false;
+  /// Fault window start — the plan's earliest event (ms of sim time).
+  double window_start_ms = 0.0;
+  /// Fault window end — the plan's latest event (ms of sim time).
+  double window_end_ms = 0.0;
+  /// Fault events whose handler ran, summed over repeats.
+  std::uint64_t events_fired = 0;
+  /// Fault events skipped for lack of a binding (e.g. an rsnode event in
+  /// a CliRS run), summed over repeats.
+  std::uint64_t events_unbound = 0;
+  /// Measured completion latencies per phase (bucketed by completion
+  /// time), indexed 0=pre / 1=during / 2=post.
+  sim::LatencyRecorder latency_ms[3];
+  /// Decision-auditor regret per phase in ms (needs --decisions).
+  sim::LatencyRecorder regret_ms[3];
+  /// Decision-auditor feedback staleness per phase in ms (--decisions).
+  sim::LatencyRecorder staleness_ms[3];
+};
+
+/// Report label for a fault phase index: "pre", "during", "post".
+[[nodiscard]] const char* fault_phase_name(int phase);
+
 /// Everything measured by one run_experiment() call (merged repeats).
 struct ExperimentResult {
   Scheme scheme = Scheme::kCliRS;  ///< Scheme that was run.
@@ -75,6 +103,27 @@ struct ExperimentResult {
   /// Selection-quality (regret / staleness / herd) aggregates merged over
   /// repeats; disabled unless `cfg.obs` requested decisions (§8.5).
   obs::DecisionSummary decisions;
+
+  /// Pre/during/post-fault report windows; all-empty unless
+  /// `cfg.fault_plan` scheduled at least one event (DESIGN.md §9).
+  FaultPhaseStats fault;
+  /// Latency timeline: bucket i holds the completions whose completion
+  /// time fell in [i, i+1) x timeline_bucket_ms of absolute sim time
+  /// (warmup included). Empty unless `cfg.timeline_bucket` > 0.
+  std::vector<sim::LatencyRecorder> timeline;
+  /// Timeline bucket width in ms (0 = timeline off).
+  double timeline_bucket_ms = 0.0;
+  /// Decision-staleness timeline on the same buckets as `timeline`,
+  /// bucketed by decision time; empty unless decisions were recorded
+  /// (`cfg.obs`) and `cfg.timeline_bucket` > 0.
+  std::vector<sim::LatencyRecorder> stale_timeline;
+  /// Doomed-pick timeline: per bucket, audited decisions that chose a
+  /// replica while it was crash-dark — the scheme's failure reaction
+  /// time as a directly comparable number (same preconditions as
+  /// `stale_timeline`, plus a fault plan with a server crash).
+  std::vector<std::uint64_t> doomed_timeline;
+  /// Total doomed picks (sum over `doomed_timeline`).
+  std::uint64_t doomed_picks = 0;
 
   /// Mean measured latency in ms (0 when nothing was measured).
   [[nodiscard]] double mean_ms() const {

@@ -220,6 +220,44 @@ void print_report(const SweepReport& report) {
       }
     }
   }
+  // Fault-injection phase windows (DESIGN.md §9): pre/during/post latency
+  // and decision quality per scheme for every cell that ran a fault plan.
+  for (std::size_t i = 0; i < report.sweep_values.size(); ++i) {
+    for (std::size_t j = 0; j < report.schemes.size(); ++j) {
+      const ExperimentResult& r = report.results[i][j];
+      if (r.fault.enabled) {
+        print_fault_phases(scheme_name(report.schemes[j]), r);
+      }
+    }
+  }
+  std::fflush(stdout);
+}
+
+void print_fault_phases(const char* label, const ExperimentResult& r) {
+  if (!r.fault.enabled) return;
+  const FaultPhaseStats& f = r.fault;
+  std::printf("\n-- Fault phases, %s (window %.1f..%.1f ms; %llu events "
+              "fired, %llu unbound) --\n",
+              label, f.window_start_ms, f.window_end_ms,
+              static_cast<unsigned long long>(f.events_fired),
+              static_cast<unsigned long long>(f.events_unbound));
+  std::printf("%-8s %12s %10s %10s %12s %12s %12s %12s\n", "phase",
+              "completed", "p50(ms)", "p99(ms)", "regret(ms)", "regretP99",
+              "stale(ms)", "staleP99");
+  for (int p = 0; p < 3; ++p) {
+    const sim::LatencyRecorder& lat = f.latency_ms[p];
+    const sim::LatencyRecorder& reg = f.regret_ms[p];
+    const sim::LatencyRecorder& stl = f.staleness_ms[p];
+    std::printf("%-8s %12llu %10.3f %10.3f %12.4f %12.4f %12.4f %12.4f\n",
+                fault_phase_name(p),
+                static_cast<unsigned long long>(lat.count()),
+                lat.empty() ? 0.0 : lat.percentile(0.5),
+                lat.empty() ? 0.0 : lat.percentile(0.99),
+                reg.empty() ? 0.0 : reg.mean(),
+                reg.empty() ? 0.0 : reg.percentile(0.99),
+                stl.empty() ? 0.0 : stl.mean(),
+                stl.empty() ? 0.0 : stl.percentile(0.99));
+  }
   std::fflush(stdout);
 }
 

@@ -23,6 +23,12 @@ struct SweepReport {
 /// Prints the four latency panels and a diagnostics block to stdout.
 void print_report(const SweepReport& report);
 
+/// Prints one result's pre/during/post-fault windows (completions, p50,
+/// p99, decision regret and staleness per phase, plus the fault window and
+/// fired/unbound event counts). No-op unless `r.fault.enabled`; `label`
+/// names the row (typically the scheme).
+void print_fault_phases(const char* label, const ExperimentResult& r);
+
 /// Appends rows "figure,sweep,scheme,metric,value" to a CSV file.
 void write_csv(const SweepReport& report, const std::string& path);
 

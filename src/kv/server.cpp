@@ -18,6 +18,7 @@ Server::Server(net::Fabric& fabric, net::HostId id, ServerConfig cfg,
   assert(cfg.parallelism >= 1);
   service_slots_.resize(static_cast<std::size_t>(cfg.parallelism));
   slot_busy_.resize(static_cast<std::size_t>(cfg.parallelism), false);
+  service_events_.resize(static_cast<std::size_t>(cfg.parallelism), 0);
   station_ledger_.set_name("server@" + std::to_string(id));
   // Seed the advertised service time with the configured mean so early
   // piggybacks are sane.
@@ -44,6 +45,15 @@ void Server::receive(net::Packet pkt, net::NodeId from) {
   shard_affinity().check("receive");
   (void)from;
   assert(pkt.dst == host_id());
+  if (failed_) {
+    // A crashed server is dark: every arrival (requests and cancels
+    // alike) is dropped on the floor. The issuing client's Pending entry
+    // stays open until the run's drain deadline — there are no client
+    // timeouts — so losses surface as issued > completed.
+    ++rejected_;
+    simulator().auditor().on_packet_dropped("server-down");
+    return;
+  }
   // A real server drops traffic it cannot parse instead of crashing.
   if (!core::decode_request(pkt.payload).has_value()) {
     ++malformed_;
@@ -120,11 +130,14 @@ void Server::start_service(net::Packet pkt, sim::Time arrival) {
            "in_service_ admitted more requests than parallelism");
   }
   slot_busy_[slot] = true;
+  // Slow-node inflation scales the sampled mean; at the default 1.0 the
+  // multiply is exact, so the RNG stream (and golden digests) are
+  // untouched in fault-free runs.
+  const double mean = static_cast<double>(current_mean_) * inflation_;
   const auto service =
       cfg_.deterministic_service
-          ? current_mean_
-          : static_cast<sim::Duration>(
-                rng_.exponential(static_cast<double>(current_mean_)));
+          ? static_cast<sim::Duration>(mean)
+          : static_cast<sim::Duration>(rng_.exponential(mean));
   // Both spans are known here: the wait ended now and the (just-sampled)
   // service ends `service` from now.
   if (obs::Observer* o = simulator().observer()) {
@@ -141,8 +154,8 @@ void Server::start_service(net::Packet pkt, sim::Time arrival) {
   // The request parks in its slot; the completion event captures
   // {this, slot, service} only, so scheduling never heap-allocates.
   service_slots_[slot] = std::move(pkt);
-  simulator().after(service,
-                    [this, slot, service] { finish_service(slot, service); });
+  service_events_[slot] = simulator().after(
+      service, [this, slot, service] { finish_service(slot, service); });
 }
 
 void Server::finish_service(std::size_t slot, sim::Duration service_time) {
@@ -208,6 +221,34 @@ void Server::send_response(const net::Packet& pkt,
   resp.meta = pkt.meta;  // keep request id / send time for measurement
   send(std::move(resp));
 }
+
+void Server::fail() {
+  if (failed_) return;
+  failed_ = true;
+  sim::Auditor& audit = simulator().auditor();
+  // Drop the FIFO queue: each waiting request leaves the station ledger
+  // and is accounted as a crash casualty.
+  while (!queue_.empty()) {
+    queue_.pop_front();
+    station_ledger_.on_remove(audit, queue_.size());
+    audit.on_packet_dropped("server-crash");
+  }
+  // Cancel every in-flight completion and drop the parked request; the
+  // slot frees immediately so recover() starts from a clean station.
+  const bool was_busy = in_service_ > 0;
+  for (std::size_t slot = 0; slot < slot_busy_.size(); ++slot) {
+    if (!slot_busy_[slot]) continue;
+    simulator().cancel(service_events_[slot]);
+    slot_busy_[slot] = false;
+    service_slots_[slot] = net::Packet{};
+    --in_service_;
+    station_ledger_.on_service_finish(audit, in_service_, cfg_.parallelism);
+    audit.on_packet_dropped("server-crash");
+  }
+  if (was_busy) busy_accum_ += simulator().now() - busy_since_;
+}
+
+void Server::recover() { failed_ = false; }
 
 double Server::busy_fraction(sim::Time now) const {
   sim::Duration busy = busy_accum_;

@@ -20,6 +20,7 @@
 #include "net/host.hpp"
 #include "sim/affinity.hpp"
 #include "sim/audit.hpp"
+#include "sim/event_queue.hpp"
 #include "sim/rng.hpp"
 #include "sim/stats.hpp"
 
@@ -51,6 +52,25 @@ class NETRS_SHARD_LOCAL Server final : public net::Host {
   /// Handles a delivered request (or cancel) packet.
   void receive(net::Packet pkt, net::NodeId from) override;
 
+  /// Fault hook — reached only through sim::FaultInjector at global-sim
+  /// barriers (fault-hook-discipline lint rule). Crashes the server:
+  /// queued requests are dropped (`server-crash` in the audit ledger),
+  /// in-flight completions are cancelled and their requests dropped, and
+  /// all traffic is rejected (`server-down`) until recover().
+  void fail();
+  /// Fault hook — clears the crash flag; the server resumes with an
+  /// empty queue and fresh slots.
+  void recover();
+  /// Fault hook — sets the slow-node service-time inflation factor
+  /// (1.0 = nominal). Scales the mean the service sampler and the
+  /// advertised/oracle mean both see.
+  void set_service_inflation(double factor) { inflation_ = factor; }
+
+  /// True while crashed by fault injection.
+  [[nodiscard]] bool failed() const { return failed_; }
+  /// Packets rejected while crashed (diagnostic).
+  [[nodiscard]] std::uint64_t rejected() const { return rejected_; }
+
   /// Waiting + in-service requests (the SS queue-size field). Legitimate
   /// off-shard readers (herd sampler, decision oracle) run at barriers or
   /// in serial mode, where the affinity check passes by construction.
@@ -68,8 +88,12 @@ class NETRS_SHARD_LOCAL Server final : public net::Host {
   [[nodiscard]] std::uint64_t cancelled() const { return cancelled_; }
   /// Fraction of time the server had at least one busy slot (diagnostic).
   [[nodiscard]] double busy_fraction(sim::Time now) const;
-  /// Current fluctuation-mode mean (tests).
-  [[nodiscard]] sim::Duration current_mean() const { return current_mean_; }
+  /// Current fluctuation-mode mean, scaled by any slow-node inflation
+  /// (tests and the decision auditor's oracle).
+  [[nodiscard]] sim::Duration current_mean() const {
+    return static_cast<sim::Duration>(static_cast<double>(current_mean_) *
+                                      inflation_);
+  }
   /// Configured service parallelism Np (the decision auditor's oracle).
   [[nodiscard]] int parallelism() const { return cfg_.parallelism; }
 
@@ -95,7 +119,12 @@ class NETRS_SHARD_LOCAL Server final : public net::Host {
   // and stays inline in the scheduled Task — no per-request allocation.
   std::vector<net::Packet> service_slots_;
   std::vector<bool> slot_busy_;
+  // Per-slot completion EventId so fail() can cancel in-flight service.
+  std::vector<sim::EventId> service_events_;
   int in_service_ = 0;
+  bool failed_ = false;      // crash-fault flag (fail()/recover())
+  double inflation_ = 1.0;   // slow-node service-time multiplier
+  std::uint64_t rejected_ = 0;
   std::uint64_t served_ = 0;
   std::uint64_t malformed_ = 0;
   std::uint64_t cancelled_ = 0;

@@ -234,6 +234,16 @@ void Fabric::send(NodeId from, NodeId to, Packet pkt) {
   // nothing (the old code evaluated two map lookups unconditionally).
   assert(valid_link(from, to));
 
+  // `links_down_` is a plain bool so fault-free runs pay one predictable
+  // branch here; the drop path lives out of line (drop_at_down_link) to
+  // keep this hot function small.
+  if (links_down_) [[unlikely]] {
+    if (!link_is_up(from, to)) {
+      drop_at_down_link(from);
+      return;
+    }
+  }
+
   const int dst_shard = shard_of(to);
   if (lanes_ == nullptr) {
     send_local(dst_shard, from, to, std::move(pkt));
@@ -357,6 +367,34 @@ void Fabric::deliver(int shard, std::uint32_t slot) {
   // slot immediately, keeping the pool at its high-water mark.
   st.free_deliveries.push_back(slot);
   dst->receive(std::move(pkt), from);
+}
+
+void Fabric::set_link_state(NodeId a, NodeId b, bool up) {
+  assert(valid_link(a, b) && "set_link_state on a link that does not exist");
+  const auto key = a < b ? std::pair(a, b) : std::pair(b, a);
+  if (up) {
+    down_links_.erase(key);
+  } else {
+    down_links_.insert(key);
+  }
+  links_down_ = !down_links_.empty();
+}
+
+void Fabric::drop_at_down_link(NodeId from) {
+  // NIC-level drop at a downed link: the packet never enters the fabric,
+  // so it is neither counted as sent nor injected — the conservation
+  // identity stays exact and the loss is visible in the drop ledger. The
+  // executing context owns `from`'s shard (or is the coordinator at a
+  // barrier), so the counters are race-free.
+  const int src_shard = shard_of(from);
+  ++state_[src_shard].link_drops;
+  sims_[std::size_t(src_shard)]->auditor().on_packet_dropped("link-down");
+}
+
+std::uint64_t Fabric::link_drops() const {
+  std::uint64_t total = 0;
+  for (int s = 0; s < shard_count(); ++s) total += state_[s].link_drops;
+  return total;
 }
 
 std::uint64_t Fabric::packets_sent() const {

@@ -22,7 +22,9 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <set>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "net/fat_tree.hpp"
@@ -122,6 +124,22 @@ class NETRS_COORD_GLOBAL Fabric {
   /// NetRS is required to "limit its bandwidth overheads", §II).
   [[nodiscard]] std::uint64_t bytes_sent() const;
 
+  /// Fault hook — reached only through sim::FaultInjector at global-sim
+  /// barriers (fault-hook-discipline lint rule), so the mutation is
+  /// ordered-before every worker's next window. Marks the undirected link
+  /// (a, b) down or up: new sends over a down link are dropped at the
+  /// sender's NIC (`link-down` in the audit drop ledger, before the
+  /// packet is counted as sent, keeping the conservation identity exact);
+  /// packets already on the wire still deliver.
+  void set_link_state(NodeId a, NodeId b, bool up);
+  /// True unless (a, b) is currently marked down by set_link_state().
+  [[nodiscard]] bool link_is_up(NodeId a, NodeId b) const {
+    return !links_down_ ||
+           down_links_.count(a < b ? std::pair(a, b) : std::pair(b, a)) == 0;
+  }
+  /// Packets dropped at down links, summed over shards (diagnostic).
+  [[nodiscard]] std::uint64_t link_drops() const;
+
   /// Stable per-flow hash used for ECMP decisions.
   static std::uint64_t flow_hash(const Packet& pkt);
 
@@ -204,6 +222,7 @@ class NETRS_COORD_GLOBAL Fabric {
     std::vector<std::uint32_t> free_deliveries;  // free slot indices
     std::uint64_t packets_sent = 0;
     std::uint64_t bytes_sent = 0;
+    std::uint64_t link_drops = 0;  // sends rejected at a down link
     sim::SlotLedger ledger;           // conservation audit (checked builds)
     std::vector<CrossEntry> pending;  // drained, not yet schedulable
     /// Cross-shard packets bound here that are not yet parked in the
@@ -248,6 +267,15 @@ class NETRS_COORD_GLOBAL Fabric {
   std::vector<Node*> nodes_;             // topology nodes by NodeId
   std::vector<Node*> aux_nodes_;         // auxiliary devices
   std::unordered_map<NodeId, NodeId> aux_link_;  // aux id -> switch id
+  // Cold path of send(): accounts a packet rejected at a down link.
+  void drop_at_down_link(NodeId from);
+  // Links currently down (normalized (min,max) pairs). Mutated only at
+  // global-sim barriers (FaultInjector); workers read it race-free via
+  // the barrier's happens-before edge. `links_down_` mirrors !empty() so
+  // the per-send fast path is a single bool test; the drop path is kept
+  // out of line (drop_at_down_link) so send() stays small.
+  std::set<std::pair<NodeId, NodeId>> down_links_;
+  bool links_down_ = false;
 };
 
 }  // namespace netrs::net

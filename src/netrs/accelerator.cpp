@@ -15,6 +15,7 @@ Accelerator::Accelerator(net::Fabric& fabric, net::NodeId co_located_switch,
   assert(cfg.cores >= 1);
   service_start_.resize(static_cast<std::size_t>(cfg.cores), 0);
   slot_busy_.resize(static_cast<std::size_t>(cfg.cores), false);
+  service_events_.resize(static_cast<std::size_t>(cfg.cores), 0);
   in_service_.resize(static_cast<std::size_t>(cfg.cores));
   primary_switch_ = co_located_switch;
   primary_node_ = attach_switch(co_located_switch);
@@ -47,6 +48,14 @@ bool Accelerator::is_request(const net::Packet& pkt) const {
 
 void Accelerator::receive(net::Packet pkt, net::NodeId from) {
   shard_affinity().check("receive");
+  if (failed_) {
+    // A failed accelerator is dark: the switch's forwarded packet is
+    // dropped, so the request it carried never reaches a server and the
+    // issuing client's Pending entry stays open (no client timeouts).
+    ++rejected_;
+    sim_.auditor().on_packet_dropped("accel-down");
+    return;
+  }
   if constexpr (sim::kAuditEnabled) {
     sim_.auditor().check(
         by_switch_.contains(from), "invalid-forward", [&] {
@@ -113,8 +122,8 @@ void Accelerator::start_service(Job job) {
   // The job parks in its core slot; the completion event captures
   // {this, slot} only, so scheduling never heap-allocates.
   in_service_[slot] = std::move(job);
-  sim_.after(service,
-                            [this, slot] { finish_service(slot); });
+  service_events_[slot] =
+      sim_.after(service, [this, slot] { finish_service(slot); });
 }
 
 void Accelerator::finish_service(std::size_t slot) {
@@ -154,6 +163,34 @@ void Accelerator::finish_service(std::size_t slot) {
     start_service(std::move(next));
   }
 }
+
+void Accelerator::fail() {
+  if (failed_) return;
+  failed_ = true;
+  sim::Auditor& audit = sim_.auditor();
+  // Drop the FIFO queue with ledger + drop-reason accounting.
+  while (!queue_.empty()) {
+    queue_.pop_front();
+    station_ledger_.on_remove(audit, queue_.size());
+    audit.on_packet_dropped("accel-crash");
+  }
+  // Cancel in-flight completions; busy time is charged up to the crash
+  // (mirroring the split-at-window accounting in reset_utilization()).
+  for (std::size_t slot = 0; slot < slot_busy_.size(); ++slot) {
+    if (!slot_busy_[slot]) continue;
+    sim_.cancel(service_events_[slot]);
+    slot_busy_[slot] = false;
+    if (sim_.now() > service_start_[slot]) {
+      busy_accum_ += sim_.now() - service_start_[slot];
+    }
+    in_service_[slot] = Job{};
+    --busy_cores_;
+    station_ledger_.on_service_finish(audit, busy_cores_, cfg_.cores);
+    audit.on_packet_dropped("accel-crash");
+  }
+}
+
+void Accelerator::recover() { failed_ = false; }
 
 double Accelerator::utilization(sim::Time now) const {
   const sim::Duration span = now - window_start_;

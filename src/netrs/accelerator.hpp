@@ -61,6 +61,20 @@ class NETRS_SHARD_LOCAL Accelerator final : public net::Node {
   /// Enqueues a delivered packet for service.
   void receive(net::Packet pkt, net::NodeId from) override;
 
+  /// Fault hook — reached only through sim::FaultInjector at global-sim
+  /// barriers (fault-hook-discipline lint rule). Fails the accelerator:
+  /// queued jobs are dropped (`accel-crash` in the audit ledger),
+  /// in-service completions are cancelled, and arrivals are rejected
+  /// (`accel-down`) until recover().
+  void fail();
+  /// Fault hook — clears the failure flag; the accelerator resumes with
+  /// an empty queue and idle cores.
+  void recover();
+  /// True while failed by fault injection.
+  [[nodiscard]] bool failed() const { return failed_; }
+  /// Packets rejected while failed (diagnostic).
+  [[nodiscard]] std::uint64_t rejected() const { return rejected_; }
+
   /// Auxiliary NodeId for the primary (first) switch.
   [[nodiscard]] net::NodeId node_id() const { return primary_node_; }
   /// Auxiliary NodeId used by a specific attached switch.
@@ -126,6 +140,10 @@ class NETRS_SHARD_LOCAL Accelerator final : public net::Node {
   sim::Time window_start_ = 0;
   std::vector<sim::Time> service_start_;  // per core slot; valid iff busy
   std::vector<bool> slot_busy_;
+  // Per-slot completion EventId so fail() can cancel in-flight service.
+  std::vector<sim::EventId> service_events_;
+  bool failed_ = false;  // failure-fault flag (fail()/recover())
+  std::uint64_t rejected_ = 0;
   sim::StationLedger station_ledger_;  // queue-accounting audit
 };
 

@@ -24,6 +24,16 @@ void SelectorNode::reset_selector(
   pending_.assign(pending_.size(), PendingSlot{});
 }
 
+void SelectorNode::fail() {
+  // netrs-lint: allow(unordered-iteration): pending_ here is the
+  // std::vector<PendingSlot> ring above; the name collides with
+  // kv::Client's unordered map in the linter's cross-TU symbol table.
+  for (PendingSlot& slot : pending_) {
+    if (slot.valid) ++pending_dropped_;
+  }
+  pending_.assign(pending_.size(), PendingSlot{});
+}
+
 std::optional<net::Packet> SelectorNode::process(net::Packet pkt) {
   const auto mf = peek_magic(pkt.payload);
   if (!mf.has_value()) return pkt;  // not ours: bounce back unchanged

@@ -44,6 +44,18 @@ class NETRS_SHARD_LOCAL SelectorNode {
   /// "newly introduced RSNodes have to build the view from scratch").
   void reset_selector(std::unique_ptr<rs::ReplicaSelector> selector);
 
+  /// Fault hook — reached only through sim::FaultInjector at global-sim
+  /// barriers (fault-hook-discipline lint rule). The RSNode lost its
+  /// state: every pending RV slot is invalidated (late responses for
+  /// them count as rv_mismatches). On recovery the harness rebuilds the
+  /// selection algorithm itself via reset_selector() (§II: a re-activated
+  /// RSNode starts from scratch).
+  void fail();
+  /// Pending selections invalidated by fail() (diagnostic).
+  [[nodiscard]] std::uint64_t pending_dropped() const {
+    return pending_dropped_;
+  }
+
   /// The current selection algorithm (diagnostic/report access).
   [[nodiscard]] const rs::ReplicaSelector& selector() const {
     return *selector_;
@@ -94,6 +106,7 @@ class NETRS_SHARD_LOCAL SelectorNode {
   std::uint64_t requests_selected_ = 0;
   std::uint64_t responses_absorbed_ = 0;
   std::uint64_t rv_mismatches_ = 0;
+  std::uint64_t pending_dropped_ = 0;
   std::int32_t trace_tid_ = -1;
 };
 

@@ -1,0 +1,171 @@
+// Deterministic fault injection (DESIGN.md §9).
+//
+// A FaultPlan is a declarative, parsed schedule of timed fault events —
+// server crash/recover, accelerator failure, RSNode failover, link
+// down/up, slow-node service-time inflation. A FaultInjector executes the
+// plan by scheduling every event on the *global* simulator, where events
+// run at full shard barriers (every worker parked at the event's exact
+// timestamp), so fault timing is bit-identical at any --shards/--jobs
+// value — the same mechanism that makes controller replans shard-safe.
+//
+// The sim layer stays target-agnostic: the injector dispatches to hook
+// bundles of std::functions the harness binds to live components (Server,
+// Accelerator, Fabric, Controller). A plan entry whose target has no
+// binding (e.g. an rsnode event in a CliRS run) is counted and skipped,
+// never an error — the schedule itself is identical across schemes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/affinity.hpp"
+#include "sim/time.hpp"
+
+namespace netrs::sim {
+
+class Simulator;
+
+/// What a fault event does to its target (see docs/SCENARIOS.md for the
+/// full per-component semantics).
+enum class FaultOp : std::uint8_t {
+  kFail,      ///< Target stops serving; queued work is dropped + accounted.
+  kRecover,   ///< Target resumes with an empty queue.
+  kLinkDown,  ///< Link stops accepting new packets (in-flight still land).
+  kLinkUp,    ///< Link resumes carrying traffic.
+  kSlow,      ///< Service-time inflation: mean service time x factor.
+};
+
+/// Which component class a fault event targets.
+enum class FaultUnit : std::uint8_t {
+  kServer,       ///< Key-value server, by server index (placement order).
+  kAccelerator,  ///< NetRS accelerator, by hosting RSNode id.
+  kRsNode,       ///< RSNode, by RsNodeId — fails over via controller re-solve.
+  kLink,         ///< Fat-tree link, by (NodeId, NodeId) endpoint pair.
+};
+
+/// One timed fault event in a plan.
+struct NETRS_SHARED_IMMUTABLE FaultEvent {
+  Time at = 0;                          ///< Absolute simulated fire time.
+  FaultOp op = FaultOp::kFail;          ///< What happens.
+  FaultUnit unit = FaultUnit::kServer;  ///< Target class.
+  int index = 0;   ///< Target index; for links, endpoint A's NodeId.
+  int peer = 0;    ///< Link endpoint B's NodeId (kLink ops only).
+  double factor = 1.0;  ///< Inflation multiplier (kSlow only; 1.0 = normal).
+};
+
+/// A parsed, immutable fault schedule (see the file comment). Events are
+/// kept sorted by time; equal-time events keep their textual order, which
+/// is also their execution order on the simulator.
+class NETRS_SHARED_IMMUTABLE FaultPlan {
+ public:
+  /// Builds an empty plan (injects nothing; zero-fault runs are
+  /// bit-identical to runs with no injector at all).
+  FaultPlan() = default;
+
+  /// Parses `spec` into a plan. Entries are separated by newlines or ';',
+  /// `#` starts a comment. Grammar per entry (the leading `at` is
+  /// optional):
+  ///
+  ///     at <time> crash   server <i>
+  ///     at <time> recover server <i>
+  ///     at <time> slow    server <i> x<factor>
+  ///     at <time> fail    accel  <rsnode-id>
+  ///     at <time> recover accel  <rsnode-id>
+  ///     at <time> fail    rsnode <rsnode-id>
+  ///     at <time> recover rsnode <rsnode-id>
+  ///     at <time> link-down <node-a> <node-b>
+  ///     at <time> link-up   <node-a> <node-b>
+  ///
+  /// `<time>` is a decimal with a mandatory unit suffix (ns/us/ms/s);
+  /// `crash`/`fail` and `recover`/`restore` are synonyms. A spec whose
+  /// first non-space character is `@` names a file to read the plan from.
+  /// Throws std::invalid_argument (with the offending entry quoted) on
+  /// any syntax error.
+  static FaultPlan parse(const std::string& spec);
+
+  /// The schedule, sorted by fire time (stable for equal times).
+  [[nodiscard]] const std::vector<FaultEvent>& events() const {
+    return events_;
+  }
+  /// True when the plan injects nothing.
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+  /// Number of scheduled events.
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  /// Earliest event time (0 for an empty plan) — the start of the
+  /// "during-fault" report phase.
+  [[nodiscard]] Time window_start() const {
+    return events_.empty() ? 0 : events_.front().at;
+  }
+  /// Latest event time (0 for an empty plan) — the end of the
+  /// "during-fault" report phase.
+  [[nodiscard]] Time window_end() const {
+    return events_.empty() ? 0 : events_.back().at;
+  }
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+/// Executes a FaultPlan against hook bundles bound by the harness (see
+/// the file comment). Every event is scheduled on the global simulator at
+/// arm() time; execution happens at full shard barriers, giving
+/// bit-identical fault timing at any shard/job count.
+class NETRS_COORD_GLOBAL FaultInjector {
+ public:
+  /// Per-target hook bundle. Unset members simply make the matching op a
+  /// counted no-op for that target.
+  struct Hooks {
+    std::function<void()> fail;        ///< kFail handler.
+    std::function<void()> recover;     ///< kRecover handler.
+    std::function<void(double)> slow;  ///< kSlow handler (gets the factor).
+  };
+  /// Link-state hook: (endpoint a, endpoint b, up?).
+  using LinkHook = std::function<void(int, int, bool)>;
+
+  /// Binds the injector to the global simulator all events are scheduled
+  /// on (`ShardGroup::global_sim()`, or the sole simulator of a serial
+  /// run).
+  explicit FaultInjector(Simulator& global_sim) : sim_(global_sim) {}
+
+  /// Binds the hook bundle for server `index` (placement order).
+  void bind_server(int index, Hooks hooks) {
+    servers_[index] = std::move(hooks);
+  }
+  /// Binds the hook bundle for the accelerator hosting RSNode `id`.
+  void bind_accelerator(int id, Hooks hooks) {
+    accels_[id] = std::move(hooks);
+  }
+  /// Binds the hook bundle for RSNode `id`.
+  void bind_rsnode(int id, Hooks hooks) { rsnodes_[id] = std::move(hooks); }
+  /// Binds the link-state hook (one per injector; the fabric).
+  void set_link_hook(LinkHook hook) { link_hook_ = std::move(hook); }
+
+  /// Schedules every event of `plan` on the global simulator. Call once,
+  /// after binding hooks and before the run starts. Events past the run's
+  /// end simply never fire.
+  void arm(const FaultPlan& plan);
+
+  /// Events whose handler actually ran (diagnostic).
+  [[nodiscard]] std::uint64_t fired() const { return fired_; }
+  /// Events that fired with no binding for their target — counted and
+  /// skipped so plans stay scheme-portable (diagnostic).
+  [[nodiscard]] std::uint64_t unbound() const { return unbound_; }
+
+ private:
+  void execute(const FaultEvent& e);
+
+  Simulator& sim_;
+  // Ordered maps: deterministic and tiny; lookups happen only when an
+  // event fires, never on the packet hot path.
+  std::map<int, Hooks> servers_;
+  std::map<int, Hooks> accels_;
+  std::map<int, Hooks> rsnodes_;
+  LinkHook link_hook_;
+  std::uint64_t fired_ = 0;
+  std::uint64_t unbound_ = 0;
+};
+
+}  // namespace netrs::sim

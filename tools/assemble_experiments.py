@@ -208,6 +208,37 @@ shows NetRS-ILP deciding on ~50x fresher feedback than client-side C3
 the paper's freshness argument as per-decision numbers rather than
 end-to-end latency differences.
 """,
+    "fig_failover": """## Failure episode — fault injection (extension)
+
+The paper's §III-C describes RSNode failover and Degraded Replica
+Selection but never measures failure behavior. `bench/fig_failover`
+does: a committed fault plan (docs/SCENARIOS.md) crashes server 0 *and*
+grey-degrades server 3 by 8x at t=5 s, repairs both at t=10 s — run
+through CliRS, NetRS-ToR and NetRS-ILP at k=8 / 20 servers / 64 clients
+/ 70 % utilization, 210 k requests x 3 repeats, with the decision
+auditor and a 100 ms latency/staleness timeline on. Expected: the
+crash alone is latency-invisible (open-loop clients never retry, so
+lost requests produce no samples), the slow node carries the p99 spike,
+and the schemes should differ in whether their feedback freshness even
+registers the episode.
+
+Measured: NetRS-ILP is the only scheme that *detects* the fault — its
+mean decision staleness jumps 5.5x during the window (6.25 -> 34.5 ms;
+its handful of consolidated RSNodes stop hearing from the dead replica)
+while CliRS and NetRS-ToR sit at ratios of 1.05x/0.99x, the episode
+drowned in their 83 ms / 41 ms baseline staleness: they ride it out
+blind. ILP also recovers fastest on both axes: staleness re-converges
+within one 100 ms bucket of the repair (`stale_recovery_ms` = 100, the
+others never detect), and its post/pre p99 ratio is 0.9989 — fully back
+to baseline — vs 1.0073 (ToR) and 1.0120 (CliRS). The honest artifact
+is the `lost`/`doomed` columns: ILP loses 2 422 requests into the dead
+server vs ~200 for the blind schemes, because C3 has no crash detector
+(the dead server's rate limiter froze at its healthy rate, and C3's
+rate-control fall-through keeps granting it when better replicas'
+limiters are momentarily closed). Fresher feedback cuts the tail but
+detection != avoidance — see DESIGN.md §9 and the crash-aware-selector
+item in ROADMAP.md.
+""",
     "micro": """## Microbenchmarks
 
 Hot-path costs on this machine (single core). The per-packet operations a

@@ -18,6 +18,13 @@ gated with the same threshold; otherwise the section is skipped with a
 note (a record predating the section, or a re-based scale cell, is not a
 regression).
 
+A ``failover`` section (bench/fig_failover: the fault-injection cell,
+its own ``fingerprint`` plus per-``scheme`` cells) is gated the same way:
+matching fingerprints gate each scheme's ``requests_per_sec``; anything
+else is skipped with a note. The fault-phase latency/staleness numbers in
+the section are descriptive (EXPERIMENTS.md) and never gated — they
+measure the simulated system, not the simulator.
+
 Records with different ``fingerprint`` fields describe different canonical
 cells (scale, seed, topology) and are never compared — the gate reports
 the mismatch and passes, because a changed cell is a deliberate re-basing,
@@ -105,6 +112,7 @@ def compare(prev: dict, cur: dict, threshold: float) -> list[str]:
             f"bench_gate: {ALLOCS_METRIC}: {old:.4f} -> {new:.4f} [{status}]"
         )
     failures.extend(compare_scale(prev, cur, threshold))
+    failures.extend(compare_failover(prev, cur, threshold))
     return failures
 
 
@@ -143,6 +151,47 @@ def compare_scale(prev: dict, cur: dict, threshold: float) -> list[str]:
             )
         print(
             f"bench_gate: scale[shards={shards}].requests_per_sec: "
+            f"{old:.1f} -> {new:.1f} ({change * 100.0:+.1f}%) [{status}]"
+        )
+    return failures
+
+
+def compare_failover(prev: dict, cur: dict, threshold: float) -> list[str]:
+    """Gates the fault-injection ``failover`` section (empty = ok/skipped)."""
+    failures = []
+    fprev, fcur = prev.get("failover"), cur.get("failover")
+    if not isinstance(fprev, dict) or not isinstance(fcur, dict):
+        if isinstance(fcur, dict):
+            print("bench_gate: failover: no previous failover section, "
+                  "skipping")
+        return failures
+    if fprev.get("fingerprint") != fcur.get("fingerprint"):
+        print(
+            "bench_gate: failover fingerprint changed "
+            f"({fprev.get('fingerprint')!r} -> {fcur.get('fingerprint')!r}); "
+            "skipping"
+        )
+        return failures
+    prev_cells = {c.get("scheme"): c for c in fprev.get("cells", [])}
+    for cell in fcur.get("cells", []):
+        scheme = cell.get("scheme")
+        if scheme not in prev_cells:
+            continue
+        old = float(prev_cells[scheme].get("requests_per_sec", 0.0))
+        new = float(cell.get("requests_per_sec", 0.0))
+        if old <= 0.0:
+            continue
+        change = (new - old) / old
+        status = "ok"
+        if change < -threshold:
+            status = "REGRESSION"
+            failures.append(
+                f"failover[{scheme}].requests_per_sec: "
+                f"{old:.1f} -> {new:.1f} ({change * 100.0:+.1f}%, "
+                f"threshold -{threshold * 100.0:.0f}%)"
+            )
+        print(
+            f"bench_gate: failover[{scheme}].requests_per_sec: "
             f"{old:.1f} -> {new:.1f} ({change * 100.0:+.1f}%) [{status}]"
         )
     return failures
@@ -239,6 +288,35 @@ def self_test(threshold: float) -> int:
         (root / "BENCH_2.json").write_text(json.dumps(with_scale))
         if run_gate(root, threshold) != 0:
             print("bench_gate: SELF-TEST FAIL: first scale record gated",
+                  file=sys.stderr)
+            return 1
+        # Failover section: a matching-fingerprint scheme cell that slowed
+        # down past the threshold must trip; a record without one must not.
+        failover = {
+            "fingerprint": "failover-selftest",
+            "fault_start_ms": 5000.0,
+            "fault_end_ms": 10000.0,
+            "cells": [
+                {"scheme": "CliRS", "requests_per_sec": 90000.0,
+                 "during_p99_ms": 19.7},
+                {"scheme": "NetRS-ILP", "requests_per_sec": 120000.0,
+                 "during_p99_ms": 18.8},
+            ],
+        }
+        with_failover = dict(base)
+        with_failover["failover"] = failover
+        fo_regressed = json.loads(json.dumps(with_failover))
+        fo_regressed["failover"]["cells"][1]["requests_per_sec"] = 100000.0
+        (root / "BENCH_1.json").write_text(json.dumps(with_failover))
+        (root / "BENCH_2.json").write_text(json.dumps(fo_regressed))
+        if run_gate(root, threshold) == 0:
+            print("bench_gate: SELF-TEST FAIL: failover regression passed",
+                  file=sys.stderr)
+            return 1
+        (root / "BENCH_1.json").write_text(json.dumps(base))  # none yet
+        (root / "BENCH_2.json").write_text(json.dumps(with_failover))
+        if run_gate(root, threshold) != 0:
+            print("bench_gate: SELF-TEST FAIL: first failover record gated",
                   file=sys.stderr)
             return 1
     print("bench_gate: self-test pass")

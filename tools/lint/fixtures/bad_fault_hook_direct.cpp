@@ -1,0 +1,31 @@
+// Fixture: an example (per the path directive) driving component fault
+// hooks by hand. Faults belong in a declarative sim::FaultPlan
+// (ExperimentConfig::fault_plan) so sim::FaultInjector fires them at
+// global-simulator barriers — bit-identical timing at any --shards/--jobs
+// split, with every transition booked in the audit ledger. Direct calls
+// land at an arbitrary point in the event interleaving and bypass both.
+// The hook declarations themselves carry no receiver and must not count.
+// lint-fixture-path: examples/chaos_probe.cpp
+// lint-fixture-expect: fault-hook-discipline 5
+
+struct FakeServer {
+  void fail();
+  void recover();
+};
+
+struct FakeController {
+  void fail_operator(int id);
+  void restore_operator(int id);
+};
+
+struct FakeFabric {
+  void set_link_state(int a, int b, bool up);
+};
+
+void chaos(FakeServer& srv, FakeController* ctrl, FakeFabric& fabric) {
+  srv.fail();
+  srv.recover();
+  ctrl->fail_operator(3);
+  ctrl->restore_operator(3);
+  fabric.set_link_state(1, 2, false);
+}

@@ -1,0 +1,24 @@
+// Fixture: the harness (per the path directive) binding FaultInjector
+// hooks to live components. sim/, harness/, tests/ and tools/ are the
+// sanctioned wiring layers — their receiver-qualified hook calls are the
+// implementation of the fault engine, not a bypass of it. Unqualified
+// in-class calls (Controller re-degrading its own operator) carry no
+// receiver and are exempt everywhere.
+// lint-fixture-path: src/harness/fault_wiring.cpp
+// lint-fixture-expect: fault-hook-discipline 0
+
+struct FakeServer {
+  void fail();
+  void recover();
+};
+
+struct FakeInjector {
+  void bind(void (*on_fail)(FakeServer*), void (*on_recover)(FakeServer*));
+};
+
+void wire(FakeInjector& inj, FakeServer* srv) {
+  inj.bind([](FakeServer* s) { s->fail(); },
+           [](FakeServer* s) { s->recover(); });
+  srv->fail();
+  srv->recover();
+}

@@ -37,6 +37,18 @@
 //                         shard's Simulator bypasses the cross-shard inbox
 //                         protocol and races its event queue; components
 //                         use Fabric::simulator_for(node) instead.
+//   fault-hook-discipline receiver-qualified calls to the component fault
+//                         hooks (.fail() / .recover(), fail_operator() /
+//                         restore_operator(), set_link_state()) outside
+//                         sim/, harness/, tests/ and tools/. Faults are
+//                         injected only through a declarative
+//                         sim::FaultPlan executed by sim::FaultInjector at
+//                         global-simulator barriers, which keeps fault
+//                         timing bit-identical at any --shards/--jobs
+//                         split and routes every transition through the
+//                         audit ledger; a direct call from bench, example
+//                         or component code fires at an arbitrary point in
+//                         the event interleaving and bypasses both.
 //   shard-annotation      every top-level class/struct defined in a header
 //                         under src/{net,kv,netrs,rs,obs} must carry one of
 //                         the sim/affinity.hpp ownership markers
@@ -827,6 +839,56 @@ void rule_cross_shard_sim(const FileText& f, Sink* violations, Sink* errors) {
   }
 }
 
+/// The layers allowed to drive component fault hooks directly: the fault
+/// engine itself (sim/fault.cpp executes the plan), the harness (which
+/// binds FaultInjector hooks to the live components), and tests/tools
+/// (which exercise the hooks to validate them). Everyone else describes
+/// faults declaratively via ExperimentConfig::fault_plan.
+const char* kFaultLayerFiles[] = {
+    "sim/",
+    "harness/",
+    "tests/",
+    "tools/",
+};
+
+/// The hook entry points FaultInjector drives. `fail` / `recover` cover
+/// KvServer and SharedAccelerator (and SelectorNode via the harness
+/// lambdas); the controller and fabric hooks have distinct names.
+const char* kFaultHooks[] = {
+    "fail", "recover", "fail_operator", "restore_operator", "set_link_state",
+};
+
+void rule_fault_hook_discipline(const FileText& f, Sink* violations,
+                                Sink* errors) {
+  std::string norm = f.effective_path;
+  std::replace(norm.begin(), norm.end(), '\\', '/');
+  for (const char* frag : kFaultLayerFiles) {
+    if (norm.find(frag) != std::string::npos) return;
+  }
+  const std::string& code = f.code;
+  for (const char* hook : kFaultHooks) {
+    for (std::size_t p = find_word(code, hook, 0); p != std::string::npos;
+         p = find_word(code, hook, p + 1)) {
+      // Receiver-qualified calls only: `x.fail(...)` / `x->fail(...)`.
+      // Declarations, definitions (`void Controller::fail_operator(...)`)
+      // and in-class unqualified calls all lack the receiver and pass.
+      const bool dot = p >= 1 && code[p - 1] == '.';
+      const bool arrow = p >= 2 && code[p - 2] == '-' && code[p - 1] == '>';
+      if (!dot && !arrow) continue;
+      const std::size_t open = skip_ws(code, p + std::string(hook).size());
+      if (open >= code.size() || code[open] != '(') continue;
+      report(f, line_of_offset(f, p), "fault-hook-discipline",
+             std::string("direct call to fault hook `") + hook +
+                 "()` outside sim/harness/tests/tools: faults are injected "
+                 "declaratively via ExperimentConfig::fault_plan so "
+                 "sim::FaultInjector fires them at global-simulator "
+                 "barriers (deterministic at any --shards/--jobs) with "
+                 "audit-ledger accounting; a direct call bypasses both",
+             violations, errors);
+    }
+  }
+}
+
 // --------------------------------------------------------------------------
 // Shard-ownership checking (DESIGN.md §7.3): a cross-TU class -> affinity
 // table built from the sim/affinity.hpp markers, consumed by the
@@ -1461,6 +1523,7 @@ void run_rules(const FileText& f, const SymbolTable& table,
   rule_std_function_hot_path(f, violations, errors);
   rule_unordered_in_obs(f, violations, errors);
   rule_cross_shard_sim(f, violations, errors);
+  rule_fault_hook_discipline(f, violations, errors);
   const std::vector<ClassDecl> decls = scan_classes(f);
   rule_shard_annotation(f, decls, violations, errors);
   const std::map<std::string, const ClassInfo*> vars =

@@ -12,7 +12,12 @@ Each input CSV is classified by its header:
     §8.4) become one stacked-component bar per file: mean ms per latency
     component, so "where did the latency go" is one glance;
   - decision CSVs (`--decisions` / NETRS_DECISIONS, DESIGN.md §8.5)
-    become one oracle-regret CDF curve per file.
+    become one oracle-regret CDF curve per file;
+  - failover timeline CSVs (written by bench/fig_failover, one row per
+    100 ms bucket per scheme) become a two-panel figure per file: p99
+    latency and mean decision staleness over time, one line per scheme,
+    with the fault window shaded — the recovery behaviour of
+    docs/SCENARIOS.md's failover walkthrough at a glance.
 
 A trailing argument that is not an existing file is taken as the output
 directory (default `plots`). Requires matplotlib; the simulation itself
@@ -26,6 +31,10 @@ import sys
 ATTRIBUTION_HEADER = "repeat,req,complete_us,server,dup,via_rs,component,ns"
 DECISION_HEADER = (
     "repeat,time_us,node,chosen,candidates,score,regret_ns,staleness_ns,herd"
+)
+FAILOVER_HEADER = (
+    "scheme,bucket_start_ms,mean_ms,p99_ms,samples,stale_mean_ms,doomed,"
+    "fault_start_ms,fault_end_ms"
 )
 
 
@@ -141,6 +150,56 @@ def plot_decisions(paths, outdir, plt):
     print("wrote", out)
 
 
+def plot_failover(path, outdir, plt):
+    """Two stacked panels: p99 latency and mean decision staleness over
+    time, one line per scheme, the fault window shaded on both."""
+    # scheme -> [(bucket_start_ms, p99_ms, stale_mean_ms)]
+    series = collections.defaultdict(list)
+    window = None
+    with open(path, newline="") as f:
+        for row in csv.DictReader(f):
+            series[row["scheme"]].append(
+                (
+                    float(row["bucket_start_ms"]),
+                    float(row["p99_ms"]),
+                    float(row["stale_mean_ms"]),
+                )
+            )
+            window = (float(row["fault_start_ms"]), float(row["fault_end_ms"]))
+    if not series:
+        return
+
+    fig, (ax_lat, ax_stale) = plt.subplots(
+        2, 1, sharex=True, figsize=(6, 4.6)
+    )
+    for scheme, points in series.items():
+        points.sort()
+        ts = [p[0] / 1000.0 for p in points]
+        ax_lat.plot(ts, [p[1] for p in points], label=scheme, linewidth=1.2)
+        ax_stale.plot(ts, [p[2] for p in points], label=scheme, linewidth=1.2)
+    if window is not None:
+        for ax in (ax_lat, ax_stale):
+            ax.axvspan(
+                window[0] / 1000.0,
+                window[1] / 1000.0,
+                color="tab:red",
+                alpha=0.12,
+                label="fault window",
+            )
+    ax_lat.set_ylabel("p99 latency (ms)")
+    ax_lat.set_title(f"Failover timeline ({file_label(path)})")
+    ax_lat.legend(fontsize=7)
+    ax_stale.set_ylabel("mean staleness (ms)")
+    ax_stale.set_xlabel("time (s)")
+    for ax in (ax_lat, ax_stale):
+        ax.grid(True, alpha=0.3)
+    fig.tight_layout()
+    out = os.path.join(outdir, f"{file_label(path)}.png")
+    fig.savefig(out, dpi=140)
+    plt.close(fig)
+    print("wrote", out)
+
+
 def main() -> int:
     if len(sys.argv) < 2:
         print(__doc__)
@@ -162,7 +221,7 @@ def main() -> int:
         print("matplotlib not available; install it to plot", file=sys.stderr)
         return 1
 
-    bench, attribution, decisions = [], [], []
+    bench, attribution, decisions, failover = [], [], [], []
     for path in args:
         with open(path, newline="") as f:
             header = f.readline().strip()
@@ -170,6 +229,8 @@ def main() -> int:
             attribution.append(path)
         elif header == DECISION_HEADER:
             decisions.append(path)
+        elif header == FAILOVER_HEADER:
+            failover.append(path)
         else:
             bench.append(path)
 
@@ -180,6 +241,8 @@ def main() -> int:
         plot_attribution(attribution, outdir, plt)
     if decisions:
         plot_decisions(decisions, outdir, plt)
+    for path in failover:
+        plot_failover(path, outdir, plt)
     return 0
 
 
