@@ -24,6 +24,16 @@
 // requests/wall-second per shard count plus the host core count (shard
 // speedup is meaningless without knowing how many cores backed the
 // threads). bench_gate.py gates each shard count's rate independently.
+//
+// A third "obs" section (DESIGN.md §8.6) re-runs the shards=4 scale cell
+// with every observability output enabled (trace JSON, metrics CSV,
+// attribution CSV, decision CSV) plus engine self-telemetry, and records
+// the obs-on rate next to the obs-off rate from the scale section, the
+// per-shard event split, and a per-shard telemetry summary (windows,
+// events, execute vs. stall wall time). bench_gate.py gates both rates
+// and caps the obs-on overhead relative to obs-off. The obs output files
+// land in the working directory (bench_obs_*.{json,csv},
+// shard_telemetry.csv) so CI can archive the telemetry.
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -187,6 +197,51 @@ int main(int argc, char** argv) {
           : 0.0;
   const unsigned host_cores = std::thread::hardware_concurrency();
 
+  // Obs-on re-run of the shards=4 scale cell (see the file comment): all
+  // four obs outputs plus engine self-telemetry, so the record captures
+  // what full observability costs on the parallel core.
+  const int obs_shards = kScaleShards.back();
+  harness::ExperimentConfig obs_cfg = scale_config(obs_shards, scale_requests);
+  obs_cfg.obs.trace_path = "bench_obs_trace.json";
+  obs_cfg.obs.metrics_path = "bench_obs_metrics.csv";
+  obs_cfg.obs.attribution_path = "bench_obs_attribution.csv";
+  obs_cfg.obs.decision_path = "bench_obs_decisions.csv";
+  obs_cfg.shard_telemetry_path = "shard_telemetry.csv";
+  std::printf("[macro] obs k=%d scheme=netrs-tor shards=%d requests=%llu "
+              "(trace+metrics+attribution+decisions+telemetry) ...\n",
+              kScaleFatTreeK, obs_shards,
+              static_cast<unsigned long long>(obs_cfg.total_requests));
+  std::fflush(stdout);
+  // netrs-lint: allow(wall-clock): benchmark throughput is measured in wall time by definition; nothing simulated depends on it.
+  const auto obs_t0 = std::chrono::steady_clock::now();
+  const harness::ExperimentResult obs_res =
+      harness::run_experiment(harness::Scheme::kNetRSToR, obs_cfg);
+  // netrs-lint: allow(wall-clock): benchmark throughput is measured in wall time by definition; nothing simulated depends on it.
+  const auto obs_t1 = std::chrono::steady_clock::now();
+  const double obs_wall = std::chrono::duration<double>(obs_t1 - obs_t0).count();
+  const double obs_on_rps =
+      obs_wall > 0.0 ? static_cast<double>(obs_res.completed) / obs_wall : 0.0;
+  const double obs_off_rps = scale_cells.back().requests_per_sec;
+  const double obs_overhead_pct =
+      obs_off_rps > 0.0 ? (1.0 - obs_on_rps / obs_off_rps) * 100.0 : 0.0;
+  // Per-shard telemetry run totals, summed over repeats (repeats == 1
+  // here, but keep the fold so a re-based cell stays correct).
+  struct ObsLane {
+    std::uint64_t windows = 0;
+    std::uint64_t events = 0;
+    std::uint64_t exec_ns = 0;
+    std::uint64_t stall_ns = 0;
+  };
+  std::vector<ObsLane> obs_lanes(static_cast<std::size_t>(obs_shards));
+  for (const sim::ShardTelemetry& t : obs_res.shard_telemetry) {
+    for (std::size_t s = 0; s < t.lanes.size() && s < obs_lanes.size(); ++s) {
+      obs_lanes[s].windows += t.lanes[s].windows;
+      obs_lanes[s].events += t.lanes[s].events;
+      obs_lanes[s].exec_ns += t.lanes[s].exec_ns;
+      obs_lanes[s].stall_ns += t.lanes[s].stall_ns;
+    }
+  }
+
   const double req_per_sec =
       total_wall > 0.0 ? static_cast<double>(total_completed) / total_wall
                        : 0.0;
@@ -256,6 +311,37 @@ int main(int argc, char** argv) {
                  s.requests_per_sec, i + 1 < scale_cells.size() ? "," : "");
   }
   std::fprintf(f, "    ]\n");
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"obs\": {\n");
+  std::fprintf(f,
+               "    \"fingerprint\": "
+               "\"obs-k%d-s%d-c%d-r%llu-x1-seed%llu-tor-sh%d\",\n",
+               kScaleFatTreeK, kScaleServers, kScaleClients,
+               static_cast<unsigned long long>(scale_requests),
+               static_cast<unsigned long long>(kSeed), obs_shards);
+  std::fprintf(f, "    \"off_requests_per_sec\": %.1f,\n", obs_off_rps);
+  std::fprintf(f, "    \"on_requests_per_sec\": %.1f,\n", obs_on_rps);
+  std::fprintf(f, "    \"overhead_pct\": %.1f,\n", obs_overhead_pct);
+  std::fprintf(f, "    \"events_per_shard\": [");
+  for (std::size_t i = 0; i < obs_res.events_per_shard.size(); ++i) {
+    std::fprintf(f, "%s%llu", i > 0 ? ", " : "",
+                 static_cast<unsigned long long>(obs_res.events_per_shard[i]));
+  }
+  std::fprintf(f, "],\n");
+  std::fprintf(f, "    \"telemetry\": [\n");
+  for (std::size_t i = 0; i < obs_lanes.size(); ++i) {
+    const ObsLane& l = obs_lanes[i];
+    std::fprintf(f,
+                 "      {\"shard\": %zu, \"windows\": %llu, "
+                 "\"events\": %llu, \"exec_ns\": %llu, "
+                 "\"stall_ns\": %llu}%s\n",
+                 i, static_cast<unsigned long long>(l.windows),
+                 static_cast<unsigned long long>(l.events),
+                 static_cast<unsigned long long>(l.exec_ns),
+                 static_cast<unsigned long long>(l.stall_ns),
+                 i + 1 < obs_lanes.size() ? "," : "");
+  }
+  std::fprintf(f, "    ]\n");
   std::fprintf(f, "  }\n");
   std::fprintf(f, "}\n");
   std::fclose(f);
@@ -271,5 +357,8 @@ int main(int argc, char** argv) {
               scale_cells.front().requests_per_sec,
               scale_cells.back().shards,
               scale_cells.back().requests_per_sec, scale_speedup, host_cores);
+  std::printf("[macro] obs: shards=%d off %.1f req/s -> on %.1f req/s "
+              "(overhead %.1f%%)\n",
+              obs_shards, obs_off_rps, obs_on_rps, obs_overhead_pct);
   return 0;
 }

@@ -6,6 +6,7 @@
 //   run_experiment --scheme netrs-ilp --clients 700 --utilization 0.9
 //   run_experiment --scheme clirs-r95c --requests 500000 --skew 0.8
 //   run_experiment --scheme netrs-ilp --algorithm two-choices --share-accel
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -57,8 +58,13 @@ void usage(const char* argv0) {
       "  --decisions FILE  write the per-decision audit CSV (oracle regret,\n"
       "                    feedback staleness, herd index); also\n"
       "                    --decisions=FILE or NETRS_DECISIONS\n"
-      "  --trace-capacity N  trace ring size per repeat (default 65536);\n"
-      "                    also NETRS_TRACE_CAPACITY\n"
+      "  --trace-capacity N  trace ring size per repeat (default 65536,\n"
+      "                    per shard ring); also NETRS_TRACE_CAPACITY\n"
+      "  --shard-telemetry FILE  write the engine self-telemetry CSV:\n"
+      "                    per-shard windows, events, execute vs. stall\n"
+      "                    wall time in sim-time buckets (wall-clock\n"
+      "                    based, nondeterministic; all other outputs\n"
+      "                    stay byte-identical); also NETRS_SHARD_TELEMETRY\n"
       "  --faults PLAN     fault-injection plan (docs/SCENARIOS.md), e.g.\n"
       "                    \"at 5s crash server 0; at 10s recover server 0\"\n"
       "                    or @file; also --faults=PLAN or NETRS_FAULTS\n"
@@ -166,6 +172,11 @@ int main(int argc, char** argv) {
     } else if (arg == "--trace-capacity") {
       cfg.obs.trace_capacity =
           static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--shard-telemetry") {
+      cfg.shard_telemetry_path = next();
+    } else if (arg.rfind("--shard-telemetry=", 0) == 0) {
+      cfg.shard_telemetry_path =
+          arg.substr(std::strlen("--shard-telemetry="));
     } else {
       usage(argv[0]);
       return arg == "--help" || arg == "-h" ? 0 : 2;
@@ -202,6 +213,14 @@ int main(int argc, char** argv) {
               r.drs_groups, r.avg_forwards,
               r.wire_bytes_per_request / 1024.0, r.load_oscillation,
               r.wall_seconds);
+  if (r.events_per_shard.size() > 1) {
+    std::printf("events per shard:");
+    for (std::size_t s = 0; s < r.events_per_shard.size(); ++s) {
+      std::printf(" s%zu=%llu", s,
+                  static_cast<unsigned long long>(r.events_per_shard[s]));
+    }
+    std::printf("\n");
+  }
   if (!cfg.obs.trace_path.empty()) {
     std::printf("trace: %llu events -> %s (%llu dropped to ring "
                 "wraparound; open at https://ui.perfetto.dev)\n",
@@ -214,13 +233,54 @@ int main(int argc, char** argv) {
                       r.trace_repeats[rep].recorded),
                   static_cast<unsigned long long>(
                       r.trace_repeats[rep].dropped));
+      const auto& lanes = r.trace_repeats[rep].lanes;
+      for (std::size_t lane = 0; lane < lanes.size(); ++lane) {
+        if (lanes[lane].dropped == 0) continue;
+        const bool coord = lanes.size() > 1 && lane + 1 == lanes.size();
+        const std::string label =
+            coord ? "coordinator" : "shard " + std::to_string(lane);
+        std::printf("    %s ring: %llu recorded, %llu dropped\n",
+                    label.c_str(),
+                    static_cast<unsigned long long>(lanes[lane].recorded),
+                    static_cast<unsigned long long>(lanes[lane].dropped));
+      }
     }
     if (r.trace_dropped > 0) {
-      std::printf("WARNING: %llu trace events dropped; raise "
-                  "--trace-capacity (currently %zu) to keep them\n",
-                  static_cast<unsigned long long>(r.trace_dropped),
-                  cfg.obs.trace_capacity);
+      // Name the shard whose ring wrapped hardest so --trace-capacity
+      // tuning targets the right lane.
+      std::uint64_t worst = 0;
+      std::size_t worst_lane = 0;
+      bool worst_coord = false;
+      for (const auto& t : r.trace_repeats) {
+        for (std::size_t lane = 0; lane < t.lanes.size(); ++lane) {
+          if (t.lanes[lane].dropped > worst) {
+            worst = t.lanes[lane].dropped;
+            worst_lane = lane;
+            worst_coord = t.lanes.size() > 1 && lane + 1 == t.lanes.size();
+          }
+        }
+      }
+      if (worst > 0) {
+        std::printf("WARNING: %llu trace events dropped (worst ring: %s%s, "
+                    "%llu dropped); raise --trace-capacity (currently %zu, "
+                    "per shard ring) to keep them\n",
+                    static_cast<unsigned long long>(r.trace_dropped),
+                    worst_coord ? "coordinator" : "shard ",
+                    worst_coord ? "" : std::to_string(worst_lane).c_str(),
+                    static_cast<unsigned long long>(worst),
+                    cfg.obs.trace_capacity);
+      } else {
+        std::printf("WARNING: %llu trace events dropped; raise "
+                    "--trace-capacity (currently %zu) to keep them\n",
+                    static_cast<unsigned long long>(r.trace_dropped),
+                    cfg.obs.trace_capacity);
+      }
     }
+  }
+  if (!cfg.shard_telemetry_path.empty()) {
+    std::printf("shard telemetry: %s (per-shard windows/events/exec/stall "
+                "in sim-time buckets; wall-clock based, nondeterministic)\n",
+                cfg.shard_telemetry_path.c_str());
   }
   if (!cfg.obs.metrics_path.empty()) {
     std::printf("metrics: %s (long-format CSV: repeat,time_us,metric,value)\n",

@@ -72,6 +72,8 @@ ExperimentConfig default_config() {
   cfg.obs.trace_capacity = static_cast<std::size_t>(env_u64(
       "NETRS_TRACE_CAPACITY",
       static_cast<std::uint64_t>(cfg.obs.trace_capacity)));
+  cfg.shard_telemetry_path =
+      env_str("NETRS_SHARD_TELEMETRY", cfg.shard_telemetry_path);
   return cfg;
 }
 

@@ -130,6 +130,14 @@ struct ExperimentConfig {
   /// default) disable the observability layer entirely. Observation-only:
   /// results and golden digests are identical with it on or off.
   obs::ObsConfig obs;
+  /// Engine self-telemetry CSV path ("" = off, the default): per-shard
+  /// window counts, events executed, and execute vs. stall wall time in
+  /// simulated-time buckets (DESIGN.md §8.6). Wall-clock derived and
+  /// therefore nondeterministic — it never feeds back into the
+  /// simulation, and all other outputs stay byte-identical with it on.
+  std::string shard_telemetry_path;
+  /// Simulated-time bucket width of the telemetry series.
+  sim::Duration shard_telemetry_bucket = sim::millis(5);
 
   /// Aggregate request arrival rate A in requests/s (from `utilization`).
   [[nodiscard]] double aggregate_rate() const;
@@ -139,8 +147,9 @@ struct ExperimentConfig {
 
 /// Paper defaults with NETRS_REQUESTS / NETRS_REPEATS / NETRS_SEED /
 /// NETRS_JOBS / NETRS_SHARDS / NETRS_FAULTS / NETRS_TRACE / NETRS_METRICS /
-/// NETRS_ATTRIBUTION / NETRS_DECISIONS / NETRS_TRACE_CAPACITY environment
-/// overrides applied (the benches use this).
+/// NETRS_ATTRIBUTION / NETRS_DECISIONS / NETRS_TRACE_CAPACITY /
+/// NETRS_SHARD_TELEMETRY environment overrides applied (the benches use
+/// this).
 [[nodiscard]] ExperimentConfig default_config();
 
 }  // namespace netrs::harness

@@ -1,11 +1,9 @@
 #include "harness/experiment.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <cassert>
 #include <chrono>
 #include <cmath>
-#include <cstdio>
 #include <fstream>
 #include <limits>
 #include <map>
@@ -17,6 +15,7 @@
 
 #include "harness/parallel.hpp"
 #include "obs/observer.hpp"
+#include "obs/shard_obs.hpp"
 #include "kv/client.hpp"
 #include "kv/consistent_hash.hpp"
 #include "kv/server.hpp"
@@ -62,6 +61,11 @@ struct RunOutput {
   obs::MetricsSnapshot metrics;
   obs::FlightSnapshot flight;
   obs::DecisionSnapshot decisions;
+  // Per-ring trace accounting (shard lanes + coordinator; empty unless
+  // tracing) and per-shard engine counters.
+  std::vector<obs::TraceLaneCounts> trace_lanes;
+  std::vector<std::uint64_t> events_per_shard;
+  sim::ShardTelemetry telemetry;
 };
 
 // Selections of a crash-dark replica ("doomed picks"): for each server
@@ -144,7 +148,7 @@ double herd_cv(const std::vector<QueueMoments>& moments) {
 /// Registers the standard per-repeat metric set (DESIGN.md §8.2) against
 /// live component getters. Registration order fixes the column order, so
 /// it must be deterministic — and it is: plain index loops only.
-void register_run_metrics(obs::Observer& ob, sim::Simulator& simulator,
+void register_run_metrics(obs::MetricsRegistry& reg, sim::Simulator& simulator,
                           const net::Fabric& fabric,
                           const std::vector<std::unique_ptr<kv::Server>>& servers,
                           const std::vector<std::unique_ptr<kv::Client>>& clients,
@@ -152,8 +156,6 @@ void register_run_metrics(obs::Observer& ob, sim::Simulator& simulator,
                           const std::vector<std::unique_ptr<core::Accelerator>>& shared_accels,
                           const std::vector<std::unique_ptr<core::SelectorNode>>& shared_selectors,
                           const std::vector<QueueMoments>& moments) {
-  obs::MetricsRegistry& reg = ob.metrics();
-
   reg.gauge("cli.issued", [&clients] {
     std::uint64_t n = 0;
     for (const auto& c : clients) n += c->issued();
@@ -276,21 +278,11 @@ void register_run_metrics(obs::Observer& ob, sim::Simulator& simulator,
 RunOutput run_once(Scheme scheme, const ExperimentConfig& cfg,
                    std::uint64_t seed) {
   // Shard-count resolution (DESIGN.md §4.10): clamp to [1, pods]. The obs
-  // layer's shared recorders are not shard-parallel, so observability runs
-  // fall back to the serial core — results are identical either way
-  // (golden digests are shard-count-invariant).
-  int shards = std::min(std::max(1, cfg.shards), cfg.fat_tree_k);
-  if (shards > 1 && cfg.obs.any()) {
-    // netrs-lint: allow(mutable-static): warn-once diagnostic latch; the atomic exchange is race-free and never influences simulated results.
-    static std::atomic<bool> warned{false};
-    if (!warned.exchange(true)) {
-      std::fprintf(stderr,
-                   "[harness] WARNING: observability outputs requested; "
-                   "falling back to --shards 1 (trace/metrics/attribution/"
-                   "decision recorders are not shard-parallel)\n");
-    }
-    shards = 1;
-  }
+  // layer is shard-parallel (one Observer lane per shard, merged
+  // deterministically at harvest — DESIGN.md §8.6), so every output —
+  // digests, trace JSON, metrics CSV, attribution CSV, decision CSV — is
+  // byte-identical at any --shards x --jobs combination.
+  const int shards = std::min(std::max(1, cfg.shards), cfg.fat_tree_k);
   const sim::Duration lookahead =
       std::min(cfg.switch_link_latency, cfg.host_link_latency);
   sim::ShardGroup shard_group(shards, lookahead);
@@ -559,15 +551,23 @@ RunOutput run_once(Scheme scheme, const ExperimentConfig& cfg,
   // --- Observability (created before clients so the completion callback
   // can capture the latency histogram; wired up fully once every
   // component exists). Observation-only: results are identical with or
-  // without it.
-  std::unique_ptr<obs::Observer> observer;
-  obs::Histogram* latency_hist = nullptr;
+  // without it. One Observer lane per shard — each component records on
+  // its own shard's simulator with zero cross-shard traffic — plus the
+  // coordinator observer for global-simulator events; the lane snapshots
+  // merge deterministically at harvest (DESIGN.md §8.6).
+  std::unique_ptr<obs::ShardObserverSet> observer;
+  obs::ShardedHistogram* latency_hist = nullptr;
   if (cfg.obs.any()) {
-    observer = std::make_unique<obs::Observer>(cfg.obs);
-    simulator.set_observer(observer.get());
+    observer = std::make_unique<obs::ShardObserverSet>(cfg.obs, shards);
+    for (int s = 0; s < shards; ++s) {
+      shard_group.shard_sim(s).set_observer(&observer->lane(s));
+    }
+    // At shards == 1 the global simulator IS shard 0, and coordinator()
+    // is lane(0) — the second set_observer stores the same pointer.
+    simulator.set_observer(&observer->coordinator());
     if (observer->metering()) {
-      latency_hist = observer->metrics().histogram(
-          "latency_ms", {1, 2, 4, 8, 16, 32, 64, 128, 256});
+      latency_hist = observer->metrics().sharded_histogram(
+          "latency_ms", {1, 2, 4, 8, 16, 32, 64, 128, 256}, shards);
     }
   }
 
@@ -603,11 +603,11 @@ RunOutput run_once(Scheme scheme, const ExperimentConfig& cfg,
         root.child(0x0C000000ULL +
                    client_hosts[static_cast<std::size_t>(i)])));
     kv::Client* c = clients.back().get();
-    ShardAccum* acc =
-        &accums[static_cast<std::size_t>(fabric.shard_of(c->node_id()))];
+    const int lane = fabric.shard_of(c->node_id());
+    ShardAccum* acc = &accums[static_cast<std::size_t>(lane)];
     c->set_completion_callback(
-        [acc, warmup_time, latency_hist, have_fault, fault_start, fault_end,
-         tl_bucket](const kv::Client::Completion& comp) {
+        [acc, lane, warmup_time, latency_hist, have_fault, fault_start,
+         fault_end, tl_bucket](const kv::Client::Completion& comp) {
           if (tl_bucket > 0) {
             // Timeline buckets cover the whole run (warmup included), so
             // the failover panel shows the ramp as well as the event.
@@ -619,7 +619,10 @@ RunOutput run_once(Scheme scheme, const ExperimentConfig& cfg,
           if (comp.completed_at - comp.latency < warmup_time) return;
           acc->latencies_ms.add(sim::to_millis(comp.latency));
           if (latency_hist != nullptr) {
-            latency_hist->add(sim::to_millis(comp.latency));
+            // Integer-ns bucketing on the caller's shard lane: lanes fold
+            // by integer addition at sample time, so the series is
+            // byte-identical at any shard count.
+            latency_hist->add(lane, comp.latency);
           }
           acc->forwards_sum += comp.forwards;
           ++acc->forwards_n;
@@ -635,47 +638,53 @@ RunOutput run_once(Scheme scheme, const ExperimentConfig& cfg,
   }
 
   if (observer) {
-    register_run_metrics(*observer, simulator, fabric, servers, clients,
-                         operators, shared_accels, shared_selectors, moments);
-    // Flight recorder: same warmup filter as the measured latencies, so
-    // its record count matches the latency sample count exactly.
-    observer->flight().set_measure_from(warmup_time);
+    register_run_metrics(observer->metrics(), simulator, fabric, servers,
+                         clients, operators, shared_accels, shared_selectors,
+                         moments);
+    // Flight + decision records apply the same warmup filter as the
+    // measured latencies (at merge time, in deferred mode), so record
+    // counts match the latency sample count exactly.
+    observer->set_measure_from(warmup_time);
     if (observer->deciding()) {
-      obs::DecisionRecorder* rec = &observer->decisions();
-      rec->set_measure_from(warmup_time);
-      // Omniscient oracle: true instantaneous queue + current
-      // fluctuation-mode mean per server. Observation-only const reads.
-      std::map<net::HostId, const kv::Server*> by_host;
-      for (const auto& s : servers) by_host.emplace(s->host_id(), s.get());
-      rec->set_oracle([by_host](net::HostId h) {
-        obs::OracleServerState st;
-        const auto it = by_host.find(h);
-        if (it == by_host.end()) return st;
-        st.valid = true;
-        st.queue_size = it->second->queue_size();
-        st.parallelism = it->second->parallelism();
-        st.mean_service_time = it->second->current_mean();
-        return st;
-      });
+      // Seed the decision oracle's journal: every server's t=0 state on
+      // its own shard's lane. From here on the servers journal their own
+      // transitions (kv::Server::journal_state), and the deferred replay
+      // looks decisions up against the merged journal — same answers as
+      // the old live oracle, at any shard count.
+      for (const auto& s : servers) {
+        observer->lane(fabric.shard_of(s->node_id()))
+            .decisions()
+            .on_server_state(s->host_id(), 0, s->queue_size(),
+                             s->parallelism(), s->current_mean());
+      }
       // Audit every deciding RSNode: clients (CliRS schemes), the shared
       // core-group selector pool, and each dedicated operator's selector.
-      const auto make_hook = [rec, &simulator](std::int32_t tid) {
-        return [rec, tid, &simulator](const rs::DecisionContext& ctx) {
-          rec->on_decision(tid, simulator.now(), ctx.candidates, ctx.chosen,
+      // Each hook records on the component's own shard lane with its own
+      // shard's clock — decision hooks fire inside parallel windows, so
+      // the global clock would race (and lag).
+      const auto make_hook = [&observer, &fabric](net::NodeId node,
+                                                  std::int32_t tid) {
+        obs::DecisionRecorder* rec =
+            &observer->lane(fabric.shard_of(node)).decisions();
+        const sim::Simulator* clk = &fabric.simulator_for(node);
+        return [rec, tid, clk](const rs::DecisionContext& ctx) {
+          rec->on_decision(tid, clk->now(), ctx.candidates, ctx.chosen,
                            ctx.scores, ctx.ages);
         };
       };
       for (const auto& c : clients) {
-        c->set_decision_hook(
-            make_hook(static_cast<std::int32_t>(c->node_id())));
+        c->set_decision_hook(make_hook(
+            c->node_id(), static_cast<std::int32_t>(c->node_id())));
       }
-      for (const auto& sel : shared_selectors) {
-        sel->set_decision_hook(make_hook(sel->trace_tid()));
+      for (std::size_t g = 0; g < shared_selectors.size(); ++g) {
+        shared_selectors[g]->set_decision_hook(
+            make_hook(shared_accels[g]->node_id(),
+                      shared_selectors[g]->trace_tid()));
       }
       for (const auto& op : operators) {
         if (op->accel_share_id() >= 0) continue;  // pool hooked above
         op->selector_node().set_decision_hook(
-            make_hook(op->selector_node().trace_tid()));
+            make_hook(op->switch_node(), op->selector_node().trace_tid()));
       }
     }
     if (observer->tracing()) {
@@ -696,10 +705,91 @@ RunOutput run_once(Scheme scheme, const ExperimentConfig& cfg,
             "accel@sw" + std::to_string(op->accelerator().switch_node()));
       }
     }
-    observer->start_sampler(simulator, t_end);
+  }
+
+  // --- Engine self-telemetry (opt-in; wall-clock based, so the series is
+  // nondeterministic — every simulated output stays byte-identical).
+  const bool telemetry = !cfg.shard_telemetry_path.empty();
+  if (telemetry) {
+    shard_group.enable_telemetry(std::max<sim::Duration>(
+        1, cfg.shard_telemetry_bucket));
+    if (observer && observer->metering()) {
+      // sim.shard.* gauges ride the metrics CSV only when telemetry was
+      // explicitly requested: exec/stall are wall-clock values, and the
+      // default CSV must stay byte-identical at any --shards x --jobs.
+      obs::MetricsRegistry& reg = observer->metrics();
+      const sim::ShardGroup* group = &shard_group;
+      const net::Fabric* fab = &fabric;
+      for (int s = 0; s < shards; ++s) {
+        const auto lane = static_cast<std::size_t>(s);
+        const std::string suffix = ".s" + std::to_string(s);
+        const auto lane_field =
+            [group, lane](std::uint64_t sim::ShardTelemetry::Lane::* f) {
+              const sim::ShardTelemetry& t = group->telemetry();
+              return lane < t.lanes.size()
+                         ? static_cast<double>(t.lanes[lane].*f)
+                         : 0.0;
+            };
+        reg.gauge("sim.shard.windows" + suffix,
+                  [lane_field] {
+                    return lane_field(&sim::ShardTelemetry::Lane::windows);
+                  },
+                  /*summarize=*/false);
+        reg.gauge("sim.shard.events" + suffix,
+                  [lane_field] {
+                    return lane_field(&sim::ShardTelemetry::Lane::events);
+                  },
+                  /*summarize=*/false);
+        reg.gauge("sim.shard.exec_ns" + suffix,
+                  [lane_field] {
+                    return lane_field(&sim::ShardTelemetry::Lane::exec_ns);
+                  },
+                  /*summarize=*/false);
+        reg.gauge("sim.shard.stall_ns" + suffix,
+                  [lane_field] {
+                    return lane_field(&sim::ShardTelemetry::Lane::stall_ns);
+                  },
+                  /*summarize=*/false);
+        // Wall-clock utilization: execute share of this shard's window
+        // time so far (1.0 = never waited for a peer).
+        reg.gauge("sim.shard.util" + suffix,
+                  [lane_field] {
+                    const double e =
+                        lane_field(&sim::ShardTelemetry::Lane::exec_ns);
+                    const double st =
+                        lane_field(&sim::ShardTelemetry::Lane::stall_ns);
+                    return e + st > 0.0 ? e / (e + st) : 0.0;
+                  },
+                  /*summarize=*/false);
+        reg.gauge("sim.shard.cross_sends" + suffix,
+                  [fab, s] {
+                    return static_cast<double>(fab->cross_sends(s));
+                  },
+                  /*summarize=*/false);
+        reg.gauge("sim.shard.cross_pending" + suffix,
+                  [fab, s] {
+                    return static_cast<double>(fab->cross_pending_depth(s));
+                  },
+                  /*summarize=*/false);
+      }
+    }
   }
 
   // --- Run -------------------------------------------------------------------
+  // Metrics sampling is driven from here, between run_until calls, not by
+  // a simulator tick: at each grid point T the engine is quiescent with
+  // every event <= T-1 executed and none at T, so a sample reads the same
+  // state at any --shards x --jobs combination (an in-simulator ticker
+  // would interleave unpredictably with same-timestamp events). Gauges
+  // that cross shards are safe here for the same reason.
+  if (observer && observer->metering() && cfg.obs.sample_interval > 0) {
+    obs::MetricsRegistry& reg = observer->metrics();
+    for (sim::Time t = cfg.obs.sample_interval; t <= t_end;
+         t += cfg.obs.sample_interval) {
+      shard_group.run_until(t - 1);
+      reg.sample(t);
+    }
+  }
   shard_group.run_until(t_end);
   for (auto& c : clients) c->stop();
   // Drain in-flight requests (periodic tasks keep the queue alive, so poll
@@ -767,11 +857,19 @@ RunOutput run_once(Scheme scheme, const ExperimentConfig& cfg,
     // Per-shard ledgers merged in shard order (plus the global queue's).
     out.audit = fabric.merged_audit_summary();
   }
+  out.events_per_shard = shard_group.events_fired_per_shard();
+  if (telemetry) out.telemetry = shard_group.telemetry();
   if (observer) {
     out.trace = observer->take_trace();
     out.metrics = observer->take_metrics();
     out.flight = observer->take_flight();
     out.decisions = observer->take_decisions();
+    if (observer->tracing()) {
+      out.trace_lanes = observer->lane_trace_counts();
+    }
+    for (int s = 0; s < shards; ++s) {
+      shard_group.shard_sim(s).set_observer(nullptr);
+    }
     simulator.set_observer(nullptr);
     tally_doomed_picks(fault_plan, server_hosts, cfg.timeline_bucket, out);
   }
@@ -841,7 +939,13 @@ ExperimentResult run_experiment(Scheme scheme, const ExperimentConfig& cfg) {
     res.trace_dropped += out.trace.dropped;
     if (cfg.obs.want_trace()) {
       res.trace_repeats.push_back(
-          {out.trace.recorded, out.trace.dropped});
+          {out.trace.recorded, out.trace.dropped, out.trace_lanes});
+    }
+    if (out.events_per_shard.size() > res.events_per_shard.size()) {
+      res.events_per_shard.resize(out.events_per_shard.size(), 0);
+    }
+    for (std::size_t s = 0; s < out.events_per_shard.size(); ++s) {
+      res.events_per_shard[s] += out.events_per_shard[s];
     }
     res.attribution.merge(out.flight);
     res.decisions.merge(out.decisions);
@@ -922,6 +1026,14 @@ ExperimentResult run_experiment(Scheme scheme, const ExperimentConfig& cfg) {
     }
     std::ofstream os(cfg.obs.decision_path, std::ios::binary);
     obs::write_decision_csv(os, decisions);
+  }
+  if (!cfg.shard_telemetry_path.empty()) {
+    res.shard_telemetry.reserve(outputs.size());
+    for (RunOutput& out : outputs) {
+      res.shard_telemetry.push_back(std::move(out.telemetry));
+    }
+    std::ofstream os(cfg.shard_telemetry_path, std::ios::binary);
+    sim::write_shard_telemetry_csv(os, res.shard_telemetry);
   }
   if (res.latencies_ms.count() > 0) {
     // avg_forwards accumulated raw forward counts across repeats.

@@ -11,7 +11,9 @@
 #include "obs/attribution.hpp"
 #include "obs/decision.hpp"
 #include "obs/metrics.hpp"
+#include "obs/shard_obs.hpp"
 #include "sim/audit.hpp"
+#include "sim/shard.hpp"
 #include "sim/stats.hpp"
 
 namespace netrs::harness {
@@ -75,6 +77,15 @@ struct ExperimentResult {
   /// Simulator events fired, summed over repeats (throughput accounting
   /// for the macro benchmark's events/sec metric; not part of digests).
   std::uint64_t events_fired = 0;
+  /// Per-shard events fired (excluding the global simulator's share),
+  /// summed elementwise over repeats in shard order. One entry in serial
+  /// runs (then it includes the global queue — shard 0 IS the global
+  /// simulator). Deterministic at any --shards x --jobs.
+  std::vector<std::uint64_t> events_per_shard;
+  /// Engine self-telemetry per repeat, in repeat order; empty unless
+  /// `cfg.shard_telemetry_path` was set. Wall-clock derived, so the
+  /// values are nondeterministic (the shape — lanes, buckets — is not).
+  std::vector<sim::ShardTelemetry> shard_telemetry;
 
   double wall_seconds = 0.0;
 
@@ -93,6 +104,10 @@ struct ExperimentResult {
   struct TraceRepeatCounts {
     std::uint64_t recorded = 0;  ///< Events offered to the ring.
     std::uint64_t dropped = 0;   ///< Events lost to ring wraparound.
+    /// Per-ring breakdown: one entry per shard lane in shard order, plus
+    /// a trailing coordinator entry when the repeat ran shards > 1. Lets
+    /// the overflow warning name the shard whose ring wrapped.
+    std::vector<obs::TraceLaneCounts> lanes;
   };
   /// Per-repeat trace counts in repeat order (empty unless tracing).
   std::vector<TraceRepeatCounts> trace_repeats;

@@ -1,7 +1,11 @@
 #include "harness/report.hpp"
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <string>
+#include <vector>
 
 namespace netrs::harness {
 namespace {
@@ -20,6 +24,30 @@ constexpr Panel kPanels[] = {
 
 double panel_value(const ExperimentResult& r, const Panel& p) {
   return p.quantile < 0.0 ? r.mean_ms() : r.percentile_ms(p.quantile);
+}
+
+/// Report label of one trace ring: "shard N", or "coordinator" for the
+/// trailing entry of a sharded repeat (serial repeats have one ring).
+std::string trace_lane_label(std::size_t lane, std::size_t lanes) {
+  if (lanes > 1 && lane + 1 == lanes) return "coordinator";
+  return "shard " + std::to_string(lane);
+}
+
+/// " (worst: shard N, M dropped)" naming the ring that wrapped hardest
+/// across repeats, or "" when no per-ring breakdown exists.
+std::string worst_trace_lane(const ExperimentResult& r) {
+  std::uint64_t worst = 0;
+  std::string label;
+  for (const ExperimentResult::TraceRepeatCounts& t : r.trace_repeats) {
+    for (std::size_t lane = 0; lane < t.lanes.size(); ++lane) {
+      if (t.lanes[lane].dropped > worst) {
+        worst = t.lanes[lane].dropped;
+        label = trace_lane_label(lane, t.lanes.size());
+      }
+    }
+  }
+  if (worst == 0) return "";
+  return " (worst: " + label + ", " + std::to_string(worst) + " dropped)";
 }
 
 }  // namespace
@@ -99,14 +127,29 @@ void print_report(const SweepReport& report) {
                       static_cast<unsigned long long>(rep),
                       static_cast<unsigned long long>(t.recorded),
                       static_cast<unsigned long long>(t.dropped));
+          // Per-ring breakdown only for rings that actually wrapped, so a
+          // clean run's report is identical at any shard count.
+          for (std::size_t lane = 0; lane < t.lanes.size(); ++lane) {
+            if (t.lanes[lane].dropped == 0) continue;
+            std::printf("%-12s %-11s     %s ring: %llu recorded, %llu "
+                        "dropped\n",
+                        report.sweep_values[i].c_str(),
+                        scheme_name(report.schemes[j]),
+                        trace_lane_label(lane, t.lanes.size()).c_str(),
+                        static_cast<unsigned long long>(
+                            t.lanes[lane].recorded),
+                        static_cast<unsigned long long>(
+                            t.lanes[lane].dropped));
+          }
         }
         if (r.trace_dropped > 0) {
           std::printf("WARNING: %s/%s dropped %llu trace events to ring "
-                      "wraparound; raise --trace-capacity (or "
+                      "wraparound%s; raise --trace-capacity (or "
                       "NETRS_TRACE_CAPACITY) to keep them\n",
                       report.sweep_values[i].c_str(),
                       scheme_name(report.schemes[j]),
-                      static_cast<unsigned long long>(r.trace_dropped));
+                      static_cast<unsigned long long>(r.trace_dropped),
+                      worst_trace_lane(r).c_str());
         }
       }
     }
@@ -220,6 +263,66 @@ void print_report(const SweepReport& report) {
       }
     }
   }
+  // Shard-parallel engine (DESIGN.md §4.10 / §8.6): per-shard event
+  // counts whenever a cell ran more than one shard, joined with the
+  // execute/stall wall-time split when --shard-telemetry was on. Printed
+  // only for sharded (or telemetry-enabled) cells, so serial reports are
+  // unchanged.
+  bool any_shard_rows = false;
+  for (const auto& row : report.results) {
+    for (const ExperimentResult& r : row) {
+      any_shard_rows |=
+          r.events_per_shard.size() > 1 || !r.shard_telemetry.empty();
+    }
+  }
+  if (any_shard_rows) {
+    std::printf("\n-- Shard engine --\n");
+    std::printf("%-12s %-11s %-12s %14s %10s %12s %12s %8s\n",
+                report.sweep_label.c_str(), "scheme", "shard", "events",
+                "windows", "exec(ms)", "stall(ms)", "util");
+    for (std::size_t i = 0; i < report.sweep_values.size(); ++i) {
+      for (std::size_t j = 0; j < report.schemes.size(); ++j) {
+        const ExperimentResult& r = report.results[i][j];
+        if (r.events_per_shard.size() <= 1 && r.shard_telemetry.empty()) {
+          continue;
+        }
+        // Telemetry summed over repeats, per shard lane.
+        std::vector<sim::ShardTelemetry::Lane> lanes;
+        for (const sim::ShardTelemetry& t : r.shard_telemetry) {
+          if (t.lanes.size() > lanes.size()) lanes.resize(t.lanes.size());
+          for (std::size_t s = 0; s < t.lanes.size(); ++s) {
+            lanes[s].windows += t.lanes[s].windows;
+            lanes[s].exec_ns += t.lanes[s].exec_ns;
+            lanes[s].stall_ns += t.lanes[s].stall_ns;
+          }
+        }
+        const std::size_t n =
+            std::max(r.events_per_shard.size(), lanes.size());
+        for (std::size_t s = 0; s < n; ++s) {
+          const std::uint64_t events =
+              s < r.events_per_shard.size() ? r.events_per_shard[s] : 0;
+          std::printf("%-12s %-11s %-12s %14llu",
+                      report.sweep_values[i].c_str(),
+                      scheme_name(report.schemes[j]),
+                      ("shard " + std::to_string(s)).c_str(),
+                      static_cast<unsigned long long>(events));
+          if (s < lanes.size()) {
+            const double exec = static_cast<double>(lanes[s].exec_ns);
+            const double stall = static_cast<double>(lanes[s].stall_ns);
+            std::printf(" %10llu %12.1f %12.1f %7.1f%%\n",
+                        static_cast<unsigned long long>(lanes[s].windows),
+                        exec / 1e6, stall / 1e6,
+                        exec + stall > 0.0
+                            ? 100.0 * exec / (exec + stall)
+                            : 0.0);
+          } else {
+            std::printf(" %10s %12s %12s %8s\n", "-", "-", "-", "-");
+          }
+        }
+      }
+    }
+  }
+
   // Fault-injection phase windows (DESIGN.md §9): pre/during/post latency
   // and decision quality per scheme for every cell that ran a fault plan.
   for (std::size_t i = 0; i < report.sweep_values.size(); ++i) {

@@ -39,6 +39,24 @@ void Server::fluctuate() {
   current_mean_ = rng_.bernoulli(0.5)
                       ? cfg_.mean_service_time
                       : static_cast<sim::Duration>(fast_mean);
+  journal_state();
+}
+
+void Server::set_service_inflation(double factor) {
+  inflation_ = factor;
+  journal_state();
+}
+
+void Server::journal_state() {
+  // Oracle journal for the deferred decision replay: one entry per
+  // {queue, parallelism, mean} transition, on this server's own shard
+  // recorder (fault hooks run at coordinator barriers, where the affinity
+  // check inside queue_size() passes by construction). Online-mode
+  // recorders ignore the call.
+  if (obs::Observer* o = simulator().observer()) {
+    o->decisions().on_server_state(host_id(), simulator().now(), queue_size(),
+                                   cfg_.parallelism, current_mean());
+  }
 }
 
 void Server::receive(net::Packet pkt, net::NodeId from) {
@@ -75,6 +93,7 @@ void Server::receive(net::Packet pkt, net::NodeId from) {
   } else {
     queue_.push_back(Queued{std::move(pkt), simulator().now()});
     station_ledger_.on_enqueue(simulator().auditor(), queue_.size());
+    journal_state();
   }
 }
 
@@ -95,6 +114,7 @@ void Server::handle_cancel(const net::Packet& cancel, const AppRequest& app) {
     station_ledger_.on_remove(simulator().auditor(), queue_.size());
     simulator().auditor().on_packet_dropped("server-cancel");
     ++cancelled_;
+    journal_state();
     if (obs::Observer* o = simulator().observer()) {
       o->instant("kv.cancel", "kv", static_cast<std::int32_t>(node_id()),
                  simulator().now(), victim.meta.request_id);
@@ -156,6 +176,7 @@ void Server::start_service(net::Packet pkt, sim::Time arrival) {
   service_slots_[slot] = std::move(pkt);
   service_events_[slot] = simulator().after(
       service, [this, slot, service] { finish_service(slot, service); });
+  journal_state();
 }
 
 void Server::finish_service(std::size_t slot, sim::Duration service_time) {
@@ -186,6 +207,8 @@ void Server::finish_service(std::size_t slot, sim::Duration service_time) {
     queue_.pop_front();
     station_ledger_.on_dequeue(simulator().auditor(), queue_.size());
     start_service(std::move(next.pkt), next.enqueued);
+  } else {
+    journal_state();
   }
 }
 
@@ -246,9 +269,13 @@ void Server::fail() {
     audit.on_packet_dropped("server-crash");
   }
   if (was_busy) busy_accum_ += simulator().now() - busy_since_;
+  journal_state();
 }
 
-void Server::recover() { failed_ = false; }
+void Server::recover() {
+  failed_ = false;
+  journal_state();
+}
 
 double Server::busy_fraction(sim::Time now) const {
   sim::Duration busy = busy_accum_;

@@ -64,7 +64,7 @@ class NETRS_SHARD_LOCAL Server final : public net::Host {
   /// Fault hook — sets the slow-node service-time inflation factor
   /// (1.0 = nominal). Scales the mean the service sampler and the
   /// advertised/oracle mean both see.
-  void set_service_inflation(double factor) { inflation_ = factor; }
+  void set_service_inflation(double factor);
 
   /// True while crashed by fault injection.
   [[nodiscard]] bool failed() const { return failed_; }
@@ -109,6 +109,10 @@ class NETRS_SHARD_LOCAL Server final : public net::Host {
   void handle_cancel(const net::Packet& cancel, const AppRequest& app);
   void send_response(const net::Packet& pkt, std::uint32_t value_bytes);
   void fluctuate();
+  /// Journals {queue_size, parallelism, current mean} to the decision
+  /// recorder's oracle log after any transition of those values (no-op
+  /// without an observer, or when the recorder is in online mode).
+  void journal_state();
 
   ServerConfig cfg_;
   sim::Rng rng_;

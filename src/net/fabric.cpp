@@ -262,6 +262,7 @@ void Fabric::send(NodeId from, NodeId to, Packet pkt) {
   ShardState& src = state_[src_shard];
   ++src.packets_sent;
   src.bytes_sent += pkt.wire_size();
+  ++src.cross_sends;
   sims_[std::size_t(src_shard)]->auditor().on_packet_injected();
   // The send happens "now" on the sending context's clock: the source
   // shard's simulator inside a window, the global simulator when the
@@ -407,6 +408,14 @@ std::uint64_t Fabric::bytes_sent() const {
   std::uint64_t total = 0;
   for (int s = 0; s < shard_count(); ++s) total += state_[s].bytes_sent;
   return total;
+}
+
+std::uint64_t Fabric::cross_sends(int s) const {
+  return state_[s].cross_sends;
+}
+
+std::uint64_t Fabric::cross_pending_depth(int s) const {
+  return state_[s].cross_pending.load(std::memory_order_relaxed);
 }
 
 std::size_t Fabric::deliveries_in_flight() const {

@@ -123,6 +123,13 @@ class NETRS_COORD_GLOBAL Fabric {
   /// Total wire bytes carried across all links (bandwidth accounting —
   /// NetRS is required to "limit its bandwidth overheads", §II).
   [[nodiscard]] std::uint64_t bytes_sent() const;
+  /// Packets shard `s` sent across a shard boundary (lane or barrier
+  /// park). Engine self-telemetry; call only between ShardGroup windows.
+  [[nodiscard]] std::uint64_t cross_sends(int s) const;
+  /// Cross-shard packets bound for shard `s` not yet scheduled there (in
+  /// a lane or the pending heap). Engine self-telemetry; call only
+  /// between ShardGroup windows.
+  [[nodiscard]] std::uint64_t cross_pending_depth(int s) const;
 
   /// Fault hook — reached only through sim::FaultInjector at global-sim
   /// barriers (fault-hook-discipline lint rule), so the mutation is
@@ -222,6 +229,7 @@ class NETRS_COORD_GLOBAL Fabric {
     std::vector<std::uint32_t> free_deliveries;  // free slot indices
     std::uint64_t packets_sent = 0;
     std::uint64_t bytes_sent = 0;
+    std::uint64_t cross_sends = 0;  // sends leaving this shard's partition
     std::uint64_t link_drops = 0;  // sends rejected at a down link
     sim::SlotLedger ledger;           // conservation audit (checked builds)
     std::vector<CrossEntry> pending;  // drained, not yet schedulable

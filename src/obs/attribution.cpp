@@ -1,5 +1,8 @@
 #include "obs/attribution.hpp"
 
+#include <algorithm>
+#include <tuple>
+
 #include "obs/metrics.hpp"
 
 namespace netrs::obs {
@@ -7,6 +10,11 @@ namespace netrs::obs {
 void FlightRecorder::on_accel(std::uint64_t request_id, sim::Time arrival,
                               sim::Time start, sim::Duration service) {
   if (!enabled_ || request_id == 0) return;
+  if (deferred_) {
+    log_.accels.push_back(FlightLog::Accel{request_id, arrival, start,
+                                           service});
+    return;
+  }
   PendingFlight& p = pending_[request_id];
   if (p.accel_valid) return;  // keep the first accelerator contact
   p.accel_valid = true;
@@ -19,14 +27,60 @@ void FlightRecorder::on_server(std::uint64_t request_id, net::HostId server,
                                sim::Time arrival, sim::Time start,
                                sim::Duration service) {
   if (!enabled_ || request_id == 0) return;
+  if (deferred_) {
+    log_.servers.push_back(FlightLog::Server{request_id, server, arrival,
+                                             start, service});
+    return;
+  }
   pending_[request_id].copies.push_back(
       CopyObs{server, arrival, start, service});
 }
+
+namespace {
+
+// The telescoping decomposition shared by the online path and the
+// deferred join: every component is a difference of adjacent observed
+// timestamps along the winning copy's path, so the sum equals `total`
+// exactly (the invariant attribution_test asserts per record).
+FlightRecord make_record(std::uint64_t request_id, sim::Time first_send,
+                         sim::Time winner_send, net::HostId winner,
+                         sim::Time now, bool accel_valid,
+                         sim::Time accel_arrival, sim::Time accel_start,
+                         sim::Duration accel_service, sim::Time copy_arrival,
+                         sim::Time copy_start, sim::Duration copy_service) {
+  FlightRecord r;
+  r.request_id = request_id;
+  r.completed_at = now;
+  r.server = winner;
+  r.dup_won = winner_send != first_send;
+  r.via_rs = accel_valid;
+  r.total = now - first_send;
+  r.components[0] = winner_send - first_send;  // dup_wait
+  sim::Time cursor = winner_send;
+  if (accel_valid) {
+    r.components[1] = accel_arrival - cursor;        // wire_cli_rs
+    r.components[2] = accel_start - accel_arrival;   // accel_queue
+    r.components[3] = accel_service;                 // accel_serv
+    cursor = accel_start + accel_service;
+  }
+  r.components[4] = copy_arrival - cursor;                // wire_rs_srv
+  r.components[5] = copy_start - copy_arrival;            // srv_queue
+  r.components[6] = copy_service;                         // srv_serv
+  r.components[7] = now - (copy_start + copy_service);    // wire_return
+  return r;
+}
+
+}  // namespace
 
 void FlightRecorder::on_complete(std::uint64_t request_id,
                                  sim::Time first_send, sim::Time winner_send,
                                  net::HostId winner, sim::Time now) {
   if (!enabled_ || request_id == 0) return;
+  if (deferred_) {
+    log_.completes.push_back(FlightLog::Complete{request_id, first_send,
+                                                 winner_send, winner, now});
+    return;
+  }
   const auto it = pending_.find(request_id);
   if (it == pending_.end()) {
     ++unmatched_;
@@ -53,29 +107,96 @@ void FlightRecorder::on_complete(std::uint64_t request_id,
     return;
   }
 
-  FlightRecord r;
-  r.request_id = request_id;
-  r.completed_at = now;
-  r.server = winner;
-  r.dup_won = winner_send != first_send;
-  r.via_rs = p.accel_valid;
-  r.total = now - first_send;
-  // Every component is a difference of adjacent observed timestamps along
-  // the winning copy's path, so the sum telescopes to `total` exactly.
-  r.components[0] = winner_send - first_send;  // dup_wait
-  sim::Time cursor = winner_send;
-  if (p.accel_valid) {
-    r.components[1] = p.accel_arrival - cursor;           // wire_cli_rs
-    r.components[2] = p.accel_start - p.accel_arrival;    // accel_queue
-    r.components[3] = p.accel_service;                    // accel_serv
-    cursor = p.accel_start + p.accel_service;
-  }
-  r.components[4] = copy->arrival - cursor;               // wire_rs_srv
-  r.components[5] = copy->start - copy->arrival;          // srv_queue
-  r.components[6] = copy->service;                        // srv_serv
-  r.components[7] = now - (copy->start + copy->service);  // wire_return
-  records_.push_back(r);
+  records_.push_back(make_record(
+      request_id, first_send, winner_send, winner, now, p.accel_valid,
+      p.accel_arrival, p.accel_start, p.accel_service, copy->arrival,
+      copy->start, copy->service));
   pending_.erase(it);
+}
+
+FlightSnapshot join_flights(const std::vector<FlightLog>& logs,
+                            sim::Time measure_from) {
+  // Canonical per-request state assembled from the union of all logs.
+  struct Joined {
+    bool accel_valid = false;
+    FlightLog::Accel accel;
+    std::vector<FlightLog::Server> copies;
+  };
+  std::map<std::uint64_t, Joined> pending;
+  std::vector<FlightLog::Complete> completes;
+  for (const FlightLog& log : logs) {
+    for (const FlightLog::Accel& a : log.accels) {
+      Joined& j = pending[a.request_id];
+      // Canonical stand-in for the online "first accelerator contact":
+      // the minimum by (start, arrival, service). A recorder's own stream
+      // is start-time-ordered, so at --shards 1 this is the same contact
+      // the online path would keep (up to exact-ns ties).
+      if (!j.accel_valid ||
+          std::tie(a.start, a.arrival, a.service) <
+              std::tie(j.accel.start, j.accel.arrival, j.accel.service)) {
+        j.accel_valid = true;
+        j.accel = a;
+      }
+    }
+    for (const FlightLog::Server& s : log.servers) {
+      pending[s.request_id].copies.push_back(s);
+    }
+    completes.insert(completes.end(), log.completes.begin(),
+                     log.completes.end());
+  }
+  // Canonical copy order (the online path saw service starts in time
+  // order) and completion order. request_id breaks exact-time ties.
+  for (auto& [id, j] : pending) {
+    std::stable_sort(j.copies.begin(), j.copies.end(),
+                     [](const FlightLog::Server& a,
+                        const FlightLog::Server& b) {
+                       return std::tie(a.start, a.arrival, a.server,
+                                       a.service) <
+                              std::tie(b.start, b.arrival, b.server,
+                                       b.service);
+                     });
+  }
+  std::stable_sort(completes.begin(), completes.end(),
+                   [](const FlightLog::Complete& a,
+                      const FlightLog::Complete& b) {
+                     return std::tie(a.at, a.request_id) <
+                            std::tie(b.at, b.request_id);
+                   });
+
+  FlightSnapshot snap;
+  snap.enabled = true;
+  for (const FlightLog::Complete& c : completes) {
+    const auto it = pending.find(c.request_id);
+    if (it == pending.end()) {
+      ++snap.unmatched;
+      continue;
+    }
+    if (c.first_send < measure_from) {
+      pending.erase(it);
+      ++snap.warmup_skipped;
+      continue;
+    }
+    const Joined& j = it->second;
+    const FlightLog::Server* copy = nullptr;
+    for (const FlightLog::Server& s : j.copies) {
+      if (s.server == c.winner) {
+        copy = &s;
+        break;
+      }
+    }
+    if (copy == nullptr) {
+      ++snap.unmatched;
+      pending.erase(it);
+      continue;
+    }
+    snap.records.push_back(make_record(
+        c.request_id, c.first_send, c.winner_send, c.winner, c.at,
+        j.accel_valid, j.accel.arrival, j.accel.start, j.accel.service,
+        copy->arrival, copy->start, copy->service));
+    pending.erase(it);
+  }
+  snap.pending_at_end = pending.size();
+  return snap;
 }
 
 FlightSnapshot FlightRecorder::take() const {

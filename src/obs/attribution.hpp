@@ -69,6 +69,58 @@ struct NETRS_SHARED_IMMUTABLE FlightRecord {
   std::array<sim::Duration, kFlightComponents> components{};
 };
 
+/// Raw observation log of one recorder in deferred mode (DESIGN.md §8.6):
+/// shard-local recorders append every hook verbatim instead of joining
+/// online (one request's accelerator, server, and completion hooks fire on
+/// different shards), and join_flights() reproduces the online
+/// decomposition over the union of all logs in a canonical order — the
+/// same bytes at any shard count.
+struct NETRS_SHARED_IMMUTABLE FlightLog {
+  /// One on_accel() observation, verbatim.
+  struct Accel {
+    /// End-to-end correlation id.
+    std::uint64_t request_id = 0;
+    /// Accelerator arrival (enqueue) time, ns.
+    sim::Time arrival = 0;
+    /// Accelerator service start, ns.
+    sim::Time start = 0;
+    /// Accelerator service duration, ns.
+    sim::Duration service = 0;
+  };
+  /// One on_server() observation, verbatim.
+  struct Server {
+    /// End-to-end correlation id.
+    std::uint64_t request_id = 0;
+    /// Serving host.
+    net::HostId server = net::kInvalidHost;
+    /// Server arrival time, ns.
+    sim::Time arrival = 0;
+    /// Server service start, ns.
+    sim::Time start = 0;
+    /// Sampled service duration, ns.
+    sim::Duration service = 0;
+  };
+  /// One on_complete() observation, verbatim.
+  struct Complete {
+    /// End-to-end correlation id.
+    std::uint64_t request_id = 0;
+    /// The primary copy's send time, ns.
+    sim::Time first_send = 0;
+    /// The winning copy's send time, ns.
+    sim::Time winner_send = 0;
+    /// Server whose response completed the request.
+    net::HostId winner = net::kInvalidHost;
+    /// Completion time at the client, ns.
+    sim::Time at = 0;
+  };
+  /// Accelerator observations in this recorder's record order.
+  std::vector<Accel> accels;
+  /// Server observations in this recorder's record order.
+  std::vector<Server> servers;
+  /// Completion observations in this recorder's record order.
+  std::vector<Complete> completes;
+};
+
 /// One repeat's worth of completed-flight records plus bookkeeping counts.
 struct NETRS_SHARED_IMMUTABLE FlightSnapshot {
   /// True when the repeat recorded attribution at all.
@@ -84,10 +136,13 @@ struct NETRS_SHARED_IMMUTABLE FlightSnapshot {
   std::uint64_t pending_at_end = 0;
 };
 
-/// Per-request flight recorder; one per repeat, owned by the Observer.
-/// Components call the on_*() hooks under the existing observer null
-/// guard; every hook is a cheap early-out when the recorder is disabled.
-class NETRS_COORD_GLOBAL FlightRecorder {
+/// Per-request flight recorder; one per shard per repeat, owned by that
+/// shard's Observer. Components call the on_*() hooks under the existing
+/// observer null guard; every hook is a cheap early-out when the recorder
+/// is disabled. In deferred mode (the harness default since the recorders
+/// went shard-parallel) hooks append to a FlightLog and join_flights()
+/// builds the records at harvest time.
+class NETRS_SHARD_LOCAL FlightRecorder {
  public:
   /// A disabled recorder ignores every hook.
   explicit FlightRecorder(bool enabled) : enabled_(enabled) {}
@@ -96,8 +151,17 @@ class NETRS_COORD_GLOBAL FlightRecorder {
   [[nodiscard]] bool enabled() const { return enabled_; }
 
   /// Completions of requests first sent before `t` are dropped — the same
-  /// warmup filter the harness applies to measured latencies.
+  /// warmup filter the harness applies to measured latencies. In deferred
+  /// mode the filter is applied by join_flights() instead.
   void set_measure_from(sim::Time t) { measure_from_ = t; }
+
+  /// Switches the recorder to deferred (raw-log) mode: hooks append
+  /// verbatim observations for a later join_flights() instead of joining
+  /// online. Must be called before the first hook fires.
+  void set_deferred(bool deferred) { deferred_ = deferred; }
+
+  /// True when hooks log raw observations for a merge-time join.
+  [[nodiscard]] bool deferred() const { return deferred_; }
 
   /// Accelerator observation for a request: arrival (enqueue) time,
   /// service start, and service duration. Response clones must not be
@@ -117,7 +181,11 @@ class NETRS_COORD_GLOBAL FlightRecorder {
                    sim::Time winner_send, net::HostId winner, sim::Time now);
 
   /// Extracts this repeat's records (completion order) and counts.
+  /// Online mode only; a deferred recorder yields via take_log().
   [[nodiscard]] FlightSnapshot take() const;
+
+  /// Extracts the raw observation log accumulated in deferred mode.
+  [[nodiscard]] FlightLog take_log() const { return log_; }
 
  private:
   /// Per-copy server observation (duplicates land on distinct servers).
@@ -137,6 +205,7 @@ class NETRS_COORD_GLOBAL FlightRecorder {
   };
 
   bool enabled_;
+  bool deferred_ = false;
   sim::Time measure_from_ = 0;
   // Ordered map: the obs tree bans unordered containers (netrs_lint
   // unordered-in-obs) so iteration order can never leak into output.
@@ -144,7 +213,20 @@ class NETRS_COORD_GLOBAL FlightRecorder {
   std::vector<FlightRecord> records_;
   std::uint64_t warmup_skipped_ = 0;
   std::uint64_t unmatched_ = 0;
+  FlightLog log_;
 };
+
+/// Joins the deferred logs of every shard's recorder (plus the
+/// coordinator's) into one repeat snapshot, replaying the online
+/// decomposition in a canonical order that does not depend on which shard
+/// observed what: completions are processed by (completion time, request
+/// id); the kept accelerator contact is the minimum by (start, arrival,
+/// service); per-request copies are ordered by (start, arrival, server,
+/// service). Event timestamps are shard-count-invariant (DESIGN.md
+/// §4.10), so the result is byte-identical at any --shards value —
+/// including 1, which the harness routes through this same join.
+[[nodiscard]] FlightSnapshot join_flights(const std::vector<FlightLog>& logs,
+                                          sim::Time measure_from);
 
 /// Per-component latency aggregates over every record of every repeat,
 /// shown as the "Latency attribution" report table.

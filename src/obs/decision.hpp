@@ -99,9 +99,67 @@ struct NETRS_SHARED_IMMUTABLE DecisionSnapshot {
   std::uint64_t observed = 0;
 };
 
-/// Per-repeat decision auditor, owned by the Observer. The harness
-/// installs the oracle and routes every selector's decision hook here.
-class NETRS_COORD_GLOBAL DecisionRecorder {
+/// Raw decision log of one recorder in deferred mode (DESIGN.md §8.6).
+/// Shard-local recorders log picks and true server-state transitions (the
+/// oracle journal) verbatim; replay_decisions() merges every log, orders
+/// picks canonically by (time, node, per-node sequence), and computes the
+/// herd index and oracle regret at harvest time — the same bytes at any
+/// shard count.
+struct NETRS_SHARED_IMMUTABLE DecisionLog {
+  /// One raw selection decision.
+  struct Pick {
+    /// Simulated decision time, ns.
+    sim::Time t = 0;
+    /// Deciding RSNode's trace tid.
+    std::int32_t node = -1;
+    /// Per-node decision sequence number (a node's decision stream lives
+    /// on one shard, so this is shard-count-invariant).
+    std::uint64_t node_seq = 0;
+    /// The replica the selector picked.
+    net::HostId chosen = net::kInvalidHost;
+    /// Offset of this pick's candidates in `cand_pool`.
+    std::uint32_t cand_begin = 0;
+    /// Candidate count the decision chose among.
+    std::uint32_t cand_count = 0;
+    /// Selector's score for the chosen replica; meaningful iff has_score.
+    double score = 0.0;
+    /// False when the selector reported no score for the chosen replica.
+    bool has_score = false;
+    /// Feedback age of the chosen server, ns; meaningful iff
+    /// has_staleness.
+    sim::Duration staleness = 0;
+    /// False when the selector never heard from the chosen server.
+    bool has_staleness = false;
+  };
+  /// One true server-state transition, journaled by kv::Server on every
+  /// queue/parallelism/mean change (plus a t=0 seed from the harness).
+  struct ServerState {
+    /// Transition time, ns.
+    sim::Time t = 0;
+    /// The server host.
+    net::HostId host = net::kInvalidHost;
+    /// Waiting + in-service requests after the transition.
+    std::uint32_t queue_size = 0;
+    /// Service parallelism Np after the transition.
+    int parallelism = 1;
+    /// Effective mean service time after the transition, ns.
+    sim::Duration mean = 0;
+  };
+  /// Picks in this recorder's record order.
+  std::vector<Pick> picks;
+  /// Flattened candidate lists, indexed by Pick::cand_begin/cand_count.
+  std::vector<net::HostId> cand_pool;
+  /// Oracle journal entries in this recorder's record order (a host's
+  /// entries are time-ordered: one host lives on one shard).
+  std::vector<ServerState> states;
+};
+
+/// Per-shard, per-repeat decision auditor, owned by that shard's
+/// Observer. The harness installs the oracle and routes every selector's
+/// decision hook here. In deferred mode (the harness default since the
+/// recorders went shard-parallel) hooks append to a DecisionLog and
+/// replay_decisions() builds the records at harvest time.
+class NETRS_SHARD_LOCAL DecisionRecorder {
  public:
   /// A disabled recorder ignores every call. `herd_window` is the
   /// trailing window of the herd index.
@@ -115,8 +173,18 @@ class NETRS_COORD_GLOBAL DecisionRecorder {
   void set_oracle(OracleFn fn) { oracle_ = std::move(fn); }
 
   /// Decisions before `t` update herd state but produce no records — the
-  /// same warmup filter the harness applies to measured latencies.
+  /// same warmup filter the harness applies to measured latencies. In
+  /// deferred mode the filter is applied by replay_decisions() instead.
   void set_measure_from(sim::Time t) { measure_from_ = t; }
+
+  /// Switches the recorder to deferred (raw-log) mode: hooks append
+  /// verbatim picks and oracle-journal entries for a later
+  /// replay_decisions() instead of scoring online. Must be called before
+  /// the first hook fires.
+  void set_deferred(bool deferred) { deferred_ = deferred; }
+
+  /// True when hooks log raw observations for a merge-time replay.
+  [[nodiscard]] bool deferred() const { return deferred_; }
 
   /// Audits one selection: `candidates`/`chosen` from the selector,
   /// `scores`/`ages` parallel to `candidates` (either may be empty; an
@@ -127,11 +195,23 @@ class NETRS_COORD_GLOBAL DecisionRecorder {
                    net::HostId chosen, std::span<const double> scores,
                    std::span<const sim::Duration> ages);
 
+  /// Journals one true server-state transition for the deferred oracle
+  /// (no-op outside deferred mode). kv::Server calls this under the
+  /// observer null guard after every queue/parallelism/mean change.
+  void on_server_state(net::HostId host, sim::Time t,
+                       std::uint32_t queue_size, int parallelism,
+                       sim::Duration mean);
+
   /// Extracts this repeat's records (decision order) and counts.
+  /// Online mode only; a deferred recorder yields via take_log().
   [[nodiscard]] DecisionSnapshot take() const;
+
+  /// Extracts the raw log accumulated in deferred mode.
+  [[nodiscard]] DecisionLog take_log() const { return log_; }
 
  private:
   bool enabled_;
+  bool deferred_ = false;
   sim::Duration window_;
   sim::Time measure_from_ = 0;
   OracleFn oracle_;
@@ -142,7 +222,23 @@ class NETRS_COORD_GLOBAL DecisionRecorder {
   // unordered-in-obs) so iteration order can never leak into output.
   std::deque<std::pair<sim::Time, net::HostId>> window_picks_;
   std::map<net::HostId, std::uint32_t> window_counts_;
+  // Deferred mode: raw log plus per-node pick sequence numbers.
+  DecisionLog log_;
+  std::map<std::int32_t, std::uint64_t> node_seq_;
 };
+
+/// Replays the deferred logs of every shard's recorder (plus the
+/// coordinator's) into one repeat snapshot. Picks are ordered canonically
+/// by (time, node, per-node sequence); the herd window is maintained over
+/// that merged stream exactly as the online recorder maintains it; regret
+/// is computed against the oracle journal — for each candidate, the last
+/// journaled state at or before the decision time. Pick times and per-node
+/// streams are shard-count-invariant (DESIGN.md §4.10), so the result is
+/// byte-identical at any --shards value — including 1, which the harness
+/// routes through this same replay.
+[[nodiscard]] DecisionSnapshot replay_decisions(
+    const std::vector<DecisionLog>& logs, sim::Duration herd_window,
+    sim::Time measure_from);
 
 /// Selection-quality aggregates over every decision of every repeat,
 /// shown as the "Selection quality" report table.

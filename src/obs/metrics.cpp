@@ -29,6 +29,49 @@ void Histogram::add(double v) {
   sum_ += v;
 }
 
+ShardedHistogram::ShardedHistogram(std::vector<double> bounds, int lanes)
+    : bounds_(std::move(bounds)) {
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    assert(bounds_[i - 1] < bounds_[i] && "histogram bounds must increase");
+  }
+  bounds_ns_.reserve(bounds_.size());
+  for (const double b : bounds_) {
+    bounds_ns_.push_back(static_cast<sim::Duration>(std::llround(b * 1e6)));
+  }
+  if (lanes < 1) lanes = 1;
+  lanes_.resize(static_cast<std::size_t>(lanes));
+  for (Lane& lane : lanes_) {
+    lane.counts.assign(bounds_.size() + 1, 0);
+  }
+}
+
+void ShardedHistogram::add(int lane, sim::Duration v) {
+  Lane& l = lanes_[static_cast<std::size_t>(lane)];
+  std::size_t i = 0;
+  while (i < bounds_ns_.size() && v > bounds_ns_[i]) ++i;
+  ++l.counts[i];
+  ++l.count;
+  l.sum_ns += static_cast<std::uint64_t>(v);
+}
+
+std::uint64_t ShardedHistogram::bucket(std::size_t i) const {
+  std::uint64_t total = 0;
+  for (const Lane& l : lanes_) total += l.counts[i];
+  return total;
+}
+
+std::uint64_t ShardedHistogram::count() const {
+  std::uint64_t total = 0;
+  for (const Lane& l : lanes_) total += l.count;
+  return total;
+}
+
+double ShardedHistogram::sum() const {
+  std::uint64_t total_ns = 0;
+  for (const Lane& l : lanes_) total_ns += l.sum_ns;
+  return static_cast<double>(total_ns) * 1e-6;
+}
+
 void MetricsSummary::merge(const MetricsSnapshot& snap) {
   if (snap.rows.empty()) return;
   if (entries.empty()) {
@@ -87,12 +130,31 @@ Histogram* MetricsRegistry::histogram(std::string name,
   return &histograms_.back();
 }
 
+ShardedHistogram* MetricsRegistry::sharded_histogram(std::string name,
+                                                     std::vector<double> bounds,
+                                                     int lanes,
+                                                     bool summarize) {
+  assert(rows_.empty() && "register metrics before the first sample");
+  sharded_.emplace_back(std::move(bounds), lanes);
+  metrics_.push_back({std::move(name), Kind::kShardedHistogram, summarize,
+                      sharded_.size() - 1});
+  return &sharded_.back();
+}
+
 void MetricsRegistry::sample(sim::Time now) {
   if (columns_ == 0) {
     for (const Metric& m : metrics_) {
-      columns_ += m.kind == Kind::kHistogram
-                      ? histograms_[m.index].bucket_count() + 2
-                      : 1;
+      switch (m.kind) {
+        case Kind::kHistogram:
+          columns_ += histograms_[m.index].bucket_count() + 2;
+          break;
+        case Kind::kShardedHistogram:
+          columns_ += sharded_[m.index].bucket_count() + 2;
+          break;
+        default:
+          columns_ += 1;
+          break;
+      }
     }
   }
   MetricsSnapshot::Row row;
@@ -115,6 +177,15 @@ void MetricsRegistry::sample(sim::Time now) {
         row.values.push_back(h.sum());
         break;
       }
+      case Kind::kShardedHistogram: {
+        const ShardedHistogram& h = sharded_[m.index];
+        for (std::size_t b = 0; b < h.bucket_count(); ++b) {
+          row.values.push_back(static_cast<double>(h.bucket(b)));
+        }
+        row.values.push_back(static_cast<double>(h.count()));
+        row.values.push_back(h.sum());
+        break;
+      }
     }
   }
   rows_.push_back(std::move(row));
@@ -122,19 +193,24 @@ void MetricsRegistry::sample(sim::Time now) {
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
   MetricsSnapshot snap;
+  const auto expand_histogram = [&snap](const Metric& m,
+                                        const std::vector<double>& bounds) {
+    for (const double bound : bounds) {
+      snap.columns.push_back(bucket_label(m.name, bound));
+      snap.summarize.push_back(0);
+    }
+    snap.columns.push_back(m.name + ".le_inf");
+    snap.summarize.push_back(0);
+    snap.columns.push_back(m.name + ".count");
+    snap.summarize.push_back(m.summarize ? 1 : 0);
+    snap.columns.push_back(m.name + ".sum");
+    snap.summarize.push_back(0);
+  };
   for (const Metric& m : metrics_) {
     if (m.kind == Kind::kHistogram) {
-      const Histogram& h = histograms_[m.index];
-      for (std::size_t b = 0; b < h.bounds().size(); ++b) {
-        snap.columns.push_back(bucket_label(m.name, h.bounds()[b]));
-        snap.summarize.push_back(0);
-      }
-      snap.columns.push_back(m.name + ".le_inf");
-      snap.summarize.push_back(0);
-      snap.columns.push_back(m.name + ".count");
-      snap.summarize.push_back(m.summarize ? 1 : 0);
-      snap.columns.push_back(m.name + ".sum");
-      snap.summarize.push_back(0);
+      expand_histogram(m, histograms_[m.index].bounds());
+    } else if (m.kind == Kind::kShardedHistogram) {
+      expand_histogram(m, sharded_[m.index].bounds());
     } else {
       snap.columns.push_back(m.name);
       snap.summarize.push_back(m.summarize ? 1 : 0);

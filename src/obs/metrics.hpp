@@ -62,6 +62,58 @@ class NETRS_COORD_GLOBAL Histogram {
   double sum_ = 0.0;
 };
 
+/// Fixed-bucket "le"-style histogram safe to feed from shard worker
+/// threads: each shard owns one cache-line-isolated lane (single writer)
+/// accumulating integer bucket counts and an exact nanosecond sum, and
+/// the read side folds the lanes by plain integer addition in lane order
+/// at sample time — order-independent, so the expanded columns are
+/// byte-identical at any shard count. Reads must happen at engine
+/// quiescence (between ShardGroup::run_until windows), which is where the
+/// harness samples. Marked shard-local because each lane belongs to
+/// exactly one shard's thread.
+class NETRS_SHARD_LOCAL ShardedHistogram {
+ public:
+  /// Creates a histogram with the given strictly increasing upper bounds
+  /// in milliseconds (one overflow bucket is added implicitly) and one
+  /// write lane per shard (`lanes` >= 1).
+  ShardedHistogram(std::vector<double> bounds, int lanes);
+
+  /// Records one observation of `v` simulated nanoseconds on `lane`.
+  /// Only that lane's owning shard thread may call this.
+  void add(int lane, sim::Duration v);
+
+  /// Upper bounds in ms as configured (excludes the overflow bucket).
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+
+  /// Number of buckets including the overflow bucket.
+  [[nodiscard]] std::size_t bucket_count() const {
+    return bounds_.size() + 1;
+  }
+
+  /// Observation count in bucket `i`, folded over all lanes (the last
+  /// index is the overflow bucket). Not cumulative.
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const;
+
+  /// Total observations over all lanes.
+  [[nodiscard]] std::uint64_t count() const;
+
+  /// Sum of all observed values in milliseconds (exact integer ns sum,
+  /// converted once).
+  [[nodiscard]] double sum() const;
+
+ private:
+  /// One shard's single-writer accumulator, padded to its own cache line.
+  struct alignas(64) Lane {
+    std::vector<std::uint64_t> counts;
+    std::uint64_t count = 0;
+    std::uint64_t sum_ns = 0;
+  };
+
+  std::vector<double> bounds_;        // ms, for column labels
+  std::vector<sim::Duration> bounds_ns_;  // exact ns thresholds
+  std::vector<Lane> lanes_;
+};
+
 /// One sampled time series extracted from a repeat: the expanded column
 /// names, which columns feed the report summary, and one row per tick.
 struct NETRS_SHARED_IMMUTABLE MetricsSnapshot {
@@ -135,6 +187,13 @@ class NETRS_COORD_GLOBAL MetricsRegistry {
   Histogram* histogram(std::string name, std::vector<double> bounds,
                        bool summarize = true);
 
+  /// Registers a shard-laned histogram (bounds in ms, one lane per
+  /// shard) and returns a stable pointer the owners feed via
+  /// ShardedHistogram::add. Expands to the same columns as histogram().
+  ShardedHistogram* sharded_histogram(std::string name,
+                                      std::vector<double> bounds, int lanes,
+                                      bool summarize = true);
+
   /// Number of registered metrics (pre-expansion).
   [[nodiscard]] std::size_t metric_count() const { return metrics_.size(); }
 
@@ -149,7 +208,7 @@ class NETRS_COORD_GLOBAL MetricsRegistry {
   [[nodiscard]] MetricsSnapshot snapshot() const;
 
  private:
-  enum class Kind { kCounter, kGauge, kHistogram };
+  enum class Kind { kCounter, kGauge, kHistogram, kShardedHistogram };
 
   struct Metric {
     std::string name;
@@ -162,6 +221,7 @@ class NETRS_COORD_GLOBAL MetricsRegistry {
   std::deque<std::uint64_t> counters_;   // deque: stable addresses
   std::vector<GaugeFn> gauges_;
   std::deque<Histogram> histograms_;     // deque: stable addresses
+  std::deque<ShardedHistogram> sharded_;  // deque: stable addresses
   std::vector<MetricsSnapshot::Row> rows_;
   std::size_t columns_ = 0;  // frozen at first sample()
 };

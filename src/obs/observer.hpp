@@ -74,11 +74,16 @@ struct NETRS_SHARED_IMMUTABLE ObsConfig {
   }
 };
 
-/// Per-run observability hub; owns the trace ring and metrics registry.
-/// Created by the harness (one per repeat), attached to that repeat's
-/// Simulator, and harvested via take_trace()/take_metrics() after the
-/// run.
-class NETRS_COORD_GLOBAL Observer {
+/// Per-simulator observability hub; owns the trace ring, metrics
+/// registry, and the flight/decision recorders. Created by the harness —
+/// one per shard per repeat (plus a coordinator-side one for the global
+/// simulator), bundled in a ShardObserverSet (obs/shard_obs.hpp) — and
+/// attached to that simulator via Simulator::set_observer, so every
+/// component hook lands on its own shard's observer with no cross-shard
+/// traffic. Harvested through the set's deterministic merges after the
+/// run. Shard-local by construction: only the owning shard's thread
+/// records into it while the engine runs.
+class NETRS_SHARD_LOCAL Observer {
  public:
   /// Sizes the trace ring (0 when tracing is off) per `cfg`.
   explicit Observer(const ObsConfig& cfg);

@@ -1,0 +1,116 @@
+// Shard-parallel observability: one Observer per engine shard, merged
+// deterministically at harvest (DESIGN.md §8.6).
+//
+// The partitioned engine (sim/shard.hpp) runs one Simulator per shard on
+// its own worker thread; a single Observer cannot be shared across them
+// without cross-thread writes on the hot path. The ShardObserverSet
+// instead owns one shard-local Observer per shard — attached by the
+// harness to that shard's simulator, so every component hook lands on its
+// own shard's recorders with no synchronization — plus one coordinator
+// observer for the global simulator (controller, fault injector). All
+// flight/decision recorders run in deferred (raw-log) mode, and the
+// take_*() harvests merge the per-shard contributions in canonical orders
+// keyed on simulated time: event times are shard-count-invariant
+// (DESIGN.md §4.10), so the merged trace JSON, attribution CSV, and
+// decision CSV are byte-identical at any --shards value. The single-shard
+// harness routes through the very same deferred merges, which is what
+// makes the identity hold by construction rather than by coincidence.
+//
+// Observation only, unchanged: nothing here mutates simulation state,
+// consumes RNG draws, or reads the wall clock — golden digests are
+// identical with the set attached or absent.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/observer.hpp"
+#include "sim/affinity.hpp"
+#include "sim/time.hpp"
+
+namespace netrs::obs {
+
+/// Per-ring trace accounting for one shard's (or the coordinator's) ring.
+struct NETRS_SHARED_IMMUTABLE TraceLaneCounts {
+  /// Events the ring recorded (including overwritten ones).
+  std::uint64_t recorded = 0;
+  /// Events the ring lost to wraparound before the merge.
+  std::uint64_t dropped = 0;
+};
+
+/// Owns the per-shard Observers of one repeat plus the coordinator-side
+/// one, and produces the deterministic merged snapshots. Coordinator-
+/// owned: the harness creates it, attaches the lanes, and harvests after
+/// the run; shard threads only ever touch their own lane's Observer.
+class NETRS_COORD_GLOBAL ShardObserverSet {
+ public:
+  /// Creates `lanes` shard observers (>= 1) from `cfg`. With a single
+  /// lane the coordinator observer IS lane 0 (the serial engine runs
+  /// shard and global events on one simulator); with more, a separate
+  /// coordinator observer is added for the global simulator. Every
+  /// flight/decision recorder is switched to deferred mode.
+  ShardObserverSet(const ObsConfig& cfg, int lanes);
+
+  /// Number of shard lanes (excludes the coordinator observer).
+  [[nodiscard]] int lanes() const { return static_cast<int>(lanes_.size()); }
+
+  /// Shard `i`'s observer — attach to that shard's simulator.
+  [[nodiscard]] Observer& lane(int i) { return *lanes_[std::size_t(i)]; }
+
+  /// The coordinator observer — attach to the global simulator. Same
+  /// object as lane(0) when lanes() == 1.
+  [[nodiscard]] Observer& coordinator() {
+    return coord_ != nullptr ? *coord_ : *lanes_.front();
+  }
+
+  /// The coordinator observer's registry: the single metrics home of the
+  /// repeat (gauges read cross-shard state at sampling quiescence, so
+  /// per-shard registries would buy nothing but merge complexity).
+  [[nodiscard]] MetricsRegistry& metrics() { return coordinator().metrics(); }
+
+  /// True when trace events are being recorded.
+  [[nodiscard]] bool tracing() const { return lanes_.front()->tracing(); }
+  /// True when the metrics registry is live.
+  [[nodiscard]] bool metering() const { return lanes_.front()->metering(); }
+  /// True when flight attribution is being captured.
+  [[nodiscard]] bool attributing() const {
+    return lanes_.front()->attributing();
+  }
+  /// True when selection decisions are being audited.
+  [[nodiscard]] bool deciding() const { return lanes_.front()->deciding(); }
+
+  /// Completions/decisions of requests issued before `t` are excluded
+  /// from records — applied by the deferred merges at harvest.
+  void set_measure_from(sim::Time t) { measure_from_ = t; }
+
+  /// Names a trace thread on every lane (merge takes the union).
+  void set_tid_name(std::int32_t tid, const std::string& name);
+
+  /// Merged trace of all lanes plus the coordinator: merge_traces() over
+  /// the rings with the configured capacity.
+  [[nodiscard]] TraceSnapshot take_trace() const;
+
+  /// The coordinator registry's sampled series.
+  [[nodiscard]] MetricsSnapshot take_metrics() const;
+
+  /// Canonical join of every lane's deferred flight log (join_flights()).
+  [[nodiscard]] FlightSnapshot take_flight() const;
+
+  /// Canonical replay of every lane's deferred decision log
+  /// (replay_decisions() with the configured herd window).
+  [[nodiscard]] DecisionSnapshot take_decisions() const;
+
+  /// Per-ring recorded/dropped counts: one entry per shard lane, plus a
+  /// final coordinator entry when a separate coordinator observer exists.
+  [[nodiscard]] std::vector<TraceLaneCounts> lane_trace_counts() const;
+
+ private:
+  ObsConfig cfg_;
+  sim::Time measure_from_ = 0;
+  std::vector<std::unique_ptr<Observer>> lanes_;
+  std::unique_ptr<Observer> coord_;  // null when lanes() == 1
+};
+
+}  // namespace netrs::obs

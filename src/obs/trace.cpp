@@ -1,5 +1,6 @@
 #include "obs/trace.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdio>
 
@@ -98,6 +99,42 @@ std::vector<TraceEvent> TraceRing::in_order() const {
 void TraceRing::set_tid_name(std::int32_t tid, std::string name) {
   if (capacity_ == 0) return;
   tid_names_[tid] = std::move(name);
+}
+
+TraceSnapshot merge_traces(const std::vector<TraceSnapshot>& parts,
+                           std::size_t capacity) {
+  TraceSnapshot out;
+  std::size_t total = 0;
+  for (const TraceSnapshot& p : parts) total += p.events.size();
+  out.events.reserve(total);
+  for (const TraceSnapshot& p : parts) {
+    out.events.insert(out.events.end(), p.events.begin(), p.events.end());
+    out.recorded += p.recorded;
+    for (const auto& [tid, name] : p.tid_names) {
+      out.tid_names.emplace(tid, name);  // first writer wins; names agree
+    }
+  }
+  // A span records when it ends (`ts + dur`), an instant when it fires;
+  // sorting by that record time reproduces the single-ring record order.
+  // The sort is stable and parts arrive in shard order, so exact-time
+  // same-tid ties keep a deterministic order too.
+  const auto record_time = [](const TraceEvent& e) {
+    return e.phase == 'X' ? e.ts + e.dur : e.ts;
+  };
+  std::stable_sort(out.events.begin(), out.events.end(),
+                   [&record_time](const TraceEvent& a, const TraceEvent& b) {
+                     const sim::Time ra = record_time(a);
+                     const sim::Time rb = record_time(b);
+                     if (ra != rb) return ra < rb;
+                     return a.tid < b.tid;
+                   });
+  if (capacity > 0 && out.events.size() > capacity) {
+    out.events.erase(out.events.begin(),
+                     out.events.end() -
+                         static_cast<std::ptrdiff_t>(capacity));
+  }
+  out.dropped = out.recorded - out.events.size();
+  return out;
 }
 
 std::string json_escape(std::string_view s) {

@@ -57,8 +57,9 @@ struct NETRS_SHARED_IMMUTABLE TraceEvent {
 };
 
 /// Bounded ring buffer of TraceEvents. Capacity 0 disables recording
-/// entirely (record() is a cheap early-out branch).
-class NETRS_COORD_GLOBAL TraceRing {
+/// entirely (record() is a cheap early-out branch). One ring per shard's
+/// Observer; merge_traces() folds the rings at harvest time.
+class NETRS_SHARD_LOCAL TraceRing {
  public:
   /// Creates a ring retaining at most `capacity` events (0 = disabled).
   /// All storage is allocated up front; record() never allocates.
@@ -116,6 +117,20 @@ struct NETRS_SHARED_IMMUTABLE TraceSnapshot {
   /// Events lost to ring wraparound.
   std::uint64_t dropped = 0;
 };
+
+/// Merges the per-shard ring snapshots of one repeat (plus the
+/// coordinator's) into a single snapshot, deterministically: all retained
+/// events are stable-sorted by (record time, tid) — where a span's record
+/// time is its end (`ts + dur`), the instant its ring saw it — and the
+/// newest `capacity` events are kept, mirroring the single-ring overwrite
+/// policy. Per-tid event streams are shard-count-invariant (a node lives
+/// on one shard and event times match the serial core, DESIGN.md §4.10),
+/// so as long as no ring wrapped the result is byte-identical at any
+/// --shards value; the harness routes --shards 1 through this same merge.
+/// `recorded` sums the parts; `dropped` counts everything not retained
+/// (ring wraps plus merge-time trimming). tid names take the union.
+[[nodiscard]] TraceSnapshot merge_traces(
+    const std::vector<TraceSnapshot>& parts, std::size_t capacity);
 
 /// Escapes a string for embedding inside a JSON string literal: quotes,
 /// backslashes and control characters (\uXXXX); everything else — including

@@ -41,7 +41,8 @@
 /// Marks a class owned by the coordinator: it lives on the global
 /// simulator (or outside the shard structure entirely) and touches
 /// shard-local state only at barriers, when every shard is parked.
-/// Examples: Controller, the obs recorders (which force --shards 1).
+/// Examples: Controller, obs::ShardObserverSet (whose per-shard Observer
+/// lanes are themselves NETRS_SHARD_LOCAL).
 #define NETRS_COORD_GLOBAL
 
 /// Marks a class that is immutable after setup or a by-value message type:

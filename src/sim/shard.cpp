@@ -1,10 +1,21 @@
 #include "sim/shard.hpp"
 
 #include <cassert>
+#include <chrono>
 
 namespace netrs::sim {
 
 namespace {
+
+/// Monotonic wall-clock read for the self-telemetry accumulators only.
+std::uint64_t wall_ns() {
+  // netrs-lint: allow(wall-clock): engine self-telemetry measures real
+  // execute/stall wall time by design; it is opt-in, observation-only, and
+  // never feeds back into simulated behavior (ShardTelemetry's contract).
+  const auto t = std::chrono::steady_clock::now().time_since_epoch();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t).count());
+}
 // Shard id of the executing thread; kCoordinator on every non-worker
 // thread, including the harness repeat pool.
 // netrs-lint: allow(mutable-static): this thread-local IS the shard-context
@@ -86,11 +97,32 @@ void ShardGroup::worker_loop(int shard) {
   }
 }
 
+ShardTelemetry::Bucket& ShardGroup::telemetry_bucket(
+    ShardTelemetry::Lane& lane, Time clock) {
+  // Cap the series so a tiny bucket width on a huge run degrades into a
+  // coarse tail bucket instead of unbounded memory.
+  constexpr std::size_t kMaxBuckets = 1u << 16;
+  std::size_t idx = static_cast<std::size_t>(
+      clock / (telemetry_.bucket_width > 0 ? telemetry_.bucket_width : 1));
+  if (idx >= kMaxBuckets) idx = kMaxBuckets - 1;
+  if (idx >= lane.buckets.size()) {
+    const std::size_t old = lane.buckets.size();
+    lane.buckets.resize(idx + 1);
+    for (std::size_t b = old; b < lane.buckets.size(); ++b) {
+      lane.buckets[b].start =
+          static_cast<Time>(b) * telemetry_.bucket_width;
+    }
+  }
+  return lane.buckets[idx];
+}
+
 void ShardGroup::run_windows(int shard, Time bound) {
   const int n = shards();
   Simulator& sim = shard_sim(shard);
   std::atomic<Time>& my_clock = clocks_[std::size_t(shard)].v;
   Time clock = my_clock.load(std::memory_order_relaxed);
+  ShardTelemetry::Lane* tel =
+      telemetry_.enabled ? &telemetry_.lanes[std::size_t(shard)] : nullptr;
   while (clock < bound) {
     // Conservative safe bound: every peer has executed all events below its
     // published clock and made the resulting cross-shard sends visible
@@ -106,13 +138,41 @@ void ShardGroup::run_windows(int shard, Time bound) {
     if (safe <= clock) {
       // A peer lags; let it run. With equal clocks the horizon is
       // clock + lookahead > clock, so at least one shard always advances.
-      std::this_thread::yield();
+      if (tel != nullptr) {
+        const std::uint64_t y0 = wall_ns();
+        std::this_thread::yield();
+        const std::uint64_t dt = wall_ns() - y0;
+        tel->stall_ns += dt;
+        telemetry_bucket(*tel, clock).stall_ns += dt;
+      } else {
+        std::this_thread::yield();
+      }
       continue;
+    }
+    std::uint64_t t0 = 0;
+    std::uint64_t ev0 = 0;
+    if (tel != nullptr) {
+      t0 = wall_ns();
+      ev0 = sim.events_fired();
     }
     if (drain_hook_) drain_hook_(shard, safe);
     // Execute every local event strictly below `safe` (integer times make
     // run_until(safe - 1) exactly that), then publish.
     sim.run_until(safe - 1);
+    if (tel != nullptr) {
+      const std::uint64_t exec = wall_ns() - t0;
+      const std::uint64_t events = sim.events_fired() - ev0;
+      const std::uint64_t advance = static_cast<std::uint64_t>(safe - clock);
+      ++tel->windows;
+      tel->events += events;
+      tel->exec_ns += exec;
+      tel->advance_ns += advance;
+      ShardTelemetry::Bucket& b = telemetry_bucket(*tel, clock);
+      ++b.windows;
+      b.events += events;
+      b.exec_ns += exec;
+      b.advance_ns += advance;
+    }
     clock = safe;
     my_clock.store(clock, std::memory_order_release);
   }
@@ -167,6 +227,41 @@ std::uint64_t ShardGroup::events_fired() const {
   for (const auto& s : sims_) total += s->events_fired();
   if (owned_global_) total += owned_global_->events_fired();
   return total;
+}
+
+std::vector<std::uint64_t> ShardGroup::events_fired_per_shard() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(sims_.size());
+  for (const auto& s : sims_) out.push_back(s->events_fired());
+  return out;
+}
+
+void ShardGroup::enable_telemetry(Duration bucket_width) {
+  assert(bucket_width > 0);
+  telemetry_.enabled = true;
+  telemetry_.bucket_width = bucket_width;
+  telemetry_.lanes.clear();
+  if (!workers_.empty()) {
+    telemetry_.lanes.resize(sims_.size());
+  }
+}
+
+void write_shard_telemetry_csv(std::ostream& os,
+                               const std::vector<ShardTelemetry>& repeats) {
+  os << "repeat,shard,bucket_start_us,windows,events,advance_ns,exec_ns,"
+        "stall_ns\n";
+  for (std::size_t rep = 0; rep < repeats.size(); ++rep) {
+    const ShardTelemetry& t = repeats[rep];
+    for (std::size_t s = 0; s < t.lanes.size(); ++s) {
+      for (const ShardTelemetry::Bucket& b : t.lanes[s].buckets) {
+        if (b.windows == 0 && b.stall_ns == 0) continue;
+        os << rep << ',' << s << ','
+           << static_cast<std::uint64_t>(b.start) / 1000 << ',' << b.windows
+           << ',' << b.events << ',' << b.advance_ns << ',' << b.exec_ns
+           << ',' << b.stall_ns << '\n';
+      }
+    }
+  }
 }
 
 }  // namespace netrs::sim

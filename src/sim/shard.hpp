@@ -29,6 +29,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <ostream>
 #include <thread>
 #include <vector>
 
@@ -36,6 +37,65 @@
 #include "sim/time.hpp"
 
 namespace netrs::sim {
+
+/// Wall-clock self-telemetry of the parallel engine (DESIGN.md §8.6):
+/// per-shard window counts, events executed, execute vs. stall
+/// (wait-for-peer) wall time, and safe-bound advancement, aggregated into
+/// fixed simulated-time buckets for the shard-timeline plot. Telemetry is
+/// wall-clock based and therefore **nondeterministic** — it is opt-in
+/// (`--shard-telemetry`) and never feeds back into simulated behavior;
+/// default runs stay byte-identical with it disabled. Each lane is
+/// written only by its shard's worker thread; read at engine quiescence
+/// (between ShardGroup::run_until calls or at a barrier), where the
+/// worker handshake orders the writes before the read.
+struct ShardTelemetry {
+  /// One fixed simulated-time bucket of one shard's activity.
+  struct Bucket {
+    /// Bucket start, simulated ns.
+    Time start = 0;
+    /// Windows whose execution started in this bucket.
+    std::uint64_t windows = 0;
+    /// Events executed by those windows.
+    std::uint64_t events = 0;
+    /// Simulated ns of safe-bound advancement by those windows.
+    std::uint64_t advance_ns = 0;
+    /// Wall ns spent draining inboxes + executing those windows.
+    std::uint64_t exec_ns = 0;
+    /// Wall ns spent stalled (yielding for a lagging peer) while the
+    /// shard's clock sat in this bucket.
+    std::uint64_t stall_ns = 0;
+  };
+  /// One shard's accumulated telemetry: run totals plus the bucket series.
+  struct Lane {
+    /// Parallel windows executed (one conservative safe-bound advance).
+    std::uint64_t windows = 0;
+    /// Events executed inside windows.
+    std::uint64_t events = 0;
+    /// Total wall ns draining + executing windows.
+    std::uint64_t exec_ns = 0;
+    /// Total wall ns stalled waiting for peers.
+    std::uint64_t stall_ns = 0;
+    /// Total simulated ns of safe-bound advancement.
+    std::uint64_t advance_ns = 0;
+    /// Fixed-width bucket series, indexed by simulated time / bucket
+    /// width (capped; the tail aggregates into the last bucket).
+    std::vector<Bucket> buckets;
+  };
+  /// True once ShardGroup::enable_telemetry ran.
+  bool enabled = false;
+  /// Simulated-time width of each bucket, ns.
+  Duration bucket_width = 0;
+  /// One lane per shard, shard order. Empty in serial mode (a single
+  /// shard never enters the window loop; there is nothing to stall on).
+  std::vector<Lane> lanes;
+};
+
+/// Writes the shard-telemetry CSV: header `repeat,shard,bucket_start_us,
+/// windows,events,advance_ns,exec_ns,stall_ns`, one row per active bucket
+/// per shard, repeats in order. Wall-clock derived — informative, not
+/// reproducible.
+void write_shard_telemetry_csv(std::ostream& os,
+                               const std::vector<ShardTelemetry>& repeats);
 
 /// Coordinates S per-pod simulator shards plus a global simulator under
 /// conservative lookahead synchronization (see the file comment).
@@ -119,6 +179,23 @@ class ShardGroup {
   /// shard order (deterministic for any jobs/shards value).
   [[nodiscard]] std::uint64_t events_fired() const;
 
+  /// Events fired per shard, shard order (excludes the global simulator:
+  /// events_fired() minus this sum is the global queue's share; in serial
+  /// mode the single entry includes it). Deterministic at any shard/job
+  /// split.
+  [[nodiscard]] std::vector<std::uint64_t> events_fired_per_shard() const;
+
+  /// Turns on wall-clock self-telemetry with the given simulated-time
+  /// bucket width (> 0). Call before the first run_until; telemetry is
+  /// observation-only but nondeterministic (see ShardTelemetry).
+  void enable_telemetry(Duration bucket_width);
+
+  /// The accumulated self-telemetry (enabled == false when
+  /// enable_telemetry was never called). Read at quiescence only.
+  [[nodiscard]] const ShardTelemetry& telemetry() const {
+    return telemetry_;
+  }
+
  private:
   /// Cache-line-isolated published clock of one shard.
   struct alignas(64) PaddedClock {
@@ -127,6 +204,10 @@ class ShardGroup {
 
   void worker_loop(int shard);
   void run_windows(int shard, Time bound);
+  /// The telemetry bucket a shard clock value lands in (lane grown on
+  /// demand, index capped so a mis-sized width cannot balloon memory).
+  ShardTelemetry::Bucket& telemetry_bucket(ShardTelemetry::Lane& lane,
+                                           Time clock);
   /// Parks every shard at `bound`: on return each shard has executed all
   /// events strictly below `bound` and published clock == bound.
   void advance_shards(Time bound);
@@ -148,6 +229,7 @@ class ShardGroup {
   int done_ = 0;
   bool stop_ = false;
   std::atomic<bool> window_active_{false};
+  ShardTelemetry telemetry_;
 };
 
 /// RAII override of ShardGroup::current_shard() for the calling thread:

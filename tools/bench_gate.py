@@ -25,6 +25,19 @@ else is skipped with a note. The fault-phase latency/staleness numbers in
 the section are descriptive (EXPERIMENTS.md) and never gated — they
 measure the simulated system, not the simulator.
 
+An ``obs`` section (the shards=4 scale cell re-run with every
+observability output plus engine self-telemetry enabled, DESIGN.md §8.6)
+is gated two ways: with matching fingerprints, ``off_requests_per_sec``
+and ``on_requests_per_sec`` are each gated cross-record with the usual
+threshold; and regardless of the previous record, the current record's
+obs-on rate must stay within ``--obs-cap`` (default 70%) of its own
+obs-off rate — full observability serializes tens of MB of trace /
+attribution / decision output, so it legitimately costs a large
+fraction of throughput, but a cap catches it going pathological
+(accidentally synchronous or quadratic). The per-shard ``telemetry``
+summary is descriptive (wall-clock, machine-dependent) and never
+gated.
+
 Records with different ``fingerprint`` fields describe different canonical
 cells (scale, seed, topology) and are never compared — the gate reports
 the mismatch and passes, because a changed cell is a deliberate re-basing,
@@ -58,6 +71,7 @@ RATE_METRICS = {
 }
 ALLOCS_METRIC = "allocs_per_hop"
 ALLOCS_SLACK = 0.01  # absolute allowance around a ~zero baseline
+OBS_OVERHEAD_CAP = 0.70  # default in-record obs-on vs obs-off slowdown cap
 
 
 def find_records(root: pathlib.Path) -> list[tuple[int, pathlib.Path]]:
@@ -70,7 +84,8 @@ def find_records(root: pathlib.Path) -> list[tuple[int, pathlib.Path]]:
     return sorted(records)
 
 
-def compare(prev: dict, cur: dict, threshold: float) -> list[str]:
+def compare(prev: dict, cur: dict, threshold: float,
+            obs_cap: float = OBS_OVERHEAD_CAP) -> list[str]:
     """Regression messages comparing ``cur`` against ``prev`` (empty = ok)."""
     failures = []
     if prev.get("fingerprint") != cur.get("fingerprint"):
@@ -113,6 +128,7 @@ def compare(prev: dict, cur: dict, threshold: float) -> list[str]:
         )
     failures.extend(compare_scale(prev, cur, threshold))
     failures.extend(compare_failover(prev, cur, threshold))
+    failures.extend(compare_obs(prev, cur, threshold, obs_cap))
     return failures
 
 
@@ -197,7 +213,65 @@ def compare_failover(prev: dict, cur: dict, threshold: float) -> list[str]:
     return failures
 
 
-def run_gate(root: pathlib.Path, threshold: float) -> int:
+def compare_obs(prev: dict, cur: dict, threshold: float,
+                obs_cap: float = OBS_OVERHEAD_CAP) -> list[str]:
+    """Gates the observability-overhead ``obs`` section (empty = ok)."""
+    failures = []
+    oprev, ocur = prev.get("obs"), cur.get("obs")
+    if not isinstance(ocur, dict):
+        return failures
+    # In-record overhead cap: the same record's obs-on throughput must
+    # stay within ``obs_cap`` of its obs-off throughput. This holds even
+    # for the first obs record (no cross-record baseline needed).
+    off = float(ocur.get("off_requests_per_sec", 0.0))
+    on = float(ocur.get("on_requests_per_sec", 0.0))
+    if off > 0.0:
+        overhead = (off - on) / off
+        cap = obs_cap
+        status = "ok"
+        if overhead > cap:
+            status = "REGRESSION"
+            failures.append(
+                f"obs overhead: on {on:.1f} vs off {off:.1f} req/s "
+                f"({overhead * 100.0:+.1f}%, cap {cap * 100.0:.0f}%)"
+            )
+        print(
+            f"bench_gate: obs overhead: off {off:.1f} -> on {on:.1f} req/s "
+            f"({overhead * 100.0:+.1f}% of off) [{status}]"
+        )
+    if not isinstance(oprev, dict):
+        print("bench_gate: obs: no previous obs section, cross-record "
+              "comparison skipped")
+        return failures
+    if oprev.get("fingerprint") != ocur.get("fingerprint"):
+        print(
+            "bench_gate: obs fingerprint changed "
+            f"({oprev.get('fingerprint')!r} -> {ocur.get('fingerprint')!r}); "
+            "cross-record comparison skipped"
+        )
+        return failures
+    for metric in ("off_requests_per_sec", "on_requests_per_sec"):
+        old = float(oprev.get(metric, 0.0))
+        new = float(ocur.get(metric, 0.0))
+        if old <= 0.0:
+            continue
+        change = (new - old) / old
+        status = "ok"
+        if change < -threshold:
+            status = "REGRESSION"
+            failures.append(
+                f"obs.{metric}: {old:.1f} -> {new:.1f} "
+                f"({change * 100.0:+.1f}%, threshold -{threshold * 100.0:.0f}%)"
+            )
+        print(
+            f"bench_gate: obs.{metric}: {old:.1f} -> {new:.1f} "
+            f"({change * 100.0:+.1f}%) [{status}]"
+        )
+    return failures
+
+
+def run_gate(root: pathlib.Path, threshold: float,
+             obs_cap: float = OBS_OVERHEAD_CAP) -> int:
     records = find_records(root)
     if not records:
         print(f"bench_gate: no BENCH_*.json under {root}; nothing to gate")
@@ -210,7 +284,7 @@ def run_gate(root: pathlib.Path, threshold: float) -> int:
     print(f"bench_gate: comparing {cur_path.name} against {prev_path.name}")
     prev = json.loads(prev_path.read_text())
     cur = json.loads(cur_path.read_text())
-    failures = compare(prev, cur, threshold)
+    failures = compare(prev, cur, threshold, obs_cap)
     if failures:
         for msg in failures:
             print(f"bench_gate: FAIL {msg}", file=sys.stderr)
@@ -319,6 +393,45 @@ def self_test(threshold: float) -> int:
             print("bench_gate: SELF-TEST FAIL: first failover record gated",
                   file=sys.stderr)
             return 1
+        # Obs section: an obs-on rate that regressed past the threshold
+        # (matching fingerprints) must trip; an in-record overhead past
+        # 2x the threshold must trip even without a baseline; a healthy
+        # first obs record must not.
+        obs = {
+            "fingerprint": "obs-selftest",
+            "off_requests_per_sec": 100000.0,
+            "on_requests_per_sec": 95000.0,
+            "overhead_pct": 5.0,
+            "events_per_shard": [10, 20, 30, 40],
+            "telemetry": [
+                {"shard": 0, "windows": 5, "events": 10,
+                 "exec_ns": 1000, "stall_ns": 100},
+            ],
+        }
+        with_obs = dict(base)
+        with_obs["obs"] = obs
+        obs_regressed = json.loads(json.dumps(with_obs))
+        obs_regressed["obs"]["on_requests_per_sec"] = 80000.0  # -15.8%
+        (root / "BENCH_1.json").write_text(json.dumps(with_obs))
+        (root / "BENCH_2.json").write_text(json.dumps(obs_regressed))
+        if run_gate(root, threshold) == 0:
+            print("bench_gate: SELF-TEST FAIL: obs-on regression passed",
+                  file=sys.stderr)
+            return 1
+        obs_heavy = json.loads(json.dumps(with_obs))
+        obs_heavy["obs"]["on_requests_per_sec"] = 20000.0  # 80% overhead
+        obs_heavy["obs"]["off_requests_per_sec"] = 100000.0
+        (root / "BENCH_1.json").write_text(json.dumps(base))  # no obs yet
+        (root / "BENCH_2.json").write_text(json.dumps(obs_heavy))
+        if run_gate(root, threshold) == 0:
+            print("bench_gate: SELF-TEST FAIL: obs overhead past cap passed",
+                  file=sys.stderr)
+            return 1
+        (root / "BENCH_2.json").write_text(json.dumps(with_obs))
+        if run_gate(root, threshold) != 0:
+            print("bench_gate: SELF-TEST FAIL: first obs record gated",
+                  file=sys.stderr)
+            return 1
     print("bench_gate: self-test pass")
     return 0
 
@@ -328,12 +441,16 @@ def main() -> int:
     ap.add_argument("--dir", default=".", help="directory holding BENCH_*.json")
     ap.add_argument("--threshold", type=float, default=0.10,
                     help="relative regression threshold (default 0.10)")
+    ap.add_argument("--obs-cap", type=float, default=OBS_OVERHEAD_CAP,
+                    help="in-record obs-on vs obs-off slowdown cap "
+                         "(default 0.70)")
     ap.add_argument("--self-test", action="store_true",
                     help="verify the gate trips on a synthetic regression")
     args = ap.parse_args()
     if args.self_test:
         return self_test(args.threshold)
-    return run_gate(pathlib.Path(args.dir), args.threshold)
+    return run_gate(pathlib.Path(args.dir), args.threshold,
+                    args.obs_cap)
 
 
 if __name__ == "__main__":

@@ -1227,6 +1227,14 @@ bool layer_allowed(const std::string& class_layer,
   if (class_layer == "rs" && (file_layer == "netrs" || file_layer == "kv")) {
     return true;
   }
+  // The obs recorders are shard-local lanes reached through the
+  // component's own simulator (`simulator().observer()`), so every
+  // recording call from a component layer lands on that component's own
+  // shard observer by construction (DESIGN.md §8.6).
+  if (class_layer == "obs" && (file_layer == "net" || file_layer == "kv" ||
+                               file_layer == "netrs" || file_layer == "rs")) {
+    return true;
+  }
   return false;
 }
 

@@ -17,7 +17,12 @@ Each input CSV is classified by its header:
     100 ms bucket per scheme) become a two-panel figure per file: p99
     latency and mean decision staleness over time, one line per scheme,
     with the fault window shaded — the recovery behaviour of
-    docs/SCENARIOS.md's failover walkthrough at a glance.
+    docs/SCENARIOS.md's failover walkthrough at a glance;
+  - shard-telemetry CSVs (`--shard-telemetry` / NETRS_SHARD_TELEMETRY,
+    DESIGN.md §8.6) become a shard-timeline figure per file: one stacked
+    execute-vs-stall wall-time bar per shard (is the parallel engine
+    balanced, or is one shard dragging the window?) plus the per-shard
+    events-per-window timeline from the bucket series.
 
 A trailing argument that is not an existing file is taken as the output
 directory (default `plots`). Requires matplotlib; the simulation itself
@@ -35,6 +40,9 @@ DECISION_HEADER = (
 FAILOVER_HEADER = (
     "scheme,bucket_start_ms,mean_ms,p99_ms,samples,stale_mean_ms,doomed,"
     "fault_start_ms,fault_end_ms"
+)
+SHARD_TELEMETRY_HEADER = (
+    "repeat,shard,bucket_start_us,windows,events,advance_ns,exec_ns,stall_ns"
 )
 
 
@@ -200,6 +208,56 @@ def plot_failover(path, outdir, plt):
     print("wrote", out)
 
 
+def plot_shard_telemetry(path, outdir, plt):
+    """Two stacked panels per telemetry CSV: per-shard execute-vs-stall
+    wall-time bars (summed over repeats and buckets), and the events
+    timeline — events per bucket over simulated time, one line per
+    shard."""
+    exec_ns = collections.defaultdict(float)  # shard -> wall ns
+    stall_ns = collections.defaultdict(float)
+    # shard -> {bucket_start_us: events} (summed across repeats)
+    timeline = collections.defaultdict(lambda: collections.defaultdict(float))
+    with open(path, newline="") as f:
+        for row in csv.DictReader(f):
+            shard = int(row["shard"])
+            exec_ns[shard] += float(row["exec_ns"])
+            stall_ns[shard] += float(row["stall_ns"])
+            timeline[shard][float(row["bucket_start_us"])] += float(
+                row["events"]
+            )
+    if not exec_ns:
+        return
+
+    shards = sorted(exec_ns)
+    fig, (ax_bar, ax_ev) = plt.subplots(2, 1, figsize=(6, 5.0))
+    execs = [exec_ns[s] / 1e6 for s in shards]
+    stalls = [stall_ns[s] / 1e6 for s in shards]
+    ax_bar.bar(shards, execs, width=0.6, label="execute", color="tab:blue")
+    ax_bar.bar(shards, stalls, bottom=execs, width=0.6, label="stall",
+               color="tab:orange")
+    ax_bar.set_xticks(shards)
+    ax_bar.set_xticklabels([f"shard {s}" for s in shards], fontsize=8)
+    ax_bar.set_ylabel("wall time (ms)")
+    ax_bar.set_title(f"Shard timeline ({file_label(path)})")
+    ax_bar.legend(fontsize=7)
+
+    for shard in shards:
+        points = sorted(timeline[shard].items())
+        ts = [p[0] / 1e3 for p in points]
+        ax_ev.plot(ts, [p[1] for p in points], label=f"shard {shard}",
+                   linewidth=1.0)
+    ax_ev.set_xlabel("simulated time (ms)")
+    ax_ev.set_ylabel("events / bucket")
+    ax_ev.legend(fontsize=7)
+    for ax in (ax_bar, ax_ev):
+        ax.grid(True, alpha=0.3)
+    fig.tight_layout()
+    out = os.path.join(outdir, f"{file_label(path)}.png")
+    fig.savefig(out, dpi=140)
+    plt.close(fig)
+    print("wrote", out)
+
+
 def main() -> int:
     if len(sys.argv) < 2:
         print(__doc__)
@@ -221,7 +279,7 @@ def main() -> int:
         print("matplotlib not available; install it to plot", file=sys.stderr)
         return 1
 
-    bench, attribution, decisions, failover = [], [], [], []
+    bench, attribution, decisions, failover, telemetry = [], [], [], [], []
     for path in args:
         with open(path, newline="") as f:
             header = f.readline().strip()
@@ -231,6 +289,8 @@ def main() -> int:
             decisions.append(path)
         elif header == FAILOVER_HEADER:
             failover.append(path)
+        elif header == SHARD_TELEMETRY_HEADER:
+            telemetry.append(path)
         else:
             bench.append(path)
 
@@ -243,6 +303,8 @@ def main() -> int:
         plot_decisions(decisions, outdir, plt)
     for path in failover:
         plot_failover(path, outdir, plt)
+    for path in telemetry:
+        plot_shard_telemetry(path, outdir, plt)
     return 0
 
 
